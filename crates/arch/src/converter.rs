@@ -1,0 +1,161 @@
+//! Data converters via the figure-of-merit law.
+//!
+//! Interface electronics — the bridge between the analog ambient and the
+//! digital SoC — obeys a remarkably stable empirical law: converter power
+//! is `P = FoM · 2^ENOB · f_s`, with the figure of merit (energy per
+//! conversion step) improving slowly with technology. Circa 2003 the
+//! state of the art sat near 1 pJ/conversion-step (cf. the DATE 2003
+//! poster "Figure of Merit Based Selection of A/D Converters").
+
+use ami_units::{Energy, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// The 2003 state-of-the-art ADC figure of merit, joules per conversion step.
+pub const FOM_2003: f64 = 1e-12;
+
+/// An analog-to-digital converter characterized by resolution, sample rate
+/// and figure of merit.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::Adc;
+/// use ami_units::Frequency;
+///
+/// // A 12-bit 1 MS/s ADC at the 2003 FoM: ~4 mW.
+/// let adc = Adc::new(12.0, Frequency::from_megahertz(1.0), ami_arch::converter::FOM_2003);
+/// assert!((adc.power().as_milliwatts() - 4.096).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    enob: f64,
+    sample_rate: Frequency,
+    fom: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with the given effective number of bits, sample rate
+    /// and figure of merit (J per conversion step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enob` is not in `[1, 24]` or `fom` is not positive.
+    pub fn new(enob: f64, sample_rate: Frequency, fom: f64) -> Self {
+        assert!((1.0..=24.0).contains(&enob), "ENOB must lie in [1, 24]");
+        assert!(fom.is_finite() && fom > 0.0, "FoM must be positive");
+        Self {
+            enob,
+            sample_rate,
+            fom,
+        }
+    }
+
+    /// An ADC at the 2003 state-of-the-art FoM.
+    pub fn state_of_the_art_2003(enob: f64, sample_rate: Frequency) -> Self {
+        Self::new(enob, sample_rate, FOM_2003)
+    }
+
+    /// Effective number of bits.
+    pub fn enob(&self) -> f64 {
+        self.enob
+    }
+
+    /// Sample rate.
+    pub fn sample_rate(&self) -> Frequency {
+        self.sample_rate
+    }
+
+    /// Figure of merit in joules per conversion step.
+    pub fn fom(&self) -> f64 {
+        self.fom
+    }
+
+    /// Energy of one conversion: `FoM · 2^ENOB`.
+    pub fn energy_per_sample(&self) -> Energy {
+        Energy::new(self.fom * 2f64.powf(self.enob))
+    }
+
+    /// Continuous conversion power: `FoM · 2^ENOB · f_s`.
+    pub fn power(&self) -> Power {
+        Power::new(self.energy_per_sample().as_joules() * self.sample_rate.as_hertz())
+    }
+}
+
+/// A digital-to-analog converter; first-order, the same FoM law applies
+/// with a lighter class-AB output-stage overhead folded into the FoM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    inner: Adc,
+}
+
+impl Dac {
+    /// Creates a DAC with the given resolution, update rate and FoM.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Adc::new`].
+    pub fn new(enob: f64, update_rate: Frequency, fom: f64) -> Self {
+        Self {
+            inner: Adc::new(enob, update_rate, fom),
+        }
+    }
+
+    /// Effective number of bits.
+    pub fn enob(&self) -> f64 {
+        self.inner.enob()
+    }
+
+    /// Continuous conversion power.
+    pub fn power(&self) -> Power {
+        self.inner.power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_doubles_per_bit() {
+        let f = Frequency::from_megahertz(1.0);
+        let a10 = Adc::state_of_the_art_2003(10.0, f);
+        let a11 = Adc::state_of_the_art_2003(11.0, f);
+        assert!((a11.power().as_watts() / a10.power().as_watts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_linear_in_sample_rate() {
+        let a = Adc::state_of_the_art_2003(12.0, Frequency::from_kilohertz(100.0));
+        let b = Adc::state_of_the_art_2003(12.0, Frequency::from_megahertz(10.0));
+        assert!((b.power().as_watts() / a.power().as_watts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audio_adc_is_low_milliwatts() {
+        // 16-bit 48 kS/s audio capture ≈ 3 mW at the FoM bound: real audio
+        // converters of the era sat at 5–20 mW — the FoM is a lower bound.
+        let audio = Adc::state_of_the_art_2003(16.0, Frequency::from_kilohertz(48.0));
+        let p = audio.power().as_milliwatts();
+        assert!((1.0..10.0).contains(&p), "got {p} mW");
+    }
+
+    #[test]
+    fn video_rate_high_res_is_milliwatts() {
+        let video = Adc::state_of_the_art_2003(10.0, Frequency::from_megahertz(27.0));
+        assert!(video.power().as_milliwatts() > 10.0);
+    }
+
+    #[test]
+    fn dac_mirrors_adc_law() {
+        let d = Dac::new(12.0, Frequency::from_megahertz(1.0), FOM_2003);
+        let a = Adc::new(12.0, Frequency::from_megahertz(1.0), FOM_2003);
+        assert_eq!(d.power(), a.power());
+        assert_eq!(d.enob(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ENOB")]
+    fn absurd_resolution_rejected() {
+        let _ = Adc::new(40.0, Frequency::from_megahertz(1.0), FOM_2003);
+    }
+}

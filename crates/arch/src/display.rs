@@ -1,0 +1,123 @@
+//! Displays — the "natural interfaces" load of the personal and static
+//! classes.
+//!
+//! Display power is areal and barely technology-dependent: a transflective
+//! LCD panel burns ~1 mW/cm² lit, a backlit one an order more, and a
+//! 2003-era large display two orders more. This puts the interface on the
+//! power–information graph far above the computation it fronts.
+
+use ami_units::{Area, Power, PowerDensity, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// Display panel technology class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PanelKind {
+    /// Reflective/transflective LCD, no backlight (watch/sensor class).
+    TransflectiveLcd,
+    /// Backlit color LCD (PDA/phone class).
+    BacklitLcd,
+    /// Large plasma/CRT-class ambient panel (static class).
+    LargePanel,
+}
+
+impl PanelKind {
+    /// Full-brightness areal power density.
+    pub fn density(self) -> PowerDensity {
+        match self {
+            // 1 mW/cm² ≡ 10 W/m² etc.
+            PanelKind::TransflectiveLcd => PowerDensity::from_watts_per_square_meter(1.0),
+            PanelKind::BacklitLcd => PowerDensity::from_watts_per_square_meter(150.0),
+            PanelKind::LargePanel => PowerDensity::from_watts_per_square_meter(900.0),
+        }
+    }
+}
+
+/// A display of a given panel class and active area.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::display::{Display, PanelKind};
+/// use ami_units::{Area, Ratio};
+///
+/// let pda = Display::new(PanelKind::BacklitLcd, Area::from_square_centimeters(40.0));
+/// let p = pda.power(Ratio::from_percent(60.0));
+/// assert!(p.as_milliwatts() > 100.0); // the PDA's dominant load
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Display {
+    kind: PanelKind,
+    area: Area,
+}
+
+impl Display {
+    /// Creates a display.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not positive.
+    pub fn new(kind: PanelKind, area: Area) -> Self {
+        assert!(
+            area.as_square_meters() > 0.0,
+            "display area must be positive"
+        );
+        Self { kind, area }
+    }
+
+    /// Panel class.
+    pub fn kind(&self) -> PanelKind {
+        self.kind
+    }
+
+    /// Active area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Power at the given brightness setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `brightness` is outside `[0, 1]`.
+    pub fn power(&self, brightness: Ratio) -> Power {
+        assert!(
+            brightness.is_unit_interval(),
+            "brightness must lie in [0, 1]"
+        );
+        self.kind.density() * self.area * brightness.as_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_power_spread_spans_three_decades() {
+        let area = Area::from_square_centimeters(40.0);
+        let lo = Display::new(PanelKind::TransflectiveLcd, area).power(Ratio::ONE);
+        let hi = Display::new(PanelKind::LargePanel, area).power(Ratio::ONE);
+        assert!(hi.as_watts() / lo.as_watts() > 500.0);
+    }
+
+    #[test]
+    fn brightness_scales_linearly() {
+        let d = Display::new(PanelKind::BacklitLcd, Area::from_square_centimeters(40.0));
+        let half = d.power(Ratio::from_percent(50.0));
+        let full = d.power(Ratio::ONE);
+        assert!((full.as_watts() / half.as_watts() - 2.0).abs() < 1e-12);
+        assert_eq!(d.power(Ratio::ZERO), Power::ZERO);
+    }
+
+    #[test]
+    fn pda_display_dominates_milliwatt_budget() {
+        let d = Display::new(PanelKind::BacklitLcd, Area::from_square_centimeters(40.0));
+        assert!(d.power(Ratio::ONE).as_milliwatts() > 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "area")]
+    fn zero_area_rejected() {
+        let _ = Display::new(PanelKind::BacklitLcd, Area::ZERO);
+    }
+}

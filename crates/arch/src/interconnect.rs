@@ -1,0 +1,190 @@
+//! On-chip interconnect energy: buses versus segmented (NoC-style) links.
+//!
+//! By 2003, moving a bit across a die cost as much as computing on it —
+//! the DATE 2003 proceedings are full of network-on-chip papers for this
+//! reason. The model here is first-order: wire energy per bit per
+//! millimetre from the node's wiring capacitance, a shared bus that
+//! charges the full backbone every transfer, and a segmented fabric that
+//! charges only the Manhattan path plus per-hop router overhead.
+
+use ami_tech::TechnologyNode;
+use ami_units::{Capacitance, DataVolume, Energy, Length};
+use serde::{Deserialize, Serialize};
+
+/// Wire capacitance per millimetre, scaled from the 130 nm anchor of
+/// ≈0.2 pF/mm (global wire with repeaters).
+fn wire_cap_per_mm(node: &TechnologyNode) -> Capacitance {
+    let scale = node.feature_size().as_nanometers() / 130.0;
+    Capacitance::from_picofarads(0.2 * scale.sqrt())
+}
+
+/// On-chip communication fabric of a given die-scale span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    node: TechnologyNode,
+    /// Backbone length of the shared bus / edge length of the fabric.
+    span: Length,
+    /// Number of router hops a segmented transfer crosses on average.
+    mean_hops: f64,
+    /// Gate equivalents switched per bit per router (buffering + arbitration).
+    router_gates_per_bit: f64,
+}
+
+impl Interconnect {
+    /// Creates a fabric over a die of the given span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is not positive, or hop/router parameters are not
+    /// positive and finite.
+    pub fn new(
+        node: TechnologyNode,
+        span: Length,
+        mean_hops: f64,
+        router_gates_per_bit: f64,
+    ) -> Self {
+        assert!(span.as_meters() > 0.0, "span must be positive");
+        assert!(
+            mean_hops.is_finite() && mean_hops >= 1.0,
+            "mean hops must be >= 1"
+        );
+        assert!(
+            router_gates_per_bit.is_finite() && router_gates_per_bit > 0.0,
+            "router cost must be positive"
+        );
+        Self {
+            node,
+            span,
+            mean_hops,
+            router_gates_per_bit,
+        }
+    }
+
+    /// A 10 mm-die fabric with 3-hop average paths and 20 gate-switches of
+    /// router overhead per bit per hop.
+    pub fn typical_soc(node: TechnologyNode) -> Self {
+        Self::new(node, Length::from_millimeters(10.0), 3.0, 20.0)
+    }
+
+    /// Energy to move one bit over `distance` of repeated wire.
+    pub fn wire_energy_per_bit(&self, distance: Length) -> Energy {
+        assert!(!distance.is_negative(), "distance must be non-negative");
+        let cap =
+            Capacitance::new(wire_cap_per_mm(&self.node).as_farads() * distance.as_meters() * 1e3);
+        // Half-swing statistics: charge the full CV² on average every
+        // second bit → ½·C·V².
+        cap.stored_energy(self.node.vdd_nominal())
+    }
+
+    /// Shared-bus transfer: every bit charges the full backbone.
+    pub fn bus_transfer_energy(&self, volume: DataVolume) -> Energy {
+        self.wire_energy_per_bit(self.span) * volume.as_bits()
+    }
+
+    /// Segmented (NoC-style) transfer: bits traverse only the mean path
+    /// (`span × hops / (hops + 1)` per segment geometry is folded into the
+    /// caller's `mean_hops` choice) plus router overhead per hop.
+    pub fn segmented_transfer_energy(&self, volume: DataVolume) -> Energy {
+        let segment = Length::from_meters(self.span.as_meters() / self.mean_hops);
+        let wire = self.wire_energy_per_bit(segment) * volume.as_bits() * self.mean_hops;
+        let router = Energy::new(
+            self.router_gates_per_bit
+                * self.mean_hops
+                * self
+                    .node
+                    .dynamic_energy_per_gate(self.node.vdd_nominal())
+                    .as_joules()
+                * volume.as_bits(),
+        );
+        wire + router
+    }
+
+    /// Ratio of bus to segmented energy for a transfer (>1 favours the
+    /// segmented fabric). With this first-order wire model the wire cost
+    /// is path-length-linear, so the advantage comes entirely from
+    /// *locality*: transfers shorter than the full backbone.
+    pub fn segmentation_advantage(&self, volume: DataVolume, path: Length) -> f64 {
+        assert!(path <= self.span, "path cannot exceed the die span");
+        let hops = (path.as_meters() / (self.span.as_meters() / self.mean_hops))
+            .ceil()
+            .max(1.0);
+        let local = Interconnect {
+            mean_hops: hops,
+            span: path.max(Length::from_millimeters(0.1)),
+            ..self.clone()
+        };
+        self.bus_transfer_energy(volume).as_joules()
+            / local.segmented_transfer_energy(volume).as_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Interconnect {
+        Interconnect::typical_soc(TechnologyNode::n130())
+    }
+
+    #[test]
+    fn crossing_a_die_costs_picojoules_per_bit() {
+        // 10 mm at 0.2 pF/mm and 1.2 V: ½·2pF·1.44 ≈ 1.4 pJ/bit — the
+        // 2003 "communication costs as much as computation" observation
+        // (an ASIC op is ~1.8 pJ at this node).
+        let e = fabric().wire_energy_per_bit(Length::from_millimeters(10.0));
+        assert!(e.as_picojoules() > 0.5 && e.as_picojoules() < 5.0, "{e}");
+    }
+
+    #[test]
+    fn bus_charges_full_backbone() {
+        let f = fabric();
+        let word = DataVolume::from_bytes(4.0);
+        let bus = f.bus_transfer_energy(word);
+        let expected = f.wire_energy_per_bit(Length::from_millimeters(10.0)) * 32.0;
+        assert!((bus.as_joules() - expected.as_joules()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn segmented_pays_router_overhead_on_global_transfers() {
+        // For a transfer spanning the whole die, segmentation only adds
+        // router energy: the bus wins.
+        let f = fabric();
+        let word = DataVolume::from_bytes(4.0);
+        assert!(f.segmented_transfer_energy(word) > f.bus_transfer_energy(word));
+    }
+
+    #[test]
+    fn locality_is_where_segmentation_wins() {
+        // A transfer between adjacent tiles (1/3 of the die) beats the
+        // full-backbone bus.
+        let f = fabric();
+        let word = DataVolume::from_bytes(4.0);
+        let advantage = f.segmentation_advantage(word, Length::from_millimeters(3.0));
+        assert!(
+            advantage > 1.0,
+            "local traffic must favour the fabric: {advantage:.2}"
+        );
+        // While a full-span transfer does not.
+        let global = f.segmentation_advantage(word, Length::from_millimeters(10.0));
+        assert!(global < advantage);
+    }
+
+    #[test]
+    fn scaling_lowers_wire_energy_sublinearly() {
+        let old = Interconnect::typical_soc(TechnologyNode::n250());
+        let new = Interconnect::typical_soc(TechnologyNode::n65());
+        let d = Length::from_millimeters(5.0);
+        let ratio = old.wire_energy_per_bit(d).as_joules() / new.wire_energy_per_bit(d).as_joules();
+        // Voltage² wins but wire cap shrinks only with sqrt(feature):
+        // far less than the ~25x a logic gate gains.
+        assert!(ratio > 2.0 && ratio < 25.0, "ratio {ratio:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the die span")]
+    fn overlong_path_rejected() {
+        let f = fabric();
+        let _ =
+            f.segmentation_advantage(DataVolume::from_bytes(1.0), Length::from_millimeters(20.0));
+    }
+}

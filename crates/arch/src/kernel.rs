@@ -1,0 +1,166 @@
+//! Workload kernels: translating ambient functions into required MOPS.
+//!
+//! Experiments F5/T2 need application demand expressed as a compute rate.
+//! A [`Kernel`] charges a calibrated operation count per work item; the
+//! video and audio presets match the coarse complexity numbers the 2003
+//! multimedia-SoC literature used (e.g. MPEG-2/4 decode complexity of a
+//! few GOPS at SD, tens-to-hundreds of MOPS for audio codecs).
+
+use ami_units::{ComputeRate, Frequency};
+use serde::{Deserialize, Serialize};
+
+/// A processing kernel charging `ops_per_item` operations per work item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    ops_per_item: f64,
+}
+
+/// Video formats of the 2003 era, smallest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VideoFormat {
+    /// 176×144 — videophone class.
+    Qcif,
+    /// 352×288 — streaming class.
+    Cif,
+    /// 720×576 — standard-definition TV.
+    Sd,
+}
+
+impl VideoFormat {
+    /// Pixels per frame.
+    pub fn pixels(self) -> f64 {
+        match self {
+            VideoFormat::Qcif => 176.0 * 144.0,
+            VideoFormat::Cif => 352.0 * 288.0,
+            VideoFormat::Sd => 720.0 * 576.0,
+        }
+    }
+
+    /// All formats, smallest first.
+    pub fn all() -> [VideoFormat; 3] {
+        [VideoFormat::Qcif, VideoFormat::Cif, VideoFormat::Sd]
+    }
+}
+
+impl std::fmt::Display for VideoFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VideoFormat::Qcif => "QCIF",
+            VideoFormat::Cif => "CIF",
+            VideoFormat::Sd => "SD",
+        })
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel charging `ops_per_item` operations per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_item` is not positive and finite.
+    pub fn new(name: impl Into<String>, ops_per_item: f64) -> Self {
+        assert!(
+            ops_per_item.is_finite() && ops_per_item > 0.0,
+            "ops per item must be positive"
+        );
+        Self {
+            name: name.into(),
+            ops_per_item,
+        }
+    }
+
+    /// Video decode (IDCT + motion compensation + deblocking): ~130 ops
+    /// per pixel, the MPEG-2/4 decoder complexity anchor. Item = pixel.
+    pub fn video_decode() -> Self {
+        Self::new("video decode", 130.0)
+    }
+
+    /// Audio (perceptual codec) decode: ~500 ops per output sample.
+    /// Item = sample.
+    pub fn audio_decode() -> Self {
+        Self::new("audio decode", 500.0)
+    }
+
+    /// OFDM/channel decoding of a digital-radio broadcast: ~2 000 ops per
+    /// information bit is folded into per-sample cost downstream; here we
+    /// charge per demodulated symbol. Item = symbol.
+    pub fn channel_decode() -> Self {
+        Self::new("channel decode", 2000.0)
+    }
+
+    /// Sensor feature extraction (filter + threshold): 50 ops per sample.
+    pub fn sensor_filter() -> Self {
+        Self::new("sensor filter", 50.0)
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations charged per work item.
+    pub fn ops_per_item(&self) -> f64 {
+        self.ops_per_item
+    }
+
+    /// Compute rate required to process items arriving at `item_rate`.
+    pub fn required_rate(&self, item_rate: Frequency) -> ComputeRate {
+        ComputeRate::new(self.ops_per_item * item_rate.as_hertz())
+    }
+
+    /// Compute rate for decoding `format` video at `fps` frames per second
+    /// (valid for the [`Kernel::video_decode`] kernel or any per-pixel
+    /// kernel).
+    pub fn required_rate_video(&self, format: VideoFormat, fps: f64) -> ComputeRate {
+        assert!(fps.is_finite() && fps > 0.0, "frame rate must be positive");
+        ComputeRate::new(self.ops_per_item * format.pixels() * fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_video_decode_is_gops_class() {
+        let rate = Kernel::video_decode().required_rate_video(VideoFormat::Sd, 25.0);
+        assert!(
+            rate.as_gops() > 1.0 && rate.as_gops() < 5.0,
+            "SD decode should be a few GOPS, got {}",
+            rate.as_gops()
+        );
+    }
+
+    #[test]
+    fn qcif_is_two_orders_below_sd() {
+        let k = Kernel::video_decode();
+        let sd = k.required_rate_video(VideoFormat::Sd, 25.0);
+        let qcif = k.required_rate_video(VideoFormat::Qcif, 15.0);
+        assert!(sd.as_ops_per_second() / qcif.as_ops_per_second() > 20.0);
+    }
+
+    #[test]
+    fn audio_decode_is_tens_of_mops() {
+        let rate = Kernel::audio_decode().required_rate(Frequency::from_kilohertz(48.0));
+        assert!((rate.as_mops() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensor_filtering_is_sub_mops() {
+        let rate = Kernel::sensor_filter().required_rate(Frequency::from_hertz(100.0));
+        assert!(rate.as_mops() < 0.01);
+    }
+
+    #[test]
+    fn formats_ascend() {
+        let px: Vec<f64> = VideoFormat::all().iter().map(|f| f.pixels()).collect();
+        assert!(px[0] < px[1] && px[1] < px[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_kernel_rejected() {
+        let _ = Kernel::new("nop", 0.0);
+    }
+}

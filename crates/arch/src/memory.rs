@@ -1,0 +1,218 @@
+//! Memory components: the other half of every SoC power budget.
+//!
+//! Access energies follow the early-2000s CACTI-flavoured scaling: per-access
+//! energy grows roughly with the square root of capacity (bitline/wordline
+//! length), SRAM is an order cheaper per access than external DRAM, and
+//! flash reads sit between them while flash writes are two orders worse.
+
+use ami_tech::TechnologyNode;
+use ami_units::{DataVolume, Energy, Power, Temperature};
+use serde::{Deserialize, Serialize};
+
+/// Memory technology of a [`Memory`] component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// On-chip SRAM (caches, scratchpads).
+    Sram,
+    /// External or embedded DRAM.
+    Dram,
+    /// Non-volatile NOR/NAND flash.
+    Flash,
+}
+
+impl std::fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MemoryKind::Sram => "SRAM",
+            MemoryKind::Dram => "DRAM",
+            MemoryKind::Flash => "flash",
+        })
+    }
+}
+
+/// A memory array of a given kind and capacity on a technology node.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::{Memory, MemoryKind};
+/// use ami_tech::TechnologyNode;
+/// use ami_units::DataVolume;
+///
+/// let sram = Memory::new(MemoryKind::Sram, DataVolume::from_bytes(32.0 * 1024.0),
+///                        TechnologyNode::n130());
+/// let word = DataVolume::from_bytes(4.0);
+/// assert!(sram.read_energy(word).as_picojoules() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Memory {
+    kind: MemoryKind,
+    capacity: DataVolume,
+    node: TechnologyNode,
+}
+
+/// Reference per-bit read energy (pJ/bit) of a 32 KiB array at 130 nm.
+fn base_read_pj_per_bit(kind: MemoryKind) -> f64 {
+    match kind {
+        MemoryKind::Sram => 0.4,
+        MemoryKind::Dram => 4.0,
+        MemoryKind::Flash => 1.5,
+    }
+}
+
+/// Write-energy multiplier over read energy.
+fn write_multiplier(kind: MemoryKind) -> f64 {
+    match kind {
+        MemoryKind::Sram => 1.1,
+        MemoryKind::Dram => 1.2,
+        MemoryKind::Flash => 100.0,
+    }
+}
+
+const REFERENCE_BITS: f64 = 32.0 * 1024.0 * 8.0;
+const REFERENCE_FEATURE_NM: f64 = 130.0;
+
+impl Memory {
+    /// Creates a memory array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(kind: MemoryKind, capacity: DataVolume, node: TechnologyNode) -> Self {
+        assert!(capacity.as_bits() > 0.0, "memory capacity must be positive");
+        Self {
+            kind,
+            capacity,
+            node,
+        }
+    }
+
+    /// Memory technology.
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Array capacity.
+    pub fn capacity(&self) -> DataVolume {
+        self.capacity
+    }
+
+    /// Per-bit read energy: the 130 nm/32 KiB anchor scaled by
+    /// `sqrt(capacity ratio)` (wire length) and by feature size (capacitance
+    /// per unit length falls roughly linearly with scaling).
+    fn read_pj_per_bit(&self) -> f64 {
+        let size_factor = (self.capacity.as_bits() / REFERENCE_BITS).sqrt();
+        let tech_factor = self.node.feature_size().as_nanometers() / REFERENCE_FEATURE_NM;
+        base_read_pj_per_bit(self.kind) * size_factor * tech_factor
+    }
+
+    /// Energy to read `volume` from the array.
+    pub fn read_energy(&self, volume: DataVolume) -> Energy {
+        Energy::from_picojoules(self.read_pj_per_bit() * volume.as_bits())
+    }
+
+    /// Energy to write `volume` into the array.
+    pub fn write_energy(&self, volume: DataVolume) -> Energy {
+        Energy::from_picojoules(
+            self.read_pj_per_bit() * write_multiplier(self.kind) * volume.as_bits(),
+        )
+    }
+
+    /// Static (retention) power of the array: SRAM leaks through its cells
+    /// (six transistors per bit), DRAM pays refresh, flash retains for free.
+    pub fn static_power(&self, temp: Temperature) -> Power {
+        match self.kind {
+            MemoryKind::Sram => {
+                // One gate-equivalent of leakage per ~2 bits (6T cell,
+                // tall-cell transistors leak less than logic).
+                let gate_equivalents = self.capacity.as_bits() / 2.0;
+                self.node
+                    .leakage_power(gate_equivalents, self.node.vdd_nominal(), temp)
+                    * 0.3
+            }
+            MemoryKind::Dram => {
+                // Refresh: ~1 µW per Mbit at 2003-era DRAM process.
+                Power::from_microwatts(self.capacity.as_bits() / 1e6)
+            }
+            MemoryKind::Flash => Power::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ami_tech::TechnologyNode;
+
+    fn kib(n: f64) -> DataVolume {
+        DataVolume::from_bytes(n * 1024.0)
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more_per_access() {
+        let node = TechnologyNode::n130();
+        let small = Memory::new(MemoryKind::Sram, kib(8.0), node.clone());
+        let large = Memory::new(MemoryKind::Sram, kib(512.0), node);
+        let word = DataVolume::from_bytes(4.0);
+        assert!(large.read_energy(word) > small.read_energy(word));
+        // sqrt law: 64x capacity → 8x energy.
+        let ratio = large.read_energy(word).as_joules() / small.read_energy(word).as_joules();
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_access_costs_an_order_more_than_sram() {
+        let node = TechnologyNode::n130();
+        let sram = Memory::new(MemoryKind::Sram, kib(32.0), node.clone());
+        let dram = Memory::new(MemoryKind::Dram, kib(32.0), node);
+        let word = DataVolume::from_bytes(4.0);
+        let ratio = dram.read_energy(word).as_joules() / sram.read_energy(word).as_joules();
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_writes_are_brutal() {
+        let node = TechnologyNode::n130();
+        let flash = Memory::new(MemoryKind::Flash, kib(128.0), node);
+        let word = DataVolume::from_bytes(4.0);
+        let ratio = flash.write_energy(word).as_joules() / flash.read_energy(word).as_joules();
+        assert!((ratio - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_reduces_access_energy() {
+        let old = Memory::new(MemoryKind::Sram, kib(32.0), TechnologyNode::n250());
+        let new = Memory::new(MemoryKind::Sram, kib(32.0), TechnologyNode::n90());
+        let word = DataVolume::from_bytes(4.0);
+        assert!(new.read_energy(word) < old.read_energy(word));
+    }
+
+    #[test]
+    fn static_power_ordering() {
+        let node = TechnologyNode::n90();
+        let temp = Temperature::ROOM;
+        let sram = Memory::new(MemoryKind::Sram, kib(64.0), node.clone());
+        let dram = Memory::new(MemoryKind::Dram, kib(64.0), node.clone());
+        let flash = Memory::new(MemoryKind::Flash, kib(64.0), node);
+        assert_eq!(flash.static_power(temp), Power::ZERO);
+        assert!(sram.static_power(temp) > Power::ZERO);
+        assert!(dram.static_power(temp) > Power::ZERO);
+    }
+
+    #[test]
+    fn sram_leakage_grows_with_scaling() {
+        // The 65 nm retention problem in one assert.
+        let old = Memory::new(MemoryKind::Sram, kib(64.0), TechnologyNode::n250());
+        let new = Memory::new(MemoryKind::Sram, kib(64.0), TechnologyNode::n65());
+        assert!(
+            new.static_power(Temperature::ROOM).as_watts()
+                > 100.0 * old.static_power(Temperature::ROOM).as_watts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Memory::new(MemoryKind::Sram, DataVolume::ZERO, TechnologyNode::n130());
+    }
+}

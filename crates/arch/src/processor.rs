@@ -1,0 +1,319 @@
+//! Compute engines across the flexibility–efficiency spectrum.
+//!
+//! The central IC-design tension the keynote identifies: programmability
+//! costs energy. A hardwired datapath achieves the technology's intrinsic
+//! computational efficiency; every layer of flexibility (instruction fetch,
+//! decode, register files, caches, configuration fabric) multiplies the
+//! energy per useful operation. The overhead factors below are calibrated
+//! to the early-2000s published spread (e.g. the oft-quoted 100–1000×
+//! ASIC-vs-CPU gap).
+
+use ami_tech::{ice, TechnologyNode};
+use ami_units::{ComputeEfficiency, ComputeRate, EnergyPerOp, Frequency, Power, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Architecture class, ordered from least to most flexible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArchitectureClass {
+    /// Hardwired datapath: pays only the intrinsic cost.
+    Asic,
+    /// Application-specific instruction-set processor.
+    Asip,
+    /// Programmable DSP with tuned datapaths.
+    Dsp,
+    /// Reconfigurable fabric (embedded FPGA).
+    Fpga,
+    /// General-purpose RISC CPU.
+    Cpu,
+}
+
+impl ArchitectureClass {
+    /// Energy overhead per operation relative to the hardwired bound.
+    ///
+    /// Calibration: ASIC 1×, ASIP 5×, DSP 20×, FPGA 60×, CPU 400× — the
+    /// geometric centre of the published 2001–2004 spread.
+    pub fn energy_overhead(self) -> f64 {
+        match self {
+            ArchitectureClass::Asic => 1.0,
+            ArchitectureClass::Asip => 5.0,
+            ArchitectureClass::Dsp => 20.0,
+            ArchitectureClass::Fpga => 60.0,
+            ArchitectureClass::Cpu => 400.0,
+        }
+    }
+
+    /// *Useful* operations retired per clock cycle on signal-processing
+    /// workloads: raw datapath parallelism discounted by the instruction
+    /// and control overhead of the class. An ASIC pipeline retires 16
+    /// useful ops each cycle; a DSP's 4-issue datapath loses ~4× to
+    /// address/loop/pack instructions; a load-store RISC CPU retires only
+    /// ~0.12 useful kernel ops per cycle — the classic ~100× throughput
+    /// gap at equal clock.
+    pub fn ops_per_cycle(self) -> f64 {
+        match self {
+            ArchitectureClass::Asic => 16.0,
+            ArchitectureClass::Asip => 2.8,
+            ArchitectureClass::Dsp => 1.0,
+            ArchitectureClass::Fpga => 3.2,
+            ArchitectureClass::Cpu => 0.12,
+        }
+    }
+
+    /// Logic size in gate equivalents of a representative instance.
+    pub fn gate_count(self) -> f64 {
+        match self {
+            ArchitectureClass::Asic => 30e3,
+            ArchitectureClass::Asip => 80e3,
+            ArchitectureClass::Dsp => 200e3,
+            ArchitectureClass::Fpga => 500e3,
+            ArchitectureClass::Cpu => 300e3,
+        }
+    }
+
+    /// All classes, least-flexible first.
+    pub fn all() -> [ArchitectureClass; 5] {
+        [
+            ArchitectureClass::Asic,
+            ArchitectureClass::Asip,
+            ArchitectureClass::Dsp,
+            ArchitectureClass::Fpga,
+            ArchitectureClass::Cpu,
+        ]
+    }
+}
+
+impl std::fmt::Display for ArchitectureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ArchitectureClass::Asic => "ASIC",
+            ArchitectureClass::Asip => "ASIP",
+            ArchitectureClass::Dsp => "DSP",
+            ArchitectureClass::Fpga => "FPGA",
+            ArchitectureClass::Cpu => "CPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compute engine instantiated on a technology node.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::{ArchitectureClass, Processor};
+/// use ami_tech::TechnologyNode;
+/// use ami_units::ComputeRate;
+///
+/// let dsp = Processor::new("audio", ArchitectureClass::Dsp, TechnologyNode::n130());
+/// let p = dsp.power_for_throughput(ComputeRate::from_mops(50.0)).unwrap();
+/// assert!(p.as_milliwatts() < 10.0); // audio decode fits a mW budget
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    name: String,
+    class: ArchitectureClass,
+    node: TechnologyNode,
+    /// Idle-mode activity relative to full activity (clock gating quality).
+    idle_activity: f64,
+}
+
+impl Processor {
+    /// Creates a processor of the given class on `node`.
+    pub fn new(name: impl Into<String>, class: ArchitectureClass, node: TechnologyNode) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            node,
+            idle_activity: 0.02,
+        }
+    }
+
+    /// Name of this instance.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Architecture class.
+    pub fn class(&self) -> ArchitectureClass {
+        self.class
+    }
+
+    /// Technology node.
+    pub fn node(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    /// Energy per useful operation at supply `vdd`: the intrinsic cost
+    /// times the class overhead.
+    pub fn energy_per_op(&self, vdd: Voltage) -> EnergyPerOp {
+        EnergyPerOp::new(
+            ice::intrinsic_energy_per_op(&self.node, vdd).as_joules_per_op()
+                * self.class.energy_overhead(),
+        )
+    }
+
+    /// Energy per operation at the node's nominal supply.
+    pub fn energy_per_op_nominal(&self) -> EnergyPerOp {
+        self.energy_per_op(self.node.vdd_nominal())
+    }
+
+    /// Computational efficiency at supply `vdd`.
+    pub fn efficiency(&self, vdd: Voltage) -> ComputeEfficiency {
+        self.energy_per_op(vdd).to_efficiency()
+    }
+
+    /// Peak throughput at supply `vdd` (clock × ops/cycle).
+    pub fn peak_throughput(&self, vdd: Voltage) -> ComputeRate {
+        ComputeRate::new(self.node.frequency_at(vdd).as_hertz() * self.class.ops_per_cycle())
+    }
+
+    /// Peak throughput at nominal supply.
+    pub fn peak_throughput_nominal(&self) -> ComputeRate {
+        self.peak_throughput(self.node.vdd_nominal())
+    }
+
+    /// Total power while sustaining `throughput` at the *lowest feasible
+    /// supply* (ideal DVS), including leakage. Returns `None` when the
+    /// throughput exceeds the nominal-supply peak.
+    pub fn power_for_throughput(&self, throughput: ComputeRate) -> Option<Power> {
+        let required_clock =
+            Frequency::new(throughput.as_ops_per_second() / self.class.ops_per_cycle());
+        let vdd = self.node.min_vdd_for(required_clock)?;
+        Some(self.power_at(throughput, vdd))
+    }
+
+    /// Total power sustaining `throughput` at a fixed supply `vdd`
+    /// (dynamic switching for the useful work plus leakage of the whole
+    /// engine). Does not check feasibility.
+    pub fn power_at(&self, throughput: ComputeRate, vdd: Voltage) -> Power {
+        let dynamic =
+            Power::new(self.energy_per_op(vdd).as_joules_per_op() * throughput.as_ops_per_second());
+        let leak =
+            self.node
+                .leakage_power(self.class.gate_count(), vdd, ami_units::Temperature::ROOM);
+        dynamic + leak
+    }
+
+    /// Idle power at supply `vdd`: residual (clock-gated) switching at
+    /// `idle_activity` of the peak dynamic power, plus leakage.
+    pub fn idle_power(&self, vdd: Voltage) -> Power {
+        let peak_dynamic = Power::new(
+            self.energy_per_op(vdd).as_joules_per_op()
+                * self.peak_throughput(vdd).as_ops_per_second(),
+        );
+        peak_dynamic * self.idle_activity
+            + self
+                .node
+                .leakage_power(self.class.gate_count(), vdd, ami_units::Temperature::ROOM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> TechnologyNode {
+        TechnologyNode::n130()
+    }
+
+    #[test]
+    fn flexibility_gap_spans_two_to_three_decades() {
+        let asic = Processor::new("a", ArchitectureClass::Asic, node());
+        let cpu = Processor::new("c", ArchitectureClass::Cpu, node());
+        let gap = cpu.energy_per_op_nominal().as_joules_per_op()
+            / asic.energy_per_op_nominal().as_joules_per_op();
+        assert!((100.0..=1000.0).contains(&gap), "gap {gap}");
+    }
+
+    #[test]
+    fn efficiency_ordering_follows_flexibility() {
+        let effs: Vec<f64> = ArchitectureClass::all()
+            .iter()
+            .map(|&c| {
+                Processor::new("p", c, node())
+                    .efficiency(node().vdd_nominal())
+                    .as_ops_per_joule()
+            })
+            .collect();
+        for pair in effs.windows(2) {
+            assert!(pair[0] > pair[1], "efficiency must fall with flexibility");
+        }
+    }
+
+    #[test]
+    fn asic_hits_the_intrinsic_bound() {
+        let asic = Processor::new("a", ArchitectureClass::Asic, node());
+        let bound = ami_tech::intrinsic_efficiency(&node(), node().vdd_nominal());
+        let got = asic.efficiency(node().vdd_nominal());
+        assert!((got.as_ops_per_joule() / bound.as_ops_per_joule() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_for_throughput_uses_dvs() {
+        let dsp = Processor::new("d", ArchitectureClass::Dsp, node());
+        let light = ComputeRate::from_mops(10.0);
+        let heavy = ComputeRate::from_mops(500.0);
+        let p_light = dsp.power_for_throughput(light).unwrap();
+        let p_heavy = dsp.power_for_throughput(heavy).unwrap();
+        // Super-linear: 100x the throughput costs more than 100x the power
+        // is false under DVS — the light point runs at reduced Vdd, so the
+        // heavy point costs MORE than proportionally.
+        let ratio = p_heavy.as_watts() / p_light.as_watts();
+        assert!(ratio > 100.0, "expected super-linear cost, got {ratio:.1}");
+    }
+
+    #[test]
+    fn infeasible_throughput_is_none() {
+        let cpu = Processor::new("c", ArchitectureClass::Cpu, node());
+        let beyond = ComputeRate::new(cpu.peak_throughput_nominal().as_ops_per_second() * 1.01);
+        assert!(cpu.power_for_throughput(beyond).is_none());
+    }
+
+    #[test]
+    fn dsp_audio_decode_fits_milliwatt_budget() {
+        // The CS2 sanity anchor: ~50 MOPS of audio DSP in a few mW at 130 nm.
+        let dsp = Processor::new("audio", ArchitectureClass::Dsp, node());
+        let p = dsp
+            .power_for_throughput(ComputeRate::from_mops(50.0))
+            .unwrap();
+        assert!(p.as_milliwatts() < 10.0, "got {}", p);
+    }
+
+    #[test]
+    fn cpu_cannot_do_sd_video_in_watt_budget_but_asic_can() {
+        // The CS3 sanity anchor (F5's shape).
+        let n = TechnologyNode::n130();
+        let sd_video = ComputeRate::from_gops(3.0);
+        let asic = Processor::new("video", ArchitectureClass::Asic, n.clone());
+        let cpu = Processor::new("risc", ArchitectureClass::Cpu, n);
+        let p_asic = asic
+            .power_for_throughput(sd_video)
+            .expect("ASIC reaches SD");
+        assert!(p_asic.as_watts() < 1.0, "ASIC SD video at {}", p_asic);
+        match cpu.power_for_throughput(sd_video) {
+            None => {} // cannot even reach the rate: acceptable failure mode
+            Some(p) => assert!(p.as_watts() > 1.0, "CPU must bust the W budget"),
+        }
+    }
+
+    #[test]
+    fn idle_power_is_small_but_nonzero() {
+        let dsp = Processor::new("d", ArchitectureClass::Dsp, node());
+        let idle = dsp.idle_power(node().vdd_nominal());
+        let busy = dsp
+            .power_for_throughput(ComputeRate::from_mops(500.0))
+            .unwrap();
+        assert!(idle > Power::ZERO);
+        assert!(idle < busy);
+    }
+
+    #[test]
+    fn newer_node_is_more_efficient_for_same_class() {
+        let old = Processor::new("d", ArchitectureClass::Dsp, TechnologyNode::n250());
+        let new = Processor::new("d", ArchitectureClass::Dsp, TechnologyNode::n90());
+        assert!(
+            new.energy_per_op_nominal() < old.energy_per_op_nominal(),
+            "scaling must reduce energy per op"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Analog RF front-ends as SoC budget components.
+//!
+//! Unlike digital logic, RF bias power barely scales with technology — the
+//! keynote's "RF integration" challenge. A front-end is characterized by
+//! its active RX/TX power, sleep floor, and startup (PLL settling) cost,
+//! from which duty-cycled average power follows.
+
+use ami_units::{Energy, Power, Ratio, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// An RF front-end (LNA/mixer/PLL/PA chain) power model.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::RfFrontEnd;
+/// use ami_units::Ratio;
+///
+/// let radio = RfFrontEnd::sensor_sub_ghz();
+/// let avg = radio.duty_cycled_rx_power(Ratio::from_percent(1.0));
+/// // 1% duty cycle turns ~15 mW active into a few hundred µW.
+/// assert!(avg.as_microwatts() < 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RfFrontEnd {
+    name: String,
+    rx_power: Power,
+    tx_power: Power,
+    sleep_power: Power,
+    startup_time: TimeSpan,
+    startup_power: Power,
+}
+
+impl RfFrontEnd {
+    /// Creates a front-end from explicit state powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any power is negative or the sleep power exceeds the
+    /// active powers.
+    pub fn new(
+        name: impl Into<String>,
+        rx_power: Power,
+        tx_power: Power,
+        sleep_power: Power,
+        startup_time: TimeSpan,
+        startup_power: Power,
+    ) -> Self {
+        for p in [rx_power, tx_power, sleep_power, startup_power] {
+            assert!(!p.is_negative(), "powers must be non-negative");
+        }
+        assert!(
+            sleep_power <= rx_power && sleep_power <= tx_power,
+            "sleep power must not exceed active powers"
+        );
+        Self {
+            name: name.into(),
+            rx_power,
+            tx_power,
+            sleep_power,
+            startup_time,
+            startup_power,
+        }
+    }
+
+    /// A 2003-class sub-GHz short-range sensor radio (PicoRadio/Zigbee
+    /// precursor): 15 mW RX, 20 mW TX at 0 dBm, 2 µW sleep, 500 µs startup.
+    pub fn sensor_sub_ghz() -> Self {
+        Self::new(
+            "sub-GHz sensor radio",
+            Power::from_milliwatts(15.0),
+            Power::from_milliwatts(20.0),
+            Power::from_microwatts(2.0),
+            TimeSpan::from_micros(500.0),
+            Power::from_milliwatts(10.0),
+        )
+    }
+
+    /// A Bluetooth-class 2.4 GHz personal-area radio: 45 mW RX, 60 mW TX,
+    /// 50 µW sleep, 1 ms startup.
+    pub fn bluetooth_class() -> Self {
+        Self::new(
+            "2.4 GHz PAN radio",
+            Power::from_milliwatts(45.0),
+            Power::from_milliwatts(60.0),
+            Power::from_microwatts(50.0),
+            TimeSpan::from_millis(1.0),
+            Power::from_milliwatts(30.0),
+        )
+    }
+
+    /// A 5 GHz WLAN front-end (static-node class): 300 mW RX, 600 mW TX.
+    pub fn wlan_class() -> Self {
+        Self::new(
+            "5 GHz WLAN radio",
+            Power::from_milliwatts(300.0),
+            Power::from_milliwatts(600.0),
+            Power::from_milliwatts(1.0),
+            TimeSpan::from_millis(2.0),
+            Power::from_milliwatts(150.0),
+        )
+    }
+
+    /// A digital-audio broadcast tuner front-end (CS2): continuous 60 mW RX.
+    pub fn dab_tuner() -> Self {
+        Self::new(
+            "DAB tuner",
+            Power::from_milliwatts(60.0),
+            Power::from_milliwatts(60.0),
+            Power::from_microwatts(100.0),
+            TimeSpan::from_millis(5.0),
+            Power::from_milliwatts(40.0),
+        )
+    }
+
+    /// Component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Active receive power.
+    pub fn rx_power(&self) -> Power {
+        self.rx_power
+    }
+
+    /// Active transmit power.
+    pub fn tx_power(&self) -> Power {
+        self.tx_power
+    }
+
+    /// Sleep-state power.
+    pub fn sleep_power(&self) -> Power {
+        self.sleep_power
+    }
+
+    /// PLL/bias settling time before the radio is usable.
+    pub fn startup_time(&self) -> TimeSpan {
+        self.startup_time
+    }
+
+    /// Energy of one wake-up (settling at startup power).
+    pub fn startup_energy(&self) -> Energy {
+        self.startup_power * self.startup_time
+    }
+
+    /// Average power when receiving a fraction `duty` of the time and
+    /// sleeping otherwise, ignoring startup costs (valid for duty periods
+    /// much longer than the startup time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn duty_cycled_rx_power(&self, duty: Ratio) -> Power {
+        assert!(duty.is_unit_interval(), "duty cycle must lie in [0, 1]");
+        self.rx_power * duty.as_fraction() + self.sleep_power * (1.0 - duty.as_fraction())
+    }
+
+    /// Average power of a periodic wake-receive-sleep cycle with period
+    /// `period` and on-time `on`, including one startup per period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on + startup` exceeds `period` or either is negative.
+    pub fn cycle_average_power(&self, period: TimeSpan, on: TimeSpan) -> Power {
+        assert!(
+            !on.is_negative() && period > TimeSpan::ZERO,
+            "invalid cycle"
+        );
+        let busy = on + self.startup_time;
+        assert!(
+            busy <= period,
+            "on-time plus startup must fit in the period"
+        );
+        let e = self.startup_energy() + self.rx_power * on + self.sleep_power * (period - busy);
+        e / period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycling_reaches_microwatt_regime() {
+        let r = RfFrontEnd::sensor_sub_ghz();
+        let p = r.duty_cycled_rx_power(Ratio::from_percent(0.1));
+        assert!(p.as_microwatts() < 20.0, "0.1% duty: {p}");
+        // But 100% duty is the full RX power.
+        assert_eq!(r.duty_cycled_rx_power(Ratio::ONE), r.rx_power());
+    }
+
+    #[test]
+    fn startup_cost_dominates_short_cycles() {
+        let r = RfFrontEnd::sensor_sub_ghz();
+        let period = TimeSpan::from_millis(10.0);
+        let on = TimeSpan::from_micros(100.0);
+        let with_startup = r.cycle_average_power(period, on);
+        let pure_duty =
+            r.duty_cycled_rx_power(Ratio::from_fraction(on.as_seconds() / period.as_seconds()));
+        // Startup adds substantially at this cycle rate.
+        assert!(with_startup.as_watts() > 1.5 * pure_duty.as_watts());
+    }
+
+    #[test]
+    fn class_ordering_sensor_to_wlan() {
+        assert!(RfFrontEnd::sensor_sub_ghz().rx_power() < RfFrontEnd::bluetooth_class().rx_power());
+        assert!(RfFrontEnd::bluetooth_class().rx_power() < RfFrontEnd::wlan_class().rx_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the period")]
+    fn overlong_on_time_rejected() {
+        let r = RfFrontEnd::sensor_sub_ghz();
+        let _ = r.cycle_average_power(TimeSpan::from_micros(400.0), TimeSpan::from_micros(300.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn bad_duty_rejected() {
+        let _ = RfFrontEnd::sensor_sub_ghz().duty_cycled_rx_power(Ratio::from_fraction(1.2));
+    }
+
+    #[test]
+    fn startup_energy_is_product() {
+        let r = RfFrontEnd::sensor_sub_ghz();
+        assert!((r.startup_energy().as_microjoules() - 5.0).abs() < 1e-9);
+    }
+}

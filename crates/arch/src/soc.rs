@@ -1,0 +1,182 @@
+//! SoC composition: a named bundle of components with a power-budget
+//! breakdown — the tool behind the case-study budget tables (T2).
+
+use ami_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// One line of a power budget: a component and its average power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLine {
+    /// Component name.
+    pub name: String,
+    /// Average power of the component at the chosen operating point.
+    pub power: Power,
+}
+
+/// A system-on-chip (or system-in-package) as a list of budget lines.
+///
+/// Components are *evaluated by the caller* at a chosen operating point and
+/// entered as averages; `Soc` is the accounting layer, deliberately free of
+/// operating-point logic so it can mix heterogeneous component models.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::SocBuilder;
+/// use ami_units::Power;
+///
+/// let soc = SocBuilder::new("sensor node")
+///     .component("radio", Power::from_microwatts(150.0))
+///     .component("mcu", Power::from_microwatts(40.0))
+///     .component("sensor", Power::from_microwatts(10.0))
+///     .build();
+/// assert!((soc.total().as_microwatts() - 200.0).abs() < 1e-9);
+/// assert_eq!(soc.dominant().unwrap().name, "radio");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Soc {
+    name: String,
+    lines: Vec<BudgetLine>,
+}
+
+impl Soc {
+    /// System name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The budget lines in insertion order.
+    pub fn lines(&self) -> &[BudgetLine] {
+        &self.lines
+    }
+
+    /// Total average power.
+    pub fn total(&self) -> Power {
+        self.lines.iter().map(|l| l.power).sum()
+    }
+
+    /// The component with the largest share, if any.
+    pub fn dominant(&self) -> Option<&BudgetLine> {
+        self.lines.iter().max_by(|a, b| a.power.total_cmp(&b.power))
+    }
+
+    /// Share of `line` in the total, in `[0, 1]` (zero for an empty budget).
+    pub fn share(&self, line: &BudgetLine) -> f64 {
+        let total = self.total().as_watts();
+        if total == 0.0 {
+            0.0
+        } else {
+            line.power.as_watts() / total
+        }
+    }
+
+    /// Renders the budget as aligned text rows (component, power, share).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .lines
+            .iter()
+            .map(|l| l.name.len())
+            .chain(std::iter::once("TOTAL".len()))
+            .max()
+            .unwrap_or(5);
+        for line in &self.lines {
+            out.push_str(&format!(
+                "{:width$}  {:>12}  {:>5.1}%\n",
+                line.name,
+                line.power.to_string(),
+                100.0 * self.share(line),
+            ));
+        }
+        out.push_str(&format!(
+            "{:width$}  {:>12}  100.0%\n",
+            "TOTAL",
+            self.total().to_string(),
+        ));
+        out
+    }
+}
+
+/// Builder for [`Soc`].
+#[derive(Debug, Clone, Default)]
+pub struct SocBuilder {
+    name: String,
+    lines: Vec<BudgetLine>,
+}
+
+impl SocBuilder {
+    /// Starts a budget for the named system.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Adds a component with its average power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative.
+    #[must_use]
+    pub fn component(mut self, name: impl Into<String>, power: Power) -> Self {
+        assert!(!power.is_negative(), "component power must be non-negative");
+        self.lines.push(BudgetLine {
+            name: name.into(),
+            power,
+        });
+        self
+    }
+
+    /// Finalizes the budget.
+    pub fn build(self) -> Soc {
+        Soc {
+            name: self.name,
+            lines: self.lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> Soc {
+        SocBuilder::new("test")
+            .component("a", Power::from_milliwatts(30.0))
+            .component("b", Power::from_milliwatts(60.0))
+            .component("c", Power::from_milliwatts(10.0))
+            .build()
+    }
+
+    #[test]
+    fn total_and_shares() {
+        let s = soc();
+        assert!((s.total().as_milliwatts() - 100.0).abs() < 1e-12);
+        let b = &s.lines()[1];
+        assert!((s.share(b) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_component() {
+        assert_eq!(soc().dominant().unwrap().name, "b");
+        let empty = SocBuilder::new("empty").build();
+        assert!(empty.dominant().is_none());
+        assert_eq!(empty.total(), Power::ZERO);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = soc().table();
+        for name in ["a", "b", "c", "TOTAL"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("60.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_component_rejected() {
+        let _ = SocBuilder::new("bad").component("x", Power::from_watts(-1.0));
+    }
+}

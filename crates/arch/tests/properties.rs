@@ -1,0 +1,144 @@
+//! Property-based tests for the architecture component models.
+
+use ami_arch::{Adc, ArchitectureClass, Kernel, Memory, MemoryKind, Processor, SocBuilder};
+use ami_tech::TechnologyNode;
+use ami_units::{ComputeRate, DataVolume, Frequency, Power, Temperature};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = ArchitectureClass> {
+    prop_oneof![
+        Just(ArchitectureClass::Asic),
+        Just(ArchitectureClass::Asip),
+        Just(ArchitectureClass::Dsp),
+        Just(ArchitectureClass::Fpga),
+        Just(ArchitectureClass::Cpu),
+    ]
+}
+
+fn any_node() -> impl Strategy<Value = TechnologyNode> {
+    prop_oneof![
+        Just(TechnologyNode::n250()),
+        Just(TechnologyNode::n180()),
+        Just(TechnologyNode::n130()),
+        Just(TechnologyNode::n90()),
+        Just(TechnologyNode::n65()),
+    ]
+}
+
+proptest! {
+    /// Power under DVS is monotone in throughput for every class/node.
+    #[test]
+    fn processor_power_monotone_in_throughput(
+        class in any_class(),
+        node in any_node(),
+        a in 0.001..1.0f64,
+        b in 0.001..1.0f64,
+    ) {
+        let p = Processor::new("p", class, node);
+        let peak = p.peak_throughput_nominal().as_ops_per_second();
+        let ra = ComputeRate::new(peak * a);
+        let rb = ComputeRate::new(peak * b);
+        let pa = p.power_for_throughput(ra).expect("within peak");
+        let pb = p.power_for_throughput(rb).expect("within peak");
+        if a <= b {
+            prop_assert!(pa.as_watts() <= pb.as_watts() * (1.0 + 1e-9));
+        } else {
+            prop_assert!(pb.as_watts() <= pa.as_watts() * (1.0 + 1e-9));
+        }
+    }
+
+    /// DVS power never exceeds fixed-nominal-voltage power for the same
+    /// throughput.
+    #[test]
+    fn dvs_never_worse_than_nominal(class in any_class(), frac in 0.01..1.0f64) {
+        let node = TechnologyNode::n130();
+        let p = Processor::new("p", class, node.clone());
+        let rate = ComputeRate::new(p.peak_throughput_nominal().as_ops_per_second() * frac);
+        let dvs = p.power_for_throughput(rate).expect("within peak");
+        let fixed = p.power_at(rate, node.vdd_nominal());
+        prop_assert!(dvs.as_watts() <= fixed.as_watts() * (1.0 + 1e-9));
+    }
+
+    /// The class efficiency ordering holds at every node and voltage.
+    #[test]
+    fn efficiency_ordering_universal(node in any_node(), frac in 0.5..1.0f64) {
+        let vdd = ami_units::Voltage::new(node.vdd_nominal().as_volts() * frac);
+        let effs: Vec<f64> = ArchitectureClass::all()
+            .iter()
+            .map(|&c| Processor::new("p", c, node.clone()).efficiency(vdd).as_ops_per_joule())
+            .collect();
+        for pair in effs.windows(2) {
+            prop_assert!(pair[0] > pair[1]);
+        }
+    }
+
+    /// ADC power follows the FoM law exactly: doubling per bit, linear in
+    /// rate.
+    #[test]
+    fn adc_fom_law(enob in 4.0..20.0f64, khz in 0.1..1e5f64) {
+        let rate = Frequency::from_kilohertz(khz);
+        let a = Adc::state_of_the_art_2003(enob, rate);
+        let b = Adc::state_of_the_art_2003(enob + 1.0, rate);
+        prop_assert!((b.power().as_watts() / a.power().as_watts() - 2.0).abs() < 1e-9);
+        let c = Adc::state_of_the_art_2003(enob, Frequency::from_kilohertz(2.0 * khz));
+        prop_assert!((c.power().as_watts() / a.power().as_watts() - 2.0).abs() < 1e-9);
+    }
+
+    /// Memory read energy scales with sqrt(capacity) and linearly with
+    /// access size.
+    #[test]
+    fn memory_scaling_laws(kib in 1.0..4096.0f64, bytes in 1.0..256.0f64) {
+        let node = TechnologyNode::n130();
+        let m = Memory::new(
+            MemoryKind::Sram,
+            DataVolume::from_bytes(kib * 1024.0),
+            node.clone(),
+        );
+        let m4 = Memory::new(
+            MemoryKind::Sram,
+            DataVolume::from_bytes(4.0 * kib * 1024.0),
+            node,
+        );
+        let access = DataVolume::from_bytes(bytes);
+        let ratio = m4.read_energy(access).as_joules() / m.read_energy(access).as_joules();
+        prop_assert!((ratio - 2.0).abs() < 1e-9, "sqrt law violated: {ratio}");
+        let double = m.read_energy(DataVolume::from_bytes(2.0 * bytes)).as_joules();
+        prop_assert!((double / m.read_energy(access).as_joules() - 2.0).abs() < 1e-9);
+    }
+
+    /// SoC totals are permutation-invariant and equal the sum of lines.
+    #[test]
+    fn soc_total_is_sum(powers in prop::collection::vec(0.0..10.0f64, 1..20)) {
+        let mut builder = SocBuilder::new("x");
+        let mut expected = 0.0;
+        for (idx, &p) in powers.iter().enumerate() {
+            builder = builder.component(format!("c{idx}"), Power::from_watts(p));
+            expected += p;
+        }
+        let soc = builder.build();
+        prop_assert!((soc.total().as_watts() - expected).abs() < 1e-9 * expected.max(1.0));
+        let share_sum: f64 = soc.lines().iter().map(|l| soc.share(l)).sum();
+        if expected > 0.0 {
+            prop_assert!((share_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Kernel demand is linear in item rate.
+    #[test]
+    fn kernel_linear_in_rate(hz in 1.0..1e8f64) {
+        let k = Kernel::audio_decode();
+        let a = k.required_rate(Frequency::new(hz));
+        let b = k.required_rate(Frequency::new(2.0 * hz));
+        prop_assert!((b.as_ops_per_second() / a.as_ops_per_second() - 2.0).abs() < 1e-12);
+    }
+
+    /// Static memory power never decreases with temperature (SRAM leaks).
+    #[test]
+    fn sram_retention_monotone_in_temperature(celsius in 0.0..85.0f64) {
+        let node = TechnologyNode::n90();
+        let m = Memory::new(MemoryKind::Sram, DataVolume::from_bytes(65536.0), node);
+        let cold = m.static_power(Temperature::from_celsius(celsius));
+        let hot = m.static_power(Temperature::from_celsius(celsius + 10.0));
+        prop_assert!(hot >= cold);
+    }
+}

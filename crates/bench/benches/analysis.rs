@@ -1,0 +1,79 @@
+//! Benchmarks of the analysis kernels.
+
+use ami_bench::BENCH_SEED;
+use ami_net::{build_routes, RoutingStrategy, Topology};
+use ami_power::pareto_frontier;
+use ami_radio::{LinkBudget, Modulation, PathLossModel, RadioEnergyModel};
+use ami_sim::sim_rng;
+use ami_tech::TechnologyNode;
+use ami_units::{DataRate, Frequency, Length, Power};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_frontier");
+    for n in [100usize, 1000, 10_000] {
+        let mut rng = sim_rng(BENCH_SEED);
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random_range(1.0..1e9), rng.random_range(1e-6..100.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| pareto_frontier(black_box(pts), |p| *p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra_routes");
+    let radio = RadioEnergyModel::short_range_2003();
+    for n in [25usize, 100, 400] {
+        let topo = Topology::random(n, Length::from_meters(200.0), BENCH_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| {
+                build_routes(
+                    black_box(topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &radio,
+                    Length::from_meters(45.0),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_budget(c: &mut Criterion) {
+    let link = LinkBudget::new(
+        PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+        Modulation::Fsk,
+        10.0,
+        1e-4,
+    );
+    c.bench_function("link_budget/max_range", |b| {
+        b.iter(|| {
+            link.max_range(
+                black_box(Power::from_milliwatts(1.0)),
+                DataRate::from_kilobits_per_second(50.0),
+            )
+        })
+    });
+}
+
+fn bench_dvs_bisection(c: &mut Criterion) {
+    let node = TechnologyNode::n130();
+    let target = Frequency::from_megahertz(300.0);
+    c.bench_function("tech/min_vdd_bisection", |b| {
+        b.iter(|| node.min_vdd_for(black_box(target)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pareto,
+    bench_routing,
+    bench_link_budget,
+    bench_dvs_bisection
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end regeneration cost of the headline experiments, so the
+//! reproduction's own runtime is tracked as a first-class benchmark.
+
+use ami_core::case_studies::cs1::{run_cs1, Cs1Config};
+use ami_core::case_studies::cs2::{run_cs2, Cs2Config};
+use ami_core::case_studies::cs3::{flexibility_table, Cs3Config};
+use ami_core::{ambient_room, class_characteristics};
+use ami_power::portfolio_2003;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_f1(c: &mut Criterion) {
+    c.bench_function("experiments/f1_portfolio_graph", |b| {
+        b.iter(|| {
+            let graph = portfolio_2003();
+            black_box((graph.frontier(), graph.table()))
+        })
+    });
+}
+
+fn bench_t1(c: &mut Criterion) {
+    c.bench_function("experiments/t1_class_table", |b| {
+        b.iter(|| black_box(class_characteristics()))
+    });
+}
+
+fn bench_cs1(c: &mut Criterion) {
+    let config = Cs1Config::default();
+    c.bench_function("experiments/f3_cs1_three_days", |b| {
+        b.iter(|| black_box(run_cs1(&config)))
+    });
+}
+
+fn bench_cs2(c: &mut Criterion) {
+    let config = Cs2Config::default();
+    c.bench_function("experiments/t2_cs2_budget", |b| {
+        b.iter(|| black_box(run_cs2(&config)))
+    });
+}
+
+fn bench_cs3(c: &mut Criterion) {
+    let config = Cs3Config::default();
+    c.bench_function("experiments/f5_cs3_table", |b| {
+        b.iter(|| black_box(flexibility_table(&config)))
+    });
+}
+
+fn bench_room(c: &mut Criterion) {
+    c.bench_function("experiments/ambient_room_12", |b| {
+        b.iter(|| black_box(ambient_room(12)))
+    });
+}
+
+criterion_group!(benches, bench_f1, bench_t1, bench_cs1, bench_cs2, bench_cs3, bench_room);
+criterion_main!(benches);

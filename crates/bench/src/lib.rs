@@ -1,0 +1,15 @@
+//! `ami-bench` — Criterion benchmark harness for the `ambience` toolkit.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `simulation` — the three simulators (network gathering, DVS task
+//!   sets, buffered harvesting) at realistic problem sizes;
+//! * `analysis` — the analysis kernels (Pareto frontier, Dijkstra
+//!   routing, link-budget and DVS bisections);
+//! * `experiments` — end-to-end regeneration cost of the headline
+//!   experiments (F3/F4/F5 kernels), so reproduction time is tracked.
+//!
+//! Run with `cargo bench --workspace`.
+
+/// Standard seed used across benches for reproducible inputs.
+pub const BENCH_SEED: u64 = 2003;

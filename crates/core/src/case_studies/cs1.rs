@@ -1,0 +1,250 @@
+//! CS1 — the autonomous µW-node: an energy-harvesting sensor node.
+//!
+//! A light/temperature sensor samples at a few hertz, filters locally on a
+//! small ASIP, and reports over a duty-cycled sub-GHz radio. The IC design
+//! challenge is *closing the energy loop*: average consumption must stay
+//! under the scavenged power at the worst acceptable ambient, and the
+//! storage element must bridge the dark hours. Experiments F3/A3 sweep
+//! the MAC check interval and the storage size through this module.
+
+use ami_arch::{Adc, ArchitectureClass, Kernel, Processor, Soc, SocBuilder};
+use ami_energy::{
+    simulate_buffered_harvesting, EnvironmentProfile, Harvester, Pmu, Storage, SustainabilityReport,
+};
+use ami_radio::{MacAnalysis, MacProtocol, PreambleSamplingMac, RadioPowerStates, TrafficLoad};
+use ami_tech::TechnologyNode;
+use ami_units::{Area, Capacitance, Frequency, Power, TimeSpan, Voltage};
+
+/// Parameters of the sensor node.
+#[derive(Debug, Clone)]
+pub struct Cs1Config {
+    /// Photovoltaic cell area.
+    pub pv_area: Area,
+    /// Storage capacitor value.
+    pub storage_capacitance: Capacitance,
+    /// Storage maximum voltage.
+    pub storage_voltage: Voltage,
+    /// MAC channel-check interval (the duty-cycle knob).
+    pub check_interval: TimeSpan,
+    /// Sensor report interval.
+    pub report_interval: TimeSpan,
+    /// Sensor sampling rate.
+    pub sample_rate: Frequency,
+    /// Process node of the digital part.
+    pub node: TechnologyNode,
+    /// Ambient profile driving the harvester.
+    pub profile: EnvironmentProfile,
+}
+
+impl Default for Cs1Config {
+    /// 8 cm² PV, 1 F @ 2.5 V (the night bridge), 2 s checks, 5-minute
+    /// reports, 10 Hz sampling, office day — and the **180 nm** node:
+    /// 2003 µW designs deliberately stayed off the leaky leading edge,
+    /// exactly as ablation A1 predicts.
+    fn default() -> Self {
+        Self {
+            pv_area: Area::from_square_centimeters(8.0),
+            storage_capacitance: Capacitance::from_farads(1.0),
+            storage_voltage: Voltage::from_volts(2.5),
+            check_interval: TimeSpan::from_seconds(2.0),
+            report_interval: TimeSpan::from_minutes(5.0),
+            sample_rate: Frequency::from_hertz(10.0),
+            node: TechnologyNode::n180(),
+            profile: EnvironmentProfile::office_day(),
+        }
+    }
+}
+
+/// Outcome of the CS1 evaluation.
+#[derive(Debug, Clone)]
+pub struct Cs1Result {
+    /// The component power budget.
+    pub budget: Soc,
+    /// The MAC analysis behind the radio line of the budget.
+    pub mac: MacAnalysis,
+    /// Day-scale harvest-versus-load simulation result.
+    pub sustainability: SustainabilityReport,
+}
+
+/// Builds the node's power budget from the toolkit models.
+///
+/// The uplink exploits the class asymmetry of the keynote: the sink is a
+/// mains-powered W-node that listens continuously, so the sensor pays *no
+/// wake-up preamble* on transmit — only its own periodic channel checks
+/// (for downlink commands) and the bare packet airtime.
+pub fn cs1_budget(config: &Cs1Config) -> (Soc, MacAnalysis) {
+    // Channel-check (downlink listening) cost from the LPL analysis.
+    let mac = PreambleSamplingMac::new(config.check_interval);
+    let radio_states = RadioPowerStates::sensor_default();
+    let analysis = mac.analyze(&radio_states, &TrafficLoad::idle());
+    // Preamble-free uplink: one bare packet per report interval.
+    let traffic = TrafficLoad::periodic_report(config.report_interval);
+    let tx_avg = Power::new(
+        (radio_states.tx * traffic.airtime()).as_joules() / config.report_interval.as_seconds(),
+    );
+
+    // Local processing: filtering on a small ASIP with ideal DVS.
+    let asip = Processor::new("asip", ArchitectureClass::Asip, config.node.clone());
+    let rate = Kernel::sensor_filter().required_rate(config.sample_rate);
+    let mcu_power = asip
+        .power_for_throughput(rate)
+        .expect("sensor filtering is far below peak");
+
+    // Interface electronics: a 12-bit ADC at the sample rate plus 1 µW of
+    // sensor bias.
+    let adc = Adc::state_of_the_art_2003(12.0, config.sample_rate);
+    let sensor_bias = Power::from_microwatts(1.0);
+
+    let budget = SocBuilder::new("autonomous sensor node")
+        .component("radio checks (LPL)", analysis.average_power)
+        .component("radio uplink tx", tx_avg)
+        .component("asip + leakage", mcu_power)
+        .component("adc", adc.power())
+        .component("sensor bias", sensor_bias)
+        .build();
+    (budget, analysis)
+}
+
+/// Runs the full CS1 evaluation: budget plus a three-day harvest
+/// simulation with five-minute steps.
+pub fn run_cs1(config: &Cs1Config) -> Cs1Result {
+    let (budget, mac) = cs1_budget(config);
+    let harvester = Harvester::photovoltaic(config.pv_area);
+    let pmu = Pmu::micro_power();
+    let mut storage = Storage::supercapacitor(config.storage_capacitance, config.storage_voltage);
+    let (sustainability, _) = simulate_buffered_harvesting(
+        &harvester,
+        &pmu,
+        &mut storage,
+        budget.total(),
+        &config.profile,
+        TimeSpan::from_days(3.0),
+        TimeSpan::from_minutes(5.0),
+    );
+    Cs1Result {
+        budget,
+        mac,
+        sustainability,
+    }
+}
+
+/// F3's sweep: evaluates sustainability across MAC check intervals.
+/// Returns `(interval, average load, mean harvest, sustainable)` rows.
+pub fn sweep_check_interval(
+    base: &Cs1Config,
+    intervals: &[TimeSpan],
+) -> Vec<(TimeSpan, Power, Power, bool)> {
+    intervals
+        .iter()
+        .map(|&interval| {
+            let config = Cs1Config {
+                check_interval: interval,
+                ..base.clone()
+            };
+            let result = run_cs1(&config);
+            (
+                interval,
+                result.budget.total(),
+                result.sustainability.mean_harvest,
+                result.sustainability.sustainable,
+            )
+        })
+        .collect()
+}
+
+/// A3's sweep: evaluates outage across storage sizes.
+/// Returns `(capacitance, outage fraction)` rows.
+pub fn sweep_storage(base: &Cs1Config, caps: &[Capacitance]) -> Vec<(Capacitance, f64)> {
+    caps.iter()
+        .map(|&c| {
+            let config = Cs1Config {
+                storage_capacitance: c,
+                ..base.clone()
+            };
+            let result = run_cs1(&config);
+            (c, result.sustainability.outage_fraction)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_node_is_a_sustainable_microwatt_device() {
+        let result = run_cs1(&Cs1Config::default());
+        let total = result.budget.total();
+        assert!(
+            total.as_microwatts() < 1000.0,
+            "must be a µW-class node, got {total}"
+        );
+        assert!(
+            result.sustainability.sustainable,
+            "{:?}",
+            result.sustainability
+        );
+        assert!(result.sustainability.margin() > Power::ZERO);
+    }
+
+    #[test]
+    fn radio_dominates_the_budget() {
+        // The keynote challenge: communication, not computation, sets the
+        // µW budget.
+        let (budget, _) = cs1_budget(&Cs1Config::default());
+        assert!(budget.dominant().unwrap().name.contains("radio"));
+    }
+
+    #[test]
+    fn aggressive_checking_breaks_the_energy_loop() {
+        let rows = sweep_check_interval(
+            &Cs1Config::default(),
+            &[
+                TimeSpan::from_millis(20.0),
+                TimeSpan::from_millis(100.0),
+                TimeSpan::from_seconds(1.0),
+                TimeSpan::from_seconds(4.0),
+            ],
+        );
+        // Load falls monotonically with the check interval.
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 * 1.0001);
+        }
+        // The fastest checking must not be sustainable; the slowest must be.
+        assert!(!rows[0].3, "20 ms checks should exceed the harvest");
+        assert!(rows[3].3, "4 s checks must be sustainable");
+    }
+
+    #[test]
+    fn undersized_storage_causes_outage_despite_margin() {
+        let rows = sweep_storage(
+            &Cs1Config::default(),
+            &[
+                Capacitance::from_millifarads(5.0),
+                Capacitance::from_millifarads(1000.0),
+            ],
+        );
+        assert!(rows[0].1 > 0.0, "5 mF cannot bridge the night");
+        assert_eq!(rows[1].1, 0.0, "1 F bridges the night easily");
+    }
+
+    #[test]
+    fn dark_profile_is_never_sustainable() {
+        let config = Cs1Config {
+            profile: EnvironmentProfile::constant(ami_energy::EnvironmentSample::dark()),
+            ..Cs1Config::default()
+        };
+        let result = run_cs1(&config);
+        assert!(!result.sustainability.sustainable);
+    }
+
+    #[test]
+    fn bigger_cell_buys_margin() {
+        let small = run_cs1(&Cs1Config::default());
+        let big = run_cs1(&Cs1Config {
+            pv_area: Area::from_square_centimeters(16.0),
+            ..Cs1Config::default()
+        });
+        assert!(big.sustainability.margin() > small.sustainability.margin());
+    }
+}

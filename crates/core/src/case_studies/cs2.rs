@@ -1,0 +1,230 @@
+//! CS2 — the personal mW-node: a battery-powered digital-audio receiver.
+//!
+//! A DAB-class receiver (the archetype in the same DATE 2003 proceedings,
+//! session 4E): analog tuner, IF-sampling ADC, DSP running channel and
+//! source decoding, audio DAC and amplifier. The IC design challenges are
+//! (1) that the *analog* parts — RF bias and converters — dominate the
+//! budget and barely scale, and (2) squeezing the DSP with voltage
+//! scaling. T2 is the budget; F4 sweeps battery life over DVS policy and
+//! technology node.
+
+use ami_arch::{Adc, ArchitectureClass, Dac, Processor, RfFrontEnd, Soc, SocBuilder};
+use ami_dvs::{simulate_taskset, DvsPolicy, DvsReport, TaskSet};
+use ami_energy::{Battery, BatteryModel, Chemistry};
+use ami_tech::TechnologyNode;
+use ami_units::{Frequency, Power, TimeSpan};
+
+/// Parameters of the audio receiver.
+#[derive(Debug, Clone)]
+pub struct Cs2Config {
+    /// Process node of the digital baseband.
+    pub node: TechnologyNode,
+    /// DVS policy on the DSP.
+    pub policy: DvsPolicy,
+    /// Battery chemistry.
+    pub chemistry: Chemistry,
+    /// Battery discharge model.
+    pub battery_model: BatteryModel,
+    /// Audio-amplifier (headphone) power.
+    pub amplifier: Power,
+    /// Average display power (zero = audio-only device; a backlit panel
+    /// turns the receiver into a PDA-class device and redraws the budget).
+    pub display: Power,
+}
+
+impl Default for Cs2Config {
+    /// 130 nm, per-job WCET stretch, two alkaline AAs worth of capacity
+    /// (modelled as one cell), 10 mW headphone drive.
+    fn default() -> Self {
+        Self {
+            node: TechnologyNode::n130(),
+            policy: DvsPolicy::WorstCaseStretch,
+            chemistry: Chemistry::AlkalineAa,
+            battery_model: BatteryModel::Peukert,
+            amplifier: Power::from_milliwatts(10.0),
+            display: Power::ZERO,
+        }
+    }
+}
+
+/// Outcome of the CS2 evaluation.
+#[derive(Debug, Clone)]
+pub struct Cs2Result {
+    /// The component power budget (table T2).
+    pub budget: Soc,
+    /// The DSP task-set simulation behind the DSP budget line.
+    pub dsp: DvsReport,
+    /// Battery life under the budget's average power.
+    pub battery_life: TimeSpan,
+}
+
+/// Runs the CS2 evaluation with a 10-second DSP simulation window.
+pub fn run_cs2(config: &Cs2Config) -> Cs2Result {
+    // Digital baseband: the personal-audio task set on a DSP.
+    let dsp = Processor::new("dsp", ArchitectureClass::Dsp, config.node.clone());
+    let tasks = TaskSet::personal_audio();
+    let report = simulate_taskset(
+        &dsp,
+        &tasks,
+        config.policy,
+        TimeSpan::from_seconds(10.0),
+        2003,
+    );
+
+    // Analog and interface parts.
+    let tuner = RfFrontEnd::dab_tuner();
+    let if_adc = Adc::state_of_the_art_2003(10.0, Frequency::from_megahertz(8.192));
+    let audio_dac = Dac::new(
+        16.0,
+        Frequency::from_kilohertz(48.0),
+        ami_arch::converter::FOM_2003,
+    );
+
+    let mut builder = SocBuilder::new("personal audio receiver")
+        .component("RF tuner", tuner.rx_power())
+        .component("IF ADC", if_adc.power())
+        .component("DSP (decode)", report.average_power())
+        .component("audio DAC", audio_dac.power())
+        .component("audio amplifier", config.amplifier);
+    if config.display > Power::ZERO {
+        builder = builder.component("display", config.display);
+    }
+    let budget = builder.build();
+
+    let battery = Battery::new(config.chemistry, config.battery_model);
+    let battery_life = battery.lifetime_under(budget.total());
+
+    Cs2Result {
+        budget,
+        dsp: report,
+        battery_life,
+    }
+}
+
+/// F4's sweep: battery life across technology nodes and DVS policies.
+/// Returns `(node name, policy, dsp average power, battery life)` rows.
+pub fn sweep_battery_life(
+    nodes: &[TechnologyNode],
+    policies: &[DvsPolicy],
+) -> Vec<(String, DvsPolicy, Power, TimeSpan)> {
+    let mut rows = Vec::new();
+    for node in nodes {
+        for &policy in policies {
+            let result = run_cs2(&Cs2Config {
+                node: node.clone(),
+                policy,
+                ..Cs2Config::default()
+            });
+            rows.push((
+                node.name().to_owned(),
+                policy,
+                result.dsp.average_power(),
+                result.battery_life,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_is_a_milliwatt_class_device() {
+        let result = run_cs2(&Cs2Config::default());
+        let total = result.budget.total();
+        assert!(
+            total.as_milliwatts() > 10.0 && total.as_watts() < 1.0,
+            "mW-class expected, got {total}"
+        );
+    }
+
+    #[test]
+    fn analog_dominates_the_budget() {
+        // The CS2 punchline: the tuner's RF bias is the biggest line and
+        // does not scale with CMOS.
+        let result = run_cs2(&Cs2Config::default());
+        assert_eq!(result.budget.dominant().unwrap().name, "RF tuner");
+        let digital = result.dsp.average_power();
+        let tuner = result.budget.lines()[0].power;
+        assert!(tuner.as_watts() > 3.0 * digital.as_watts());
+    }
+
+    #[test]
+    fn battery_life_is_portable_class() {
+        // Tens of hours on an alkaline cell — the 2003 portable-audio norm.
+        let result = run_cs2(&Cs2Config::default());
+        assert!(
+            result.battery_life.as_hours() > 10.0,
+            "got {}",
+            result.battery_life
+        );
+        assert!(result.battery_life.as_days() < 30.0);
+    }
+
+    #[test]
+    fn dvs_extends_battery_life() {
+        let base = Cs2Config::default();
+        let none = run_cs2(&Cs2Config {
+            policy: DvsPolicy::None,
+            ..base.clone()
+        });
+        let dvs = run_cs2(&base);
+        assert!(
+            dvs.battery_life > none.battery_life,
+            "DVS must extend life: {} vs {}",
+            dvs.battery_life,
+            none.battery_life
+        );
+        assert_eq!(dvs.dsp.deadline_misses, 0);
+    }
+
+    #[test]
+    fn newer_node_shrinks_dsp_share() {
+        let old = run_cs2(&Cs2Config {
+            node: TechnologyNode::n250(),
+            ..Cs2Config::default()
+        });
+        let new = run_cs2(&Cs2Config {
+            node: TechnologyNode::n90(),
+            ..Cs2Config::default()
+        });
+        assert!(new.dsp.average_power() < old.dsp.average_power());
+        // But total barely moves: the analog floor.
+        let ratio = old.budget.total().as_watts() / new.budget.total().as_watts();
+        assert!(
+            ratio < 2.0,
+            "scaling must NOT fix the analog-dominated budget (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn a_backlit_display_redraws_the_budget() {
+        // Bolting a PDA-class display onto the receiver makes the
+        // *interface*, not the RF, the dominant load — and halves the
+        // battery life. The keynote's "natural interfaces" cost, measured.
+        use ami_arch::display::{Display, PanelKind};
+        use ami_units::{Area, Ratio};
+        let panel = Display::new(PanelKind::BacklitLcd, Area::from_square_centimeters(40.0));
+        let with_display = run_cs2(&Cs2Config {
+            display: panel.power(Ratio::from_percent(60.0)),
+            ..Cs2Config::default()
+        });
+        let without = run_cs2(&Cs2Config::default());
+        assert_eq!(with_display.budget.dominant().unwrap().name, "display");
+        assert!(with_display.battery_life.as_hours() < 0.7 * without.battery_life.as_hours());
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let rows = sweep_battery_life(
+            &[TechnologyNode::n180(), TechnologyNode::n130()],
+            &[DvsPolicy::None, DvsPolicy::WorstCaseStretch],
+        );
+        assert_eq!(rows.len(), 4);
+        // Within a node, DVS rows live longer.
+        assert!(rows[1].3 > rows[0].3);
+        assert!(rows[3].3 > rows[2].3);
+    }
+}

@@ -1,0 +1,224 @@
+//! CS3 — the static W-node: a mains-powered ambient media hub.
+//!
+//! The hub decodes video for an ambient display and serves the room's
+//! wireless network. Mains power does not mean unlimited power: the
+//! thermal ceiling of a consumer box is a few watts for silicon. The IC
+//! design challenge is the **flexibility–efficiency gap**: which
+//! architecture class can sustain which video format inside the ceiling.
+//! F5 is generated from [`flexibility_table`].
+
+use ami_arch::kernel::VideoFormat;
+use ami_arch::{ArchitectureClass, Kernel, Memory, MemoryKind, Processor};
+use ami_tech::TechnologyNode;
+use ami_units::{DataVolume, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the media hub.
+#[derive(Debug, Clone)]
+pub struct Cs3Config {
+    /// Process node.
+    pub node: TechnologyNode,
+    /// Frame rate.
+    pub fps: f64,
+    /// Silicon thermal ceiling.
+    pub ceiling: Power,
+}
+
+impl Default for Cs3Config {
+    /// 130 nm, 25 fps, a 2 W silicon budget inside a fanless box.
+    fn default() -> Self {
+        Self {
+            node: TechnologyNode::n130(),
+            fps: 25.0,
+            ceiling: Power::from_watts(2.0),
+        }
+    }
+}
+
+/// One row of the F5 flexibility table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cs3Row {
+    /// Architecture class evaluated.
+    pub class: String,
+    /// Video format evaluated.
+    pub format: String,
+    /// Whether the class can reach the required throughput at all.
+    pub feasible: bool,
+    /// Total power (compute + frame memory traffic) when feasible.
+    pub power: Option<Power>,
+    /// Whether the power fits the thermal ceiling.
+    pub within_ceiling: bool,
+}
+
+/// Memory traffic charged per decoded pixel: four reference reads and one
+/// write of 16-bit samples against external DRAM.
+fn memory_energy_per_pixel(node: &TechnologyNode) -> Energy {
+    let dram = Memory::new(
+        MemoryKind::Dram,
+        DataVolume::from_bytes(8.0 * 1024.0 * 1024.0),
+        node.clone(),
+    );
+    let sample = DataVolume::from_bytes(2.0);
+    dram.read_energy(sample) * 4.0 + dram.write_energy(sample)
+}
+
+/// Evaluates every architecture class against every video format (F5).
+pub fn flexibility_table(config: &Cs3Config) -> Vec<Cs3Row> {
+    let kernel = Kernel::video_decode();
+    let mem_per_pixel = memory_energy_per_pixel(&config.node);
+    let mut rows = Vec::new();
+    for class in ArchitectureClass::all() {
+        let engine = Processor::new("video", class, config.node.clone());
+        for format in VideoFormat::all() {
+            let rate = kernel.required_rate_video(format, config.fps);
+            let pixel_rate = format.pixels() * config.fps;
+            let mem_power = Power::new(mem_per_pixel.as_joules() * pixel_rate);
+            let compute = engine.power_for_throughput(rate);
+            let (feasible, power, within) = match compute {
+                Some(p) => {
+                    let total = p + mem_power;
+                    (true, Some(total), total <= config.ceiling)
+                }
+                None => (false, None, false),
+            };
+            rows.push(Cs3Row {
+                class: class.to_string(),
+                format: format.to_string(),
+                feasible,
+                power,
+                within_ceiling: within,
+            });
+        }
+    }
+    rows
+}
+
+/// The highest format a class sustains within the ceiling, if any.
+pub fn best_format(config: &Cs3Config, class: ArchitectureClass) -> Option<VideoFormat> {
+    let kernel = Kernel::video_decode();
+    let mem_per_pixel = memory_energy_per_pixel(&config.node);
+    let engine = Processor::new("video", class, config.node.clone());
+    VideoFormat::all().into_iter().rev().find(|&format| {
+        let rate = kernel.required_rate_video(format, config.fps);
+        let mem = Power::new(mem_per_pixel.as_joules() * format.pixels() * config.fps);
+        engine
+            .power_for_throughput(rate)
+            .is_some_and(|p| p + mem <= config.ceiling)
+    })
+}
+
+/// Renders the F5 table as aligned text.
+pub fn flexibility_table_text(config: &Cs3Config) -> String {
+    let mut out = format!(
+        "{:<6}  {:<6}  {:>9}  {:>12}  ceiling({})\n",
+        "arch", "format", "feasible", "power", config.ceiling
+    );
+    for row in flexibility_table(config) {
+        out.push_str(&format!(
+            "{:<6}  {:<6}  {:>9}  {:>12}  {}\n",
+            row.class,
+            row.format,
+            if row.feasible { "yes" } else { "no" },
+            row.power.map_or("-".to_owned(), |p| p.to_string()),
+            if row.within_ceiling { "ok" } else { "OVER" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asic_sustains_sd_within_ceiling() {
+        let best = best_format(&Cs3Config::default(), ArchitectureClass::Asic);
+        assert_eq!(best, Some(VideoFormat::Sd));
+    }
+
+    #[test]
+    fn cpu_cannot_sustain_sd_within_ceiling() {
+        let config = Cs3Config::default();
+        let rows = flexibility_table(&config);
+        let cpu_sd = rows
+            .iter()
+            .find(|r| r.class == "CPU" && r.format == "SD")
+            .unwrap();
+        assert!(!cpu_sd.within_ceiling, "{cpu_sd:?}");
+    }
+
+    #[test]
+    fn dsp_crosses_over_between_qcif_and_sd() {
+        // The F5 shape: the DSP handles the small formats in budget but
+        // not the large one — "who wins is rate-dependent".
+        let config = Cs3Config::default();
+        let best = best_format(&config, ArchitectureClass::Dsp);
+        assert!(
+            best == Some(VideoFormat::Qcif) || best == Some(VideoFormat::Cif),
+            "DSP should top out below SD, got {best:?}"
+        );
+    }
+
+    #[test]
+    fn efficiency_ordering_holds_at_fixed_format() {
+        let rows = flexibility_table(&Cs3Config::default());
+        let power_of = |class: &str| {
+            rows.iter()
+                .find(|r| r.class == class && r.format == "CIF")
+                .and_then(|r| r.power)
+        };
+        let asic = power_of("ASIC").expect("ASIC feasible at CIF");
+        if let Some(cpu) = power_of("CPU") {
+            // Memory traffic (common to both) compresses the total-power
+            // ratio; 4x on totals still reflects a >100x compute gap.
+            assert!(cpu.as_watts() > 4.0 * asic.as_watts());
+        }
+        if let Some(dsp) = power_of("DSP") {
+            assert!(dsp > asic);
+        }
+    }
+
+    #[test]
+    fn memory_traffic_is_not_negligible() {
+        let node = TechnologyNode::n130();
+        let per_pixel = memory_energy_per_pixel(&node);
+        // nJ-class per pixel: ~29 mW at SD rates — a real budget line.
+        assert!(per_pixel.as_nanojoules() > 0.5);
+        let sd_power = per_pixel.as_joules() * VideoFormat::Sd.pixels() * 25.0;
+        assert!(sd_power > 0.01, "SD memory traffic {sd_power} W");
+    }
+
+    #[test]
+    fn table_covers_the_full_grid() {
+        let rows = flexibility_table(&Cs3Config::default());
+        assert_eq!(rows.len(), 5 * 3);
+        let text = flexibility_table_text(&Cs3Config::default());
+        for class in ["ASIC", "ASIP", "DSP", "FPGA", "CPU"] {
+            assert!(text.contains(class));
+        }
+    }
+
+    #[test]
+    fn scaling_relaxes_the_gap() {
+        // At 65 nm the FPGA reaches formats it could not at 250 nm.
+        let old = best_format(
+            &Cs3Config {
+                node: TechnologyNode::n250(),
+                ..Cs3Config::default()
+            },
+            ArchitectureClass::Fpga,
+        );
+        let new = best_format(
+            &Cs3Config {
+                node: TechnologyNode::n65(),
+                ..Cs3Config::default()
+            },
+            ArchitectureClass::Fpga,
+        );
+        match (old, new) {
+            (None, Some(_)) => {}
+            (Some(o), Some(n)) => assert!(n >= o),
+            other => panic!("scaling regressed the FPGA: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The keynote's three case studies, one per device class.
+//!
+//! The abstract announces "three case studies \[that\] highlight the IC
+//! design challenges involved" without naming them; DESIGN.md documents
+//! the reconstruction. Each module is a parameterized, deterministic
+//! experiment returning structured results:
+//!
+//! * [`cs1`] — **autonomous µW-node**: an energy-harvesting sensor node.
+//!   Challenge: closing the scavenged-power loop (duty cycling, MAC
+//!   choice, storage sizing).
+//! * [`cs2`] — **personal mW-node**: a battery-powered digital-audio
+//!   receiver. Challenge: the component power budget (RF bias dominates)
+//!   and DVS on the DSP.
+//! * [`cs3`] — **static W-node**: a mains media hub. Challenge: the
+//!   flexibility–efficiency gap at video rates under a thermal ceiling.
+
+pub mod cs1;
+pub mod cs1_trace;
+pub mod cs2;
+pub mod cs3;

@@ -1,0 +1,278 @@
+//! The design-challenge audit: turn the keynote's qualitative "variety of
+//! problems that have to be solved" into a checkable report per device.
+//!
+//! Given an [`AmbientDevice`], the audit inspects its budget and energy
+//! source against the class contracts and flags the IC design challenges
+//! the keynote enumerates: class/source mismatch, a dominant component
+//! that does not scale, radio duty discipline, storage adequacy, and
+//! thermal headroom.
+
+use crate::device::{AmbientDevice, EnergySource};
+use ami_power::PowerClass;
+use ami_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// Severity of an audit finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: a property worth knowing.
+    Note,
+    /// The design works but a keynote challenge is unaddressed.
+    Warning,
+    /// The device violates its class contract.
+    Violation,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "WARNING",
+            Severity::Violation => "VIOLATION",
+        })
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Short machine-stable identifier (kebab-case).
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// Audits a device against the keynote's class contracts.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::SocBuilder;
+/// use ami_core::challenges::{audit, Severity};
+/// use ami_core::{AmbientDevice, EnergySource};
+/// use ami_energy::{Battery, BatteryModel, Chemistry};
+/// use ami_power::DeviceKind;
+/// use ami_units::{DataRate, Power};
+///
+/// // A 5 W "portable" device: the audit flags the class violation.
+/// let hog = AmbientDevice::new(
+///     SocBuilder::new("hog").component("all", Power::from_watts(5.0)).build(),
+///     EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Peukert)),
+///     DataRate::from_megabits_per_second(1.0),
+///     DeviceKind::Computation,
+/// );
+/// let findings = audit(&hog);
+/// assert!(findings.iter().any(|f| f.severity == Severity::Violation));
+/// ```
+pub fn audit(device: &AmbientDevice) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let power = device.average_power();
+    let class = device.class();
+
+    // 1. Class/source consistency — the taxonomy's core contract.
+    if !device.class_consistent() {
+        findings.push(Finding {
+            severity: Severity::Violation,
+            rule: "class-source-mismatch",
+            message: format!(
+                "device burns {power} ({class}) but is fed by {}",
+                match device.source() {
+                    EnergySource::Harvested { .. } => "an energy harvester (µW contract)",
+                    EnergySource::Battery(_) => "a battery (mW contract)",
+                    EnergySource::Mains(_) => "mains",
+                }
+            ),
+        });
+    }
+
+    // 2. Battery endurance: a personal device should survive a day.
+    if let Some(life) = device.battery_life() {
+        if life.as_hours() < 8.0 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "battery-endurance",
+                message: format!("battery life {:.1} h is below a usage day", life.as_hours()),
+            });
+        } else {
+            findings.push(Finding {
+                severity: Severity::Note,
+                rule: "battery-endurance",
+                message: format!("battery life {:.1} h", life.as_hours()),
+            });
+        }
+    }
+
+    // 3. Thermal headroom for mains devices.
+    if let Some(fits) = device.within_mains_ceiling() {
+        if !fits {
+            findings.push(Finding {
+                severity: Severity::Violation,
+                rule: "thermal-ceiling",
+                message: format!("{power} exceeds the enclosure's power ceiling"),
+            });
+        }
+    }
+
+    // 4. Dominant-component concentration: a budget with one >70% line is
+    //    hostage to that component's (non-)scaling.
+    if let Some(dominant) = device.budget().dominant() {
+        let share = device.budget().share(dominant);
+        if share > 0.7 && device.budget().lines().len() > 1 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "dominant-component",
+                message: format!(
+                    "'{}' is {:.0}% of the budget — the design scales only if it does",
+                    dominant.name,
+                    100.0 * share
+                ),
+            });
+        }
+    }
+
+    // 5. µW-class information efficiency sanity: an autonomous node
+    //    spending its budget must deliver measurable information.
+    if class == PowerClass::MicroWatt && device.to_device_point().bits_per_joule() < 1.0 {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            rule: "information-efficiency",
+            message: "the node delivers less than one bit per joule".to_owned(),
+        });
+    }
+
+    // 6. Zero-power absurdity guard.
+    if power == Power::ZERO {
+        findings.push(Finding {
+            severity: Severity::Violation,
+            rule: "empty-budget",
+            message: "the device has no power budget at all".to_owned(),
+        });
+    }
+
+    findings
+}
+
+/// Renders findings as text lines, most severe first.
+pub fn report(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(b.rule)));
+    let mut out = String::new();
+    for f in sorted {
+        out.push_str(&format!("[{}] {}: {}\n", f.severity, f.rule, f.message));
+    }
+    if out.is_empty() {
+        out.push_str("no findings: the device honours its class contract\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ambient_room;
+    use ami_arch::SocBuilder;
+    use ami_energy::{Battery, BatteryModel, Chemistry, Mains};
+    use ami_power::DeviceKind;
+    use ami_units::DataRate;
+
+    fn battery_device(total: Power) -> AmbientDevice {
+        AmbientDevice::new(
+            SocBuilder::new("dev").component("all", total).build(),
+            EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Peukert)),
+            DataRate::from_kilobits_per_second(64.0),
+            DeviceKind::Computation,
+        )
+    }
+
+    #[test]
+    fn watt_on_battery_is_a_violation() {
+        let findings = audit(&battery_device(Power::from_watts(5.0)));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "class-source-mismatch" && f.severity == Severity::Violation));
+    }
+
+    #[test]
+    fn healthy_player_gets_notes_only() {
+        let findings = audit(&battery_device(Power::from_milliwatts(40.0)));
+        assert!(findings.iter().all(|f| f.severity < Severity::Violation));
+        assert!(findings.iter().any(|f| f.rule == "battery-endurance"));
+    }
+
+    #[test]
+    fn short_lived_battery_is_flagged() {
+        // ~3 W from a small Li-ion: ~1 h of life.
+        let findings = audit(&battery_device(Power::from_watts(3.0)));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "battery-endurance" && f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn over_ceiling_mains_is_a_violation() {
+        let hog = AmbientDevice::new(
+            SocBuilder::new("hog")
+                .component("all", Power::from_watts(20.0))
+                .build(),
+            EnergySource::Mains(Mains::new(Power::from_watts(10.0))),
+            DataRate::from_megabits_per_second(8.0),
+            DeviceKind::Computation,
+        );
+        let findings = audit(&hog);
+        assert!(findings.iter().any(|f| f.rule == "thermal-ceiling"));
+    }
+
+    #[test]
+    fn dominant_component_warning_fires_on_cs2() {
+        // The CS2 receiver's RF tuner exceeds 70%: the audit must notice.
+        let cs2 = crate::case_studies::cs2::run_cs2(&Default::default());
+        let device = AmbientDevice::new(
+            cs2.budget,
+            EnergySource::Battery(Battery::new(Chemistry::AlkalineAa, BatteryModel::Peukert)),
+            DataRate::from_kilobits_per_second(192.0),
+            DeviceKind::Computation,
+        );
+        let findings = audit(&device);
+        assert!(findings.iter().any(|f| f.rule == "dominant-component"));
+    }
+
+    #[test]
+    fn ambient_room_audits_clean_of_violations() {
+        let room = ambient_room(5);
+        for device in room.devices() {
+            let findings = audit(device);
+            assert!(
+                findings.iter().all(|f| f.severity < Severity::Violation),
+                "{}: {:?}",
+                device.name(),
+                findings
+            );
+        }
+    }
+
+    #[test]
+    fn report_orders_by_severity() {
+        let findings = vec![
+            Finding {
+                severity: Severity::Note,
+                rule: "a",
+                message: "x".into(),
+            },
+            Finding {
+                severity: Severity::Violation,
+                rule: "b",
+                message: "y".into(),
+            },
+        ];
+        let text = report(&findings);
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn empty_findings_render_clean_bill() {
+        assert!(report(&[]).contains("no findings"));
+    }
+}

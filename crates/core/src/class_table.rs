@@ -1,0 +1,190 @@
+//! T1: the device-class characteristics table, *derived* from the models.
+//!
+//! Rather than transcribing the keynote's qualitative table, every cell is
+//! computed: compute capability from the 130 nm intrinsic-efficiency bound
+//! at the class's power budget, communication reach from a closed link
+//! budget at the class's radio power, and lifetime from the class's
+//! natural energy source.
+
+use ami_energy::{Battery, BatteryModel, Chemistry, EnvironmentSample, Harvester};
+use ami_power::PowerClass;
+use ami_radio::{LinkBudget, Modulation, PathLossModel};
+use ami_tech::{intrinsic_efficiency, TechnologyNode};
+use ami_units::{Area, ComputeRate, DataRate, Frequency, Length, Power, TimeSpan};
+
+/// One row of the T1 table.
+#[derive(Debug, Clone)]
+pub struct ClassCharacteristics {
+    /// The device class.
+    pub class: PowerClass,
+    /// The keynote's device archetype name.
+    pub archetype: &'static str,
+    /// Representative power budget (geometric centre of the band).
+    pub power_budget: Power,
+    /// Energy source description.
+    pub energy_source: &'static str,
+    /// Operating-time figure on that source (`None` = unlimited/mains).
+    pub endurance: Option<TimeSpan>,
+    /// Compute capability at the 130 nm ASIC bound within the budget.
+    pub compute_capability: ComputeRate,
+    /// Indoor radio reach when a tenth of the budget drives the PA.
+    pub radio_reach: Length,
+}
+
+/// Representative budget per class: 30 µW, 100 mW, 10 W.
+fn representative_budget(class: PowerClass) -> Power {
+    match class {
+        PowerClass::MicroWatt => Power::from_microwatts(30.0),
+        PowerClass::MilliWatt => Power::from_milliwatts(100.0),
+        PowerClass::Watt => Power::from_watts(10.0),
+    }
+}
+
+/// Computes the T1 rows from the toolkit models at the 130 nm node.
+///
+/// # Example
+///
+/// ```
+/// use ami_core::class_characteristics;
+/// use ami_power::PowerClass;
+///
+/// let rows = class_characteristics();
+/// assert_eq!(rows.len(), 3);
+/// // Even the µW budget affords real DSP work at the ASIC bound.
+/// assert!(rows[0].compute_capability.as_mops() > 1.0);
+/// ```
+pub fn class_characteristics() -> Vec<ClassCharacteristics> {
+    let node = TechnologyNode::n130();
+    let ice = intrinsic_efficiency(&node, node.vdd_nominal());
+    let link = LinkBudget::new(
+        PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+        Modulation::Fsk,
+        10.0,
+        1e-4,
+    );
+
+    PowerClass::all()
+        .into_iter()
+        .map(|class| {
+            let budget = representative_budget(class);
+            let endurance = match class {
+                PowerClass::MicroWatt => {
+                    // Perpetual iff a palm-sized PV cell covers the budget
+                    // in an office; report a day-scale figure from the
+                    // harvester instead of a battery life.
+                    let pv = Harvester::photovoltaic(Area::from_square_centimeters(8.0));
+                    let harvest = pv.power_output(&EnvironmentSample::office());
+                    if harvest >= budget {
+                        None // energy-neutral: unlimited
+                    } else {
+                        Some(TimeSpan::from_days(1.0))
+                    }
+                }
+                PowerClass::MilliWatt => Some(
+                    Battery::new(Chemistry::LiIon, BatteryModel::Peukert).lifetime_under(budget),
+                ),
+                PowerClass::Watt => None, // mains
+            };
+            ClassCharacteristics {
+                class,
+                archetype: class.device_name(),
+                power_budget: budget,
+                energy_source: class.energy_source(),
+                endurance,
+                compute_capability: ice * budget,
+                radio_reach: link.max_range(budget * 0.1, DataRate::from_kilobits_per_second(50.0)),
+            }
+        })
+        .collect()
+}
+
+/// Renders the T1 table as aligned text rows.
+pub fn class_table_text() -> String {
+    let mut out = format!(
+        "{:<16}  {:>10}  {:<40}  {:>14}  {:>12}  {:>10}\n",
+        "class", "budget", "energy source", "compute (ASIC)", "radio reach", "endurance"
+    );
+    for row in class_characteristics() {
+        out.push_str(&format!(
+            "{:<16}  {:>10}  {:<40}  {:>10.0} MOPS  {:>10.0} m  {:>10}\n",
+            row.class.to_string(),
+            row.power_budget.to_string(),
+            row.energy_source,
+            row.compute_capability.as_mops(),
+            row.radio_reach.as_meters(),
+            match row.endurance {
+                None => "unlimited".to_owned(),
+                Some(t) => format!("{:.0} h", t.as_hours()),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_rows_in_class_order() {
+        let rows = class_characteristics();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].class, PowerClass::MicroWatt);
+        assert_eq!(rows[2].class, PowerClass::Watt);
+    }
+
+    #[test]
+    fn budgets_ascend_by_decades() {
+        let rows = class_characteristics();
+        for pair in rows.windows(2) {
+            assert!(pair[1].power_budget.as_watts() / pair[0].power_budget.as_watts() > 50.0);
+        }
+    }
+
+    #[test]
+    fn compute_capability_scales_with_budget() {
+        let rows = class_characteristics();
+        assert!(
+            rows[0].compute_capability.as_mops() > 1.0,
+            "µW node computes"
+        );
+        assert!(
+            rows[1].compute_capability.as_gops() > 1.0,
+            "mW node is GOPS-class"
+        );
+        assert!(
+            rows[2].compute_capability.as_gops() > 100.0,
+            "W node is 100 GOPS-class"
+        );
+    }
+
+    #[test]
+    fn radio_reach_grows_with_class() {
+        let rows = class_characteristics();
+        assert!(rows[0].radio_reach < rows[1].radio_reach);
+        assert!(rows[1].radio_reach < rows[2].radio_reach);
+        // The µW node still reaches across a room.
+        assert!(rows[0].radio_reach.as_meters() > 3.0);
+    }
+
+    #[test]
+    fn endurance_semantics() {
+        let rows = class_characteristics();
+        // µW node: energy-neutral in the office → unlimited.
+        assert!(rows[0].endurance.is_none());
+        // mW node: a battery figure of hours-to-days.
+        let life = rows[1].endurance.expect("battery life");
+        assert!(life.as_hours() > 5.0 && life.as_days() < 20.0);
+        // W node: mains.
+        assert!(rows[2].endurance.is_none());
+    }
+
+    #[test]
+    fn text_table_mentions_every_class() {
+        let t = class_table_text();
+        for class in PowerClass::all() {
+            assert!(t.contains(&class.to_string()));
+        }
+        assert!(t.contains("unlimited"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Contextual awareness, quantified: how fast can the ambient sense a
+//! change, and what does that speed cost?
+//!
+//! The keynote's opening promise is "contextual awareness" — the room
+//! notices you. Concretely: events (a person enters, a door opens) occur
+//! at random instants; `n` sensor nodes sample their detectors every
+//! `sample_interval` with independent phases; a detection is the first
+//! sample after the event, plus the MAC latency of reporting it. The
+//! resulting **latency–power frontier** is the context-awareness design
+//! rule: mean latency ≈ `interval/(n+1) + MAC/2`, while power buys down
+//! both terms linearly in node count and check rate. Experiment F14.
+
+use crate::case_studies::cs1::{cs1_budget, Cs1Config};
+use ami_radio::{MacProtocol, PreambleSamplingMac, RadioPowerStates, TrafficLoad};
+use ami_sim::sim_rng;
+use ami_units::{Frequency, Power, TimeSpan};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a context-detection deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextConfig {
+    /// Number of sensor nodes covering the space.
+    pub nodes: usize,
+    /// Detector sampling interval per node.
+    pub sample_interval: TimeSpan,
+    /// LPL check interval of the reporting radio (sets report latency).
+    pub check_interval: TimeSpan,
+    /// Events to simulate.
+    pub events: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ContextConfig {
+    /// A room with 4 nodes sampling every 2 s, 1 s radio checks,
+    /// 2000 simulated events.
+    pub fn room_default() -> Self {
+        Self {
+            nodes: 4,
+            sample_interval: TimeSpan::from_seconds(2.0),
+            check_interval: TimeSpan::from_seconds(1.0),
+            events: 2000,
+            seed: 2003,
+        }
+    }
+}
+
+/// Measured context-awareness figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextReport {
+    /// Mean event-to-report latency.
+    pub mean_latency: TimeSpan,
+    /// 95th-percentile latency.
+    pub p95_latency: TimeSpan,
+    /// Total deployment power (all nodes).
+    pub total_power: Power,
+}
+
+impl ContextReport {
+    /// The awareness figure of merit: latency × power (lower is better);
+    /// deployments on the frontier minimize it.
+    pub fn latency_power_product(&self) -> f64 {
+        self.mean_latency.as_seconds() * self.total_power.as_watts()
+    }
+}
+
+/// Simulates event detection by the deployment and derives its power
+/// from the CS1 node model at the given sampling/check rates.
+///
+/// # Panics
+///
+/// Panics if `nodes` or `events` is zero, or intervals are not positive.
+pub fn simulate_context_detection(config: &ContextConfig) -> ContextReport {
+    assert!(config.nodes > 0, "need at least one node");
+    assert!(config.events > 0, "need at least one event");
+    assert!(
+        config.sample_interval > TimeSpan::ZERO && config.check_interval > TimeSpan::ZERO,
+        "intervals must be positive"
+    );
+    let mut rng = sim_rng(config.seed);
+    let interval = config.sample_interval.as_seconds();
+    // MAC report latency: mean of the LPL analysis (uniform over a check
+    // interval at the sink side).
+    let mac = PreambleSamplingMac::new(config.check_interval);
+    let mac_latency = mac
+        .analyze(&RadioPowerStates::sensor_default(), &TrafficLoad::idle())
+        .mean_latency
+        .as_seconds();
+
+    let mut latencies: Vec<f64> = (0..config.events)
+        .map(|_| {
+            // Event at a uniform phase; each node's next sample is an
+            // independent uniform over the interval; detection is the min.
+            let first_sample: f64 = (0..config.nodes)
+                .map(|_| rng.random_range(0.0..interval))
+                .fold(f64::INFINITY, f64::min);
+            first_sample + mac_latency
+        })
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let p95 = latencies[(latencies.len() as f64 * 0.95) as usize - 1];
+
+    // Node power from the CS1 budget at these rates (reports stay at the
+    // default cadence; sensing dominates through the sampling ADC/ASIP).
+    let node_config = Cs1Config {
+        check_interval: config.check_interval,
+        sample_rate: Frequency::new(1.0 / interval),
+        ..Cs1Config::default()
+    };
+    let (budget, _) = cs1_budget(&node_config);
+    ContextReport {
+        mean_latency: TimeSpan::new(mean),
+        p95_latency: TimeSpan::new(p95),
+        total_power: budget.total() * config.nodes as f64,
+    }
+}
+
+/// Sweeps node count and sampling interval, returning the latency–power
+/// points of the deployment design space (F14).
+pub fn context_design_space(
+    node_counts: &[usize],
+    sample_intervals: &[TimeSpan],
+) -> Vec<(usize, TimeSpan, ContextReport)> {
+    let mut out = Vec::new();
+    for &nodes in node_counts {
+        for &sample_interval in sample_intervals {
+            let config = ContextConfig {
+                nodes,
+                sample_interval,
+                ..ContextConfig::room_default()
+            };
+            out.push((nodes, sample_interval, simulate_context_detection(&config)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_order_statistics() {
+        // Mean of min of n uniforms over [0, T] is T/(n+1); plus MAC/2.
+        let config = ContextConfig {
+            nodes: 3,
+            events: 20_000,
+            ..ContextConfig::room_default()
+        };
+        let report = simulate_context_detection(&config);
+        let expected = 2.0 / 4.0 + 0.5; // T/(n+1) + check/2
+        assert!(
+            (report.mean_latency.as_seconds() - expected).abs() < 0.05,
+            "mean {} vs expected {expected}",
+            report.mean_latency
+        );
+    }
+
+    #[test]
+    fn more_nodes_buy_latency_for_power() {
+        let at = |nodes| {
+            simulate_context_detection(&ContextConfig {
+                nodes,
+                ..ContextConfig::room_default()
+            })
+        };
+        let one = at(1);
+        let eight = at(8);
+        assert!(eight.mean_latency < one.mean_latency);
+        assert!(eight.total_power.as_watts() > 7.9 * one.total_power.as_watts());
+    }
+
+    #[test]
+    fn faster_sampling_buys_latency_for_power() {
+        let at = |secs| {
+            simulate_context_detection(&ContextConfig {
+                sample_interval: TimeSpan::from_seconds(secs),
+                ..ContextConfig::room_default()
+            })
+        };
+        let slow = at(8.0);
+        let fast = at(0.5);
+        assert!(fast.mean_latency < slow.mean_latency);
+        assert!(fast.total_power >= slow.total_power);
+    }
+
+    #[test]
+    fn p95_exceeds_mean() {
+        let report = simulate_context_detection(&ContextConfig::room_default());
+        assert!(report.p95_latency > report.mean_latency);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = simulate_context_detection(&ContextConfig::room_default());
+        let b = simulate_context_detection(&ContextConfig::room_default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn design_space_covers_grid() {
+        let space = context_design_space(
+            &[1, 4],
+            &[TimeSpan::from_seconds(1.0), TimeSpan::from_seconds(4.0)],
+        );
+        assert_eq!(space.len(), 4);
+    }
+}

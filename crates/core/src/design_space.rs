@@ -1,0 +1,164 @@
+//! Design-space exploration for the autonomous node: which (PV area,
+//! check interval) pairs close the energy loop?
+//!
+//! The keynote's µW-node challenge is a two-dimensional trade: harvester
+//! aperture (cost, size) against listening latency (the check interval).
+//! [`explore_cs1`] evaluates the full grid and returns the feasibility
+//! frontier — the smallest cell that sustains each latency target.
+
+use crate::case_studies::cs1::{run_cs1, Cs1Config};
+use ami_units::{Area, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignCell {
+    /// PV area of this point.
+    pub pv_area: Area,
+    /// MAC check interval of this point.
+    pub check_interval: TimeSpan,
+    /// Node load at this point.
+    pub load: Power,
+    /// Mean harvest at this point.
+    pub harvest: Power,
+    /// Whether the three-day simulation was outage-free.
+    pub sustainable: bool,
+}
+
+/// Evaluates the full (area × interval) grid against the base config.
+pub fn explore_cs1(base: &Cs1Config, areas: &[Area], intervals: &[TimeSpan]) -> Vec<DesignCell> {
+    let mut cells = Vec::with_capacity(areas.len() * intervals.len());
+    for &pv_area in areas {
+        for &check_interval in intervals {
+            let config = Cs1Config {
+                pv_area,
+                check_interval,
+                ..base.clone()
+            };
+            let result = run_cs1(&config);
+            cells.push(DesignCell {
+                pv_area,
+                check_interval,
+                load: result.budget.total(),
+                harvest: result.sustainability.mean_harvest,
+                sustainable: result.sustainability.sustainable,
+            });
+        }
+    }
+    cells
+}
+
+/// The feasibility frontier: for each check interval, the smallest PV
+/// area (among those evaluated) that sustains the node, if any.
+pub fn cs1_frontier(cells: &[DesignCell]) -> Vec<(TimeSpan, Option<Area>)> {
+    let mut intervals: Vec<TimeSpan> = cells.iter().map(|c| c.check_interval).collect();
+    intervals.sort_by(|a, b| a.total_cmp(b));
+    intervals.dedup_by(|a, b| a == b);
+    intervals
+        .into_iter()
+        .map(|interval| {
+            let best = cells
+                .iter()
+                .filter(|c| c.check_interval == interval && c.sustainable)
+                .map(|c| c.pv_area)
+                .min_by(|a, b| a.total_cmp(b));
+            (interval, best)
+        })
+        .collect()
+}
+
+/// Renders the grid as a text feasibility map (`#` sustainable, `.` not),
+/// rows = areas (largest first), columns = intervals (ascending).
+pub fn render_map(cells: &[DesignCell]) -> String {
+    let mut areas: Vec<Area> = cells.iter().map(|c| c.pv_area).collect();
+    areas.sort_by(|a, b| b.total_cmp(a));
+    areas.dedup_by(|a, b| a == b);
+    let mut intervals: Vec<TimeSpan> = cells.iter().map(|c| c.check_interval).collect();
+    intervals.sort_by(|a, b| a.total_cmp(b));
+    intervals.dedup_by(|a, b| a == b);
+
+    let mut out = String::from("area \\ check interval (s):");
+    for interval in &intervals {
+        out.push_str(&format!(" {:>5.2}", interval.as_seconds()));
+    }
+    out.push('\n');
+    for area in &areas {
+        out.push_str(&format!(
+            "{:>5.1} cm2              ",
+            area.as_square_centimeters()
+        ));
+        for interval in &intervals {
+            let cell = cells
+                .iter()
+                .find(|c| c.pv_area == *area && c.check_interval == *interval)
+                .expect("full grid");
+            out.push_str(if cell.sustainable { "     #" } else { "     ." });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<DesignCell> {
+        let areas: Vec<Area> = [2.0, 8.0, 16.0]
+            .iter()
+            .map(|&cm2| Area::from_square_centimeters(cm2))
+            .collect();
+        let intervals: Vec<TimeSpan> = [0.25, 2.0, 8.0]
+            .iter()
+            .map(|&s| TimeSpan::from_seconds(s))
+            .collect();
+        explore_cs1(&Cs1Config::default(), &areas, &intervals)
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        assert_eq!(grid().len(), 9);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_both_axes() {
+        // If (a, t) is sustainable, so are larger areas and longer checks.
+        let cells = grid();
+        for c in &cells {
+            if c.sustainable {
+                for other in &cells {
+                    if other.pv_area >= c.pv_area && other.check_interval >= c.check_interval {
+                        assert!(
+                            other.sustainable,
+                            "monotonicity violated: {:?} vs {:?}",
+                            c, other
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_tightens_with_patience() {
+        let cells = grid();
+        let frontier = cs1_frontier(&cells);
+        // At 0.25 s checks nothing on the grid closes the loop; at 2 s
+        // the 8 cm² default does; at 8 s even less area suffices.
+        assert_eq!(frontier.len(), 3);
+        assert!(frontier[0].1.is_none() || frontier[0].1.unwrap().as_square_centimeters() > 8.0);
+        let at_2s = frontier[1].1.expect("2 s must be feasible");
+        assert!(at_2s.as_square_centimeters() <= 8.0);
+        if let (Some(a2), Some(a8)) = (frontier[1].1, frontier[2].1) {
+            assert!(a8 <= a2);
+        }
+    }
+
+    #[test]
+    fn map_renders_every_cell() {
+        let text = render_map(&grid());
+        let marks = text.matches('#').count() + text.matches(" .").count();
+        assert!(marks >= 9, "map:\n{text}");
+        assert!(text.contains("cm2"));
+    }
+}

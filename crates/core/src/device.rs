@@ -1,0 +1,233 @@
+//! The ambient device model: budget + energy source + information rate.
+
+use ami_arch::Soc;
+use ami_energy::{Battery, EnvironmentProfile, Harvester, Mains, Pmu, Storage};
+use ami_power::{DeviceKind, DevicePoint, PowerClass};
+use ami_units::{DataRate, Power, TimeSpan};
+
+/// How a device is fed — the keynote's class-defining property.
+#[derive(Debug, Clone)]
+pub enum EnergySource {
+    /// Scavenged ambient energy through a PMU into a buffer.
+    Harvested {
+        /// The transducer.
+        harvester: Harvester,
+        /// The buffer between harvester and load.
+        storage: Storage,
+        /// Conversion losses.
+        pmu: Pmu,
+        /// The ambient conditions driving the harvester.
+        profile: EnvironmentProfile,
+    },
+    /// A primary or secondary cell.
+    Battery(Battery),
+    /// Wall power with a thermal ceiling.
+    Mains(Mains),
+}
+
+impl EnergySource {
+    /// The class this source conventionally supports.
+    pub fn natural_class(&self) -> PowerClass {
+        match self {
+            EnergySource::Harvested { .. } => PowerClass::MicroWatt,
+            EnergySource::Battery(_) => PowerClass::MilliWatt,
+            EnergySource::Mains(_) => PowerClass::Watt,
+        }
+    }
+}
+
+/// An ambient-intelligence device: a component power budget, an energy
+/// source and the information rate it sustains.
+///
+/// # Example
+///
+/// ```
+/// use ami_arch::SocBuilder;
+/// use ami_core::{AmbientDevice, EnergySource};
+/// use ami_energy::{Battery, BatteryModel, Chemistry};
+/// use ami_power::{DeviceKind, PowerClass};
+/// use ami_units::{DataRate, Power};
+///
+/// let budget = SocBuilder::new("player")
+///     .component("dsp", Power::from_milliwatts(4.0))
+///     .component("dac", Power::from_milliwatts(8.0))
+///     .build();
+/// let player = AmbientDevice::new(
+///     budget,
+///     EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Peukert)),
+///     DataRate::from_kilobits_per_second(128.0),
+///     DeviceKind::Computation,
+/// );
+/// assert_eq!(player.class(), PowerClass::MilliWatt);
+/// assert!(player.battery_life().unwrap().as_hours() > 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmbientDevice {
+    budget: Soc,
+    source: EnergySource,
+    info_rate: DataRate,
+    kind: DeviceKind,
+}
+
+impl AmbientDevice {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info_rate` is not positive.
+    pub fn new(budget: Soc, source: EnergySource, info_rate: DataRate, kind: DeviceKind) -> Self {
+        assert!(
+            info_rate.as_bits_per_second() > 0.0,
+            "information rate must be positive"
+        );
+        Self {
+            budget,
+            source,
+            info_rate,
+            kind,
+        }
+    }
+
+    /// Device name (from its budget).
+    pub fn name(&self) -> &str {
+        self.budget.name()
+    }
+
+    /// The component power budget.
+    pub fn budget(&self) -> &Soc {
+        &self.budget
+    }
+
+    /// The energy source.
+    pub fn source(&self) -> &EnergySource {
+        &self.source
+    }
+
+    /// Average power (total of the budget).
+    pub fn average_power(&self) -> Power {
+        self.budget.total()
+    }
+
+    /// Information rate the device sustains.
+    pub fn info_rate(&self) -> DataRate {
+        self.info_rate
+    }
+
+    /// The keynote power class of this device (by actual average power).
+    pub fn class(&self) -> PowerClass {
+        PowerClass::of(self.average_power())
+    }
+
+    /// `true` when the device's actual power matches its energy source's
+    /// natural class — the keynote's design-closure criterion.
+    pub fn class_consistent(&self) -> bool {
+        self.class() <= self.source.natural_class()
+    }
+
+    /// Battery lifetime under the average load, for battery devices.
+    pub fn battery_life(&self) -> Option<TimeSpan> {
+        match &self.source {
+            EnergySource::Battery(battery) if self.average_power() > Power::ZERO => {
+                Some(battery.lifetime_under(self.average_power()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a mains device fits under its thermal ceiling.
+    pub fn within_mains_ceiling(&self) -> Option<bool> {
+        match &self.source {
+            EnergySource::Mains(mains) => Some(mains.supports(self.average_power())),
+            _ => None,
+        }
+    }
+
+    /// This device as a point on the power–information graph.
+    pub fn to_device_point(&self) -> DevicePoint {
+        DevicePoint::new(
+            self.name().to_owned(),
+            self.info_rate,
+            self.average_power(),
+            self.kind,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ami_arch::SocBuilder;
+    use ami_energy::{BatteryModel, Chemistry};
+    use ami_units::{Area, Capacitance, Voltage};
+
+    fn battery_device(total_mw: f64) -> AmbientDevice {
+        AmbientDevice::new(
+            SocBuilder::new("dev")
+                .component("all", Power::from_milliwatts(total_mw))
+                .build(),
+            EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Linear)),
+            DataRate::from_kilobits_per_second(64.0),
+            DeviceKind::Computation,
+        )
+    }
+
+    #[test]
+    fn classification_follows_budget() {
+        assert_eq!(battery_device(0.5).class(), PowerClass::MicroWatt);
+        assert_eq!(battery_device(50.0).class(), PowerClass::MilliWatt);
+        assert_eq!(battery_device(5000.0).class(), PowerClass::Watt);
+    }
+
+    #[test]
+    fn class_consistency_detects_mismatch() {
+        // 5 W from a battery: inconsistent with the mW-node contract.
+        assert!(!battery_device(5000.0).class_consistent());
+        assert!(battery_device(50.0).class_consistent());
+        // A µW budget on a battery is also fine (over-provisioned source).
+        assert!(battery_device(0.5).class_consistent());
+    }
+
+    #[test]
+    fn battery_life_matches_model() {
+        let dev = battery_device(31.45); // ≈ 8.5 mA at 3.7 V
+        let life = dev.battery_life().unwrap();
+        assert!((life.as_hours() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mains_ceiling_check() {
+        let hub = AmbientDevice::new(
+            SocBuilder::new("hub")
+                .component("all", Power::from_watts(8.0))
+                .build(),
+            EnergySource::Mains(Mains::new(Power::from_watts(10.0))),
+            DataRate::from_megabits_per_second(8.0),
+            DeviceKind::Computation,
+        );
+        assert_eq!(hub.within_mains_ceiling(), Some(true));
+        assert!(hub.battery_life().is_none());
+    }
+
+    #[test]
+    fn harvested_source_has_micro_natural_class() {
+        let source = EnergySource::Harvested {
+            harvester: Harvester::photovoltaic(Area::from_square_centimeters(4.0)),
+            storage: Storage::supercapacitor(
+                Capacitance::from_millifarads(100.0),
+                Voltage::from_volts(2.5),
+            ),
+            pmu: Pmu::micro_power(),
+            profile: EnvironmentProfile::office_day(),
+        };
+        assert_eq!(source.natural_class(), PowerClass::MicroWatt);
+    }
+
+    #[test]
+    fn device_point_round_trip() {
+        let dev = battery_device(50.0);
+        let pt = dev.to_device_point();
+        assert_eq!(pt.name(), "dev");
+        assert_eq!(pt.power(), dev.average_power());
+        assert_eq!(pt.class(), PowerClass::MilliWatt);
+    }
+}

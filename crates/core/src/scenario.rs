@@ -1,0 +1,177 @@
+//! An assembled ambient environment mixing all three device classes.
+
+use crate::case_studies::cs1::{cs1_budget, Cs1Config};
+use crate::case_studies::cs2::{run_cs2, Cs2Config};
+use crate::device::{AmbientDevice, EnergySource};
+use ami_arch::SocBuilder;
+use ami_energy::{
+    Battery, BatteryModel, Chemistry, EnvironmentProfile, Harvester, Mains, Pmu, Storage,
+};
+use ami_power::{DeviceKind, PowerClass, PowerInfoGraph};
+use ami_units::{DataRate, Power};
+
+/// A named collection of ambient devices.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    devices: Vec<AmbientDevice>,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new(name: impl Into<String>, devices: Vec<AmbientDevice>) -> Self {
+        assert!(!devices.is_empty(), "a scenario needs devices");
+        Self {
+            name: name.into(),
+            devices,
+        }
+    }
+
+    /// Scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[AmbientDevice] {
+        &self.devices
+    }
+
+    /// Total average power of the environment.
+    pub fn total_power(&self) -> Power {
+        self.devices.iter().map(|d| d.average_power()).sum()
+    }
+
+    /// Number of devices in each class, ordered µW/mW/W.
+    pub fn class_census(&self) -> [usize; 3] {
+        let mut census = [0usize; 3];
+        for device in &self.devices {
+            match device.class() {
+                PowerClass::MicroWatt => census[0] += 1,
+                PowerClass::MilliWatt => census[1] += 1,
+                PowerClass::Watt => census[2] += 1,
+            }
+        }
+        census
+    }
+
+    /// The scenario as a power–information graph.
+    pub fn graph(&self) -> PowerInfoGraph {
+        self.devices.iter().map(|d| d.to_device_point()).collect()
+    }
+
+    /// `true` when every device's power matches its energy source class.
+    pub fn all_class_consistent(&self) -> bool {
+        self.devices.iter().all(|d| d.class_consistent())
+    }
+}
+
+/// Builds the keynote's ambient room: `sensors` harvesting sensor nodes,
+/// one personal audio device and one mains media hub.
+///
+/// # Example
+///
+/// ```
+/// use ami_core::ambient_room;
+///
+/// let room = ambient_room(8);
+/// assert_eq!(room.class_census(), [8, 1, 1]);
+/// assert!(room.all_class_consistent());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sensors` is zero.
+pub fn ambient_room(sensors: usize) -> Scenario {
+    assert!(sensors > 0, "the room needs at least one sensor");
+    let mut devices = Vec::new();
+
+    // µW class: harvesting sensor nodes from CS1.
+    let cs1 = Cs1Config::default();
+    let (sensor_budget, _) = cs1_budget(&cs1);
+    for idx in 0..sensors {
+        let budget = SocBuilder::new(format!("sensor node {idx}"))
+            .component("node", sensor_budget.total())
+            .build();
+        devices.push(AmbientDevice::new(
+            budget,
+            EnergySource::Harvested {
+                harvester: Harvester::photovoltaic(cs1.pv_area),
+                storage: Storage::supercapacitor(cs1.storage_capacitance, cs1.storage_voltage),
+                pmu: Pmu::micro_power(),
+                profile: EnvironmentProfile::office_day(),
+            },
+            DataRate::from_bits_per_second(200.0),
+            DeviceKind::Communication,
+        ));
+    }
+
+    // mW class: the personal audio receiver from CS2.
+    let cs2 = run_cs2(&Cs2Config::default());
+    devices.push(AmbientDevice::new(
+        cs2.budget,
+        EnergySource::Battery(Battery::new(Chemistry::AlkalineAa, BatteryModel::Peukert)),
+        DataRate::from_kilobits_per_second(192.0),
+        DeviceKind::Computation,
+    ));
+
+    // W class: the media hub (ASIC video path at SD plus the WLAN radio).
+    let hub_budget = SocBuilder::new("media hub")
+        .component("video pipeline", Power::from_watts(0.8))
+        .component("wlan radio", Power::from_milliwatts(300.0))
+        .component("io + psu overhead", Power::from_watts(1.5))
+        .build();
+    devices.push(AmbientDevice::new(
+        hub_budget,
+        EnergySource::Mains(Mains::new(Power::from_watts(10.0))),
+        DataRate::from_megabits_per_second(8.0),
+        DeviceKind::Computation,
+    ));
+
+    Scenario::new("ambient room", devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_census_and_consistency() {
+        let room = ambient_room(5);
+        assert_eq!(room.class_census(), [5, 1, 1]);
+        assert!(room.all_class_consistent());
+        assert_eq!(room.devices().len(), 7);
+    }
+
+    #[test]
+    fn hub_dominates_total_power() {
+        // The W-node carries the room's power budget; the sensors are noise.
+        let room = ambient_room(20);
+        let total = room.total_power();
+        let hub = room
+            .devices()
+            .iter()
+            .find(|d| d.name() == "media hub")
+            .unwrap()
+            .average_power();
+        assert!(hub.as_watts() / total.as_watts() > 0.8);
+    }
+
+    #[test]
+    fn graph_reflects_all_devices() {
+        let room = ambient_room(3);
+        let graph = room.graph();
+        assert_eq!(graph.len(), 5);
+        assert_eq!(graph.in_class(PowerClass::MicroWatt).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn empty_room_rejected() {
+        let _ = ambient_room(0);
+    }
+}

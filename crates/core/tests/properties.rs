@@ -1,0 +1,100 @@
+//! Property-based tests for the core device model and case studies.
+
+use ami_arch::{ArchitectureClass, SocBuilder};
+use ami_core::case_studies::cs1::{cs1_budget, run_cs1, Cs1Config};
+use ami_core::case_studies::cs3::{best_format, Cs3Config};
+use ami_core::class_characteristics;
+use ami_core::{AmbientDevice, EnergySource};
+use ami_energy::{Battery, BatteryModel, Chemistry};
+use ami_power::{DeviceKind, PowerClass};
+use ami_units::{Area, DataRate, Power, TimeSpan};
+use proptest::prelude::*;
+
+proptest! {
+    /// CS1 load is monotone non-increasing in the check interval and
+    /// independent of the PV area.
+    #[test]
+    fn cs1_load_monotonicity(a in 0.05..8.0f64, b in 0.05..8.0f64, cm2 in 1.0..32.0f64) {
+        let config_at = |secs: f64| Cs1Config {
+            check_interval: TimeSpan::from_seconds(secs),
+            pv_area: Area::from_square_centimeters(cm2),
+            ..Cs1Config::default()
+        };
+        let (lo_budget, _) = cs1_budget(&config_at(a.min(b)));
+        let (hi_budget, _) = cs1_budget(&config_at(a.max(b)));
+        prop_assert!(hi_budget.total() <= lo_budget.total() * 1.0000001);
+        // Area does not change the load (only the harvest).
+        let (other, _) = cs1_budget(&Cs1Config {
+            check_interval: TimeSpan::from_seconds(a.min(b)),
+            pv_area: Area::from_square_centimeters(1.0),
+            ..Cs1Config::default()
+        });
+        prop_assert!((other.total().as_watts() - lo_budget.total().as_watts()).abs() < 1e-15);
+    }
+
+    /// CS1 sustainability is monotone in PV area at a fixed interval.
+    #[test]
+    fn cs1_sustainability_monotone_in_area(seed_area in 1.0..24.0f64) {
+        let run_at = |cm2: f64| {
+            run_cs1(&Cs1Config {
+                pv_area: Area::from_square_centimeters(cm2),
+                ..Cs1Config::default()
+            })
+            .sustainability
+            .sustainable
+        };
+        // If the smaller cell sustains, the bigger one must too.
+        if run_at(seed_area) {
+            prop_assert!(run_at(seed_area * 1.5));
+        }
+    }
+
+    /// Device classification is consistent with the raw power thresholds
+    /// for any budget.
+    #[test]
+    fn device_class_matches_power(total_uw in 0.1..1e7f64) {
+        let device = AmbientDevice::new(
+            SocBuilder::new("d")
+                .component("all", Power::from_microwatts(total_uw))
+                .build(),
+            EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Linear)),
+            DataRate::from_bits_per_second(100.0),
+            DeviceKind::Computation,
+        );
+        prop_assert_eq!(device.class(), PowerClass::of(Power::from_microwatts(total_uw)));
+        // A battery device always has a finite battery life.
+        prop_assert!(device.battery_life().unwrap() > TimeSpan::ZERO);
+    }
+
+    /// CS3's best format never degrades with a higher ceiling.
+    #[test]
+    fn cs3_best_format_monotone_in_ceiling(watts in 0.05..10.0f64) {
+        let tight = Cs3Config {
+            ceiling: Power::from_watts(watts),
+            ..Cs3Config::default()
+        };
+        let loose = Cs3Config {
+            ceiling: Power::from_watts(watts * 2.0),
+            ..Cs3Config::default()
+        };
+        for class in ArchitectureClass::all() {
+            let a = best_format(&tight, class);
+            let b = best_format(&loose, class);
+            match (a, b) {
+                (Some(fa), Some(fb)) => prop_assert!(fb >= fa),
+                (Some(_), None) => prop_assert!(false, "ceiling increase lost feasibility"),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn class_table_is_internally_consistent() {
+    for row in class_characteristics() {
+        // Budget matches the class it represents.
+        assert_eq!(PowerClass::of(row.power_budget), row.class);
+        assert!(row.compute_capability.as_ops_per_second() > 0.0);
+        assert!(row.radio_reach.as_meters() > 0.0);
+    }
+}

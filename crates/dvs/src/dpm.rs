@@ -1,0 +1,144 @@
+//! Timeout-based dynamic power management for idle gaps.
+
+use ami_units::{Energy, Power, TimeSpan};
+
+/// A shutdown policy: after `timeout` of idleness, drop to `sleep_power`;
+/// waking back up costs `wake_energy`.
+///
+/// # Example
+///
+/// ```
+/// use ami_dvs::Dpm;
+/// use ami_units::{Energy, Power, TimeSpan};
+///
+/// let dpm = Dpm::new(Power::from_microwatts(10.0), Energy::from_microjoules(50.0),
+///                    TimeSpan::from_millis(5.0));
+/// let idle = Power::from_milliwatts(2.0);
+/// // A long gap is cheaper asleep, a tiny one is not.
+/// let long = dpm.gap_energy(idle, TimeSpan::from_seconds(1.0));
+/// assert!(long < idle * TimeSpan::from_seconds(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dpm {
+    sleep_power: Power,
+    wake_energy: Energy,
+    timeout: TimeSpan,
+}
+
+impl Dpm {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is negative.
+    pub fn new(sleep_power: Power, wake_energy: Energy, timeout: TimeSpan) -> Self {
+        assert!(
+            !sleep_power.is_negative(),
+            "sleep power must be non-negative"
+        );
+        assert!(
+            !wake_energy.is_negative(),
+            "wake energy must be non-negative"
+        );
+        assert!(!timeout.is_negative(), "timeout must be non-negative");
+        Self {
+            sleep_power,
+            wake_energy,
+            timeout,
+        }
+    }
+
+    /// Sleep-state power.
+    pub fn sleep_power(&self) -> Power {
+        self.sleep_power
+    }
+
+    /// Energy of one wake-up.
+    pub fn wake_energy(&self) -> Energy {
+        self.wake_energy
+    }
+
+    /// The idle-time threshold after which the device shuts down.
+    pub fn timeout(&self) -> TimeSpan {
+        self.timeout
+    }
+
+    /// The gap length beyond which sleeping (immediately) would pay off
+    /// against idling at `idle_power` — the classic break-even time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_power` does not exceed the sleep power.
+    pub fn breakeven_gap(&self, idle_power: Power) -> TimeSpan {
+        let saving = idle_power - self.sleep_power;
+        assert!(
+            saving > Power::ZERO,
+            "idle power must exceed sleep power for DPM to pay"
+        );
+        self.wake_energy / saving
+    }
+
+    /// Energy spent over an idle gap of length `gap` under this policy,
+    /// idling at `idle_power` until the timeout then sleeping.
+    pub fn gap_energy(&self, idle_power: Power, gap: TimeSpan) -> Energy {
+        assert!(!gap.is_negative(), "gap must be non-negative");
+        if gap <= self.timeout {
+            idle_power * gap
+        } else {
+            idle_power * self.timeout + self.sleep_power * (gap - self.timeout) + self.wake_energy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dpm() -> Dpm {
+        Dpm::new(
+            Power::from_microwatts(10.0),
+            Energy::from_microjoules(100.0),
+            TimeSpan::from_millis(10.0),
+        )
+    }
+
+    #[test]
+    fn short_gap_stays_idle() {
+        let idle = Power::from_milliwatts(1.0);
+        let gap = TimeSpan::from_millis(5.0);
+        assert_eq!(dpm().gap_energy(idle, gap), idle * gap);
+    }
+
+    #[test]
+    fn long_gap_sleeps_and_saves() {
+        let idle = Power::from_milliwatts(1.0);
+        let gap = TimeSpan::from_seconds(2.0);
+        let with = dpm().gap_energy(idle, gap);
+        let without = idle * gap;
+        assert!(with < without);
+    }
+
+    #[test]
+    fn breakeven_formula() {
+        // 100 µJ wake / (1 mW − 10 µW) ≈ 101 ms.
+        let be = dpm().breakeven_gap(Power::from_milliwatts(1.0));
+        assert!((be.as_millis() - 101.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pathological_gap_just_over_timeout_can_lose() {
+        // Right past the timeout the wake energy is charged but almost no
+        // sleep time is banked: the policy loses — the classic DPM hazard.
+        let idle = Power::from_milliwatts(1.0);
+        let gap = TimeSpan::from_millis(11.0);
+        let with = dpm().gap_energy(idle, gap);
+        let without = idle * gap;
+        assert!(with > without);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed sleep power")]
+    fn breakeven_needs_saving() {
+        let _ = dpm().breakeven_gap(Power::from_microwatts(5.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Discrete frequency ladders: real DVS hardware offers a handful of
+//! voltage/frequency operating points, not a continuum.
+//!
+//! Quantizing a policy's ideal rate *up* to the next available level is
+//! safe (deadlines still met) but gives back part of the voltage win —
+//! the quantization loss that ablation A4 measures.
+
+use ami_units::ComputeRate;
+
+/// A set of normalized speed levels in `(0, 1]`, always containing 1.0.
+///
+/// # Example
+///
+/// ```
+/// use ami_dvs::FrequencyLadder;
+/// use ami_units::ComputeRate;
+///
+/// let ladder = FrequencyLadder::new(vec![0.25, 0.5, 0.75]);
+/// let peak = ComputeRate::from_mops(1000.0);
+/// let q = ladder.quantize_up(ComputeRate::from_mops(300.0), peak);
+/// assert_eq!(q.as_mops(), 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyLadder {
+    /// Ascending normalized levels, ending in 1.0.
+    levels: Vec<f64>,
+}
+
+impl FrequencyLadder {
+    /// Builds a ladder from normalized levels; 1.0 is appended if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is outside `(0, 1]` or levels are not strictly
+    /// ascending.
+    pub fn new(mut levels: Vec<f64>) -> Self {
+        for &l in &levels {
+            assert!(l > 0.0 && l <= 1.0, "levels must lie in (0, 1]");
+        }
+        for pair in levels.windows(2) {
+            assert!(pair[0] < pair[1], "levels must strictly ascend");
+        }
+        if levels.last() != Some(&1.0) {
+            levels.push(1.0);
+        }
+        Self { levels }
+    }
+
+    /// The continuous idealization (a single full-range "ladder" that
+    /// passes every rate through unquantized).
+    pub fn continuous() -> Self {
+        Self { levels: Vec::new() }
+    }
+
+    /// A 2003-era four-point ladder: 25/50/75/100 %.
+    pub fn four_point() -> Self {
+        Self::new(vec![0.25, 0.5, 0.75])
+    }
+
+    /// A two-point (half/full) ladder.
+    pub fn two_point() -> Self {
+        Self::new(vec![0.5])
+    }
+
+    /// Normalized levels (empty for the continuous idealization).
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// `true` for the continuous idealization.
+    pub fn is_continuous(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Quantizes `rate` up to the smallest available level ≥ it.
+    /// The continuous ladder returns the rate unchanged (clamped to peak).
+    pub fn quantize_up(&self, rate: ComputeRate, peak: ComputeRate) -> ComputeRate {
+        let clamped = rate.min(peak);
+        if self.levels.is_empty() {
+            return clamped;
+        }
+        let frac = clamped.as_ops_per_second() / peak.as_ops_per_second();
+        let level = self
+            .levels
+            .iter()
+            .copied()
+            .find(|&l| l >= frac - 1e-12)
+            .unwrap_or(1.0);
+        peak * level
+    }
+}
+
+impl Default for FrequencyLadder {
+    fn default() -> Self {
+        Self::continuous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peak() -> ComputeRate {
+        ComputeRate::from_mops(1000.0)
+    }
+
+    #[test]
+    fn quantizes_to_next_level_up() {
+        let ladder = FrequencyLadder::four_point();
+        let q = |mops: f64| {
+            ladder
+                .quantize_up(ComputeRate::from_mops(mops), peak())
+                .as_mops()
+        };
+        assert_eq!(q(10.0), 250.0);
+        assert_eq!(q(250.0), 250.0);
+        assert_eq!(q(251.0), 500.0);
+        assert_eq!(q(990.0), 1000.0);
+    }
+
+    #[test]
+    fn continuous_is_identity() {
+        let ladder = FrequencyLadder::continuous();
+        let r = ComputeRate::from_mops(123.0);
+        assert_eq!(ladder.quantize_up(r, peak()), r);
+        assert!(ladder.is_continuous());
+    }
+
+    #[test]
+    fn full_speed_always_available() {
+        let ladder = FrequencyLadder::new(vec![0.3]);
+        assert_eq!(ladder.levels(), &[0.3, 1.0]);
+        let over = ComputeRate::from_mops(2000.0);
+        assert_eq!(ladder.quantize_up(over, peak()), peak());
+    }
+
+    #[test]
+    fn quantization_never_lowers_a_rate() {
+        let ladder = FrequencyLadder::four_point();
+        for mops in [1.0, 100.0, 400.0, 600.0, 800.0, 999.0] {
+            let r = ComputeRate::from_mops(mops);
+            assert!(ladder.quantize_up(r, peak()) >= r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn unsorted_levels_rejected() {
+        let _ = FrequencyLadder::new(vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn out_of_range_level_rejected() {
+        let _ = FrequencyLadder::new(vec![1.5]);
+    }
+}

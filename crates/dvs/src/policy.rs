@@ -1,0 +1,157 @@
+//! Frequency-selection policies for periodic jobs.
+
+use ami_units::{ComputeRate, OpCount, TimeSpan};
+
+/// How the scheduler picks an execution speed for each job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DvsPolicy {
+    /// Always run at peak speed; idle out the slack. The baseline.
+    None,
+    /// Run the whole set at the constant speed that just covers the
+    /// worst-case utilization (classic static voltage scaling).
+    UtilizationStatic,
+    /// The static speed, raised per job when a late start puts its own
+    /// worst case under deadline pressure (safe, no clairvoyance).
+    WorstCaseStretch,
+    /// Scale the static speed by each job's `actual/WCET` ratio — the
+    /// occupancy-preserving oracle: every job holds the processor exactly
+    /// as long as the static schedule budgeted for it, at the lowest
+    /// feasible speed. A lower bound for constant-occupancy policies.
+    Clairvoyant,
+}
+
+impl DvsPolicy {
+    /// Occupancy the scaled schedule aims for. Preemptive EDF is feasible
+    /// at 100 %, but the non-preemptive executor needs headroom for
+    /// blocking by already-started jobs; 90 % absorbs one maximal job of
+    /// the sets we target while keeping most of the voltage win.
+    pub const OCCUPANCY_TARGET: f64 = 0.9;
+
+    /// All policies, in increasing aggressiveness.
+    pub fn all() -> [DvsPolicy; 4] {
+        [
+            DvsPolicy::None,
+            DvsPolicy::UtilizationStatic,
+            DvsPolicy::WorstCaseStretch,
+            DvsPolicy::Clairvoyant,
+        ]
+    }
+
+    /// Chooses the throughput for a job.
+    ///
+    /// * `wcet`/`actual` — worst-case and actual demand of the job;
+    /// * `window` — the time available to it (its deadline share);
+    /// * `peak` — the processor's peak throughput;
+    /// * `set_utilization` — the set's worst-case utilization in `[0, 1]`.
+    ///
+    /// Returned rate is clamped to `peak`.
+    pub fn job_rate(
+        self,
+        wcet: OpCount,
+        actual: OpCount,
+        window: TimeSpan,
+        peak: ComputeRate,
+        set_utilization: f64,
+    ) -> ComputeRate {
+        let needed = |ops: OpCount| ComputeRate::new(ops.as_ops() / window.as_seconds());
+        let static_rate = peak * (set_utilization / Self::OCCUPANCY_TARGET).clamp(0.0, 1.0);
+        let rate = match self {
+            DvsPolicy::None => peak,
+            DvsPolicy::UtilizationStatic => static_rate,
+            DvsPolicy::WorstCaseStretch => needed(wcet).max(static_rate),
+            DvsPolicy::Clairvoyant => {
+                static_rate * (actual.as_ops() / wcet.as_ops()).clamp(0.0, 1.0)
+            }
+        };
+        rate.min(peak)
+    }
+}
+
+impl std::fmt::Display for DvsPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DvsPolicy::None => "no DVS",
+            DvsPolicy::UtilizationStatic => "static (utilization)",
+            DvsPolicy::WorstCaseStretch => "per-job WCET stretch",
+            DvsPolicy::Clairvoyant => "clairvoyant (oracle)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mops(v: f64) -> ComputeRate {
+        ComputeRate::from_mops(v)
+    }
+
+    #[test]
+    fn none_always_peak() {
+        let r = DvsPolicy::None.job_rate(
+            OpCount::from_ops(1.0),
+            OpCount::from_ops(1.0),
+            TimeSpan::from_seconds(1.0),
+            mops(100.0),
+            0.1,
+        );
+        assert_eq!(r, mops(100.0));
+    }
+
+    #[test]
+    fn stretch_rises_under_deadline_pressure() {
+        // With a comfortable window the static rate governs…
+        let relaxed = DvsPolicy::WorstCaseStretch.job_rate(
+            OpCount::from_mega_ops(10.0),
+            OpCount::from_mega_ops(4.0),
+            TimeSpan::from_seconds(0.5),
+            mops(100.0),
+            0.2,
+        );
+        assert!((relaxed.as_mops() - 100.0 * 0.2 / DvsPolicy::OCCUPANCY_TARGET).abs() < 1e-9);
+        // …but a squeezed window forces the WCET-meeting speed.
+        let squeezed = DvsPolicy::WorstCaseStretch.job_rate(
+            OpCount::from_mega_ops(10.0),
+            OpCount::from_mega_ops(4.0),
+            TimeSpan::from_seconds(0.125),
+            mops(100.0),
+            0.2,
+        );
+        assert!((squeezed.as_mops() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clairvoyant_is_never_faster_than_stretch() {
+        let wcet = OpCount::from_mega_ops(10.0);
+        let actual = OpCount::from_mega_ops(6.0);
+        let window = TimeSpan::from_seconds(0.1);
+        let peak = mops(500.0);
+        let stretch = DvsPolicy::WorstCaseStretch.job_rate(wcet, actual, window, peak, 0.2);
+        let oracle = DvsPolicy::Clairvoyant.job_rate(wcet, actual, window, peak, 0.2);
+        assert!(oracle <= stretch);
+    }
+
+    #[test]
+    fn rates_clamp_to_peak() {
+        let r = DvsPolicy::WorstCaseStretch.job_rate(
+            OpCount::from_mega_ops(1000.0),
+            OpCount::from_mega_ops(1000.0),
+            TimeSpan::from_millis(1.0),
+            mops(100.0),
+            1.0,
+        );
+        assert_eq!(r, mops(100.0));
+    }
+
+    #[test]
+    fn static_uses_utilization_over_occupancy_target() {
+        let r = DvsPolicy::UtilizationStatic.job_rate(
+            OpCount::from_ops(1.0),
+            OpCount::from_ops(1.0),
+            TimeSpan::from_seconds(1.0),
+            mops(200.0),
+            0.25,
+        );
+        assert!((r.as_mops() - 200.0 * 0.25 / DvsPolicy::OCCUPANCY_TARGET).abs() < 1e-9);
+    }
+}

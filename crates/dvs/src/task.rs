@@ -1,0 +1,224 @@
+//! Periodic task sets measured in operations.
+
+use ami_units::{ComputeRate, OpCount, TimeSpan};
+
+/// An implicit-deadline periodic task: a job of up to `wcet_ops` operations
+/// is released every `period` and must finish within it.
+///
+/// Actual per-job demand varies; [`PeriodicTask::best_case_fraction`]
+/// bounds it from below (jobs draw uniformly in
+/// `[best_case_fraction, 1] × wcet_ops` during simulation).
+///
+/// # Example
+///
+/// ```
+/// use ami_dvs::PeriodicTask;
+/// use ami_units::{OpCount, TimeSpan};
+///
+/// let audio = PeriodicTask::new("audio", TimeSpan::from_millis(24.0),
+///                               OpCount::from_mega_ops(0.5));
+/// assert!((audio.utilization_ops().as_mops() - 20.833).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicTask {
+    name: String,
+    period: TimeSpan,
+    wcet_ops: OpCount,
+    best_case_fraction: f64,
+}
+
+impl PeriodicTask {
+    /// Creates a task with a default best-case demand of 40 % of WCET
+    /// (the slack-rich media-decode regime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `wcet_ops` is not positive.
+    pub fn new(name: impl Into<String>, period: TimeSpan, wcet_ops: OpCount) -> Self {
+        assert!(period > TimeSpan::ZERO, "period must be positive");
+        assert!(wcet_ops.as_ops() > 0.0, "WCET must be positive");
+        Self {
+            name: name.into(),
+            period,
+            wcet_ops,
+            best_case_fraction: 0.4,
+        }
+    }
+
+    /// Sets the best-case demand fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_best_case_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "best-case fraction must lie in (0, 1]"
+        );
+        self.best_case_fraction = fraction;
+        self
+    }
+
+    /// Task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Release period (= deadline).
+    pub fn period(&self) -> TimeSpan {
+        self.period
+    }
+
+    /// Worst-case operations per job.
+    pub fn wcet_ops(&self) -> OpCount {
+        self.wcet_ops
+    }
+
+    /// Best-case demand as a fraction of WCET.
+    pub fn best_case_fraction(&self) -> f64 {
+        self.best_case_fraction
+    }
+
+    /// Worst-case sustained demand: `wcet / period`.
+    pub fn utilization_ops(&self) -> ComputeRate {
+        ComputeRate::new(self.wcet_ops.as_ops() / self.period.as_seconds())
+    }
+}
+
+/// A set of periodic tasks scheduled together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(tasks: Vec<PeriodicTask>) -> Self {
+        assert!(!tasks.is_empty(), "a task set needs at least one task");
+        Self { tasks }
+    }
+
+    /// The tasks.
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Total worst-case demand of the set.
+    pub fn total_demand(&self) -> ComputeRate {
+        ComputeRate::new(
+            self.tasks
+                .iter()
+                .map(|t| t.utilization_ops().as_ops_per_second())
+                .sum(),
+        )
+    }
+
+    /// Worst-case utilization against a processor of `capacity`.
+    pub fn utilization(&self, capacity: ComputeRate) -> f64 {
+        self.total_demand().as_ops_per_second() / capacity.as_ops_per_second()
+    }
+
+    /// A video-playback task set: one frame-decode task whose demand
+    /// varies wildly frame-to-frame (I/P/B frames), plus audio. The
+    /// high-variance companion to [`TaskSet::personal_audio`]: the gap
+    /// between WCET-based and clairvoyant policies is largest here.
+    pub fn video_playback() -> Self {
+        Self::new(vec![
+            PeriodicTask::new(
+                "frame decode",
+                TimeSpan::from_millis(40.0),
+                OpCount::from_mega_ops(8.0),
+            )
+            .with_best_case_fraction(0.15),
+            PeriodicTask::new(
+                "audio decode",
+                TimeSpan::from_millis(24.0),
+                OpCount::from_mega_ops(0.6),
+            ),
+        ])
+    }
+
+    /// A personal-audio-node task set (CS2): channel decode + audio decode
+    /// + user interface housekeeping.
+    pub fn personal_audio() -> Self {
+        Self::new(vec![
+            PeriodicTask::new(
+                "channel decode",
+                TimeSpan::from_millis(24.0),
+                OpCount::from_mega_ops(1.2),
+            ),
+            PeriodicTask::new(
+                "audio decode",
+                TimeSpan::from_millis(24.0),
+                OpCount::from_mega_ops(0.6),
+            ),
+            PeriodicTask::new(
+                "ui housekeeping",
+                TimeSpan::from_millis(100.0),
+                OpCount::from_mega_ops(0.1),
+            )
+            .with_best_case_fraction(0.1),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sums_over_tasks() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new(
+                "a",
+                TimeSpan::from_millis(10.0),
+                OpCount::from_mega_ops(1.0),
+            ),
+            PeriodicTask::new(
+                "b",
+                TimeSpan::from_millis(20.0),
+                OpCount::from_mega_ops(1.0),
+            ),
+        ]);
+        // 100 + 50 MOPS.
+        assert!((set.total_demand().as_mops() - 150.0).abs() < 1e-9);
+        assert!((set.utilization(ComputeRate::from_mops(300.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn personal_audio_is_under_100_mops() {
+        let demand = TaskSet::personal_audio().total_demand();
+        assert!(demand.as_mops() > 50.0 && demand.as_mops() < 100.0);
+    }
+
+    #[test]
+    fn video_playback_is_heavier_and_more_variable() {
+        let audio = TaskSet::personal_audio();
+        let video = TaskSet::video_playback();
+        assert!(video.total_demand() > audio.total_demand());
+        let min_bcet = video
+            .tasks()
+            .iter()
+            .map(|t| t.best_case_fraction())
+            .fold(1.0, f64::min);
+        assert!(min_bcet < 0.2, "frame decode must be high-variance");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_set_rejected() {
+        let _ = TaskSet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "best-case fraction")]
+    fn bad_fraction_rejected() {
+        let _ = PeriodicTask::new("x", TimeSpan::from_millis(1.0), OpCount::from_ops(1.0))
+            .with_best_case_fraction(0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for DVS policies and the task-set simulator.
+
+use ami_arch::{ArchitectureClass, Processor};
+use ami_dvs::{simulate_taskset, DvsPolicy, PeriodicTask, TaskSet};
+use ami_tech::TechnologyNode;
+use ami_units::{ComputeRate, OpCount, TimeSpan};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = DvsPolicy> {
+    prop_oneof![
+        Just(DvsPolicy::None),
+        Just(DvsPolicy::UtilizationStatic),
+        Just(DvsPolicy::WorstCaseStretch),
+        Just(DvsPolicy::Clairvoyant),
+    ]
+}
+
+/// A random feasible task set on the 130 nm DSP (peak 770 Mops).
+fn feasible_taskset() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((2.0..100.0f64, 0.01..0.4f64, 0.1..1.0f64), 1..5).prop_map(|specs| {
+        // Scale utilizations so the total stays well under 70%.
+        let total: f64 = specs.iter().map(|(_, u, _)| u).sum();
+        let scale = if total > 0.7 { 0.7 / total } else { 1.0 };
+        TaskSet::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(idx, (period_ms, util, bcet))| {
+                    let period = TimeSpan::from_millis(period_ms);
+                    let wcet = OpCount::from_ops(770e6 * util * scale * period.as_seconds());
+                    PeriodicTask::new(format!("t{idx}"), period, wcet).with_best_case_fraction(bcet)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Every policy's job rate is bounded by the peak and positive for
+    /// positive demand.
+    #[test]
+    fn job_rate_bounded(
+        policy in any_policy(),
+        wcet in 1.0..1e9f64,
+        frac in 0.01..1.0f64,
+        window_ms in 0.1..1000.0f64,
+        peak_mops in 1.0..5000.0f64,
+        util in 0.0..1.0f64,
+    ) {
+        let rate = policy.job_rate(
+            OpCount::from_ops(wcet),
+            OpCount::from_ops(wcet * frac),
+            TimeSpan::from_millis(window_ms),
+            ComputeRate::from_mops(peak_mops),
+            util,
+        );
+        prop_assert!(rate <= ComputeRate::from_mops(peak_mops));
+        prop_assert!(rate.as_ops_per_second() >= 0.0);
+    }
+
+    /// On feasible sets: no deadline misses for any policy (preemptive
+    /// EDF at ≤90% occupancy), and the dynamic-energy ordering
+    /// none ≥ stretch ≥ oracle holds on a leakage-free node. (With
+    /// leakage, running below the node's critical speed can cost MORE —
+    /// the classic DVS critical-frequency effect — so the ordering is a
+    /// statement about switching energy only.)
+    #[test]
+    fn feasible_sets_meet_deadlines_with_energy_ordering(
+        tasks in feasible_taskset(),
+        seed in 0u64..100,
+    ) {
+        let horizon = TimeSpan::from_seconds(2.0);
+        // Deadline guarantee: the realistic node.
+        let dsp = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n130());
+        for policy in DvsPolicy::all() {
+            let report = simulate_taskset(&dsp, &tasks, policy, horizon, seed);
+            prop_assert_eq!(report.deadline_misses, 0, "{} missed", policy);
+        }
+        // Energy ordering: the leakage-free ablation isolates CV²f.
+        let leakless = Processor::new(
+            "dsp",
+            ArchitectureClass::Dsp,
+            TechnologyNode::n130().with_leakage_model(ami_tech::LeakageModel::Off),
+        );
+        let none = simulate_taskset(&leakless, &tasks, DvsPolicy::None, horizon, seed);
+        let stretch =
+            simulate_taskset(&leakless, &tasks, DvsPolicy::WorstCaseStretch, horizon, seed);
+        let oracle = simulate_taskset(&leakless, &tasks, DvsPolicy::Clairvoyant, horizon, seed);
+        prop_assert!(stretch.busy_energy.as_joules() <= none.busy_energy.as_joules() * 1.000001);
+        prop_assert!(oracle.busy_energy.as_joules() <= stretch.busy_energy.as_joules() * 1.000001);
+    }
+
+    /// The simulation is deterministic in its seed.
+    #[test]
+    fn simulation_deterministic(tasks in feasible_taskset(), seed in 0u64..50) {
+        let dsp = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n130());
+        let a = simulate_taskset(&dsp, &tasks, DvsPolicy::WorstCaseStretch,
+                                 TimeSpan::from_seconds(1.0), seed);
+        let b = simulate_taskset(&dsp, &tasks, DvsPolicy::WorstCaseStretch,
+                                 TimeSpan::from_seconds(1.0), seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Energy accounting closes: total = busy + idle, and the average
+    /// power reproduces total/horizon.
+    #[test]
+    fn energy_accounting_closes(tasks in feasible_taskset(), seed in 0u64..50) {
+        let dsp = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n130());
+        let r = simulate_taskset(&dsp, &tasks, DvsPolicy::UtilizationStatic,
+                                 TimeSpan::from_seconds(1.0), seed);
+        let sum = r.busy_energy.as_joules() + r.idle_energy.as_joules();
+        prop_assert!((r.total_energy.as_joules() - sum).abs() < 1e-12 * sum.max(1e-12));
+        let avg = r.average_power().as_watts();
+        prop_assert!((avg - r.total_energy.as_joules() / r.horizon.as_seconds()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,360 @@
+//! Battery models for the personal (mW) device class.
+//!
+//! Three fidelity levels are provided — the A2 ablation compares them:
+//!
+//! * [`BatteryModel::Linear`]: an ideal energy tank.
+//! * [`BatteryModel::Peukert`]: capacity shrinks at high discharge rates
+//!   following Peukert's law.
+//! * [`BatteryModel::RateCapacity`]: a piecewise rate-capacity derating
+//!   typical of 2003-era primary-cell datasheets (gentler than Peukert at
+//!   low rates, harsher above the rated current).
+
+use ami_units::{Charge, Current, Energy, Power, TimeSpan, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Battery chemistry presets with circa-2003 datasheet numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Chemistry {
+    /// Alkaline AA primary cell: 1.5 V, 2850 mAh, rated at 50 mA.
+    AlkalineAa,
+    /// Lithium coin CR2032: 3.0 V, 225 mAh, rated at 0.2 mA.
+    LiCoin,
+    /// Lithium-ion pouch (PDA/phone class): 3.7 V, 850 mAh, rated at 170 mA.
+    LiIon,
+    /// NiMH AA rechargeable: 1.2 V, 1800 mAh, rated at 180 mA.
+    NiMh,
+}
+
+impl Chemistry {
+    /// Nominal terminal voltage.
+    pub fn nominal_voltage(self) -> Voltage {
+        match self {
+            Chemistry::AlkalineAa => Voltage::from_volts(1.5),
+            Chemistry::LiCoin => Voltage::from_volts(3.0),
+            Chemistry::LiIon => Voltage::from_volts(3.7),
+            Chemistry::NiMh => Voltage::from_volts(1.2),
+        }
+    }
+
+    /// Rated charge capacity.
+    pub fn rated_capacity(self) -> Charge {
+        match self {
+            Chemistry::AlkalineAa => Charge::from_milliamp_hours(2850.0),
+            Chemistry::LiCoin => Charge::from_milliamp_hours(225.0),
+            Chemistry::LiIon => Charge::from_milliamp_hours(850.0),
+            Chemistry::NiMh => Charge::from_milliamp_hours(1800.0),
+        }
+    }
+
+    /// Discharge current at which the rated capacity is specified.
+    pub fn rated_current(self) -> Current {
+        match self {
+            Chemistry::AlkalineAa => Current::from_milliamps(50.0),
+            Chemistry::LiCoin => Current::from_milliamps(0.2),
+            Chemistry::LiIon => Current::from_milliamps(170.0),
+            Chemistry::NiMh => Current::from_milliamps(180.0),
+        }
+    }
+
+    /// Peukert exponent (1.0 = ideal; alkaline cells are the worst).
+    pub fn peukert_exponent(self) -> f64 {
+        match self {
+            Chemistry::AlkalineAa => 1.30,
+            Chemistry::LiCoin => 1.08,
+            Chemistry::LiIon => 1.05,
+            Chemistry::NiMh => 1.10,
+        }
+    }
+
+    /// Rated stored energy (`capacity × nominal voltage`).
+    pub fn rated_energy(self) -> Energy {
+        self.nominal_voltage() * self.rated_capacity()
+    }
+}
+
+impl std::fmt::Display for Chemistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Chemistry::AlkalineAa => "alkaline AA",
+            Chemistry::LiCoin => "Li coin CR2032",
+            Chemistry::LiIon => "Li-ion 850 mAh",
+            Chemistry::NiMh => "NiMH AA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Discharge-model fidelity selector (ablation A2).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum BatteryModel {
+    /// Ideal energy tank: delivered charge is independent of rate.
+    Linear,
+    /// Peukert's law: effective capacity `C·(I_rated/I)^(k−1)`.
+    #[default]
+    Peukert,
+    /// Datasheet-style rate-capacity derating: no penalty at or below the
+    /// rated current, Peukert-like above it.
+    RateCapacity,
+}
+
+/// A primary or secondary cell with a rate-dependent discharge model.
+///
+/// # Example
+///
+/// ```
+/// use ami_energy::{Battery, BatteryModel, Chemistry};
+/// use ami_units::Power;
+///
+/// let ideal = Battery::new(Chemistry::AlkalineAa, BatteryModel::Linear);
+/// let real = Battery::new(Chemistry::AlkalineAa, BatteryModel::Peukert);
+/// let heavy = Power::from_milliwatts(750.0); // 0.5 A draw
+/// // Peukert derating shortens life under heavy load.
+/// assert!(real.lifetime_under(heavy) < ideal.lifetime_under(heavy));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    chemistry: Chemistry,
+    model: BatteryModel,
+    remaining: Charge,
+}
+
+impl Battery {
+    /// A fresh cell of the given chemistry and discharge model.
+    pub fn new(chemistry: Chemistry, model: BatteryModel) -> Self {
+        Self {
+            chemistry,
+            model,
+            remaining: chemistry.rated_capacity(),
+        }
+    }
+
+    /// The cell chemistry.
+    pub fn chemistry(&self) -> Chemistry {
+        self.chemistry
+    }
+
+    /// The active discharge model.
+    pub fn model(&self) -> BatteryModel {
+        self.model
+    }
+
+    /// Remaining charge (rate-independent bookkeeping quantity).
+    pub fn remaining_charge(&self) -> Charge {
+        self.remaining
+    }
+
+    /// Remaining energy at nominal voltage.
+    pub fn remaining_energy(&self) -> Energy {
+        self.chemistry.nominal_voltage() * self.remaining
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn state_of_charge(&self) -> f64 {
+        (self.remaining / self.chemistry.rated_capacity()).clamp(0.0, 1.0)
+    }
+
+    /// `true` once the cell can no longer deliver charge.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining.as_coulombs() <= 0.0
+    }
+
+    /// The rate-derating factor at discharge current `i`: how many coulombs
+    /// of bookkeeping charge one delivered coulomb costs.
+    fn derating(&self, i: Current) -> f64 {
+        let i = i.as_amps();
+        if i <= 0.0 {
+            return 1.0;
+        }
+        let i_rated = self.chemistry.rated_current().as_amps();
+        let k = self.chemistry.peukert_exponent();
+        match self.model {
+            BatteryModel::Linear => 1.0,
+            BatteryModel::Peukert => (i / i_rated).powf(k - 1.0),
+            BatteryModel::RateCapacity => {
+                if i <= i_rated {
+                    1.0
+                } else {
+                    (i / i_rated).powf(k - 1.0)
+                }
+            }
+        }
+    }
+
+    /// Draws `load` for `dt`, returning the energy actually delivered
+    /// (less than requested once the cell runs dry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` or `dt` is negative.
+    pub fn drain(&mut self, load: Power, dt: TimeSpan) -> Energy {
+        assert!(!load.is_negative(), "load must be non-negative");
+        assert!(!dt.is_negative(), "time step must be non-negative");
+        if self.is_depleted() || load == Power::ZERO || dt == TimeSpan::ZERO {
+            return Energy::ZERO;
+        }
+        let v = self.chemistry.nominal_voltage();
+        let i = Current::new(load.as_watts() / v.as_volts());
+        let factor = self.derating(i);
+        let requested = i * dt; // delivered charge
+        let booked = Charge::new(requested.as_coulombs() * factor);
+        if booked <= self.remaining {
+            self.remaining -= booked;
+            load * dt
+        } else {
+            // Deliver the pro-rata fraction and empty the cell.
+            let fraction = self.remaining / booked;
+            self.remaining = Charge::ZERO;
+            load * dt * fraction
+        }
+    }
+
+    /// Lifetime of a *fresh* cell under a constant `load` (does not mutate).
+    ///
+    /// Returns [`TimeSpan::ZERO`]-adjacent large values for vanishing loads;
+    /// callers should treat a zero load as "infinite" themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is zero or negative.
+    pub fn lifetime_under(&self, load: Power) -> TimeSpan {
+        assert!(
+            load > Power::ZERO,
+            "lifetime under a zero load is unbounded"
+        );
+        let v = self.chemistry.nominal_voltage();
+        let i = Current::new(load.as_watts() / v.as_volts());
+        let factor = self.derating(i);
+        let effective = Charge::new(self.chemistry.rated_capacity().as_coulombs() / factor);
+        effective / i
+    }
+
+    /// Recharges by `energy` at nominal voltage, clamped at full
+    /// (secondary chemistries; callers decide whether recharge is physical).
+    pub fn recharge(&mut self, energy: Energy) {
+        assert!(
+            !energy.is_negative(),
+            "recharge energy must be non-negative"
+        );
+        let dq = Charge::new(energy.as_joules() / self.chemistry.nominal_voltage().as_volts());
+        self.remaining = (self.remaining + dq).min(self.chemistry.rated_capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_is_full() {
+        let b = Battery::new(Chemistry::LiIon, BatteryModel::Linear);
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!(!b.is_depleted());
+        assert!((b.remaining_energy().as_watt_hours() - 3.7 * 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_lifetime_is_energy_over_power() {
+        let b = Battery::new(Chemistry::AlkalineAa, BatteryModel::Linear);
+        let load = Power::from_milliwatts(15.0);
+        let expected = b.remaining_energy().sustains_for(load);
+        let got = b.lifetime_under(load);
+        assert!((got.as_hours() - expected.as_hours()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peukert_matches_linear_at_rated_current() {
+        let lin = Battery::new(Chemistry::LiIon, BatteryModel::Linear);
+        let peu = Battery::new(Chemistry::LiIon, BatteryModel::Peukert);
+        let rated_load = Chemistry::LiIon.nominal_voltage() * Chemistry::LiIon.rated_current();
+        let a = lin.lifetime_under(rated_load);
+        let b = peu.lifetime_under(rated_load);
+        assert!((a.as_hours() - b.as_hours()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peukert_punishes_heavy_loads_and_rewards_light_ones() {
+        let lin = Battery::new(Chemistry::AlkalineAa, BatteryModel::Linear);
+        let peu = Battery::new(Chemistry::AlkalineAa, BatteryModel::Peukert);
+        let heavy = Power::from_milliwatts(1500.0); // 1 A, 20x rated
+        let light = Power::from_microwatts(150.0); // 0.1 mA, 1/500 rated
+        assert!(peu.lifetime_under(heavy) < lin.lifetime_under(heavy));
+        assert!(peu.lifetime_under(light) > lin.lifetime_under(light));
+    }
+
+    #[test]
+    fn rate_capacity_never_exceeds_linear_below_rated() {
+        let lin = Battery::new(Chemistry::NiMh, BatteryModel::Linear);
+        let rc = Battery::new(Chemistry::NiMh, BatteryModel::RateCapacity);
+        let light = Power::from_milliwatts(12.0); // 10 mA << 180 mA rated
+        let a = lin.lifetime_under(light);
+        let b = rc.lifetime_under(light);
+        assert!((a.as_hours() - b.as_hours()).abs() < 1e-9);
+        let heavy = Power::from_watts(1.2); // 1 A
+        assert!(rc.lifetime_under(heavy) < lin.lifetime_under(heavy));
+    }
+
+    #[test]
+    fn drain_bookkeeping_reaches_depletion() {
+        let mut b = Battery::new(Chemistry::LiCoin, BatteryModel::Linear);
+        let load = Power::from_milliwatts(3.0); // 1 mA at 3 V
+        let life = b.lifetime_under(load);
+        // Drain in 10 equal chunks: the first 9 deliver fully.
+        let chunk = TimeSpan::new(life.as_seconds() / 10.0);
+        for _ in 0..9 {
+            let e = b.drain(load, chunk);
+            assert!((e.as_joules() - (load * chunk).as_joules()).abs() < 1e-9);
+        }
+        assert!(!b.is_depleted());
+        // The 11th chunk cannot deliver in full.
+        let _ = b.drain(load, chunk);
+        let e = b.drain(load, chunk);
+        assert!(e < load * chunk);
+        assert!(b.is_depleted());
+        assert_eq!(b.drain(load, chunk), Energy::ZERO);
+    }
+
+    #[test]
+    fn recharge_clamps_at_full() {
+        let mut b = Battery::new(Chemistry::NiMh, BatteryModel::Linear);
+        let _ = b.drain(Power::from_milliwatts(100.0), TimeSpan::from_hours(1.0));
+        assert!(b.state_of_charge() < 1.0);
+        b.recharge(Energy::from_watt_hours(1000.0));
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn zero_load_or_time_drain_is_noop() {
+        let mut b = Battery::new(Chemistry::LiIon, BatteryModel::Peukert);
+        assert_eq!(
+            b.drain(Power::ZERO, TimeSpan::from_hours(1.0)),
+            Energy::ZERO
+        );
+        assert_eq!(
+            b.drain(Power::from_milliwatts(1.0), TimeSpan::ZERO),
+            Energy::ZERO
+        );
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn lifetime_zero_load_panics() {
+        let b = Battery::new(Chemistry::LiIon, BatteryModel::Linear);
+        let _ = b.lifetime_under(Power::ZERO);
+    }
+
+    #[test]
+    fn chemistry_presets_are_sane() {
+        for chem in [
+            Chemistry::AlkalineAa,
+            Chemistry::LiCoin,
+            Chemistry::LiIon,
+            Chemistry::NiMh,
+        ] {
+            assert!(chem.nominal_voltage().as_volts() > 0.0);
+            assert!(chem.rated_capacity().as_coulombs() > 0.0);
+            assert!(chem.peukert_exponent() >= 1.0);
+            assert!(!chem.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Ambient-condition samples and day-scale profiles driving harvesters.
+
+use ami_units::{Illuminance, Temperature, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the ambient conditions around a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentSample {
+    /// Illuminance at the device surface.
+    pub illuminance: Illuminance,
+    /// Free-air temperature.
+    pub air_temperature: Temperature,
+    /// Temperature of the surface the device is mounted on (thermoelectric
+    /// harvesting exploits the gradient to `air_temperature`).
+    pub surface_temperature: Temperature,
+    /// Whether machine-class vibration is present.
+    pub vibration_present: bool,
+}
+
+impl EnvironmentSample {
+    /// A lit office: 500 lx, 23 °C air, 25 °C surface, no vibration.
+    pub fn office() -> Self {
+        Self {
+            illuminance: Illuminance::from_lux(500.0),
+            air_temperature: Temperature::from_celsius(23.0),
+            surface_temperature: Temperature::from_celsius(25.0),
+            vibration_present: false,
+        }
+    }
+
+    /// A dark room: 0 lx, uniform 20 °C, no vibration.
+    pub fn dark() -> Self {
+        Self {
+            illuminance: Illuminance::ZERO,
+            air_temperature: Temperature::from_celsius(20.0),
+            surface_temperature: Temperature::from_celsius(20.0),
+            vibration_present: false,
+        }
+    }
+
+    /// An office sample with the illuminance overridden.
+    pub fn with_illuminance(illuminance: Illuminance) -> Self {
+        Self {
+            illuminance,
+            ..Self::office()
+        }
+    }
+
+    /// The thermal gradient available to a thermoelectric harvester, in
+    /// kelvin (positive when the surface is hotter than the air).
+    pub fn thermal_gradient_kelvin(&self) -> f64 {
+        self.surface_temperature.as_kelvin() - self.air_temperature.as_kelvin()
+    }
+}
+
+/// A repeating day-long ambient profile, piecewise-constant over segments.
+///
+/// # Example
+///
+/// ```
+/// use ami_energy::EnvironmentProfile;
+/// use ami_units::TimeSpan;
+///
+/// let day = EnvironmentProfile::office_day();
+/// // Midnight is dark; mid-morning is lit.
+/// assert_eq!(day.sample_at(TimeSpan::from_hours(2.0)).illuminance.as_lux(), 0.0);
+/// assert!(day.sample_at(TimeSpan::from_hours(10.0)).illuminance.as_lux() > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentProfile {
+    /// `(segment start within the day, conditions)` — starts must ascend
+    /// from zero.
+    segments: Vec<(TimeSpan, EnvironmentSample)>,
+    period: TimeSpan,
+}
+
+impl EnvironmentProfile {
+    /// Builds a profile from ascending `(start, sample)` segments covering
+    /// one `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, the first start is not zero, starts
+    /// are not strictly ascending, or any start exceeds the period.
+    pub fn new(segments: Vec<(TimeSpan, EnvironmentSample)>, period: TimeSpan) -> Self {
+        assert!(!segments.is_empty(), "profile needs at least one segment");
+        assert_eq!(
+            segments[0].0,
+            TimeSpan::ZERO,
+            "first segment must start at time zero"
+        );
+        for pair in segments.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "segment starts must strictly ascend");
+        }
+        assert!(
+            segments.last().expect("non-empty").0 < period,
+            "segment starts must precede the period"
+        );
+        Self { segments, period }
+    }
+
+    /// A constant profile (useful for steady-state analyses).
+    pub fn constant(sample: EnvironmentSample) -> Self {
+        Self::new(vec![(TimeSpan::ZERO, sample)], TimeSpan::from_days(1.0))
+    }
+
+    /// A typical office day: dark 0–8 h, lit 500 lx 8–18 h with a warm
+    /// mounting surface, dim 100 lx 18–22 h, dark 22–24 h.
+    pub fn office_day() -> Self {
+        let lit = EnvironmentSample::office();
+        let evening = EnvironmentSample::with_illuminance(Illuminance::from_lux(100.0));
+        let dark = EnvironmentSample::dark();
+        Self::new(
+            vec![
+                (TimeSpan::ZERO, dark),
+                (TimeSpan::from_hours(8.0), lit),
+                (TimeSpan::from_hours(18.0), evening),
+                (TimeSpan::from_hours(22.0), dark),
+            ],
+            TimeSpan::from_days(1.0),
+        )
+    }
+
+    /// The repetition period of the profile.
+    pub fn period(&self) -> TimeSpan {
+        self.period
+    }
+
+    /// The conditions at absolute time `t` (wraps modulo the period).
+    pub fn sample_at(&self, t: TimeSpan) -> EnvironmentSample {
+        let within = t.as_seconds().rem_euclid(self.period.as_seconds());
+        let mut current = self.segments[0].1;
+        for &(start, sample) in &self.segments {
+            if within >= start.as_seconds() {
+                current = sample;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Time-weighted mean illuminance over one period (for quick budget
+    /// estimates without simulation).
+    pub fn mean_illuminance(&self) -> Illuminance {
+        let period = self.period.as_seconds();
+        let mut acc = 0.0;
+        for (idx, &(start, sample)) in self.segments.iter().enumerate() {
+            let end = self
+                .segments
+                .get(idx + 1)
+                .map_or(period, |next| next.0.as_seconds());
+            acc += sample.illuminance.as_lux() * (end - start.as_seconds());
+        }
+        Illuminance::from_lux(acc / period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_day_segments() {
+        let day = EnvironmentProfile::office_day();
+        assert_eq!(
+            day.sample_at(TimeSpan::from_hours(0.5))
+                .illuminance
+                .as_lux(),
+            0.0
+        );
+        assert_eq!(
+            day.sample_at(TimeSpan::from_hours(12.0))
+                .illuminance
+                .as_lux(),
+            500.0
+        );
+        assert_eq!(
+            day.sample_at(TimeSpan::from_hours(19.0))
+                .illuminance
+                .as_lux(),
+            100.0
+        );
+        assert_eq!(
+            day.sample_at(TimeSpan::from_hours(23.0))
+                .illuminance
+                .as_lux(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn profile_wraps_modulo_period() {
+        let day = EnvironmentProfile::office_day();
+        let a = day.sample_at(TimeSpan::from_hours(10.0));
+        let b = day.sample_at(TimeSpan::from_hours(34.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_illuminance_weighted() {
+        let day = EnvironmentProfile::office_day();
+        // (8h·0 + 10h·500 + 4h·100 + 2h·0) / 24h = 5400/24 = 225 lx.
+        assert!((day.mean_illuminance().as_lux() - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_profile_is_flat() {
+        let p = EnvironmentProfile::constant(EnvironmentSample::office());
+        for h in [0.0, 6.0, 12.0, 23.9] {
+            assert_eq!(
+                p.sample_at(TimeSpan::from_hours(h)),
+                EnvironmentSample::office()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start at time zero")]
+    fn missing_zero_segment_rejected() {
+        let _ = EnvironmentProfile::new(
+            vec![(TimeSpan::from_hours(1.0), EnvironmentSample::dark())],
+            TimeSpan::from_days(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn unsorted_segments_rejected() {
+        let _ = EnvironmentProfile::new(
+            vec![
+                (TimeSpan::ZERO, EnvironmentSample::dark()),
+                (TimeSpan::from_hours(5.0), EnvironmentSample::office()),
+                (TimeSpan::from_hours(5.0), EnvironmentSample::dark()),
+            ],
+            TimeSpan::from_days(1.0),
+        );
+    }
+
+    #[test]
+    fn gradient_sign() {
+        let office = EnvironmentSample::office();
+        assert!(office.thermal_gradient_kelvin() > 0.0);
+        assert_eq!(EnvironmentSample::dark().thermal_gradient_kelvin(), 0.0);
+    }
+}

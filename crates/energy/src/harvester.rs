@@ -1,0 +1,227 @@
+//! Ambient-energy harvesters for the autonomous (µW) device class,
+//! and the mains supply for the static (W) class.
+//!
+//! Output-density calibration constants follow the early-2000s energy-
+//! scavenging surveys (Roundy et al., Rabaey's PicoRadio project): indoor
+//! light is the richest office-ambient source, vibration and thermal
+//! gradients follow, and background RF is the poorest by far.
+
+use crate::environment::EnvironmentSample;
+use ami_units::{Area, Power, PowerDensity};
+use serde::{Deserialize, Serialize};
+
+/// Photovoltaic output density per kilolux of illuminance for an amorphous-Si
+/// indoor cell (µW/cm² per klx). Survey anchor: ≈10 µW/cm² at 1 000 lx.
+pub const PV_DENSITY_PER_KLX: f64 = 10.0;
+
+/// Vibration-harvester density for machine-class excitation (µW/cm³);
+/// we charge it per cm² of footprint with unit depth. Anchor: ≈100 µW/cm³.
+pub const VIBRATION_DENSITY: f64 = 100.0;
+
+/// Thermoelectric density per kelvin of gradient (µW/cm²/K). Anchor:
+/// ≈20 µW/cm²·K for a 2003 thin-film thermopile near room temperature.
+pub const THERMAL_DENSITY_PER_K: f64 = 20.0;
+
+/// Ambient-RF density (µW/cm²) away from dedicated transmitters.
+pub const RF_DENSITY: f64 = 0.1;
+
+/// An ambient-energy harvester with a given collecting aperture.
+///
+/// # Example
+///
+/// ```
+/// use ami_energy::{EnvironmentSample, Harvester};
+/// use ami_units::Area;
+///
+/// let pv = Harvester::photovoltaic(Area::from_square_centimeters(4.0));
+/// let office = EnvironmentSample::office();
+/// // 4 cm² at 500 lx: ≈20 µW — exactly the µW-node regime.
+/// let p = pv.power_output(&office);
+/// assert!((p.as_microwatts() - 20.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Harvester {
+    kind: HarvesterKind,
+    aperture: Area,
+}
+
+/// The transduction principle of a [`Harvester`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HarvesterKind {
+    /// Amorphous-Si photovoltaic cell tuned for indoor spectra.
+    Photovoltaic,
+    /// Inertial vibration harvester (electromagnetic or piezo).
+    Vibration,
+    /// Thermoelectric generator across an ambient temperature gradient.
+    Thermoelectric,
+    /// Rectenna scavenging background RF.
+    RadioFrequency,
+}
+
+impl Harvester {
+    /// Creates a harvester of the given kind and aperture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aperture is negative or zero.
+    pub fn new(kind: HarvesterKind, aperture: Area) -> Self {
+        assert!(
+            aperture.as_square_meters() > 0.0,
+            "harvester aperture must be positive"
+        );
+        Self { kind, aperture }
+    }
+
+    /// Indoor photovoltaic cell of the given area.
+    pub fn photovoltaic(aperture: Area) -> Self {
+        Self::new(HarvesterKind::Photovoltaic, aperture)
+    }
+
+    /// Vibration harvester of the given footprint.
+    pub fn vibration(aperture: Area) -> Self {
+        Self::new(HarvesterKind::Vibration, aperture)
+    }
+
+    /// Thermoelectric generator of the given area.
+    pub fn thermoelectric(aperture: Area) -> Self {
+        Self::new(HarvesterKind::Thermoelectric, aperture)
+    }
+
+    /// RF scavenger of the given effective antenna area.
+    pub fn radio_frequency(aperture: Area) -> Self {
+        Self::new(HarvesterKind::RadioFrequency, aperture)
+    }
+
+    /// The transduction principle.
+    pub fn kind(&self) -> HarvesterKind {
+        self.kind
+    }
+
+    /// The collecting aperture.
+    pub fn aperture(&self) -> Area {
+        self.aperture
+    }
+
+    /// Output power density under the given ambient conditions.
+    pub fn power_density(&self, env: &EnvironmentSample) -> PowerDensity {
+        let uw_per_cm2 = match self.kind {
+            HarvesterKind::Photovoltaic => PV_DENSITY_PER_KLX * env.illuminance.as_lux() / 1000.0,
+            HarvesterKind::Vibration => {
+                if env.vibration_present {
+                    VIBRATION_DENSITY
+                } else {
+                    0.0
+                }
+            }
+            HarvesterKind::Thermoelectric => {
+                THERMAL_DENSITY_PER_K * env.thermal_gradient_kelvin().max(0.0)
+            }
+            HarvesterKind::RadioFrequency => RF_DENSITY,
+        };
+        PowerDensity::from_microwatts_per_square_centimeter(uw_per_cm2)
+    }
+
+    /// Output power under the given ambient conditions.
+    pub fn power_output(&self, env: &EnvironmentSample) -> Power {
+        self.power_density(env) * self.aperture
+    }
+}
+
+/// The mains supply of the static (W) device class: unlimited energy but a
+/// hard power (thermal) ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mains {
+    ceiling: Power,
+}
+
+impl Mains {
+    /// A mains supply with the given continuous-power ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ceiling is not strictly positive.
+    pub fn new(ceiling: Power) -> Self {
+        assert!(ceiling > Power::ZERO, "mains ceiling must be positive");
+        Self { ceiling }
+    }
+
+    /// The continuous-power (thermal) ceiling.
+    pub fn ceiling(&self) -> Power {
+        self.ceiling
+    }
+
+    /// Whether a load fits under the ceiling.
+    pub fn supports(&self, load: Power) -> bool {
+        load <= self.ceiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ami_units::{Illuminance, Temperature};
+
+    #[test]
+    fn pv_scales_linearly_with_light_and_area() {
+        let cell = Harvester::photovoltaic(Area::from_square_centimeters(1.0));
+        let dim = EnvironmentSample::with_illuminance(Illuminance::from_lux(100.0));
+        let bright = EnvironmentSample::with_illuminance(Illuminance::from_lux(1000.0));
+        let p_dim = cell.power_output(&dim).as_microwatts();
+        let p_bright = cell.power_output(&bright).as_microwatts();
+        assert!((p_bright / p_dim - 10.0).abs() < 1e-9);
+        assert!((p_bright - 10.0).abs() < 1e-9);
+
+        let big = Harvester::photovoltaic(Area::from_square_centimeters(4.0));
+        assert!((big.power_output(&bright).as_microwatts() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vibration_needs_excitation() {
+        let h = Harvester::vibration(Area::from_square_centimeters(1.0));
+        let mut env = EnvironmentSample::office();
+        env.vibration_present = false;
+        assert_eq!(h.power_output(&env), Power::ZERO);
+        env.vibration_present = true;
+        assert!((h.power_output(&env).as_microwatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_needs_gradient() {
+        let h = Harvester::thermoelectric(Area::from_square_centimeters(1.0));
+        let mut env = EnvironmentSample::office();
+        env.surface_temperature = env.air_temperature;
+        assert_eq!(h.power_output(&env), Power::ZERO);
+        env.surface_temperature = Temperature::from_celsius(env.air_temperature.as_celsius() + 5.0);
+        assert!((h.power_output(&env).as_microwatts() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rf_is_the_poorest_source() {
+        let area = Area::from_square_centimeters(1.0);
+        let office = EnvironmentSample::office();
+        let rf = Harvester::radio_frequency(area).power_output(&office);
+        let pv = Harvester::photovoltaic(area).power_output(&office);
+        assert!(rf.as_microwatts() < pv.as_microwatts() / 10.0);
+    }
+
+    #[test]
+    fn negative_gradient_clamps_to_zero() {
+        let h = Harvester::thermoelectric(Area::from_square_centimeters(1.0));
+        let mut env = EnvironmentSample::office();
+        env.surface_temperature = Temperature::from_celsius(env.air_temperature.as_celsius() - 3.0);
+        assert_eq!(h.power_output(&env), Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "aperture")]
+    fn zero_aperture_rejected() {
+        let _ = Harvester::photovoltaic(Area::ZERO);
+    }
+
+    #[test]
+    fn mains_ceiling() {
+        let mains = Mains::new(Power::from_watts(10.0));
+        assert!(mains.supports(Power::from_watts(9.9)));
+        assert!(!mains.supports(Power::from_watts(10.1)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Power-management unit: the lossy gate between source and load.
+//!
+//! Converter efficiency is the silent killer of µW budgets: a switched-mode
+//! converter that is 90 % efficient at milliwatts collapses below its
+//! quiescent draw at microwatts. The [`Pmu`] model captures exactly that
+//! with a fixed quiescent power plus a load-proportional conversion loss.
+
+use ami_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A DC–DC converter / regulator with quiescent overhead.
+///
+/// `input = quiescent + load / efficiency` — the standard first-order
+/// regulator model.
+///
+/// # Example
+///
+/// ```
+/// use ami_energy::Pmu;
+/// use ami_units::Power;
+///
+/// let pmu = Pmu::new(0.85, Power::from_microwatts(1.0));
+/// let input = pmu.input_power_for(Power::from_microwatts(17.0));
+/// assert!((input.as_microwatts() - 21.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pmu {
+    efficiency: f64,
+    quiescent: Power,
+}
+
+impl Pmu {
+    /// Creates a PMU with the given peak conversion efficiency and
+    /// quiescent power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is not in `(0, 1]` or `quiescent` is negative.
+    pub fn new(efficiency: f64, quiescent: Power) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must lie in (0, 1]"
+        );
+        assert!(
+            !quiescent.is_negative(),
+            "quiescent power must be non-negative"
+        );
+        Self {
+            efficiency,
+            quiescent,
+        }
+    }
+
+    /// An ideal (lossless, zero-quiescent) PMU.
+    pub fn ideal() -> Self {
+        Self::new(1.0, Power::ZERO)
+    }
+
+    /// A 2003-class micro-power boost converter: 85 % peak efficiency,
+    /// 1 µW quiescent.
+    pub fn micro_power() -> Self {
+        Self::new(0.85, Power::from_microwatts(1.0))
+    }
+
+    /// A milliwatt-class buck converter: 90 % efficiency, 50 µW quiescent.
+    pub fn milli_power() -> Self {
+        Self::new(0.90, Power::from_microwatts(50.0))
+    }
+
+    /// Peak conversion efficiency.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Quiescent (no-load) input power.
+    pub fn quiescent(&self) -> Power {
+        self.quiescent
+    }
+
+    /// Input power required to serve `load` at the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative.
+    pub fn input_power_for(&self, load: Power) -> Power {
+        assert!(!load.is_negative(), "load must be non-negative");
+        self.quiescent + load / self.efficiency
+    }
+
+    /// Output power available from `input` (zero below the quiescent draw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is negative.
+    pub fn output_power_from(&self, input: Power) -> Power {
+        assert!(!input.is_negative(), "input must be non-negative");
+        ((input - self.quiescent).max(Power::ZERO)) * self.efficiency
+    }
+
+    /// End-to-end efficiency at a given load (including quiescent loss).
+    pub fn effective_efficiency(&self, load: Power) -> f64 {
+        let input = self.input_power_for(load);
+        if input == Power::ZERO {
+            0.0
+        } else {
+            load / input
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_output_round_trip() {
+        let pmu = Pmu::micro_power();
+        let load = Power::from_microwatts(50.0);
+        let input = pmu.input_power_for(load);
+        let back = pmu.output_power_from(input);
+        assert!((back.as_microwatts() - load.as_microwatts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_efficiency_collapses_at_microwatt_loads() {
+        let pmu = Pmu::milli_power();
+        let heavy = pmu.effective_efficiency(Power::from_milliwatts(10.0));
+        let tiny = pmu.effective_efficiency(Power::from_microwatts(5.0));
+        assert!(heavy > 0.85);
+        assert!(tiny < 0.1, "quiescent power must dominate tiny loads");
+    }
+
+    #[test]
+    fn ideal_pmu_is_transparent() {
+        let pmu = Pmu::ideal();
+        let load = Power::from_milliwatts(3.0);
+        assert_eq!(pmu.input_power_for(load), load);
+        assert_eq!(pmu.output_power_from(load), load);
+        assert_eq!(pmu.effective_efficiency(load), 1.0);
+    }
+
+    #[test]
+    fn sub_quiescent_input_yields_nothing() {
+        let pmu = Pmu::micro_power();
+        assert_eq!(
+            pmu.output_power_from(Power::from_nanowatts(500.0)),
+            Power::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        let _ = Pmu::new(0.0, Power::ZERO);
+    }
+}

@@ -1,0 +1,187 @@
+//! Energy buffers for harvesting nodes: supercapacitors and thin-film
+//! stores, with self-discharge.
+
+use ami_units::{Capacitance, Energy, Power, TimeSpan, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// A capacitive energy buffer between harvester and load.
+///
+/// The store is modelled on the energy level directly (the PMU is assumed
+/// to present a regulated rail), with a usable-energy window between empty
+/// and full and an exponential-equivalent self-discharge approximated as a
+/// constant leakage power at full charge scaled by the state of charge.
+///
+/// # Example
+///
+/// ```
+/// use ami_energy::Storage;
+/// use ami_units::{Capacitance, Energy, Power, TimeSpan, Voltage};
+///
+/// let mut cap = Storage::supercapacitor(
+///     Capacitance::from_millifarads(100.0),
+///     Voltage::from_volts(2.5),
+/// );
+/// cap.deposit(cap.capacity()); // charge fully: ~0.31 J usable
+/// let got = cap.withdraw(Energy::from_millijoules(10.0));
+/// assert_eq!(got.as_millijoules(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Storage {
+    capacity: Energy,
+    level: Energy,
+    /// Self-discharge power at full charge.
+    leak_at_full: Power,
+}
+
+impl Storage {
+    /// A store with explicit usable capacity and full-charge leakage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `leak_at_full` is negative.
+    pub fn new(capacity: Energy, leak_at_full: Power) -> Self {
+        assert!(capacity > Energy::ZERO, "storage capacity must be positive");
+        assert!(
+            !leak_at_full.is_negative(),
+            "leakage power must be non-negative"
+        );
+        Self {
+            capacity,
+            level: Energy::ZERO,
+            leak_at_full,
+        }
+    }
+
+    /// A supercapacitor rated `c` at `v_max`, usable down to `v_max/2`
+    /// (¾ of the stored energy), leaking 1 µW per joule of capacity —
+    /// the 2003 supercap ballpark of a few percent per day.
+    pub fn supercapacitor(c: Capacitance, v_max: Voltage) -> Self {
+        let full = c.stored_energy(v_max);
+        let usable = full * 0.75;
+        let leak = Power::from_microwatts(full.as_joules().max(1e-12));
+        Self::new(usable, leak)
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Current stored (usable) energy.
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn state_of_charge(&self) -> f64 {
+        (self.level / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// `true` when no energy can be withdrawn.
+    pub fn is_empty(&self) -> bool {
+        self.level.as_joules() <= 0.0
+    }
+
+    /// Adds energy, returning the amount actually accepted (the rest is
+    /// lost once full — a harvester with nowhere to put its output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn deposit(&mut self, energy: Energy) -> Energy {
+        assert!(!energy.is_negative(), "deposit must be non-negative");
+        let room = self.capacity - self.level;
+        let accepted = energy.min(room);
+        self.level += accepted;
+        accepted
+    }
+
+    /// Removes up to `energy`, returning the amount actually delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn withdraw(&mut self, energy: Energy) -> Energy {
+        assert!(!energy.is_negative(), "withdrawal must be non-negative");
+        let delivered = energy.min(self.level);
+        self.level -= delivered;
+        delivered
+    }
+
+    /// Applies self-discharge over `dt` (leakage scaled by state of charge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn tick_self_discharge(&mut self, dt: TimeSpan) {
+        assert!(!dt.is_negative(), "time step must be non-negative");
+        let leak = self.leak_at_full * self.state_of_charge();
+        let lost = (leak * dt).min(self.level);
+        self.level -= lost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Storage {
+        Storage::new(Energy::from_joules(1.0), Power::from_microwatts(10.0))
+    }
+
+    #[test]
+    fn deposit_clamps_at_capacity() {
+        let mut s = store();
+        assert_eq!(s.deposit(Energy::from_joules(0.6)).as_joules(), 0.6);
+        assert!((s.deposit(Energy::from_joules(0.6)).as_joules() - 0.4).abs() < 1e-12);
+        assert_eq!(s.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn withdraw_clamps_at_level() {
+        let mut s = store();
+        s.deposit(Energy::from_joules(0.3));
+        assert!((s.withdraw(Energy::from_joules(0.5)).as_joules() - 0.3).abs() < 1e-12);
+        assert!(s.is_empty());
+        assert_eq!(s.withdraw(Energy::from_joules(0.1)), Energy::ZERO);
+    }
+
+    #[test]
+    fn self_discharge_scales_with_soc() {
+        let mut full = store();
+        full.deposit(Energy::from_joules(1.0));
+        let mut half = store();
+        half.deposit(Energy::from_joules(0.5));
+        let dt = TimeSpan::from_hours(10.0);
+        full.tick_self_discharge(dt);
+        half.tick_self_discharge(dt);
+        let lost_full = 1.0 - full.level().as_joules();
+        let lost_half = 0.5 - half.level().as_joules();
+        assert!(lost_full > lost_half);
+        assert!(lost_full > 0.0);
+    }
+
+    #[test]
+    fn empty_store_does_not_go_negative() {
+        let mut s = store();
+        s.tick_self_discharge(TimeSpan::from_days(100.0));
+        assert!(s.level() >= Energy::ZERO);
+    }
+
+    #[test]
+    fn supercap_sizing() {
+        let s = Storage::supercapacitor(
+            Capacitance::from_millifarads(100.0),
+            Voltage::from_volts(2.5),
+        );
+        // Full energy ½·0.1·6.25 = 0.3125 J; usable ¾ → 0.2344 J.
+        assert!((s.capacity().as_joules() - 0.234_375).abs() < 1e-9);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Storage::new(Energy::ZERO, Power::ZERO);
+    }
+}

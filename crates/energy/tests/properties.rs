@@ -1,0 +1,129 @@
+//! Property-based tests for the energy models.
+
+use ami_energy::{Battery, BatteryModel, Chemistry, EnvironmentSample, Harvester, Pmu, Storage};
+use ami_units::{Area, Energy, Illuminance, Power, TimeSpan};
+use proptest::prelude::*;
+
+fn any_chemistry() -> impl Strategy<Value = Chemistry> {
+    prop_oneof![
+        Just(Chemistry::AlkalineAa),
+        Just(Chemistry::LiCoin),
+        Just(Chemistry::LiIon),
+        Just(Chemistry::NiMh),
+    ]
+}
+
+fn any_model() -> impl Strategy<Value = BatteryModel> {
+    prop_oneof![
+        Just(BatteryModel::Linear),
+        Just(BatteryModel::Peukert),
+        Just(BatteryModel::RateCapacity),
+    ]
+}
+
+proptest! {
+    /// Draining in any number of chunks conserves energy: total delivered
+    /// equals load × time until depletion, and never exceeds the rated
+    /// energy under the linear model.
+    #[test]
+    fn drain_conserves_energy(
+        chem in any_chemistry(),
+        chunks in 1usize..50,
+        load_mw in 1.0..500.0f64,
+    ) {
+        let mut battery = Battery::new(chem, BatteryModel::Linear);
+        let rated = battery.remaining_energy();
+        let load = Power::from_milliwatts(load_mw);
+        let life = battery.lifetime_under(load);
+        let chunk = TimeSpan::new(life.as_seconds() * 1.5 / chunks as f64);
+        let mut delivered = Energy::ZERO;
+        for _ in 0..chunks {
+            delivered += battery.drain(load, chunk);
+        }
+        prop_assert!(delivered.as_joules() <= rated.as_joules() * (1.0 + 1e-9));
+        // Having drained for 1.5 lifetimes, the cell must be empty.
+        prop_assert!(battery.is_depleted());
+        prop_assert!((delivered.as_joules() - rated.as_joules()).abs()
+            <= 1e-6 * rated.as_joules());
+    }
+
+    /// State of charge stays in [0,1] through arbitrary drain/recharge.
+    #[test]
+    fn soc_bounded(
+        chem in any_chemistry(),
+        model in any_model(),
+        ops in prop::collection::vec((0.0..2.0f64, 0.0..5.0f64), 1..30),
+    ) {
+        let mut battery = Battery::new(chem, model);
+        for (kind, amount) in ops {
+            if kind < 1.0 {
+                let _ = battery.drain(
+                    Power::from_milliwatts(amount * 100.0),
+                    TimeSpan::from_hours(amount),
+                );
+            } else {
+                battery.recharge(Energy::from_watt_hours(amount));
+            }
+            let soc = battery.state_of_charge();
+            prop_assert!((0.0..=1.0).contains(&soc), "soc {soc}");
+        }
+    }
+
+    /// Peukert lifetime never exceeds linear above the rated current and
+    /// never falls below it underneath.
+    #[test]
+    fn peukert_bracketed_by_rate(chem in any_chemistry(), scale in 0.05..20.0f64) {
+        let rated_load = chem.nominal_voltage() * chem.rated_current();
+        let load = rated_load * scale;
+        let linear = Battery::new(chem, BatteryModel::Linear).lifetime_under(load);
+        let peukert = Battery::new(chem, BatteryModel::Peukert).lifetime_under(load);
+        if scale > 1.0 {
+            prop_assert!(peukert <= linear * 1.000001);
+        } else {
+            prop_assert!(peukert >= linear * 0.999999);
+        }
+    }
+
+    /// Storage conservation: deposits minus withdrawals equals the level
+    /// change (no leakage applied).
+    #[test]
+    fn storage_conservation(
+        capacity in 0.1..10.0f64,
+        ops in prop::collection::vec((0.0..2.0f64, 0.0..1.0f64), 1..40),
+    ) {
+        let mut storage = Storage::new(Energy::from_joules(capacity), Power::ZERO);
+        let mut balance = 0.0;
+        for (kind, joules) in ops {
+            if kind < 1.0 {
+                balance += storage.deposit(Energy::from_joules(joules)).as_joules();
+            } else {
+                balance -= storage.withdraw(Energy::from_joules(joules)).as_joules();
+            }
+            prop_assert!(storage.level().as_joules() <= capacity * (1.0 + 1e-12));
+            prop_assert!(storage.level().as_joules() >= -1e-12);
+        }
+        prop_assert!((storage.level().as_joules() - balance).abs() < 1e-9);
+    }
+
+    /// PMU: output never exceeds input; round trip is identity.
+    #[test]
+    fn pmu_is_lossy_and_invertible(eff in 0.1..1.0f64, quiescent_uw in 0.0..100.0f64, load_uw in 0.0..1e5f64) {
+        let pmu = Pmu::new(eff, Power::from_microwatts(quiescent_uw));
+        let load = Power::from_microwatts(load_uw);
+        let input = pmu.input_power_for(load);
+        prop_assert!(input >= load);
+        let back = pmu.output_power_from(input);
+        prop_assert!((back.as_watts() - load.as_watts()).abs() <= 1e-12 * input.as_watts().max(1e-12));
+    }
+
+    /// Harvester output is linear in aperture and illuminance.
+    #[test]
+    fn pv_linear(area_cm2 in 0.1..100.0f64, lux in 0.0..5000.0f64) {
+        let env = EnvironmentSample::with_illuminance(Illuminance::from_lux(lux));
+        let one = Harvester::photovoltaic(Area::from_square_centimeters(area_cm2));
+        let two = Harvester::photovoltaic(Area::from_square_centimeters(2.0 * area_cm2));
+        let p1 = one.power_output(&env).as_watts();
+        let p2 = two.power_output(&env).as_watts();
+        prop_assert!((p2 - 2.0 * p1).abs() <= 1e-12 * p1.max(1e-12));
+    }
+}

@@ -1,0 +1,89 @@
+//! A2 — ablation: battery-model fidelity on the CS2 lifetime conclusion.
+//!
+//! Expected shape: at the receiver's ~100 mW draw the three models agree
+//! within a few tens of percent (the conclusion is robust), but under a
+//! heavy 1 A-class load Peukert derating cuts the naive lifetime by half
+//! or more — model choice matters exactly where the datasheet rate is
+//! exceeded.
+
+use ami_core::case_studies::cs2::{run_cs2, Cs2Config};
+use ami_energy::{Battery, BatteryModel, Chemistry, KineticBattery};
+use ami_experiments::{banner, print_table, section};
+use ami_units::{Energy, Power, TimeSpan};
+
+fn main() {
+    banner("A2", "battery-model fidelity ablation");
+    let models = [
+        ("linear", BatteryModel::Linear),
+        ("Peukert", BatteryModel::Peukert),
+        ("rate-capacity", BatteryModel::RateCapacity),
+    ];
+
+    section("CS2 receiver lifetime (alkaline AA) per battery model");
+    let mut rows = Vec::new();
+    for (name, model) in models {
+        let result = run_cs2(&Cs2Config {
+            battery_model: model,
+            ..Cs2Config::default()
+        });
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1}", result.battery_life.as_hours()),
+        ]);
+    }
+    print_table(&["model", "life (h)"], &rows);
+
+    section("lifetime under synthetic constant loads (alkaline AA)");
+    let loads = [
+        ("10 mW", Power::from_milliwatts(10.0)),
+        ("75 mW (rated)", Power::from_milliwatts(75.0)),
+        ("300 mW", Power::from_milliwatts(300.0)),
+        ("1.5 W", Power::from_watts(1.5)),
+    ];
+    let mut rows = Vec::new();
+    for (caption, load) in loads {
+        let mut row = vec![caption.to_owned()];
+        for (_, model) in models {
+            let cell = Battery::new(Chemistry::AlkalineAa, model);
+            row.push(format!("{:.1}", cell.lifetime_under(load).as_hours()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["load", "linear (h)", "Peukert (h)", "rate-cap (h)"],
+        &rows,
+    );
+
+    section("kinetic (KiBaM) recovery: pulsed vs continuous heavy load");
+    let run_until_brownout = |pulsed: bool| -> Energy {
+        let mut cell = KineticBattery::from_chemistry(Chemistry::LiCoin);
+        let mut total = Energy::ZERO;
+        let chunk = TimeSpan::from_minutes(1.0);
+        let load = Power::from_milliwatts(90.0); // 30 mA: brutal for a coin cell
+        loop {
+            let got = cell.drain(load, chunk);
+            total += got;
+            if pulsed {
+                cell.rest(chunk);
+            }
+            if got.as_joules() < (load * chunk).as_joules() * 0.999 {
+                return total;
+            }
+        }
+    };
+    let continuous = run_until_brownout(false);
+    let pulsed = run_until_brownout(true);
+    println!("continuous 90 mW until brown-out : {continuous}");
+    println!("pulsed 90 mW @ 50% duty          : {pulsed}");
+    println!(
+        "recovery gain: {:.1}% more energy extracted",
+        100.0 * (pulsed.as_joules() / continuous.as_joules() - 1.0)
+    );
+
+    section("reading");
+    println!("below the rated current the models converge; above it Peukert");
+    println!("derating dominates. The CS2 conclusion (tens of hours) is robust");
+    println!("to model choice because the receiver stays near the rated rate.");
+    println!("KiBaM adds the recovery effect: bursty (duty-cycled) operation");
+    println!("extracts more of a coin cell than the same average drawn flat.");
+}

@@ -1,0 +1,48 @@
+//! A3 — ablation: storage sizing on the CS1 node's outage probability.
+//!
+//! Expected shape: with a healthy average-power margin, outage is decided
+//! entirely by whether the buffer bridges the dark 14 hours of the office
+//! day (~0.3 J for the default node). Undersized caps starve every night;
+//! oversized ones add nothing but leakage.
+
+use ami_core::case_studies::cs1::{run_cs1, sweep_storage, Cs1Config};
+use ami_experiments::{banner, print_table, section};
+use ami_units::Capacitance;
+
+fn main() {
+    banner("A3", "CS1 storage sizing vs overnight outage");
+    let base = Cs1Config::default();
+
+    let result = run_cs1(&base);
+    section("margin check (storage-independent)");
+    println!(
+        "mean harvest {} vs mean load {} -> margin {}",
+        result.sustainability.mean_harvest,
+        result.sustainability.mean_load,
+        result.sustainability.margin()
+    );
+
+    section("sweep: supercapacitor size at 2.5 V (usable = 75% of E = CV^2/2)");
+    let caps: Vec<Capacitance> = [5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0]
+        .iter()
+        .map(|&mf| Capacitance::from_millifarads(mf))
+        .collect();
+    let rows: Vec<Vec<String>> = sweep_storage(&base, &caps)
+        .into_iter()
+        .map(|(c, outage)| {
+            let usable = 0.75 * 0.5 * c.as_farads() * 2.5 * 2.5;
+            vec![
+                format!("{:.0}", c.as_farads() * 1e3),
+                format!("{usable:.3}"),
+                format!("{:.1}%", 100.0 * outage),
+                if outage == 0.0 { "OK" } else { "starves" }.to_owned(),
+            ]
+        })
+        .collect();
+    print_table(&["cap (mF)", "usable (J)", "outage", "verdict"], &rows);
+
+    section("reading");
+    println!("average power says nothing about the night: the buffer must hold");
+    println!("the dark-hours energy (~0.3 J here). The knee of the outage curve");
+    println!("is the storage-sizing rule for every autonomous node.");
+}

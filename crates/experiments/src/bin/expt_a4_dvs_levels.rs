@@ -1,0 +1,59 @@
+//! A4 — ablation: discrete voltage/frequency ladders versus the
+//! continuous-DVS idealization.
+//!
+//! Expected shape: real hardware's handful of operating points gives back
+//! part of the voltage win — a two-point ladder loses most of the gap to
+//! no-DVS, a four-point ladder recovers the bulk of it, and the
+//! continuous model is the bound. Deadlines hold throughout (quantizing
+//! *up* is safe).
+
+use ami_arch::{ArchitectureClass, Processor};
+use ami_dvs::{
+    simulate_taskset, simulate_taskset_with_levels, DvsPolicy, FrequencyLadder, TaskSet,
+};
+use ami_experiments::{banner, print_table, section};
+use ami_tech::TechnologyNode;
+use ami_units::TimeSpan;
+
+fn main() {
+    banner("A4", "DVS quantization: discrete ladders vs continuous");
+    let dsp = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n130());
+    let tasks = TaskSet::personal_audio();
+    let horizon = TimeSpan::from_seconds(10.0);
+    let seed = 2003;
+
+    section("DSP busy energy (mJ) by policy and ladder, 10 s of audio");
+    let ladders: [(&str, FrequencyLadder); 3] = [
+        ("continuous", FrequencyLadder::continuous()),
+        ("4-point", FrequencyLadder::four_point()),
+        ("2-point", FrequencyLadder::two_point()),
+    ];
+    let mut rows = Vec::new();
+    for policy in [
+        DvsPolicy::UtilizationStatic,
+        DvsPolicy::WorstCaseStretch,
+        DvsPolicy::Clairvoyant,
+    ] {
+        let mut row = vec![policy.to_string()];
+        for (_, ladder) in &ladders {
+            let report = simulate_taskset_with_levels(&dsp, &tasks, policy, ladder, horizon, seed);
+            assert_eq!(report.deadline_misses, 0, "quantizing up must stay safe");
+            row.push(format!("{:.2}", report.busy_energy.as_millijoules()));
+        }
+        rows.push(row);
+    }
+    let none = simulate_taskset(&dsp, &tasks, DvsPolicy::None, horizon, seed);
+    rows.push(vec![
+        "no DVS (reference)".to_owned(),
+        format!("{:.2}", none.busy_energy.as_millijoules()),
+        "-".to_owned(),
+        "-".to_owned(),
+    ]);
+    print_table(&["policy", "continuous", "4-point", "2-point"], &rows);
+
+    section("reading");
+    println!("the ladder is a silicon-cost knob: each extra operating point");
+    println!("needs regulator range and characterization, and buys back part");
+    println!("of the continuous-DVS bound. Four points recovered most of it");
+    println!("in 2003 practice — and do here.");
+}

@@ -1,0 +1,48 @@
+//! F12 — the µW-node design space: PV area × check interval feasibility.
+//!
+//! Expected shape: a monotone feasibility frontier — more collecting area
+//! buys faster listening; patience (longer check intervals) substitutes
+//! for silicon-external cost. The corner the keynote's autonomous node
+//! must live in is visible at a glance.
+
+use ami_core::case_studies::cs1::Cs1Config;
+use ami_core::design_space::{cs1_frontier, explore_cs1, render_map};
+use ami_experiments::{banner, section};
+use ami_units::{Area, TimeSpan};
+
+fn main() {
+    banner(
+        "F12",
+        "CS1 design space: harvester area vs listening latency",
+    );
+
+    let areas: Vec<Area> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|&cm2| Area::from_square_centimeters(cm2))
+        .collect();
+    let intervals: Vec<TimeSpan> = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&s| TimeSpan::from_seconds(s))
+        .collect();
+    let cells = explore_cs1(&Cs1Config::default(), &areas, &intervals);
+
+    section("feasibility map (# = energy-neutral over the office day)");
+    print!("{}", render_map(&cells));
+
+    section("frontier: smallest sustainable PV cell per check interval");
+    for (interval, area) in cs1_frontier(&cells) {
+        println!(
+            "check every {:>5.2} s -> {}",
+            interval.as_seconds(),
+            area.map_or("infeasible on this grid".to_owned(), |a| format!(
+                "{:.0} cm2",
+                a.as_square_centimeters()
+            ))
+        );
+    }
+
+    section("reading");
+    println!("listening latency is purchasable with collector area and vice");
+    println!("versa; the product of the two is (to first order) fixed by the");
+    println!("radio's check energy — the µW-node design rule in one figure.");
+}

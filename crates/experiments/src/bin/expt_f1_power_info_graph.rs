@@ -1,0 +1,51 @@
+//! F1 — the power–information graph of the 2003 device portfolio.
+//!
+//! Regenerates the keynote's central figure as a table (device, rate,
+//! power, efficiency, class, frontier membership) plus the per-class
+//! summary bands. Expected shape: three classes separated by decades of
+//! power; a Pareto frontier of the most information-efficient devices.
+
+use ami_experiments::{banner, section};
+use ami_power::{portfolio_2003, scatter_plot, PowerClass};
+
+fn main() {
+    banner("F1", "power-information graph, 2003 portfolio");
+    let graph = portfolio_2003();
+
+    section("the graph itself (log-log)");
+    print!("{}", scatter_plot(&graph, 64, 22));
+
+    section("device scatter (x = information rate, y = power)");
+    print!("{}", graph.table());
+
+    section("class bands");
+    for class in PowerClass::all() {
+        let members = graph.in_class(class);
+        let powers: Vec<f64> = members.iter().map(|p| p.power().as_watts()).collect();
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<10}  {} devices, power {:.2e}..{:.2e} W, source: {}",
+            class.to_string(),
+            members.len(),
+            min,
+            max,
+            class.energy_source()
+        );
+    }
+
+    section("efficiency frontier");
+    let frontier = graph.frontier();
+    for idx in &frontier {
+        let p = &graph.points()[*idx];
+        println!("{:<22}  {:>10.3e} bit/J", p.name(), p.bits_per_joule());
+    }
+    println!();
+    println!(
+        "most information-efficient device: {}",
+        graph
+            .most_efficient()
+            .expect("portfolio is non-empty")
+            .name()
+    );
+}

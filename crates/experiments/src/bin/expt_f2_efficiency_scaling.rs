@@ -1,0 +1,56 @@
+//! F2 — intrinsic computational efficiency versus technology node, and
+//! the ASIC/DSP/CPU flexibility gap on top of it.
+//!
+//! Expected shape: MOPS/mW improves roughly 2x per node at the ASIC
+//! bound; the flexibility gap (CPU vs ASIC) holds at 2–3 decades at every
+//! node.
+
+use ami_arch::{ArchitectureClass, Processor};
+use ami_experiments::{banner, print_table, section};
+use ami_tech::{intrinsic_efficiency, Roadmap};
+
+fn main() {
+    banner("F2", "computational efficiency across the 2003 roadmap");
+    let roadmap = Roadmap::full_2003();
+
+    section("intrinsic (ASIC-bound) efficiency per node");
+    let rows: Vec<Vec<String>> = roadmap
+        .nodes()
+        .iter()
+        .map(|node| {
+            let ice = intrinsic_efficiency(node, node.vdd_nominal());
+            vec![
+                node.name().to_owned(),
+                format!("{:.2}", node.vdd_nominal().as_volts()),
+                format!("{:.1}", ice.as_mops_per_milliwatt()),
+                format!("{:.2}", ice.to_energy_per_op().as_picojoules_per_op()),
+            ]
+        })
+        .collect();
+    print_table(&["node", "Vdd (V)", "MOPS/mW", "pJ/op"], &rows);
+
+    section("architecture-class efficiency (MOPS/mW) per node");
+    let classes = ArchitectureClass::all();
+    let mut rows = Vec::new();
+    for node in roadmap.nodes() {
+        let mut row = vec![node.name().to_owned()];
+        for class in classes {
+            let p = Processor::new("p", class, node.clone());
+            row.push(format!(
+                "{:.3}",
+                p.efficiency(node.vdd_nominal()).as_mops_per_milliwatt()
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(&["node", "ASIC", "ASIP", "DSP", "FPGA", "CPU"], &rows);
+
+    section("flexibility gap (CPU energy/op over ASIC energy/op)");
+    for node in roadmap.nodes() {
+        let asic = Processor::new("a", ArchitectureClass::Asic, node.clone());
+        let cpu = Processor::new("c", ArchitectureClass::Cpu, node.clone());
+        let gap = cpu.energy_per_op_nominal().as_joules_per_op()
+            / asic.energy_per_op_nominal().as_joules_per_op();
+        println!("{:<6}  {gap:.0}x", node.name());
+    }
+}

@@ -1,0 +1,67 @@
+//! F4 — CS2: battery life versus DVS policy and technology node.
+//!
+//! Expected shape: DVS buys a solid battery-life improvement on the DSP
+//! line (which is slack-rich), but because the analog floor dominates the
+//! receiver, the *device-level* gain is percent-scale — while the
+//! *DSP-level* energy drops by 2-5x. Both views are printed.
+
+use ami_core::case_studies::cs2::sweep_battery_life;
+use ami_dvs::DvsPolicy;
+use ami_experiments::{banner, print_table, section};
+use ami_tech::TechnologyNode;
+
+fn main() {
+    banner("F4", "CS2: battery life vs DVS policy and node");
+
+    let nodes = [
+        TechnologyNode::n250(),
+        TechnologyNode::n180(),
+        TechnologyNode::n130(),
+        TechnologyNode::n90(),
+        TechnologyNode::n65(),
+    ];
+    let policies = DvsPolicy::all();
+    let rows_raw = sweep_battery_life(&nodes, &policies);
+
+    section("DSP average power (mW) by node and policy");
+    let mut rows = Vec::new();
+    for node in &nodes {
+        let mut row = vec![node.name().to_owned()];
+        for &policy in &policies {
+            let entry = rows_raw
+                .iter()
+                .find(|(n, p, _, _)| n == node.name() && *p == policy)
+                .expect("sweep covers the grid");
+            row.push(format!("{:.2}", entry.2.as_milliwatts()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["node", "no DVS", "static", "WCET stretch", "oracle"],
+        &rows,
+    );
+
+    section("battery life (hours) by node and policy");
+    let mut rows = Vec::new();
+    for node in &nodes {
+        let mut row = vec![node.name().to_owned()];
+        for &policy in &policies {
+            let entry = rows_raw
+                .iter()
+                .find(|(n, p, _, _)| n == node.name() && *p == policy)
+                .expect("sweep covers the grid");
+            row.push(format!("{:.1}", entry.3.as_hours()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["node", "no DVS", "static", "WCET stretch", "oracle"],
+        &rows,
+    );
+
+    section("reading");
+    println!("DVS slashes the DSP line (compare columns), and scaling shrinks");
+    println!("it further (compare rows) until leakage pushes back at 65 nm;");
+    println!("device-level battery life moves less because the analog floor");
+    println!("does not scale — see T2.");
+}

@@ -1,0 +1,46 @@
+//! F5 — CS3 (static W-node): throughput versus power for CPU/DSP/ASIC
+//! implementations of the video kernel; the flexibility crossover.
+//!
+//! Expected shape: the ASIC sustains SD far inside the 2 W ceiling; the
+//! CPU cannot even reach SD throughput; the programmable middle (ASIP,
+//! DSP, FPGA) tops out between QCIF and CIF-or-SD — "who wins" depends
+//! on the rate.
+
+use ami_arch::ArchitectureClass;
+use ami_core::case_studies::cs3::{best_format, flexibility_table_text, Cs3Config};
+use ami_experiments::{banner, section};
+use ami_tech::TechnologyNode;
+
+fn main() {
+    banner("F5", "CS3 media hub: the flexibility-efficiency crossover");
+    let config = Cs3Config::default();
+
+    section(&format!(
+        "feasibility and power at {} (25 fps, ceiling {})",
+        config.node.name(),
+        config.ceiling
+    ));
+    print!("{}", flexibility_table_text(&config));
+
+    section("highest sustainable format per class (within ceiling)");
+    for class in ArchitectureClass::all() {
+        println!(
+            "{:<5}  {}",
+            class.to_string(),
+            best_format(&config, class).map_or("none".to_owned(), |f| f.to_string())
+        );
+    }
+
+    section("and at 65 nm — scaling relaxes the gap");
+    let future = Cs3Config {
+        node: TechnologyNode::n65(),
+        ..Cs3Config::default()
+    };
+    for class in ArchitectureClass::all() {
+        println!(
+            "{:<5}  {}",
+            class.to_string(),
+            best_format(&future, class).map_or("none".to_owned(), |f| f.to_string())
+        );
+    }
+}

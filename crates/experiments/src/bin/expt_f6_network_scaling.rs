@@ -1,0 +1,75 @@
+//! F6 — network scaling: delivered information, energy per bit and
+//! lifetime versus node count; single-hop versus multi-hop crossover.
+//!
+//! Expected shape: on spread-out fields, multi-hop routing delivers the
+//! same information for less energy; the advantage grows with field size
+//! (nodes beyond the ~45 m radio crossover). Lifetime is bottlenecked by
+//! the relays around the sink.
+
+use ami_experiments::{banner, print_table, section};
+use ami_net::{simulate_gathering, NetworkConfig, RoutingStrategy, Topology};
+use ami_units::{Energy, Length};
+
+fn main() {
+    banner("F6", "network scaling and the multi-hop crossover");
+    let mut config = NetworkConfig::sensor_default();
+    config.node_energy = Energy::from_joules(20.0);
+    let rounds = 500;
+
+    section("grid networks of growing side (30 m spacing, 500 rounds)");
+    let mut rows = Vec::new();
+    for side in [2usize, 3, 4, 5, 6, 7] {
+        let topo = Topology::grid(side, Length::from_meters(30.0));
+        let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &config, rounds);
+        let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
+        rows.push(vec![
+            format!("{}x{}", side, side),
+            format!("{:.0}", topo.radius().as_meters()),
+            format!("{:.2}", direct.total_energy.as_joules()),
+            format!("{:.2}", multi.total_energy.as_joules()),
+            format!(
+                "{:.2}x",
+                direct.total_energy.as_joules() / multi.total_energy.as_joules()
+            ),
+            format!("{}", multi.delivered_packets),
+        ]);
+    }
+    print_table(
+        &[
+            "grid",
+            "radius (m)",
+            "direct (J)",
+            "multi-hop (J)",
+            "saving",
+            "delivered",
+        ],
+        &rows,
+    );
+
+    section("lifetime to first node death (tiny 0.5 J budgets, 1-min rounds)");
+    let mut tiny = NetworkConfig::sensor_default();
+    tiny.node_energy = Energy::from_millijoules(500.0);
+    let mut rows = Vec::new();
+    for side in [3usize, 5, 7] {
+        let topo = Topology::grid(side, Length::from_meters(30.0));
+        let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &tiny, 20_000);
+        let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &tiny, 20_000);
+        let show = |r: &ami_net::NetworkReport| {
+            r.lifetime(tiny.report_interval)
+                .map_or("(survives)".to_owned(), |t| {
+                    format!("{:.1} h", t.as_hours())
+                })
+        };
+        rows.push(vec![
+            format!("{}x{}", side, side),
+            show(&direct),
+            show(&multi),
+        ]);
+    }
+    print_table(&["grid", "direct lifetime", "multi-hop lifetime"], &rows);
+
+    section("reading");
+    println!("multi-hop wins once the field radius passes the ~45 m radio");
+    println!("crossover, and the advantage grows with scale; the relays next");
+    println!("to the sink are the lifetime bottleneck (the energy hole).");
+}

@@ -1,0 +1,86 @@
+//! F7 — data-converter power via the figure-of-merit law, placing the
+//! interface electronics on the power–information graph.
+//!
+//! Expected shape: power doubles per effective bit and scales linearly
+//! with sample rate; sensor-class converters live in nanowatts, audio in
+//! milliwatts, video at tens of milliwatts — interface electronics spans
+//! the same three decades as the device classes themselves.
+
+use ami_arch::converter::FOM_2003;
+use ami_arch::Adc;
+use ami_experiments::{banner, print_table, section};
+use ami_power::PowerClass;
+use ami_units::Frequency;
+
+fn main() {
+    banner(
+        "F7",
+        "ADC power across resolution and sample rate (FoM law)",
+    );
+
+    section(&format!(
+        "P = FoM * 2^ENOB * fs at the 2003 state of the art ({} pJ/step)",
+        FOM_2003 * 1e12
+    ));
+    let bits = [8.0, 10.0, 12.0, 14.0, 16.0];
+    let rates = [
+        ("1 kS/s", Frequency::from_kilohertz(1.0)),
+        ("100 kS/s", Frequency::from_kilohertz(100.0)),
+        ("1 MS/s", Frequency::from_megahertz(1.0)),
+        ("10 MS/s", Frequency::from_megahertz(10.0)),
+        ("100 MS/s", Frequency::from_megahertz(100.0)),
+    ];
+    let mut rows = Vec::new();
+    for &b in &bits {
+        let mut row = vec![format!("{b:.0} bit")];
+        for (_, rate) in &rates {
+            let adc = Adc::state_of_the_art_2003(b, *rate);
+            row.push(format!("{}", adc.power()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "ENOB", "1 kS/s", "100 kS/s", "1 MS/s", "10 MS/s", "100 MS/s",
+        ],
+        &rows,
+    );
+
+    section("archetype converters and the class they belong to");
+    let archetypes = [
+        (
+            "sensor (12 bit, 100 S/s)",
+            12.0,
+            Frequency::from_hertz(100.0),
+        ),
+        (
+            "audio (16 bit, 48 kS/s)",
+            16.0,
+            Frequency::from_kilohertz(48.0),
+        ),
+        (
+            "DAB IF (10 bit, 8.2 MS/s)",
+            10.0,
+            Frequency::from_megahertz(8.192),
+        ),
+        (
+            "video (10 bit, 27 MS/s)",
+            10.0,
+            Frequency::from_megahertz(27.0),
+        ),
+        (
+            "WLAN (8 bit, 100 MS/s)",
+            8.0,
+            Frequency::from_megahertz(100.0),
+        ),
+    ];
+    for (name, enob, rate) in archetypes {
+        let adc = Adc::state_of_the_art_2003(enob, rate);
+        println!(
+            "{:<28}  {:>10}  fits the {}",
+            name,
+            adc.power().to_string(),
+            PowerClass::of(adc.power())
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! F9 — how many ambient nodes can share one channel?
+//!
+//! Expected shape: slotted ALOHA's 1/e ceiling turns the channel bit rate
+//! and report interval into a hard node-density budget: thousands of
+//! sensor-rate reporters per 50 kbit/s channel, but single-digit
+//! audio-rate streams — the scalability split between the µW sensing
+//! plane and the mW/W media plane.
+
+use ami_experiments::{banner, print_table, section};
+use ami_radio::{
+    collision_probability, pure_aloha_throughput, slotted_aloha_throughput, Packet, SharedChannel,
+};
+use ami_units::{DataRate, TimeSpan};
+
+fn main() {
+    banner("F9", "channel contention and the node-density budget");
+
+    section("ALOHA throughput vs offered load (packets per slot)");
+    let mut rows = Vec::new();
+    for g in [0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        rows.push(vec![
+            format!("{g:.2}"),
+            format!("{:.3}", slotted_aloha_throughput(g)),
+            format!("{:.3}", pure_aloha_throughput(g)),
+            format!("{:.1}%", 100.0 * collision_probability(g)),
+        ]);
+    }
+    print_table(&["G", "slotted S", "pure S", "P(collision)"], &rows);
+
+    section("node budget of a 50 kbit/s sensor channel (slotted ALOHA peak)");
+    let ch = SharedChannel::sensor_default();
+    let mut rows = Vec::new();
+    for (caption, interval) in [
+        ("1 s reports", TimeSpan::from_seconds(1.0)),
+        ("10 s reports", TimeSpan::from_seconds(10.0)),
+        ("1 min reports", TimeSpan::from_minutes(1.0)),
+        ("5 min reports", TimeSpan::from_minutes(5.0)),
+    ] {
+        rows.push(vec![
+            caption.to_owned(),
+            format!("{:.0}", ch.max_nodes(interval)),
+            format!("{:.1}%", 100.0 * ch.delivered_fraction(100.0, interval)),
+        ]);
+    }
+    print_table(
+        &["traffic", "max nodes (1/e peak)", "delivery @ 100 nodes"],
+        &rows,
+    );
+
+    section("and the media plane: audio frames on the same channel");
+    let audio = SharedChannel::new(
+        DataRate::from_kilobits_per_second(50.0),
+        Packet::audio_frame(),
+    );
+    println!(
+        "audio streams sustainable: {:.2} (one stream already saturates)",
+        audio.max_nodes(TimeSpan::from_millis(24.0))
+    );
+
+    section("reading");
+    println!("the sensing plane scales to room-densities of thousands; media");
+    println!("traffic must move to the W-node's wideband links. The taxonomy");
+    println!("is also a spectrum-allocation rule.");
+}

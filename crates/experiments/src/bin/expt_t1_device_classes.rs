@@ -1,0 +1,24 @@
+//! T1 — the three-device-class characteristics table.
+//!
+//! Every cell is computed from the models (130 nm intrinsic efficiency,
+//! indoor 868 MHz link budget, battery/harvester presets); see
+//! `ami_core::class_table`.
+
+use ami_core::class_table::class_table_text;
+use ami_experiments::{banner, section};
+
+fn main() {
+    banner(
+        "T1",
+        "device-class characteristics (derived, not transcribed)",
+    );
+    section("the three classes of the Ambient Intelligence taxonomy");
+    print!("{}", class_table_text());
+    println!();
+    println!("notes:");
+    println!("  compute    = ASIC-bound MOPS affordable inside the class budget at 130 nm");
+    println!(
+        "  radio reach= indoor 868 MHz FSK link closed at 50 kbit/s with 10% of budget as TX power"
+    );
+    println!("  endurance  = unlimited for energy-neutral harvesting and for mains");
+}

@@ -1,0 +1,205 @@
+//! In-network aggregation: relays fuse their subtree's reports.
+//!
+//! Ambient intelligence is about *information*, not packets: a relay that
+//! fuses its children's readings (averaging, compressive summaries) into
+//! its own report forwards far fewer bits. The `fusion` parameter scales
+//! how much of each received payload survives fusion: `1.0` forwards
+//! everything (no aggregation), `0.0` absorbs children's payloads into a
+//! fixed-size summary. Experiment A5 sweeps it.
+
+use crate::routing::{build_routes, RoutingStrategy};
+use crate::topology::{NodeId, Topology};
+use ami_radio::RadioEnergyModel;
+use ami_units::{DataVolume, Energy, EnergyPerBit, Length};
+use serde::{Deserialize, Serialize};
+
+/// Result of one aggregated-gathering round over a static tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregationReport {
+    /// Payload information generated across all sensors per round.
+    pub offered_volume: DataVolume,
+    /// Bits arriving at the sink per round (post-fusion).
+    pub sink_volume: DataVolume,
+    /// Total radio energy per round (all transmits and relay receives).
+    pub round_energy: Energy,
+    /// Energy per bit of *generated* information (the AmI-relevant metric:
+    /// the sink learns about every reading even when bits were fused).
+    pub energy_per_generated_bit: EnergyPerBit,
+    /// Nodes with no route to the sink.
+    pub disconnected: usize,
+}
+
+/// Evaluates one round of tree-based gathering with fusion factor
+/// `fusion` on the minimum-energy routing tree.
+///
+/// Every node generates `payload` bits; a relay transmits its own payload
+/// plus `fusion ×` the payload bits it received. Framing overhead is
+/// charged per transmission.
+///
+/// # Panics
+///
+/// Panics if `fusion` is outside `[0, 1]`.
+pub fn analyze_aggregation(
+    topology: &Topology,
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+    payload: DataVolume,
+    framing: DataVolume,
+    fusion: f64,
+) -> AggregationReport {
+    assert!(
+        (0.0..=1.0).contains(&fusion),
+        "fusion factor must lie in [0, 1]"
+    );
+    let table = build_routes(topology, RoutingStrategy::MinimumEnergy, radio, max_hop);
+    let n = topology.len();
+
+    // Children lists of the routing tree.
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut disconnected = 0usize;
+    for id in topology.sensor_ids() {
+        match table[id.0] {
+            Some(parent) => children[parent.0].push(id),
+            None => disconnected += 1,
+        }
+    }
+
+    // Post-order accumulation of transmitted payload bits per node.
+    fn tx_payload(
+        node: NodeId,
+        children: &[Vec<NodeId>],
+        payload: f64,
+        fusion: f64,
+    ) -> (f64, f64, usize) {
+        // Returns (this node's tx payload bits, subtree energy-relevant
+        // received bits at this node, subtree node count).
+        let mut received = 0.0;
+        let mut count = 0usize;
+        for &child in &children[node.0] {
+            let (child_tx, _, child_count) = tx_payload(child, children, payload, fusion);
+            received += child_tx;
+            count += child_count;
+        }
+        (payload + fusion * received, received, count + 1)
+    }
+
+    let mut round_energy = 0.0;
+    let mut sink_volume = 0.0;
+    // Walk every node (except the sink), computing its transmission.
+    for id in topology.sensor_ids() {
+        let Some(parent) = table[id.0] else { continue };
+        let (tx_bits, _, _) = tx_payload(id, &children, payload.as_bits(), fusion);
+        let frame = DataVolume::from_bits(tx_bits + framing.as_bits());
+        let d = topology.distance(id, parent);
+        round_energy += radio.transmit_energy(frame, d).as_joules();
+        if parent == topology.sink() {
+            sink_volume += tx_bits;
+        } else {
+            round_energy += radio.receive_energy(frame).as_joules();
+        }
+    }
+
+    let connected = (n - 1 - disconnected) as f64;
+    let offered = payload.as_bits() * connected;
+    AggregationReport {
+        offered_volume: DataVolume::from_bits(offered),
+        sink_volume: DataVolume::from_bits(sink_volume),
+        round_energy: Energy::from_joules(round_energy),
+        energy_per_generated_bit: EnergyPerBit::new(if offered > 0.0 {
+            round_energy / offered
+        } else {
+            0.0
+        }),
+        disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, RadioEnergyModel) {
+        (
+            Topology::grid(4, Length::from_meters(30.0)),
+            RadioEnergyModel::short_range_2003(),
+        )
+    }
+
+    fn run(fusion: f64) -> AggregationReport {
+        let (topo, radio) = setup();
+        analyze_aggregation(
+            &topo,
+            &radio,
+            Length::from_meters(45.0),
+            DataVolume::from_bytes(16.0),
+            DataVolume::from_bits(112.0),
+            fusion,
+        )
+    }
+
+    #[test]
+    fn no_fusion_delivers_everything() {
+        let report = run(1.0);
+        assert_eq!(report.disconnected, 0);
+        assert!(
+            (report.sink_volume.as_bits() - report.offered_volume.as_bits()).abs() < 1e-6,
+            "fusion=1 must deliver every offered bit"
+        );
+    }
+
+    #[test]
+    fn full_fusion_delivers_one_summary_per_sink_child() {
+        let (topo, radio) = setup();
+        let report = analyze_aggregation(
+            &topo,
+            &radio,
+            Length::from_meters(45.0),
+            DataVolume::from_bytes(16.0),
+            DataVolume::from_bits(112.0),
+            0.0,
+        );
+        // Each sink-adjacent child transmits exactly one payload.
+        let payload_bits = 16.0 * 8.0;
+        let ratio = report.sink_volume.as_bits() / payload_bits;
+        assert!(ratio >= 1.0 && ratio < 15.0);
+        assert!(report.sink_volume < report.offered_volume);
+    }
+
+    #[test]
+    fn energy_decreases_monotonically_with_fusion() {
+        let e1 = run(1.0).round_energy;
+        let e05 = run(0.5).round_energy;
+        let e0 = run(0.0).round_energy;
+        assert!(e0 < e05 && e05 < e1, "{e0} < {e05} < {e1}");
+    }
+
+    #[test]
+    fn energy_per_generated_bit_improves_with_fusion() {
+        assert!(run(0.0).energy_per_generated_bit < run(1.0).energy_per_generated_bit);
+    }
+
+    #[test]
+    fn disconnected_nodes_counted() {
+        let topo = Topology::new(vec![
+            crate::topology::Position::new(0.0, 0.0),
+            crate::topology::Position::new(10.0, 0.0),
+            crate::topology::Position::new(500.0, 0.0), // marooned
+        ]);
+        let radio = RadioEnergyModel::short_range_2003();
+        let report = analyze_aggregation(
+            &topo,
+            &radio,
+            Length::from_meters(45.0),
+            DataVolume::from_bytes(16.0),
+            DataVolume::from_bits(112.0),
+            1.0,
+        );
+        assert_eq!(report.disconnected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion factor")]
+    fn bad_fusion_rejected() {
+        let _ = run(1.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Networks of ambient nodes: topology, routing and lifetime simulation.
+//!
+//! "Ambient intelligent functions are realized by a *network* of these
+//! devices" — this crate evaluates such networks of µW-class nodes
+//! reporting to a mains-powered sink:
+//!
+//! * [`Topology`] — grid, uniform-random and star node layouts;
+//! * [`RoutingStrategy`] — direct-to-sink versus minimum-energy multi-hop
+//!   (Dijkstra on the first-order radio energy metric);
+//! * [`simulate_gathering`] — round-based data gathering that charges
+//!   every transmit, relay and idle-listening joule against each node's
+//!   energy budget and reports delivered information, network lifetime
+//!   and the energy cost per delivered bit (experiments F6/A3).
+//!
+//! # Example
+//!
+//! ```
+//! use ami_net::{simulate_gathering, NetworkConfig, RoutingStrategy, Topology};
+//! use ami_units::Length;
+//!
+//! let topo = Topology::grid(4, Length::from_meters(20.0));
+//! let report = simulate_gathering(
+//!     &topo, RoutingStrategy::MinimumEnergy, &NetworkConfig::sensor_default(), 100,
+//! );
+//! assert_eq!(report.delivered_packets, 100 * (topo.len() as u64 - 1));
+//! ```
+
+pub mod aggregate;
+pub mod cluster;
+pub mod gather;
+pub mod lossy;
+pub mod routing;
+pub mod topology;
+
+pub use aggregate::{analyze_aggregation, AggregationReport};
+pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
+pub use gather::{simulate_gathering, NetworkConfig, NetworkReport};
+pub use lossy::{simulate_lossy_gathering, LossyConfig, LossyReport};
+pub use routing::{build_routes, RoutingStrategy};
+pub use topology::{NodeId, Position, Topology};

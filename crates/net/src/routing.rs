@@ -1,0 +1,203 @@
+//! Route construction: who relays for whom.
+
+use crate::topology::{NodeId, Topology};
+use ami_radio::RadioEnergyModel;
+use ami_units::Length;
+use serde::{Deserialize, Serialize};
+
+/// The routing strategies compared in experiment F6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingStrategy {
+    /// Every node transmits straight to the sink, whatever the distance.
+    DirectToSink,
+    /// Dijkstra shortest paths to the sink under the first-order radio
+    /// energy metric, with hops bounded by the radio range.
+    MinimumEnergy,
+}
+
+impl std::fmt::Display for RoutingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutingStrategy::DirectToSink => "direct-to-sink",
+            RoutingStrategy::MinimumEnergy => "minimum-energy multi-hop",
+        })
+    }
+}
+
+/// Builds the next-hop table: `table[node] = Some(next)` for every
+/// non-sink node that can reach the sink, `None` for disconnected nodes
+/// (and for the sink itself).
+///
+/// For [`RoutingStrategy::MinimumEnergy`] edges exist between nodes within
+/// `max_hop` of each other, weighted by the per-bit hop energy of the
+/// radio model; [`RoutingStrategy::DirectToSink`] ignores `max_hop`
+/// (the amplifier simply pays the full distance).
+pub fn build_routes(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+) -> Vec<Option<NodeId>> {
+    match strategy {
+        RoutingStrategy::DirectToSink => topology
+            .ids()
+            .map(|id| {
+                if id == topology.sink() {
+                    None
+                } else {
+                    Some(topology.sink())
+                }
+            })
+            .collect(),
+        RoutingStrategy::MinimumEnergy => dijkstra_to_sink(topology, radio, max_hop),
+    }
+}
+
+/// Dijkstra from the sink outwards over the bounded-range hop graph;
+/// each node's parent toward the sink becomes its next hop.
+fn dijkstra_to_sink(
+    topology: &Topology,
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+) -> Vec<Option<NodeId>> {
+    let n = topology.len();
+    let sink = topology.sink();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    dist[sink.0] = 0.0;
+
+    for _ in 0..n {
+        // Extract the unvisited node with the smallest distance.
+        let mut best: Option<usize> = None;
+        for (idx, &d) in dist.iter().enumerate() {
+            if !visited[idx] && d.is_finite() && best.is_none_or(|b| d < dist[b]) {
+                best = Some(idx);
+            }
+        }
+        let Some(u) = best else { break };
+        visited[u] = true;
+        for v in topology.neighbors_within(NodeId(u), max_hop) {
+            if visited[v.0] {
+                continue;
+            }
+            let hop = topology.distance(NodeId(u), v);
+            let weight = radio.hop_energy_per_bit(hop).as_joules_per_bit();
+            if dist[u] + weight < dist[v.0] {
+                dist[v.0] = dist[u] + weight;
+                parent[v.0] = Some(NodeId(u));
+            }
+        }
+    }
+    parent
+}
+
+/// Walks a route table from `node` to the sink, returning the hop
+/// sequence (empty when disconnected or when `node` is the sink).
+pub fn route_to_sink(table: &[Option<NodeId>], topology: &Topology, node: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::new();
+    let mut current = node;
+    // Bounded walk guards against accidental cycles.
+    for _ in 0..table.len() {
+        match table[current.0] {
+            Some(next) => {
+                path.push(next);
+                if next == topology.sink() {
+                    return path;
+                }
+                current = next;
+            }
+            None => return Vec::new(),
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radio() -> RadioEnergyModel {
+        RadioEnergyModel::short_range_2003()
+    }
+
+    #[test]
+    fn direct_routes_all_point_at_sink() {
+        let topo = Topology::grid(3, Length::from_meters(10.0));
+        let table = build_routes(
+            &topo,
+            RoutingStrategy::DirectToSink,
+            &radio(),
+            Length::from_meters(15.0),
+        );
+        assert_eq!(table[0], None);
+        for id in topo.sensor_ids() {
+            assert_eq!(table[id.0], Some(topo.sink()));
+        }
+    }
+
+    #[test]
+    fn min_energy_relays_long_paths() {
+        // A 5-wide grid at 30 m spacing: corner-to-corner is 120 m+,
+        // far beyond the 44.7 m crossover, so far nodes must relay.
+        let topo = Topology::grid(5, Length::from_meters(30.0));
+        let table = build_routes(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            Length::from_meters(45.0),
+        );
+        let far = NodeId(24); // opposite corner
+        let path = route_to_sink(&table, &topo, far);
+        assert!(
+            path.len() >= 2,
+            "the far corner must take multiple hops, got {path:?}"
+        );
+        assert_eq!(*path.last().unwrap(), topo.sink());
+    }
+
+    #[test]
+    fn min_energy_prefers_direct_when_close() {
+        let topo = Topology::star(4, Length::from_meters(10.0));
+        let table = build_routes(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            Length::from_meters(50.0),
+        );
+        for id in topo.sensor_ids() {
+            assert_eq!(table[id.0], Some(topo.sink()), "close leaves go direct");
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_route() {
+        // Two nodes 100 m apart with a 10 m radio: unreachable.
+        let topo = Topology::new(vec![
+            crate::topology::Position::new(0.0, 0.0),
+            crate::topology::Position::new(100.0, 0.0),
+        ]);
+        let table = build_routes(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            Length::from_meters(10.0),
+        );
+        assert_eq!(table[1], None);
+        assert!(route_to_sink(&table, &topo, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn dijkstra_paths_never_exceed_range() {
+        let topo = Topology::random(40, Length::from_meters(120.0), 11);
+        let range = Length::from_meters(40.0);
+        let table = build_routes(&topo, RoutingStrategy::MinimumEnergy, &radio(), range);
+        for id in topo.sensor_ids() {
+            let mut current = id;
+            for hop in route_to_sink(&table, &topo, id) {
+                assert!(topo.distance(current, hop) <= range);
+                current = hop;
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Node layouts for ambient networks.
+
+use ami_sim::sim_rng;
+use ami_units::Length;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A planar position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// x coordinate in metres.
+    pub x: f64,
+    /// y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "coordinates must be finite");
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance_to(&self, other: &Position) -> Length {
+        Length::from_meters(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+}
+
+/// A set of node positions with a designated sink (node 0).
+///
+/// # Example
+///
+/// ```
+/// use ami_net::Topology;
+/// use ami_units::Length;
+///
+/// let grid = Topology::grid(3, Length::from_meters(10.0));
+/// assert_eq!(grid.len(), 9);
+/// assert_eq!(grid.sink().0, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions; node 0 is the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two positions are given.
+    pub fn new(positions: Vec<Position>) -> Self {
+        assert!(
+            positions.len() >= 2,
+            "a network needs a sink and at least one node"
+        );
+        Self { positions }
+    }
+
+    /// A square grid of `side × side` nodes spaced `spacing` apart, with
+    /// the sink at the corner (0, 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 2` or spacing is not positive.
+    pub fn grid(side: usize, spacing: Length) -> Self {
+        assert!(side >= 2, "grid needs at least 2x2 nodes");
+        assert!(spacing.as_meters() > 0.0, "spacing must be positive");
+        let s = spacing.as_meters();
+        let mut positions = Vec::with_capacity(side * side);
+        for row in 0..side {
+            for col in 0..side {
+                positions.push(Position::new(col as f64 * s, row as f64 * s));
+            }
+        }
+        Self::new(positions)
+    }
+
+    /// `n` nodes uniformly random in a `field × field` square, sink at the
+    /// centre; deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `field` is not positive.
+    pub fn random(n: usize, field: Length, seed: u64) -> Self {
+        assert!(n >= 2, "a network needs a sink and at least one node");
+        assert!(field.as_meters() > 0.0, "field size must be positive");
+        let f = field.as_meters();
+        let mut rng = sim_rng(seed);
+        let mut positions = vec![Position::new(f / 2.0, f / 2.0)];
+        for _ in 1..n {
+            positions.push(Position::new(
+                rng.random_range(0.0..f),
+                rng.random_range(0.0..f),
+            ));
+        }
+        Self::new(positions)
+    }
+
+    /// `n` leaf nodes on a circle of `radius` around a central sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1` or `radius` is not positive.
+    pub fn star(n: usize, radius: Length) -> Self {
+        assert!(n >= 1, "a star needs at least one leaf");
+        assert!(radius.as_meters() > 0.0, "radius must be positive");
+        let r = radius.as_meters();
+        let mut positions = vec![Position::new(0.0, 0.0)];
+        for k in 0..n {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            positions.push(Position::new(r * theta.cos(), r * theta.sin()));
+        }
+        Self::new(positions)
+    }
+
+    /// Number of nodes including the sink.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `false` always (a topology has at least two nodes), provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The sink node (always node 0).
+    pub fn sink(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.0]
+    }
+
+    /// Distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Length {
+        self.positions[a.0].distance_to(&self.positions[b.0])
+    }
+
+    /// All node ids, sink first.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(NodeId)
+    }
+
+    /// Ids of all non-sink nodes.
+    pub fn sensor_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.positions.len()).map(NodeId)
+    }
+
+    /// Neighbours of `node` within `range` (excluding itself).
+    pub fn neighbors_within(&self, node: NodeId, range: Length) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&other| other != node && self.distance(node, other) <= range)
+            .collect()
+    }
+
+    /// The maximum node-to-sink distance (network radius).
+    pub fn radius(&self) -> Length {
+        self.sensor_ids()
+            .map(|id| self.distance(self.sink(), id))
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Length::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_layout() {
+        let g = Topology::grid(3, Length::from_meters(10.0));
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.position(NodeId(0)).x, 0.0);
+        assert_eq!(g.position(NodeId(4)).x, 10.0); // centre of 3x3
+        assert_eq!(g.position(NodeId(4)).y, 10.0);
+        // Corner-to-corner distance.
+        let d = g.distance(NodeId(0), NodeId(8));
+        assert!((d.as_meters() - 20.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let a = Topology::random(20, Length::from_meters(100.0), 7);
+        let b = Topology::random(20, Length::from_meters(100.0), 7);
+        let c = Topology::random(20, Length::from_meters(100.0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Sink at the field centre.
+        assert_eq!(a.position(a.sink()).x, 50.0);
+    }
+
+    #[test]
+    fn star_leaves_are_equidistant() {
+        let s = Topology::star(8, Length::from_meters(25.0));
+        assert_eq!(s.len(), 9);
+        for id in s.sensor_ids() {
+            assert!((s.distance(s.sink(), id).as_meters() - 25.0).abs() < 1e-9);
+        }
+        assert!((s.radius().as_meters() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbors_within_range() {
+        let g = Topology::grid(3, Length::from_meters(10.0));
+        // Centre node: 4 orthogonal at 10 m, 4 diagonal at 14.1 m.
+        let close = g.neighbors_within(NodeId(4), Length::from_meters(10.5));
+        assert_eq!(close.len(), 4);
+        let all = g.neighbors_within(NodeId(4), Length::from_meters(15.0));
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink and at least one node")]
+    fn singleton_rejected() {
+        let _ = Topology::new(vec![Position::new(0.0, 0.0)]);
+    }
+}

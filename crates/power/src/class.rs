@@ -1,0 +1,130 @@
+//! The three-device taxonomy of the keynote.
+
+use ami_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// The keynote's three power classes of ambient devices.
+///
+/// Band boundaries (average power):
+///
+/// * [`PowerClass::MicroWatt`] — below 1 mW: autonomous nodes living on
+///   scavenged energy;
+/// * [`PowerClass::MilliWatt`] — 1 mW to 1 W: personal, battery-powered
+///   devices;
+/// * [`PowerClass::Watt`] — 1 W and above: static, mains-powered
+///   equipment limited by thermal budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerClass {
+    /// Autonomous node (µW): energy scavenging, perpetual operation.
+    MicroWatt,
+    /// Personal node (mW): battery, days-to-weeks lifetime.
+    MilliWatt,
+    /// Static node (W): mains, thermally limited.
+    Watt,
+}
+
+impl PowerClass {
+    /// Classifies an average power into its band.
+    pub fn of(average: Power) -> Self {
+        if average < Power::from_milliwatts(1.0) {
+            PowerClass::MicroWatt
+        } else if average < Power::from_watts(1.0) {
+            PowerClass::MilliWatt
+        } else {
+            PowerClass::Watt
+        }
+    }
+
+    /// Upper power bound of this band (`None` for the open-ended W class).
+    pub fn upper_bound(self) -> Option<Power> {
+        match self {
+            PowerClass::MicroWatt => Some(Power::from_milliwatts(1.0)),
+            PowerClass::MilliWatt => Some(Power::from_watts(1.0)),
+            PowerClass::Watt => None,
+        }
+    }
+
+    /// The energy source the keynote associates with this class.
+    pub fn energy_source(self) -> &'static str {
+        match self {
+            PowerClass::MicroWatt => "energy scavenging (light, vibration, heat)",
+            PowerClass::MilliWatt => "battery",
+            PowerClass::Watt => "mains",
+        }
+    }
+
+    /// The keynote's name for devices of this class.
+    pub fn device_name(self) -> &'static str {
+        match self {
+            PowerClass::MicroWatt => "autonomous node",
+            PowerClass::MilliWatt => "personal node",
+            PowerClass::Watt => "static node",
+        }
+    }
+
+    /// All classes, lowest power first.
+    pub fn all() -> [PowerClass; 3] {
+        [
+            PowerClass::MicroWatt,
+            PowerClass::MilliWatt,
+            PowerClass::Watt,
+        ]
+    }
+}
+
+impl std::fmt::Display for PowerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PowerClass::MicroWatt => "\u{00b5}W-node",
+            PowerClass::MilliWatt => "mW-node",
+            PowerClass::Watt => "W-node",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(
+            PowerClass::of(Power::from_microwatts(50.0)),
+            PowerClass::MicroWatt
+        );
+        assert_eq!(
+            PowerClass::of(Power::from_microwatts(999.0)),
+            PowerClass::MicroWatt
+        );
+        assert_eq!(
+            PowerClass::of(Power::from_milliwatts(1.0)),
+            PowerClass::MilliWatt
+        );
+        assert_eq!(
+            PowerClass::of(Power::from_milliwatts(999.0)),
+            PowerClass::MilliWatt
+        );
+        assert_eq!(PowerClass::of(Power::from_watts(1.0)), PowerClass::Watt);
+        assert_eq!(PowerClass::of(Power::from_watts(200.0)), PowerClass::Watt);
+    }
+
+    #[test]
+    fn ordering_matches_power() {
+        assert!(PowerClass::MicroWatt < PowerClass::MilliWatt);
+        assert!(PowerClass::MilliWatt < PowerClass::Watt);
+    }
+
+    #[test]
+    fn metadata_is_complete() {
+        for class in PowerClass::all() {
+            assert!(!class.energy_source().is_empty());
+            assert!(!class.device_name().is_empty());
+            assert!(!class.to_string().is_empty());
+        }
+        assert!(PowerClass::Watt.upper_bound().is_none());
+        assert_eq!(
+            PowerClass::MicroWatt.upper_bound().unwrap(),
+            Power::from_milliwatts(1.0)
+        );
+    }
+}

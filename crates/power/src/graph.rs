@@ -1,0 +1,294 @@
+//! Device points and the graph container.
+
+use crate::class::PowerClass;
+use crate::pareto::pareto_frontier;
+use ami_units::{DataRate, Power};
+use serde::{Deserialize, Serialize};
+
+/// What a device mostly spends its power on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Signal processing and computation.
+    Computation,
+    /// Wireless (or wired) communication.
+    Communication,
+    /// Human interface: display, audio, sensing.
+    Interface,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeviceKind::Computation => "computation",
+            DeviceKind::Communication => "communication",
+            DeviceKind::Interface => "interface",
+        })
+    }
+}
+
+/// One device located on the power–information plane.
+///
+/// # Example
+///
+/// ```
+/// use ami_power::{DeviceKind, DevicePoint};
+/// use ami_units::{DataRate, Power};
+///
+/// let pda = DevicePoint::new(
+///     "PDA",
+///     DataRate::from_megabits_per_second(1.0),
+///     Power::from_milliwatts(800.0),
+///     DeviceKind::Computation,
+/// );
+/// assert!(pda.bits_per_joule() > 1e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePoint {
+    name: String,
+    info_rate: DataRate,
+    power: Power,
+    kind: DeviceKind,
+}
+
+impl DevicePoint {
+    /// Creates a device point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info_rate` or `power` is not strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        info_rate: DataRate,
+        power: Power,
+        kind: DeviceKind,
+    ) -> Self {
+        assert!(
+            info_rate.as_bits_per_second() > 0.0,
+            "information rate must be positive"
+        );
+        assert!(power > Power::ZERO, "power must be positive");
+        Self {
+            name: name.into(),
+            info_rate,
+            power,
+            kind,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Information rate handled (x-axis).
+    pub fn info_rate(&self) -> DataRate {
+        self.info_rate
+    }
+
+    /// Average power burnt (y-axis).
+    pub fn power(&self) -> Power {
+        self.power
+    }
+
+    /// What the power mostly goes into.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The keynote class of this device.
+    pub fn class(&self) -> PowerClass {
+        PowerClass::of(self.power)
+    }
+
+    /// Information efficiency: bits handled per joule burnt.
+    pub fn bits_per_joule(&self) -> f64 {
+        self.info_rate.as_bits_per_second() / self.power.as_watts()
+    }
+}
+
+/// The power–information graph: a set of device points with class and
+/// frontier analyses.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerInfoGraph {
+    points: Vec<DevicePoint>,
+}
+
+impl PowerInfoGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a device point.
+    pub fn add(&mut self, point: DevicePoint) {
+        self.points.push(point);
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[DevicePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points belonging to `class`.
+    pub fn in_class(&self, class: PowerClass) -> Vec<&DevicePoint> {
+        self.points.iter().filter(|p| p.class() == class).collect()
+    }
+
+    /// Indices of the efficiency frontier: devices not dominated in
+    /// (higher rate, lower power).
+    pub fn frontier(&self) -> Vec<usize> {
+        pareto_frontier(&self.points, |p| {
+            (p.info_rate().as_bits_per_second(), p.power().as_watts())
+        })
+    }
+
+    /// The most efficient device (bits per joule), if any.
+    pub fn most_efficient(&self) -> Option<&DevicePoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.bits_per_joule().total_cmp(&b.bits_per_joule()))
+    }
+
+    /// Renders the graph as aligned text rows sorted by information rate:
+    /// name, rate, power, bits/J, kind, class, frontier marker.
+    pub fn table(&self) -> String {
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.points[a]
+                .info_rate()
+                .total_cmp(&self.points[b].info_rate())
+        });
+        let frontier = self.frontier();
+        let width = self
+            .points
+            .iter()
+            .map(|p| p.name().len())
+            .max()
+            .unwrap_or(4)
+            .max(6);
+        let mut out = format!(
+            "{:width$}  {:>12}  {:>10}  {:>10}  {:<13}  {:<8}  frontier\n",
+            "device", "info rate", "power", "bit/J", "kind", "class"
+        );
+        for idx in order {
+            let p = &self.points[idx];
+            out.push_str(&format!(
+                "{:width$}  {:>12}  {:>10}  {:>10.3e}  {:<13}  {:<8}  {}\n",
+                p.name(),
+                p.info_rate().to_string(),
+                p.power().to_string(),
+                p.bits_per_joule(),
+                p.kind().to_string(),
+                p.class().to_string(),
+                if frontier.contains(&idx) { "*" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+impl FromIterator<DevicePoint> for PowerInfoGraph {
+    fn from_iter<I: IntoIterator<Item = DevicePoint>>(iter: I) -> Self {
+        Self {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<DevicePoint> for PowerInfoGraph {
+    fn extend<I: IntoIterator<Item = DevicePoint>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, bps: f64, watts: f64) -> DevicePoint {
+        DevicePoint::new(
+            name,
+            DataRate::from_bits_per_second(bps),
+            Power::from_watts(watts),
+            DeviceKind::Computation,
+        )
+    }
+
+    #[test]
+    fn class_partition_covers_all_points() {
+        let graph: PowerInfoGraph = [
+            point("a", 100.0, 50e-6),
+            point("b", 1e6, 0.1),
+            point("c", 1e7, 5.0),
+        ]
+        .into_iter()
+        .collect();
+        let total: usize = PowerClass::all()
+            .iter()
+            .map(|&c| graph.in_class(c).len())
+            .sum();
+        assert_eq!(total, graph.len());
+        assert_eq!(graph.in_class(PowerClass::MicroWatt).len(), 1);
+    }
+
+    #[test]
+    fn frontier_rejects_dominated_devices() {
+        let graph: PowerInfoGraph = [
+            point("good", 1e6, 0.01),
+            point("bad", 1e5, 0.5), // slower AND hungrier
+            point("fast", 1e8, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let f = graph.frontier();
+        assert!(f.contains(&0) && f.contains(&2) && !f.contains(&1));
+    }
+
+    #[test]
+    fn most_efficient_is_max_bits_per_joule() {
+        let graph: PowerInfoGraph = [point("x", 1e6, 1.0), point("y", 1e6, 0.1)]
+            .into_iter()
+            .collect();
+        assert_eq!(graph.most_efficient().unwrap().name(), "y");
+    }
+
+    #[test]
+    fn table_renders_all_devices() {
+        let graph: PowerInfoGraph = [point("alpha", 100.0, 1e-5), point("beta", 1e6, 0.1)]
+            .into_iter()
+            .collect();
+        let t = graph.table();
+        assert!(t.contains("alpha") && t.contains("beta"));
+        assert!(t.contains("µW-node") && t.contains("mW-node"));
+        assert!(t.contains('*'));
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = PowerInfoGraph::new();
+        assert!(g.is_empty());
+        assert!(g.most_efficient().is_none());
+        assert!(g.frontier().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_point_rejected() {
+        let _ = DevicePoint::new(
+            "bad",
+            DataRate::from_bits_per_second(1.0),
+            Power::ZERO,
+            DeviceKind::Interface,
+        );
+    }
+}

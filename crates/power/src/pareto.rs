@@ -1,0 +1,80 @@
+//! Pareto-frontier extraction for (maximize x, minimize y) point sets.
+
+/// Returns the indices of the Pareto-optimal points of `points`, where a
+/// point dominates another if it has `x >= other.x` and `y <= other.y`
+/// with at least one strict. Indices are returned in ascending-`x` order.
+///
+/// # Example
+///
+/// ```
+/// use ami_power::pareto_frontier;
+///
+/// // (rate, power): the 2nd point is dominated by the 3rd.
+/// let pts = [(1.0, 1.0), (2.0, 5.0), (2.0, 2.0), (4.0, 4.0)];
+/// let frontier = pareto_frontier(&pts, |p| *p);
+/// assert_eq!(frontier, vec![0, 2, 3]);
+/// ```
+pub fn pareto_frontier<T>(points: &[T], xy: impl Fn(&T) -> (f64, f64)) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by x ascending, then y DEscending, so that the reverse walk
+    // below visits equal-x points cheapest-first and keeps only that one.
+    order.sort_by(|&a, &b| {
+        let (xa, ya) = xy(&points[a]);
+        let (xb, yb) = xy(&points[b]);
+        xa.total_cmp(&xb).then(yb.total_cmp(&ya))
+    });
+    // Walk from the largest x down: a point is on the frontier iff its y is
+    // strictly below every y seen so far (all of which have x >= its x).
+    let mut frontier = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for &idx in order.iter().rev() {
+        let (_, y) = xy(&points[idx]);
+        if y < best_y {
+            frontier.push(idx);
+            best_y = y;
+        }
+    }
+    frontier.reverse();
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[(3.0, 4.0)], |p| *p), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = [(1.0, 10.0), (2.0, 5.0), (1.5, 20.0)];
+        // (1.5, 20) dominated by (2, 5); (1, 10) dominated by (2, 5).
+        assert_eq!(pareto_frontier(&pts, |p| *p), vec![1]);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts = [(1.0, 1.0), (2.0, 2.0), (3.0, 1.5), (4.0, 8.0), (5.0, 3.0)];
+        let f = pareto_frontier(&pts, |p| *p);
+        assert_eq!(f, vec![0, 2, 4]);
+        // Along the frontier x and y both ascend.
+        for pair in f.windows(2) {
+            assert!(pts[pair[0]].0 < pts[pair[1]].0);
+            assert!(pts[pair[0]].1 < pts[pair[1]].1);
+        }
+    }
+
+    #[test]
+    fn duplicate_x_keeps_cheapest() {
+        let pts = [(2.0, 5.0), (2.0, 2.0)];
+        assert_eq!(pareto_frontier(&pts, |p| *p), vec![1]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let pts: [(f64, f64); 0] = [];
+        assert!(pareto_frontier(&pts, |p| *p).is_empty());
+    }
+}

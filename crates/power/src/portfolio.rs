@@ -1,0 +1,158 @@
+//! The circa-2003 device portfolio that populates figure F1.
+//!
+//! Rates and powers are representative public numbers for each product
+//! category in 2003; they are the data behind the keynote-style
+//! power–information scatter. Sources: product datasheets and survey
+//! papers of the era (see EXPERIMENTS.md).
+
+use crate::graph::{DeviceKind, DevicePoint, PowerInfoGraph};
+use ami_units::{DataRate, Power};
+
+/// Builds the 2003 reference portfolio.
+///
+/// # Example
+///
+/// ```
+/// use ami_power::{portfolio_2003, PowerClass};
+///
+/// let graph = portfolio_2003();
+/// // All three keynote classes are populated.
+/// for class in PowerClass::all() {
+///     assert!(!graph.in_class(class).is_empty());
+/// }
+/// ```
+pub fn portfolio_2003() -> PowerInfoGraph {
+    let kbps = DataRate::from_kilobits_per_second;
+    let mbps = DataRate::from_megabits_per_second;
+    let uw = Power::from_microwatts;
+    let mw = Power::from_milliwatts;
+    let w = Power::from_watts;
+
+    [
+        // --- autonomous (µW) class ---
+        DevicePoint::new(
+            "RFID tag",
+            DataRate::from_bits_per_second(500.0),
+            uw(10.0),
+            DeviceKind::Communication,
+        ),
+        DevicePoint::new(
+            "wireless sensor node",
+            DataRate::from_bits_per_second(200.0),
+            uw(100.0),
+            DeviceKind::Communication,
+        ),
+        DevicePoint::new(
+            "quartz watch",
+            DataRate::from_bits_per_second(10.0),
+            uw(1.0),
+            DeviceKind::Computation,
+        ),
+        // --- personal (mW) class ---
+        DevicePoint::new("hearing aid", kbps(16.0), mw(1.0), DeviceKind::Computation),
+        DevicePoint::new(
+            "pacemaker",
+            DataRate::from_bits_per_second(100.0),
+            uw(30.0),
+            DeviceKind::Computation,
+        ),
+        DevicePoint::new(
+            "DAB receiver",
+            kbps(192.0),
+            mw(150.0),
+            DeviceKind::Computation,
+        ),
+        DevicePoint::new(
+            "GSM phone (talk)",
+            kbps(13.0),
+            mw(400.0),
+            DeviceKind::Communication,
+        ),
+        DevicePoint::new("PDA", mbps(1.0), mw(800.0), DeviceKind::Interface),
+        DevicePoint::new("MP3 player", kbps(128.0), mw(60.0), DeviceKind::Computation),
+        // --- static (W) class ---
+        DevicePoint::new(
+            "WLAN access point",
+            mbps(11.0),
+            w(4.0),
+            DeviceKind::Communication,
+        ),
+        DevicePoint::new("set-top box", mbps(8.0), w(15.0), DeviceKind::Computation),
+        DevicePoint::new("DVD player", mbps(10.0), w(12.0), DeviceKind::Computation),
+        DevicePoint::new("TV display", mbps(150.0), w(90.0), DeviceKind::Interface),
+        DevicePoint::new("desktop PC", mbps(100.0), w(80.0), DeviceKind::Computation),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::PowerClass;
+
+    #[test]
+    fn portfolio_spans_all_classes() {
+        let g = portfolio_2003();
+        assert!(g.len() >= 12);
+        for class in PowerClass::all() {
+            assert!(
+                g.in_class(class).len() >= 3,
+                "class {class} under-populated"
+            );
+        }
+    }
+
+    #[test]
+    fn classes_are_decades_apart_in_median_power() {
+        let g = portfolio_2003();
+        let median_power = |class: PowerClass| {
+            let mut v: Vec<f64> = g
+                .in_class(class)
+                .iter()
+                .map(|p| p.power().as_watts())
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let micro = median_power(PowerClass::MicroWatt);
+        let milli = median_power(PowerClass::MilliWatt);
+        let watt = median_power(PowerClass::Watt);
+        assert!(
+            milli / micro > 100.0,
+            "µW and mW classes must be decades apart"
+        );
+        assert!(
+            watt / milli > 10.0,
+            "mW and W classes must be decades apart"
+        );
+    }
+
+    #[test]
+    fn communication_pays_more_per_bit_at_matched_rates() {
+        // Observation (2) of the keynote, at matched information rates:
+        // moving a bit through the air costs more than processing it.
+        let g = portfolio_2003();
+        let jpb = |name: &str| {
+            let p = g
+                .points()
+                .iter()
+                .find(|p| p.name() == name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            1.0 / p.bits_per_joule()
+        };
+        // ~13-16 kbit/s: GSM talk vs hearing-aid DSP.
+        assert!(jpb("GSM phone (talk)") > 10.0 * jpb("hearing aid"));
+        // ~10 Mbit/s: WLAN AP radio vs DVD decode... the AP still pays more
+        // per bit than the set-top box *computes* for.
+        assert!(jpb("wireless sensor node") > jpb("pacemaker"));
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_valid() {
+        let g = portfolio_2003();
+        let f = g.frontier();
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|&i| i < g.len()));
+    }
+}

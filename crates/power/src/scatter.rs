@@ -1,0 +1,144 @@
+//! ASCII log–log scatter rendering of the power–information graph —
+//! the closest a terminal gets to the keynote's figure 1.
+
+use crate::class::PowerClass;
+use crate::graph::PowerInfoGraph;
+
+/// Renders the graph as a log–log ASCII scatter: x = information rate,
+/// y = power (decades). Frontier devices print as `*`, others as `o`;
+/// the class-boundary rows (1 mW, 1 W) are ruled.
+///
+/// # Example
+///
+/// ```
+/// use ami_power::{portfolio_2003, scatter_plot};
+///
+/// let art = scatter_plot(&portfolio_2003(), 60, 20);
+/// assert!(art.contains('*'));
+/// assert!(art.contains("1 mW"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the canvas is smaller than 10×5.
+pub fn scatter_plot(graph: &PowerInfoGraph, width: usize, height: usize) -> String {
+    assert!(!graph.is_empty(), "cannot plot an empty graph");
+    assert!(width >= 10 && height >= 5, "canvas too small");
+
+    let xs: Vec<f64> = graph
+        .points()
+        .iter()
+        .map(|p| p.info_rate().as_bits_per_second().log10())
+        .collect();
+    let ys: Vec<f64> = graph
+        .points()
+        .iter()
+        .map(|p| p.power().as_watts().log10())
+        .collect();
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+    let frontier = graph.frontier();
+
+    let mut canvas = vec![vec![' '; width]; height];
+    // Class boundary rows at 1 mW (−3) and 1 W (0).
+    let row_of = |y: f64| -> Option<usize> {
+        if y < y_min || y > y_max {
+            return None;
+        }
+        let frac = (y - y_min) / (y_max - y_min);
+        Some(height - 1 - (frac * (height - 1) as f64).round() as usize)
+    };
+    for boundary in [-3.0, 0.0] {
+        if let Some(row) = row_of(boundary) {
+            for cell in &mut canvas[row] {
+                *cell = '-';
+            }
+        }
+    }
+    for (idx, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+        let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+        let row = row_of(y).expect("point within bounds");
+        canvas[row][col] = if frontier.contains(&idx) { '*' } else { 'o' };
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "power (log W) {:.0}..{:.0}  vs  info rate (log bit/s) {:.0}..{:.0}\n",
+        y_max, y_min, x_min, x_max
+    ));
+    for (row_idx, row) in canvas.iter().enumerate() {
+        let label = if Some(row_idx) == row_of(0.0) {
+            "1 W  "
+        } else if Some(row_idx) == row_of(-3.0) {
+            "1 mW "
+        } else {
+            "     "
+        };
+        out.push_str(label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("      low information rate  ->  high   (* = frontier, o = device)\n");
+    let _ = PowerClass::all(); // classes documented by the ruled rows
+    out
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-9 {
+        (min - 1.0, max + 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DeviceKind, DevicePoint};
+    use crate::portfolio::portfolio_2003;
+    use ami_units::{DataRate, Power};
+
+    #[test]
+    fn plot_contains_all_marker_kinds() {
+        let art = scatter_plot(&portfolio_2003(), 64, 24);
+        assert!(art.contains('*'), "frontier markers expected");
+        assert!(art.contains('o'), "dominated devices expected");
+        assert!(art.contains("1 mW") && art.contains("1 W"));
+    }
+
+    #[test]
+    fn plot_dimensions() {
+        let art = scatter_plot(&portfolio_2003(), 40, 12);
+        // header + 12 rows + axis + caption.
+        assert_eq!(art.lines().count(), 15);
+        for line in art.lines().skip(1).take(12) {
+            assert_eq!(line.chars().count(), 40 + 6);
+        }
+    }
+
+    #[test]
+    fn single_point_plots_without_panic() {
+        let graph: PowerInfoGraph = [DevicePoint::new(
+            "lonely",
+            DataRate::from_bits_per_second(100.0),
+            Power::from_milliwatts(5.0),
+            DeviceKind::Computation,
+        )]
+        .into_iter()
+        .collect();
+        let art = scatter_plot(&graph, 20, 8);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_rejected() {
+        let _ = scatter_plot(&PowerInfoGraph::new(), 40, 10);
+    }
+}

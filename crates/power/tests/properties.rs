@@ -1,0 +1,97 @@
+//! Property-based tests for the power–information graph analyses.
+
+use ami_power::{pareto_frontier, DeviceKind, DevicePoint, PowerClass, PowerInfoGraph};
+use ami_units::{DataRate, Power};
+use proptest::prelude::*;
+
+fn any_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((1.0..1e9f64, 1e-6..100.0f64), 0..60)
+}
+
+proptest! {
+    /// Frontier correctness: no frontier point is dominated, every
+    /// non-frontier point is dominated by some frontier point.
+    #[test]
+    fn frontier_is_exactly_the_nondominated_set(pts in any_points()) {
+        let frontier = pareto_frontier(&pts, |p| *p);
+        let dominates = |a: (f64, f64), b: (f64, f64)| {
+            a.0 >= b.0 && a.1 <= b.1 && (a.0 > b.0 || a.1 < b.1)
+        };
+        for (idx, &p) in pts.iter().enumerate() {
+            let dominated = pts.iter().enumerate().any(|(j, &q)| j != idx && dominates(q, p));
+            prop_assert_eq!(
+                frontier.contains(&idx),
+                !dominated,
+                "point {} misclassified",
+                idx
+            );
+        }
+    }
+
+    /// Frontier is monotone: x and y both strictly ascend along it.
+    #[test]
+    fn frontier_monotone(pts in any_points()) {
+        let frontier = pareto_frontier(&pts, |p| *p);
+        for pair in frontier.windows(2) {
+            prop_assert!(pts[pair[0]].0 < pts[pair[1]].0);
+            prop_assert!(pts[pair[0]].1 < pts[pair[1]].1);
+        }
+    }
+
+    /// Classification boundaries partition the power axis.
+    #[test]
+    fn classes_partition(watts in 1e-9..1e4f64) {
+        let class = PowerClass::of(Power::from_watts(watts));
+        let expected = if watts < 1e-3 {
+            PowerClass::MicroWatt
+        } else if watts < 1.0 {
+            PowerClass::MilliWatt
+        } else {
+            PowerClass::Watt
+        };
+        prop_assert_eq!(class, expected);
+    }
+
+    /// in_class over all classes is a partition of the graph.
+    #[test]
+    fn in_class_partitions_graph(specs in prop::collection::vec((1.0..1e9f64, 1e-7..100.0f64), 1..40)) {
+        let graph: PowerInfoGraph = specs
+            .iter()
+            .enumerate()
+            .map(|(idx, &(rate, power))| {
+                DevicePoint::new(
+                    format!("d{idx}"),
+                    DataRate::from_bits_per_second(rate),
+                    Power::from_watts(power),
+                    DeviceKind::Computation,
+                )
+            })
+            .collect();
+        let total: usize = PowerClass::all().iter().map(|&c| graph.in_class(c).len()).sum();
+        prop_assert_eq!(total, graph.len());
+        // The most efficient device has the max bits/J by definition.
+        let best = graph.most_efficient().unwrap().bits_per_joule();
+        for p in graph.points() {
+            prop_assert!(p.bits_per_joule() <= best * (1.0 + 1e-12));
+        }
+    }
+
+    /// The rendered table contains every device name exactly once.
+    #[test]
+    fn table_lists_everything(n in 1usize..20) {
+        let graph: PowerInfoGraph = (0..n)
+            .map(|idx| {
+                DevicePoint::new(
+                    format!("device-{idx:02}"),
+                    DataRate::from_bits_per_second(10.0 * (idx + 1) as f64),
+                    Power::from_milliwatts((idx + 1) as f64),
+                    DeviceKind::Interface,
+                )
+            })
+            .collect();
+        let table = graph.table();
+        for idx in 0..n {
+            prop_assert_eq!(table.matches(&format!("device-{idx:02}")).count(), 1);
+        }
+    }
+}

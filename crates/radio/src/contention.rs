@@ -1,0 +1,175 @@
+//! Channel contention and the density limit of ambient networks.
+//!
+//! "Anyone, anywhere, any time" implies *many* nodes per room sharing one
+//! channel. The classic random-access results bound what that channel can
+//! carry: slotted ALOHA peaks at `1/e` utilization, and the collision
+//! probability grows exponentially with offered load. From these, the
+//! maximum sustainable node density per channel follows — the scalability
+//! wall the DATE 2003 "Scaling into Ambient Intelligence" session worried
+//! about.
+
+use crate::packet::Packet;
+use ami_units::{DataRate, Frequency, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Slotted-ALOHA throughput `S = G·e^{−G}` at offered load `G`
+/// (both in packets per slot).
+///
+/// # Panics
+///
+/// Panics if `g` is negative.
+pub fn slotted_aloha_throughput(g: f64) -> f64 {
+    assert!(
+        g >= 0.0 && g.is_finite(),
+        "offered load must be non-negative"
+    );
+    g * (-g).exp()
+}
+
+/// Unslotted (pure) ALOHA throughput `S = G·e^{−2G}`.
+///
+/// # Panics
+///
+/// Panics if `g` is negative.
+pub fn pure_aloha_throughput(g: f64) -> f64 {
+    assert!(
+        g >= 0.0 && g.is_finite(),
+        "offered load must be non-negative"
+    );
+    g * (-2.0 * g).exp()
+}
+
+/// Probability a slotted-ALOHA transmission collides at offered load `g`.
+pub fn collision_probability(g: f64) -> f64 {
+    assert!(
+        g >= 0.0 && g.is_finite(),
+        "offered load must be non-negative"
+    );
+    1.0 - (-g).exp()
+}
+
+/// A shared channel characterized by bit rate and packet format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedChannel {
+    /// On-air bit rate.
+    pub bitrate: DataRate,
+    /// The packet every node sends.
+    pub packet: Packet,
+}
+
+impl SharedChannel {
+    /// Creates a channel.
+    pub fn new(bitrate: DataRate, packet: Packet) -> Self {
+        Self { bitrate, packet }
+    }
+
+    /// The 2003 sensor channel: 50 kbit/s, sensor-report packets.
+    pub fn sensor_default() -> Self {
+        Self::new(
+            DataRate::from_kilobits_per_second(50.0),
+            Packet::sensor_report(),
+        )
+    }
+
+    /// Slot duration (one packet airtime).
+    pub fn slot(&self) -> TimeSpan {
+        self.packet.airtime(self.bitrate)
+    }
+
+    /// Maximum *delivered* packets per second under slotted ALOHA
+    /// (the `1/e` peak).
+    pub fn peak_delivered_rate(&self) -> Frequency {
+        Frequency::new((1.0 / std::f64::consts::E) / self.slot().as_seconds())
+    }
+
+    /// The maximum number of nodes, each reporting every `interval`,
+    /// that the channel sustains at the ALOHA optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn max_nodes(&self, interval: TimeSpan) -> f64 {
+        assert!(interval > TimeSpan::ZERO, "interval must be positive");
+        self.peak_delivered_rate().as_hertz() * interval.as_seconds()
+    }
+
+    /// Delivered fraction for `nodes` nodes reporting every `interval`
+    /// under slotted ALOHA (the per-packet success probability `e^{−G}`).
+    pub fn delivered_fraction(&self, nodes: f64, interval: TimeSpan) -> f64 {
+        assert!(nodes >= 0.0, "node count must be non-negative");
+        assert!(interval > TimeSpan::ZERO, "interval must be positive");
+        let g = nodes / interval.as_seconds() * self.slot().as_seconds();
+        (-g).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aloha_peaks_at_the_textbook_values() {
+        // Slotted: max 1/e ≈ 0.368 at G = 1; pure: 1/(2e) ≈ 0.184 at G = ½.
+        assert!((slotted_aloha_throughput(1.0) - 0.367_879).abs() < 1e-6);
+        assert!((pure_aloha_throughput(0.5) - 0.183_940).abs() < 1e-6);
+        // And they really are maxima.
+        for g in [0.5, 0.8, 1.2, 2.0] {
+            assert!(slotted_aloha_throughput(g) <= slotted_aloha_throughput(1.0) + 1e-12);
+        }
+        for g in [0.2, 0.4, 0.6, 1.0] {
+            assert!(pure_aloha_throughput(g) <= pure_aloha_throughput(0.5) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn slotted_doubles_pure_capacity() {
+        let slotted = slotted_aloha_throughput(1.0);
+        let pure = pure_aloha_throughput(0.5);
+        assert!((slotted / pure - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collision_probability_grows_with_load() {
+        assert_eq!(collision_probability(0.0), 0.0);
+        assert!(collision_probability(0.5) < collision_probability(1.0));
+        assert!(collision_probability(5.0) > 0.99);
+    }
+
+    #[test]
+    fn room_scale_density_is_thousands_at_five_minute_reports() {
+        // The scalability answer: a single 50 kbit/s channel carries
+        // thousands of 5-minute reporters — density is NOT the bottleneck
+        // at sensor rates.
+        let ch = SharedChannel::sensor_default();
+        let max = ch.max_nodes(TimeSpan::from_minutes(5.0));
+        assert!(max > 10_000.0, "got {max:.0}");
+    }
+
+    #[test]
+    fn video_rates_saturate_immediately() {
+        // One channel cannot even carry a handful of streaming nodes.
+        let ch = SharedChannel::new(
+            DataRate::from_kilobits_per_second(50.0),
+            Packet::audio_frame(),
+        );
+        let max = ch.max_nodes(TimeSpan::from_millis(24.0));
+        assert!(max < 1.0, "got {max:.2}");
+    }
+
+    #[test]
+    fn delivered_fraction_degrades_gracefully() {
+        let ch = SharedChannel::sensor_default();
+        let interval = TimeSpan::from_seconds(10.0);
+        let light = ch.delivered_fraction(10.0, interval);
+        let heavy = ch.delivered_fraction(2000.0, interval);
+        assert!(light > 0.99);
+        assert!(heavy < light);
+        assert!((0.0..=1.0).contains(&heavy));
+    }
+
+    #[test]
+    fn slot_is_packet_airtime() {
+        let ch = SharedChannel::sensor_default();
+        assert!((ch.slot().as_millis() - 4.8).abs() < 1e-9);
+    }
+}

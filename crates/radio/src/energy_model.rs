@@ -1,0 +1,183 @@
+//! The first-order radio energy model of the sensor-network literature.
+//!
+//! `E_tx(k bits, d) = e_elec·k + e_amp·k·dⁿ`, `E_rx(k) = e_elec·k`:
+//! electronics cost per bit plus a distance-dependent amplifier term. The
+//! constants follow the oft-cited 2000–2003 calibration (Heinzelman et al.):
+//! 50 nJ/bit electronics, 100 pJ/bit/m² amplifier at n = 2.
+
+use ami_units::{DataVolume, Energy, EnergyPerBit, Length};
+use serde::{Deserialize, Serialize};
+
+/// First-order transceiver energy model.
+///
+/// # Example
+///
+/// ```
+/// use ami_radio::RadioEnergyModel;
+/// use ami_units::{DataVolume, Length};
+///
+/// let r = RadioEnergyModel::short_range_2003();
+/// let bits = DataVolume::from_bytes(100.0);
+/// let tx = r.transmit_energy(bits, Length::from_meters(20.0));
+/// let rx = r.receive_energy(bits);
+/// assert!(tx > rx); // transmitting always costs at least the electronics
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioEnergyModel {
+    electronics: EnergyPerBit,
+    /// Amplifier coefficient in J/bit/mⁿ.
+    amplifier: f64,
+    /// Path-loss exponent the amplifier must overcome.
+    exponent: f64,
+}
+
+impl RadioEnergyModel {
+    /// Creates a model from explicit coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplifier` is negative or `exponent` outside `[1.5, 6]`.
+    pub fn new(electronics: EnergyPerBit, amplifier: f64, exponent: f64) -> Self {
+        assert!(
+            amplifier >= 0.0 && amplifier.is_finite(),
+            "amplifier coefficient must be non-negative"
+        );
+        assert!(
+            (1.5..=6.0).contains(&exponent),
+            "exponent must lie in [1.5, 6]"
+        );
+        Self {
+            electronics,
+            amplifier,
+            exponent,
+        }
+    }
+
+    /// The canonical 2003 short-range calibration: 50 nJ/bit electronics,
+    /// 100 pJ/bit/m² amplifier, free-space exponent 2.
+    pub fn short_range_2003() -> Self {
+        Self::new(EnergyPerBit::from_nanojoules_per_bit(50.0), 100e-12, 2.0)
+    }
+
+    /// A multipath-environment variant: 50 nJ/bit, 1.3 pJ/bit/m⁴ at n = 4
+    /// (the standard two-regime companion calibration).
+    pub fn multipath_2003() -> Self {
+        Self::new(EnergyPerBit::from_nanojoules_per_bit(50.0), 1.3e-15, 4.0)
+    }
+
+    /// Electronics energy per bit (both directions).
+    pub fn electronics(&self) -> EnergyPerBit {
+        self.electronics
+    }
+
+    /// Energy to transmit `volume` over distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative.
+    pub fn transmit_energy(&self, volume: DataVolume, d: Length) -> Energy {
+        assert!(!d.is_negative(), "distance must be non-negative");
+        let k = volume.as_bits();
+        let amp = self.amplifier * k * d.as_meters().powf(self.exponent);
+        self.electronics * volume + Energy::new(amp)
+    }
+
+    /// Energy to receive `volume`.
+    pub fn receive_energy(&self, volume: DataVolume) -> Energy {
+        self.electronics * volume
+    }
+
+    /// Effective energy per bit of a one-hop transfer over `d`
+    /// (transmit plus receive).
+    pub fn hop_energy_per_bit(&self, d: Length) -> EnergyPerBit {
+        let one = DataVolume::from_bits(1.0);
+        EnergyPerBit::new((self.transmit_energy(one, d) + self.receive_energy(one)).as_joules())
+    }
+
+    /// The distance beyond which relaying through one midpoint hop costs
+    /// less energy than transmitting directly: the multi-hop crossover
+    /// `d* = (2·e_elec / (e_amp·(1 − 2^{1−n})))^{1/n}` — F6's key scale.
+    pub fn multihop_crossover(&self) -> Length {
+        let e_elec = self.electronics.as_joules_per_bit();
+        let denom = self.amplifier * (1.0 - 2f64.powf(1.0 - self.exponent));
+        Length::from_meters((2.0 * e_elec / denom).powf(1.0 / self.exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_costs_only_electronics() {
+        let r = RadioEnergyModel::short_range_2003();
+        let bits = DataVolume::from_bits(1000.0);
+        let tx = r.transmit_energy(bits, Length::ZERO);
+        assert!((tx.as_microjoules() - 50.0).abs() < 1e-9);
+        assert_eq!(tx, r.receive_energy(bits));
+    }
+
+    #[test]
+    fn amplifier_grows_with_square_of_distance() {
+        let r = RadioEnergyModel::short_range_2003();
+        let bits = DataVolume::from_bits(1.0);
+        let e10 = r.transmit_energy(bits, Length::from_meters(10.0));
+        let e20 = r.transmit_energy(bits, Length::from_meters(20.0));
+        let amp10 = e10.as_joules() - 50e-9;
+        let amp20 = e20.as_joules() - 50e-9;
+        assert!((amp20 / amp10 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_distance_formula() {
+        // n=2: d* = sqrt(2·e_elec/(e_amp·(1−1/2))) = sqrt(4·e_elec/e_amp)
+        //     = sqrt(4·50e-9/100e-12) ≈ 44.7 m.
+        let r = RadioEnergyModel::short_range_2003();
+        let d = r.multihop_crossover();
+        assert!((d.as_meters() - 44.72).abs() < 0.05);
+    }
+
+    #[test]
+    fn relaying_beats_direct_beyond_crossover() {
+        let r = RadioEnergyModel::short_range_2003();
+        let bits = DataVolume::from_bytes(50.0);
+        let d = r.multihop_crossover();
+        let beyond = Length::from_meters(d.as_meters() * 1.5);
+        let direct = r.transmit_energy(bits, beyond);
+        let half = Length::from_meters(beyond.as_meters() / 2.0);
+        let relayed =
+            r.transmit_energy(bits, half) + r.receive_energy(bits) + r.transmit_energy(bits, half);
+        assert!(relayed < direct);
+
+        // And direct wins inside the crossover.
+        let inside = Length::from_meters(d.as_meters() * 0.5);
+        let direct_in = r.transmit_energy(bits, inside);
+        let half_in = Length::from_meters(inside.as_meters() / 2.0);
+        let relayed_in = r.transmit_energy(bits, half_in)
+            + r.receive_energy(bits)
+            + r.transmit_energy(bits, half_in);
+        assert!(direct_in < relayed_in);
+    }
+
+    #[test]
+    fn hop_energy_per_bit_matches_components() {
+        let r = RadioEnergyModel::short_range_2003();
+        let d = Length::from_meters(30.0);
+        let per_bit = r.hop_energy_per_bit(d);
+        // 50n (tx elec) + 100p·900 (amp) + 50n (rx elec) = 190 nJ/bit.
+        assert!((per_bit.as_nanojoules_per_bit() - 190.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipath_model_is_harsher_at_long_range() {
+        // The n=2 and n=4 calibrations cross near 277 m
+        // (100 pJ·d² = 1.3 fJ·d⁴ → d ≈ 277 m).
+        let fs = RadioEnergyModel::short_range_2003();
+        let mp = RadioEnergyModel::multipath_2003();
+        let bits = DataVolume::from_bits(1.0);
+        let far = Length::from_meters(500.0);
+        assert!(mp.transmit_energy(bits, far) > fs.transmit_energy(bits, far));
+        let near = Length::from_meters(100.0);
+        assert!(mp.transmit_energy(bits, near) < fs.transmit_energy(bits, near));
+    }
+}

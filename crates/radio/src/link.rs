@@ -1,0 +1,177 @@
+//! Link-budget closure: can this link carry that rate at this range?
+
+use crate::modulation::Modulation;
+use crate::pathloss::{dbm_to_watts, watts_to_dbm, PathLossModel};
+use ami_units::{DataRate, Length, Power};
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann constant in J/K.
+const K_B: f64 = 1.380_649e-23;
+
+/// A complete link budget: transmitter, channel, receiver.
+///
+/// # Example
+///
+/// ```
+/// use ami_radio::{LinkBudget, Modulation, PathLossModel};
+/// use ami_units::{DataRate, Frequency, Length, Power};
+///
+/// let link = LinkBudget::new(
+///     PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+///     Modulation::Fsk,
+///     10.0,  // receiver noise figure, dB
+///     1e-4,  // target BER
+/// );
+/// let range = link.max_range(Power::from_milliwatts(1.0),
+///                            DataRate::from_kilobits_per_second(50.0));
+/// assert!(range.as_meters() > 30.0); // 0 dBm closes tens of metres indoors
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    channel: PathLossModel,
+    modulation: Modulation,
+    noise_figure_db: f64,
+    target_ber: f64,
+}
+
+impl LinkBudget {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_figure_db` is negative or `target_ber` outside
+    /// `(0, 0.5)`.
+    pub fn new(
+        channel: PathLossModel,
+        modulation: Modulation,
+        noise_figure_db: f64,
+        target_ber: f64,
+    ) -> Self {
+        assert!(noise_figure_db >= 0.0, "noise figure must be non-negative");
+        assert!(
+            target_ber > 0.0 && target_ber < 0.5,
+            "target BER must lie in (0, 0.5)"
+        );
+        Self {
+            channel,
+            modulation,
+            noise_figure_db,
+            target_ber,
+        }
+    }
+
+    /// The propagation model.
+    pub fn channel(&self) -> &PathLossModel {
+        &self.channel
+    }
+
+    /// The modulation.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Receiver sensitivity for `rate`: the minimum received power that
+    /// meets the BER target. `P_min = kT·NF·(Eb/N0)·R` at 300 K.
+    pub fn sensitivity(&self, rate: DataRate) -> Power {
+        let ebn0 = self.modulation.required_ebn0(self.target_ber);
+        let nf = 10f64.powf(self.noise_figure_db / 10.0);
+        Power::new(K_B * 300.0 * nf * ebn0 * rate.as_bits_per_second())
+    }
+
+    /// Link margin in dB for a given transmit power, distance and rate
+    /// (negative means the link does not close).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is not positive.
+    pub fn margin_db(&self, tx: Power, d: Length, rate: DataRate) -> f64 {
+        let rx = self.channel.received_power(tx, d);
+        watts_to_dbm(rx) - watts_to_dbm(self.sensitivity(rate))
+    }
+
+    /// `true` when the link closes with non-negative margin.
+    pub fn closes(&self, tx: Power, d: Length, rate: DataRate) -> bool {
+        self.margin_db(tx, d, rate) >= 0.0
+    }
+
+    /// Maximum range at which the link still closes.
+    pub fn max_range(&self, tx: Power, rate: DataRate) -> Length {
+        let budget_db = watts_to_dbm(tx) - watts_to_dbm(self.sensitivity(rate));
+        self.channel.range_for_loss(budget_db)
+    }
+
+    /// Minimum transmit power to close the link at distance `d` and `rate`.
+    pub fn required_tx_power(&self, d: Length, rate: DataRate) -> Power {
+        let needed_dbm = watts_to_dbm(self.sensitivity(rate)) + self.channel.path_loss_db(d);
+        dbm_to_watts(needed_dbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ami_units::Frequency;
+
+    fn link() -> LinkBudget {
+        LinkBudget::new(
+            PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+            Modulation::Fsk,
+            10.0,
+            1e-4,
+        )
+    }
+
+    #[test]
+    fn sensitivity_scales_with_rate() {
+        let l = link();
+        let slow = l.sensitivity(DataRate::from_kilobits_per_second(10.0));
+        let fast = l.sensitivity(DataRate::from_megabits_per_second(1.0));
+        assert!((fast.as_watts() / slow.as_watts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_is_realistic_dbm() {
+        // 50 kbit/s FSK with 10 dB NF: −100-ish dBm, the 2003 datasheet range.
+        let s = link().sensitivity(DataRate::from_kilobits_per_second(50.0));
+        let dbm = watts_to_dbm(s);
+        assert!((-115.0..=-90.0).contains(&dbm), "sensitivity {dbm:.1} dBm");
+    }
+
+    #[test]
+    fn margin_decreases_with_distance_and_range_inverts() {
+        let l = link();
+        let tx = Power::from_milliwatts(1.0);
+        let rate = DataRate::from_kilobits_per_second(50.0);
+        let m5 = l.margin_db(tx, Length::from_meters(5.0), rate);
+        let m50 = l.margin_db(tx, Length::from_meters(50.0), rate);
+        assert!(m5 > m50);
+        let range = l.max_range(tx, rate);
+        let margin_at_range = l.margin_db(tx, range, rate);
+        assert!(margin_at_range.abs() < 0.01, "margin at max range ≈ 0");
+    }
+
+    #[test]
+    fn required_power_closes_exactly() {
+        let l = link();
+        let d = Length::from_meters(25.0);
+        let rate = DataRate::from_kilobits_per_second(50.0);
+        let tx = l.required_tx_power(d, rate);
+        assert!(l.margin_db(tx, d, rate).abs() < 0.01);
+        assert!(l.closes(tx * 1.01, d, rate));
+        assert!(!l.closes(tx * 0.97, d, rate));
+    }
+
+    #[test]
+    fn better_modulation_extends_range() {
+        let fsk = link();
+        let bpsk = LinkBudget::new(
+            PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+            Modulation::Bpsk,
+            10.0,
+            1e-4,
+        );
+        let tx = Power::from_milliwatts(1.0);
+        let rate = DataRate::from_kilobits_per_second(50.0);
+        assert!(bpsk.max_range(tx, rate) > fsk.max_range(tx, rate));
+    }
+}

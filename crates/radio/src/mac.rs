@@ -1,0 +1,372 @@
+//! Duty-cycled medium-access protocols and their analytic power models.
+//!
+//! The µW-node's radio is idle almost always; what it costs depends on
+//! *how it listens*. Three archetypes of the era are modelled in their
+//! low-traffic analytic regime (collisions negligible), each trading
+//! average power against latency:
+//!
+//! * [`CsmaMac`] — plain carrier-sense with an always-on receiver:
+//!   minimal latency, idle listening dominates (milliwatts).
+//! * [`TdmaMac`] — globally slotted frames: the node wakes once per frame
+//!   for sync plus its own traffic; power scales with frame rate.
+//! * [`PreambleSamplingMac`] — low-power listening (B-MAC/WiseMAC family):
+//!   periodic channel samples, senders pay a wake-up preamble; power scales
+//!   with the check rate, latency with the check interval.
+
+use crate::packet::Packet;
+use ami_units::{DataRate, Energy, Frequency, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// Radio power-state parameters used by the MAC analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioPowerStates {
+    /// Receive/listen power.
+    pub rx: Power,
+    /// Transmit power.
+    pub tx: Power,
+    /// Sleep power.
+    pub sleep: Power,
+    /// Oscillator/PLL settle time on wake-up.
+    pub startup_time: TimeSpan,
+    /// Power burnt while settling.
+    pub startup_power: Power,
+}
+
+impl RadioPowerStates {
+    /// The 2003 sensor-radio calibration matching
+    /// `ami_arch::RfFrontEnd::sensor_sub_ghz`.
+    pub fn sensor_default() -> Self {
+        Self {
+            rx: Power::from_milliwatts(15.0),
+            tx: Power::from_milliwatts(20.0),
+            sleep: Power::from_microwatts(2.0),
+            startup_time: TimeSpan::from_micros(500.0),
+            startup_power: Power::from_milliwatts(10.0),
+        }
+    }
+
+    /// Energy of one wake-up.
+    pub fn startup_energy(&self) -> Energy {
+        self.startup_power * self.startup_time
+    }
+}
+
+/// Offered traffic seen by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficLoad {
+    /// Packets this node originates per second.
+    pub send_rate: Frequency,
+    /// Packets this node must receive per second.
+    pub recv_rate: Frequency,
+    /// The packet format.
+    pub packet: Packet,
+    /// On-air bit rate.
+    pub bitrate: DataRate,
+}
+
+impl TrafficLoad {
+    /// A periodic sensor report every `interval`, nothing to receive.
+    pub fn periodic_report(interval: TimeSpan) -> Self {
+        assert!(
+            interval > TimeSpan::ZERO,
+            "report interval must be positive"
+        );
+        Self {
+            send_rate: Frequency::new(1.0 / interval.as_seconds()),
+            recv_rate: Frequency::ZERO,
+            packet: Packet::sensor_report(),
+            bitrate: DataRate::from_kilobits_per_second(50.0),
+        }
+    }
+
+    /// A node with nothing to send or receive (pure listening cost).
+    pub fn idle() -> Self {
+        Self {
+            send_rate: Frequency::ZERO,
+            recv_rate: Frequency::ZERO,
+            packet: Packet::sensor_report(),
+            bitrate: DataRate::from_kilobits_per_second(50.0),
+        }
+    }
+
+    /// On-air time of one packet.
+    pub fn airtime(&self) -> TimeSpan {
+        self.packet.airtime(self.bitrate)
+    }
+}
+
+/// Result of a MAC analysis at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacAnalysis {
+    /// Long-run average radio power.
+    pub average_power: Power,
+    /// Mean delay from packet creation to start of transmission.
+    pub mean_latency: TimeSpan,
+    /// Fraction of time the radio is awake (rx + tx + startup).
+    pub effective_duty: f64,
+}
+
+/// A medium-access protocol with an analytic low-traffic power model.
+pub trait MacProtocol {
+    /// Protocol name for reports.
+    fn name(&self) -> &str;
+
+    /// Average power, latency and duty cycle under `traffic`.
+    fn analyze(&self, radio: &RadioPowerStates, traffic: &TrafficLoad) -> MacAnalysis;
+}
+
+/// Plain CSMA with an always-on receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CsmaMac;
+
+impl MacProtocol for CsmaMac {
+    fn name(&self) -> &str {
+        "CSMA (always-on)"
+    }
+
+    fn analyze(&self, radio: &RadioPowerStates, traffic: &TrafficLoad) -> MacAnalysis {
+        let airtime = traffic.airtime().as_seconds();
+        let tx_frac = traffic.send_rate.as_hertz() * airtime;
+        assert!(tx_frac <= 1.0, "offered load exceeds channel capacity");
+        // Idle-listen whenever not transmitting.
+        let avg = radio.tx * tx_frac + radio.rx * (1.0 - tx_frac);
+        MacAnalysis {
+            average_power: avg,
+            mean_latency: traffic.airtime() * 0.5, // carrier-sense backoff scale
+            effective_duty: 1.0,
+        }
+    }
+}
+
+/// Globally synchronized TDMA frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdmaMac {
+    /// Frame period (one owned slot per frame).
+    pub frame_period: TimeSpan,
+    /// Receiver-on guard time per frame for synchronization.
+    pub sync_guard: TimeSpan,
+}
+
+impl TdmaMac {
+    /// A TDMA MAC with the given frame period and a 2 ms sync guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive.
+    pub fn new(frame_period: TimeSpan) -> Self {
+        assert!(
+            frame_period > TimeSpan::ZERO,
+            "frame period must be positive"
+        );
+        Self {
+            frame_period,
+            sync_guard: TimeSpan::from_millis(2.0),
+        }
+    }
+}
+
+impl MacProtocol for TdmaMac {
+    fn name(&self) -> &str {
+        "TDMA"
+    }
+
+    fn analyze(&self, radio: &RadioPowerStates, traffic: &TrafficLoad) -> MacAnalysis {
+        let frame = self.frame_period.as_seconds();
+        let airtime = traffic.airtime().as_seconds();
+        // Per frame: one wake-up, the sync guard listening, plus the node's
+        // own slot when it has traffic to send or receive.
+        let wakeups_per_s = 1.0 / frame;
+        let sync_power = radio.rx * (self.sync_guard.as_seconds() / frame);
+        let startup = Power::new(radio.startup_energy().as_joules() * wakeups_per_s);
+        let tx_frac = traffic.send_rate.as_hertz() * airtime;
+        let rx_frac = traffic.recv_rate.as_hertz() * airtime;
+        assert!(
+            tx_frac + rx_frac <= 1.0,
+            "offered load exceeds channel capacity"
+        );
+        let awake_frac = (self.sync_guard.as_seconds() + radio.startup_time.as_seconds()) / frame
+            + tx_frac
+            + rx_frac;
+        let avg = startup
+            + sync_power
+            + radio.tx * tx_frac
+            + radio.rx * rx_frac
+            + radio.sleep * (1.0 - awake_frac).max(0.0);
+        MacAnalysis {
+            average_power: avg,
+            mean_latency: self.frame_period * 0.5,
+            effective_duty: awake_frac.min(1.0),
+        }
+    }
+}
+
+/// Low-power listening with sender preambles (B-MAC/WiseMAC family).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreambleSamplingMac {
+    /// Interval between channel samples.
+    pub check_interval: TimeSpan,
+    /// Duration of one channel sample.
+    pub sample_time: TimeSpan,
+}
+
+impl PreambleSamplingMac {
+    /// A preamble-sampling MAC with the given check interval and a 500 µs
+    /// channel sample (the B-MAC-era RSSI-sample duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive.
+    pub fn new(check_interval: TimeSpan) -> Self {
+        assert!(
+            check_interval > TimeSpan::ZERO,
+            "check interval must be positive"
+        );
+        Self {
+            check_interval,
+            sample_time: TimeSpan::from_micros(500.0),
+        }
+    }
+}
+
+impl MacProtocol for PreambleSamplingMac {
+    fn name(&self) -> &str {
+        "preamble sampling"
+    }
+
+    fn analyze(&self, radio: &RadioPowerStates, traffic: &TrafficLoad) -> MacAnalysis {
+        let interval = self.check_interval.as_seconds();
+        let airtime = traffic.airtime().as_seconds();
+        let checks_per_s = 1.0 / interval;
+        // Listening cost: startup + sample, every interval.
+        let check_power = Power::new(
+            (radio.startup_energy().as_joules() + (radio.rx * self.sample_time).as_joules())
+                * checks_per_s,
+        );
+        // Sending cost: a full-interval preamble plus the packet.
+        let tx_time_per_pkt = interval + airtime;
+        let tx_frac = traffic.send_rate.as_hertz() * tx_time_per_pkt;
+        assert!(tx_frac <= 1.0, "offered load exceeds channel capacity");
+        // Receiving cost: on average half the preamble plus the packet.
+        let rx_time_per_pkt = interval / 2.0 + airtime;
+        let rx_frac = traffic.recv_rate.as_hertz() * rx_time_per_pkt;
+        let awake_frac = checks_per_s
+            * (self.sample_time.as_seconds() + radio.startup_time.as_seconds())
+            + tx_frac
+            + rx_frac;
+        let avg = check_power
+            + radio.tx * tx_frac
+            + radio.rx * rx_frac
+            + radio.sleep * (1.0 - awake_frac).max(0.0);
+        MacAnalysis {
+            average_power: avg,
+            mean_latency: self.check_interval * 0.5,
+            effective_duty: awake_frac.min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radio() -> RadioPowerStates {
+        RadioPowerStates::sensor_default()
+    }
+
+    fn light_traffic() -> TrafficLoad {
+        TrafficLoad::periodic_report(TimeSpan::from_minutes(5.0))
+    }
+
+    #[test]
+    fn csma_burns_idle_listening() {
+        let a = CsmaMac.analyze(&radio(), &light_traffic());
+        // Always-on receiver: ~15 mW regardless of traffic.
+        assert!(a.average_power.as_milliwatts() > 14.0);
+        assert_eq!(a.effective_duty, 1.0);
+    }
+
+    #[test]
+    fn preamble_sampling_reaches_microwatts() {
+        let mac = PreambleSamplingMac::new(TimeSpan::from_seconds(1.0));
+        let a = mac.analyze(&radio(), &light_traffic());
+        assert!(
+            a.average_power.as_microwatts() < 150.0,
+            "LPL should be ~tens of µW, got {}",
+            a.average_power
+        );
+        assert!(a.effective_duty < 0.01);
+    }
+
+    #[test]
+    fn duty_cycled_macs_beat_csma_by_orders_of_magnitude() {
+        let tdma = TdmaMac::new(TimeSpan::from_seconds(1.0)).analyze(&radio(), &light_traffic());
+        let csma = CsmaMac.analyze(&radio(), &light_traffic());
+        let lpl = PreambleSamplingMac::new(TimeSpan::from_seconds(1.0))
+            .analyze(&radio(), &light_traffic());
+        let csma_w = csma.average_power.as_watts();
+        assert!(csma_w / tdma.average_power.as_watts() > 50.0);
+        assert!(csma_w / lpl.average_power.as_watts() > 50.0);
+    }
+
+    #[test]
+    fn latency_power_tradeoff_in_lpl() {
+        // For a purely listening node, checking more often costs more power
+        // but promises less delivery latency — the LPL knob.
+        let fast = PreambleSamplingMac::new(TimeSpan::from_millis(100.0));
+        let slow = PreambleSamplingMac::new(TimeSpan::from_seconds(2.0));
+        let t = TrafficLoad::idle();
+        let a_fast = fast.analyze(&radio(), &t);
+        let a_slow = slow.analyze(&radio(), &t);
+        assert!(a_fast.mean_latency < a_slow.mean_latency);
+        assert!(a_fast.average_power > a_slow.average_power);
+    }
+
+    #[test]
+    fn lpl_sender_pays_for_receiver_sleep() {
+        // Heavier send traffic with a long check interval: the preamble
+        // cost makes slow checking WORSE for chatty nodes.
+        let chatty = TrafficLoad::periodic_report(TimeSpan::from_seconds(2.0));
+        let slow = PreambleSamplingMac::new(TimeSpan::from_seconds(1.0));
+        let fast = PreambleSamplingMac::new(TimeSpan::from_millis(50.0));
+        let a_slow = slow.analyze(&radio(), &chatty);
+        let a_fast = fast.analyze(&radio(), &chatty);
+        assert!(
+            a_fast.average_power < a_slow.average_power,
+            "chatty nodes prefer short preambles: {} vs {}",
+            a_fast.average_power,
+            a_slow.average_power
+        );
+    }
+
+    #[test]
+    fn tdma_power_scales_with_frame_rate() {
+        let t = light_traffic();
+        let fast = TdmaMac::new(TimeSpan::from_millis(100.0)).analyze(&radio(), &t);
+        let slow = TdmaMac::new(TimeSpan::from_seconds(10.0)).analyze(&radio(), &t);
+        assert!(fast.average_power > slow.average_power);
+        assert!(fast.mean_latency < slow.mean_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overload_rejected() {
+        let mut t = TrafficLoad::periodic_report(TimeSpan::from_seconds(1.0));
+        t.send_rate = Frequency::from_kilohertz(10.0); // 10k packets/s
+        let _ = CsmaMac.analyze(&radio(), &t);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CsmaMac.name().to_owned(),
+            TdmaMac::new(TimeSpan::from_seconds(1.0)).name().to_owned(),
+            PreambleSamplingMac::new(TimeSpan::from_seconds(1.0))
+                .name()
+                .to_owned(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Modulation schemes and bit-error-rate models.
+//!
+//! BER curves use the standard AWGN closed forms via the Q-function;
+//! the Q-function is computed from a high-accuracy `erfc` rational
+//! approximation (Abramowitz–Stegun 7.1.26 refined), adequate to well
+//! below the 1e-12 BER floor any link budget cares about.
+
+use serde::{Deserialize, Serialize};
+
+/// Complementary error function via the A&S 7.1.26 polynomial with
+/// symmetric extension; absolute error below 1.5e-7.
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let e = poly * (-x_abs * x_abs).exp();
+    if sign_negative {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// The Gaussian tail function `Q(x) = ½·erfc(x/√2)`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Modulations of the 2003 short-range radio era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// On-off keying (non-coherent): the simplest µW-node transmitter.
+    Ook,
+    /// Binary FSK (non-coherent detection).
+    Fsk,
+    /// BPSK (coherent).
+    Bpsk,
+    /// QPSK (coherent, 2 bit/symbol).
+    Qpsk,
+}
+
+impl Modulation {
+    /// Bits carried per symbol.
+    pub fn bits_per_symbol(self) -> f64 {
+        match self {
+            Modulation::Ook | Modulation::Fsk | Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 2.0,
+        }
+    }
+
+    /// Bit error rate at the given linear `Eb/N0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ebn0` is negative.
+    pub fn bit_error_rate(self, ebn0: f64) -> f64 {
+        assert!(ebn0 >= 0.0, "Eb/N0 must be non-negative");
+        match self {
+            // Non-coherent OOK/FSK: ½·exp(−Eb/2N0).
+            Modulation::Ook | Modulation::Fsk => 0.5 * (-ebn0 / 2.0).exp(),
+            // Coherent BPSK/QPSK: Q(√(2·Eb/N0)).
+            Modulation::Bpsk | Modulation::Qpsk => q_function((2.0 * ebn0).sqrt()),
+        }
+    }
+
+    /// The linear `Eb/N0` required to hit a target BER, by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ber` is outside `(0, 0.5)`.
+    pub fn required_ebn0(self, target_ber: f64) -> f64 {
+        assert!(
+            target_ber > 0.0 && target_ber < 0.5,
+            "target BER must lie in (0, 0.5)"
+        );
+        let (mut lo, mut hi) = (0.0f64, 200.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.bit_error_rate(mid) > target_ber {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Same as [`Self::required_ebn0`] but in dB.
+    pub fn required_ebn0_db(self, target_ber: f64) -> f64 {
+        10.0 * self.required_ebn0(target_ber).log10()
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Modulation::Ook => "OOK",
+            Modulation::Fsk => "FSK",
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.004_677_73).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn q_function_is_half_at_zero() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-9);
+        assert!(q_function(5.0) < 3e-7);
+    }
+
+    #[test]
+    fn bpsk_reference_ber() {
+        // Eb/N0 = 9.6 dB gives BER ≈ 1e-5 for BPSK (textbook anchor).
+        let ebn0 = 10f64.powf(9.6 / 10.0);
+        let ber = Modulation::Bpsk.bit_error_rate(ebn0);
+        assert!((5e-6..2e-5).contains(&ber), "BPSK at 9.6 dB: {ber:e}");
+    }
+
+    #[test]
+    fn coherent_beats_non_coherent() {
+        let ebn0 = 10f64.powf(10.0 / 10.0);
+        assert!(Modulation::Bpsk.bit_error_rate(ebn0) < Modulation::Fsk.bit_error_rate(ebn0));
+    }
+
+    #[test]
+    fn ber_monotone_decreasing_in_snr() {
+        for m in [Modulation::Ook, Modulation::Bpsk, Modulation::Qpsk] {
+            let mut last = 1.0;
+            for db in 0..15 {
+                let ber = m.bit_error_rate(10f64.powf(f64::from(db) / 10.0));
+                assert!(ber <= last, "{m} BER must fall with SNR");
+                last = ber;
+            }
+        }
+    }
+
+    #[test]
+    fn required_ebn0_inverts_ber() {
+        for m in [Modulation::Fsk, Modulation::Bpsk] {
+            let target = 1e-4;
+            let ebn0 = m.required_ebn0(target);
+            let achieved = m.bit_error_rate(ebn0);
+            assert!(
+                achieved <= target * 1.01,
+                "{m}: {achieved:e} vs target {target:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn qpsk_doubles_throughput() {
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2.0);
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target BER")]
+    fn silly_ber_target_rejected() {
+        let _ = Modulation::Bpsk.required_ebn0(0.6);
+    }
+}

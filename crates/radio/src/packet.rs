@@ -1,0 +1,142 @@
+//! Packet framing: payloads, overheads, airtime.
+
+use ami_units::{DataRate, DataVolume, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// A framed packet: preamble + header + payload + CRC.
+///
+/// # Example
+///
+/// ```
+/// use ami_radio::Packet;
+/// use ami_units::DataRate;
+///
+/// let pkt = Packet::sensor_report();
+/// let t = pkt.airtime(DataRate::from_kilobits_per_second(50.0));
+/// assert!(t.as_millis() < 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    preamble_bits: f64,
+    header_bits: f64,
+    payload_bits: f64,
+    crc_bits: f64,
+}
+
+impl Packet {
+    /// Creates a packet with explicit field sizes in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is negative or the payload is zero.
+    pub fn new(preamble_bits: f64, header_bits: f64, payload_bits: f64, crc_bits: f64) -> Self {
+        for v in [preamble_bits, header_bits, payload_bits, crc_bits] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "field sizes must be non-negative"
+            );
+        }
+        assert!(payload_bits > 0.0, "payload must be non-empty");
+        Self {
+            preamble_bits,
+            header_bits,
+            payload_bits,
+            crc_bits,
+        }
+    }
+
+    /// A µW-node sensor report: 32-bit preamble, 64-bit header,
+    /// 16-byte payload, 16-bit CRC.
+    pub fn sensor_report() -> Self {
+        Self::new(32.0, 64.0, 128.0, 16.0)
+    }
+
+    /// An audio frame of a personal-node stream: 24 ms at 192 kbit/s.
+    pub fn audio_frame() -> Self {
+        Self::new(32.0, 64.0, 192_000.0 * 0.024, 32.0)
+    }
+
+    /// A packet with the standard framing and a custom payload.
+    pub fn with_payload(payload: DataVolume) -> Self {
+        Self::new(32.0, 64.0, payload.as_bits(), 16.0)
+    }
+
+    /// Payload size.
+    pub fn payload(&self) -> DataVolume {
+        DataVolume::from_bits(self.payload_bits)
+    }
+
+    /// Total on-air size including all framing.
+    pub fn total_bits(&self) -> DataVolume {
+        DataVolume::from_bits(
+            self.preamble_bits + self.header_bits + self.payload_bits + self.crc_bits,
+        )
+    }
+
+    /// Framing overhead fraction (non-payload bits over total).
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.payload_bits / self.total_bits().as_bits()
+    }
+
+    /// On-air duration at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn airtime(&self, rate: DataRate) -> TimeSpan {
+        rate.time_to_transfer(self.total_bits())
+    }
+
+    /// Probability the whole packet survives a channel with bit error
+    /// rate `ber` (independent errors, no coding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1]`.
+    pub fn delivery_probability(&self, ber: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&ber), "BER must lie in [0, 1]");
+        (1.0 - ber).powf(self.total_bits().as_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_report_sizes() {
+        let p = Packet::sensor_report();
+        assert_eq!(p.total_bits().as_bits(), 240.0);
+        assert_eq!(p.payload().as_bytes(), 16.0);
+        assert!((p.overhead_fraction() - 112.0 / 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn airtime_scales_inversely_with_rate() {
+        let p = Packet::sensor_report();
+        let slow = p.airtime(DataRate::from_kilobits_per_second(10.0));
+        let fast = p.airtime(DataRate::from_kilobits_per_second(100.0));
+        assert!((slow.as_seconds() / fast.as_seconds() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_probability_shrinks_with_size_and_ber() {
+        let small = Packet::sensor_report();
+        let large = Packet::with_payload(DataVolume::from_bytes(1000.0));
+        assert!(small.delivery_probability(1e-4) > large.delivery_probability(1e-4));
+        assert!(small.delivery_probability(1e-3) < small.delivery_probability(1e-5));
+        assert_eq!(small.delivery_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn audio_frame_payload() {
+        let p = Packet::audio_frame();
+        assert!((p.payload().as_bits() - 4608.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn empty_payload_rejected() {
+        let _ = Packet::new(32.0, 64.0, 0.0, 16.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Log-distance path-loss propagation and dBm conversions.
+
+use ami_units::{Frequency, Length, Power};
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in metres per second.
+const C: f64 = 299_792_458.0;
+
+/// Converts a power to dBm.
+///
+/// # Panics
+///
+/// Panics if `p` is zero or negative (log of a non-positive value).
+pub fn watts_to_dbm(p: Power) -> f64 {
+    assert!(p > Power::ZERO, "dBm conversion requires a positive power");
+    10.0 * (p.as_milliwatts()).log10()
+}
+
+/// Converts a dBm level to power.
+pub fn dbm_to_watts(dbm: f64) -> Power {
+    Power::from_milliwatts(10f64.powf(dbm / 10.0))
+}
+
+/// Log-distance path loss: `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀)` with the
+/// 1 m free-space reference intercept.
+///
+/// # Example
+///
+/// ```
+/// use ami_radio::PathLossModel;
+/// use ami_units::{Frequency, Length};
+///
+/// let indoor = PathLossModel::indoor(Frequency::from_megahertz(868.0));
+/// let pl10 = indoor.path_loss_db(Length::from_meters(10.0));
+/// // 868 MHz free-space intercept ≈31 dB; +30 dB per decade at n=3.
+/// assert!((pl10 - 61.2).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    carrier: Frequency,
+    exponent: f64,
+}
+
+impl PathLossModel {
+    /// Creates a model with carrier frequency and path-loss exponent `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is outside the physical `[1.5, 6]` window or
+    /// the carrier is not positive.
+    pub fn new(carrier: Frequency, exponent: f64) -> Self {
+        assert!(
+            (1.5..=6.0).contains(&exponent),
+            "path-loss exponent must lie in [1.5, 6]"
+        );
+        assert!(
+            carrier.as_hertz() > 0.0,
+            "carrier frequency must be positive"
+        );
+        Self { carrier, exponent }
+    }
+
+    /// Free space: `n = 2`.
+    pub fn free_space(carrier: Frequency) -> Self {
+        Self::new(carrier, 2.0)
+    }
+
+    /// Indoor non-line-of-sight: `n = 3`.
+    pub fn indoor(carrier: Frequency) -> Self {
+        Self::new(carrier, 3.0)
+    }
+
+    /// Cluttered indoor/obstructed: `n = 4`.
+    pub fn obstructed(carrier: Frequency) -> Self {
+        Self::new(carrier, 4.0)
+    }
+
+    /// Carrier frequency.
+    pub fn carrier(&self) -> Frequency {
+        self.carrier
+    }
+
+    /// Path-loss exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Free-space loss at the 1 m reference distance, in dB:
+    /// `20·log₁₀(4πd₀f/c)`.
+    pub fn reference_loss_db(&self) -> f64 {
+        20.0 * (4.0 * std::f64::consts::PI * self.carrier.as_hertz() / C).log10()
+    }
+
+    /// Path loss at distance `d`, in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not positive.
+    pub fn path_loss_db(&self, d: Length) -> f64 {
+        assert!(d.as_meters() > 0.0, "distance must be positive");
+        self.reference_loss_db() + 10.0 * self.exponent * d.as_meters().log10()
+    }
+
+    /// Received power given transmit power `tx` at distance `d`
+    /// (isotropic antennas).
+    pub fn received_power(&self, tx: Power, d: Length) -> Power {
+        let rx_dbm = watts_to_dbm(tx) - self.path_loss_db(d);
+        dbm_to_watts(rx_dbm)
+    }
+
+    /// The distance at which the loss reaches `loss_db` (inverse of
+    /// [`Self::path_loss_db`]).
+    pub fn range_for_loss(&self, loss_db: f64) -> Length {
+        let exp = (loss_db - self.reference_loss_db()) / (10.0 * self.exponent);
+        Length::from_meters(10f64.powf(exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        for dbm in [-90.0, -30.0, 0.0, 20.0] {
+            let p = dbm_to_watts(dbm);
+            assert!((watts_to_dbm(p) - dbm).abs() < 1e-9);
+        }
+        assert!((dbm_to_watts(0.0).as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_matches_friis_at_2_4ghz() {
+        // Friis at 2.4 GHz, 1 m: ≈40.05 dB.
+        let m = PathLossModel::free_space(Frequency::from_gigahertz(2.4));
+        assert!((m.reference_loss_db() - 40.05).abs() < 0.1);
+        // +20 dB per decade at n=2.
+        let d10 = m.path_loss_db(Length::from_meters(10.0));
+        assert!((d10 - m.reference_loss_db() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_exponent_loses_more() {
+        let f = Frequency::from_megahertz(868.0);
+        let d = Length::from_meters(20.0);
+        let fs = PathLossModel::free_space(f).path_loss_db(d);
+        let indoor = PathLossModel::indoor(f).path_loss_db(d);
+        let obs = PathLossModel::obstructed(f).path_loss_db(d);
+        assert!(fs < indoor && indoor < obs);
+    }
+
+    #[test]
+    fn received_power_decays_with_distance() {
+        let m = PathLossModel::indoor(Frequency::from_megahertz(868.0));
+        let tx = dbm_to_watts(0.0);
+        let near = m.received_power(tx, Length::from_meters(1.0));
+        let far = m.received_power(tx, Length::from_meters(100.0));
+        assert!(near > far);
+        // n=3: 100 m costs 60 dB more than 1 m.
+        let ratio_db = 10.0 * (near.as_watts() / far.as_watts()).log10();
+        assert!((ratio_db - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_inverts_loss() {
+        let m = PathLossModel::indoor(Frequency::from_megahertz(868.0));
+        let d = Length::from_meters(42.0);
+        let loss = m.path_loss_db(d);
+        let back = m.range_for_loss(loss);
+        assert!((back.as_meters() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive power")]
+    fn zero_power_dbm_panics() {
+        let _ = watts_to_dbm(Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn absurd_exponent_rejected() {
+        let _ = PathLossModel::new(Frequency::from_megahertz(868.0), 8.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Link-reliability mechanisms: retransmission (ARQ) and forward error
+//! correction, and the energy each costs per *delivered* bit.
+//!
+//! A lossy channel turns "energy per transmitted bit" into the wrong
+//! metric; what a network budget needs is energy per **delivered** bit.
+//! Stop-and-wait ARQ multiplies cost by the expected transmission count;
+//! FEC trades a fixed code-rate overhead for a steeper residual error
+//! curve. Their crossover in BER is a classic low-power design decision
+//! (experiment F8).
+
+use crate::energy_model::RadioEnergyModel;
+use crate::packet::Packet;
+use ami_units::{DataVolume, Energy, EnergyPerBit, Length};
+use serde::{Deserialize, Serialize};
+
+/// Stop-and-wait automatic repeat request with bounded retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StopAndWaitArq {
+    /// Maximum transmissions per packet (1 = no retries).
+    pub max_transmissions: u32,
+}
+
+impl StopAndWaitArq {
+    /// Creates an ARQ with the given transmission budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_transmissions` is zero.
+    pub fn new(max_transmissions: u32) -> Self {
+        assert!(max_transmissions >= 1, "at least one transmission");
+        Self { max_transmissions }
+    }
+
+    /// Probability a packet is eventually delivered when each attempt
+    /// succeeds independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn delivery_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        1.0 - (1.0 - p).powi(self.max_transmissions as i32)
+    }
+
+    /// Expected number of transmissions per offered packet
+    /// (attempts stop at success or at the budget).
+    pub fn expected_transmissions(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        if p == 0.0 {
+            return f64::from(self.max_transmissions);
+        }
+        let q = 1.0 - p;
+        let n = f64::from(self.max_transmissions);
+        // E[T] = (1 - q^N) / p   for truncated geometric attempts.
+        (1.0 - q.powf(n)) / p
+    }
+}
+
+/// Forward-error-correction schemes of the µW-node era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FecScheme {
+    /// Uncoded transmission.
+    None,
+    /// Bit-level triple repetition (rate 1/3, majority vote).
+    Repetition3,
+    /// Hamming(7,4): rate 4/7, corrects one error per 7-bit block.
+    Hamming74,
+}
+
+impl FecScheme {
+    /// Coded bits transmitted per information bit.
+    pub fn overhead(self) -> f64 {
+        match self {
+            FecScheme::None => 1.0,
+            FecScheme::Repetition3 => 3.0,
+            FecScheme::Hamming74 => 7.0 / 4.0,
+        }
+    }
+
+    /// Residual information-bit error rate after decoding, given the raw
+    /// channel bit error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 0.5]`.
+    pub fn residual_ber(self, ber: f64) -> f64 {
+        assert!(
+            (0.0..=0.5).contains(&ber),
+            "channel BER must lie in [0, 0.5]"
+        );
+        match self {
+            FecScheme::None => ber,
+            // Majority vote fails on 2 or 3 flipped repeats.
+            FecScheme::Repetition3 => 3.0 * ber * ber * (1.0 - ber) + ber.powi(3),
+            // A (7,4) block decodes wrongly when ≥2 of 7 bits flip; charge
+            // the block-error rate against each of its 4 info bits (an
+            // upper bound, standard practice).
+            FecScheme::Hamming74 => {
+                let p_ok = (1.0 - ber).powi(7) + 7.0 * ber * (1.0 - ber).powi(6);
+                (1.0 - p_ok).min(0.5)
+            }
+        }
+    }
+
+    /// All schemes.
+    pub fn all() -> [FecScheme; 3] {
+        [
+            FecScheme::None,
+            FecScheme::Repetition3,
+            FecScheme::Hamming74,
+        ]
+    }
+}
+
+impl std::fmt::Display for FecScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FecScheme::None => "uncoded",
+            FecScheme::Repetition3 => "repetition-3",
+            FecScheme::Hamming74 => "Hamming(7,4)",
+        })
+    }
+}
+
+/// The end-to-end reliability analysis: ARQ over an FEC-coded packet on a
+/// channel with raw bit error rate `ber`, at transmit distance `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Per-attempt packet delivery probability (after FEC decoding).
+    pub attempt_success: f64,
+    /// End-to-end delivery probability within the ARQ budget.
+    pub delivery_probability: f64,
+    /// Expected transmissions per offered packet.
+    pub expected_transmissions: f64,
+    /// Expected radio energy per *delivered payload bit*.
+    pub energy_per_delivered_bit: EnergyPerBit,
+}
+
+/// Evaluates `packet` under `fec` + `arq` on a channel of raw `ber` over
+/// distance `d` with `radio`'s energy model (transmit + receive charged).
+///
+/// # Panics
+///
+/// Panics if `ber` is outside `[0, 0.5]` or nothing can ever be delivered
+/// (delivery probability is zero).
+pub fn analyze_reliability(
+    packet: &Packet,
+    fec: FecScheme,
+    arq: StopAndWaitArq,
+    ber: f64,
+    d: Length,
+    radio: &RadioEnergyModel,
+) -> ReliabilityReport {
+    let residual = fec.residual_ber(ber);
+    let attempt_success = packet.delivery_probability(residual);
+    let delivery = arq.delivery_probability(attempt_success);
+    assert!(delivery > 0.0, "channel too bad: nothing is ever delivered");
+    let tx_count = arq.expected_transmissions(attempt_success);
+    let on_air = DataVolume::from_bits(packet.total_bits().as_bits() * fec.overhead());
+    let per_attempt: Energy = radio.transmit_energy(on_air, d) + radio.receive_energy(on_air);
+    // Energy is spent on every offered packet; payload arrives on the
+    // delivered fraction.
+    let energy_per_packet = per_attempt * tx_count;
+    let delivered_bits = packet.payload().as_bits() * delivery;
+    ReliabilityReport {
+        attempt_success,
+        delivery_probability: delivery,
+        expected_transmissions: tx_count,
+        energy_per_delivered_bit: EnergyPerBit::new(energy_per_packet.as_joules() / delivered_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radio() -> RadioEnergyModel {
+        RadioEnergyModel::short_range_2003()
+    }
+
+    #[test]
+    fn arq_geometry() {
+        let arq = StopAndWaitArq::new(4);
+        assert!((arq.delivery_probability(0.5) - 0.9375).abs() < 1e-12);
+        // E[T] = (1-0.5^4)/0.5 = 1.875.
+        assert!((arq.expected_transmissions(0.5) - 1.875).abs() < 1e-12);
+        assert_eq!(arq.expected_transmissions(0.0), 4.0);
+        assert_eq!(arq.expected_transmissions(1.0), 1.0);
+    }
+
+    #[test]
+    fn fec_improves_residual_ber_when_channel_is_decent() {
+        let ber = 1e-3;
+        assert!(FecScheme::Repetition3.residual_ber(ber) < ber);
+        assert!(FecScheme::Hamming74.residual_ber(ber) < 25.0 * ber * ber);
+    }
+
+    #[test]
+    fn repetition_hurts_on_clean_channels_via_overhead() {
+        // At BER 1e-6 the uncoded packet almost always survives; paying 3x
+        // airtime is pure loss.
+        let pkt = Packet::sensor_report();
+        let arq = StopAndWaitArq::new(3);
+        let d = Length::from_meters(20.0);
+        let clean = 1e-6;
+        let uncoded = analyze_reliability(&pkt, FecScheme::None, arq, clean, d, &radio());
+        let coded = analyze_reliability(&pkt, FecScheme::Repetition3, arq, clean, d, &radio());
+        assert!(uncoded.energy_per_delivered_bit < coded.energy_per_delivered_bit);
+    }
+
+    #[test]
+    fn coding_wins_on_dirty_channels() {
+        // At BER 1e-2 an uncoded 240-bit packet dies ~91% of the time;
+        // repetition-3 rescues it for less energy per delivered bit.
+        let pkt = Packet::sensor_report();
+        let arq = StopAndWaitArq::new(8);
+        let d = Length::from_meters(20.0);
+        let dirty = 1e-2;
+        let uncoded = analyze_reliability(&pkt, FecScheme::None, arq, dirty, d, &radio());
+        let coded = analyze_reliability(&pkt, FecScheme::Repetition3, arq, dirty, d, &radio());
+        assert!(
+            coded.energy_per_delivered_bit < uncoded.energy_per_delivered_bit,
+            "coded {} vs uncoded {}",
+            coded.energy_per_delivered_bit,
+            uncoded.energy_per_delivered_bit
+        );
+        assert!(coded.delivery_probability > uncoded.delivery_probability);
+    }
+
+    #[test]
+    fn hamming_sits_between() {
+        let mid = 3e-3;
+        let none = FecScheme::None.residual_ber(mid);
+        let ham = FecScheme::Hamming74.residual_ber(mid);
+        let rep = FecScheme::Repetition3.residual_ber(mid);
+        assert!(ham < none);
+        assert!(rep < none);
+        // Hamming's overhead is far lighter than repetition's.
+        assert!(FecScheme::Hamming74.overhead() < FecScheme::Repetition3.overhead());
+    }
+
+    #[test]
+    fn more_retries_raise_delivery_and_cost() {
+        let pkt = Packet::sensor_report();
+        let d = Length::from_meters(20.0);
+        let ber = 5e-3;
+        let few = analyze_reliability(
+            &pkt,
+            FecScheme::None,
+            StopAndWaitArq::new(1),
+            ber,
+            d,
+            &radio(),
+        );
+        let many = analyze_reliability(
+            &pkt,
+            FecScheme::None,
+            StopAndWaitArq::new(8),
+            ber,
+            d,
+            &radio(),
+        );
+        assert!(many.delivery_probability > few.delivery_probability);
+        assert!(many.expected_transmissions > few.expected_transmissions);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transmission")]
+    fn zero_budget_rejected() {
+        let _ = StopAndWaitArq::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the radio models.
+
+use ami_radio::pathloss::{dbm_to_watts, watts_to_dbm};
+use ami_radio::{
+    analyze_reliability, pure_aloha_throughput, slotted_aloha_throughput, FecScheme, LinkBudget,
+    Modulation, Packet, PathLossModel, RadioEnergyModel, SharedChannel, StopAndWaitArq,
+};
+use ami_units::{DataRate, DataVolume, Frequency, Length, Power, TimeSpan};
+use proptest::prelude::*;
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Ook),
+        Just(Modulation::Fsk),
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+    ]
+}
+
+proptest! {
+    /// dBm conversion is a bijection over practical power levels.
+    #[test]
+    fn dbm_round_trip(dbm in -120.0..40.0f64) {
+        let p = dbm_to_watts(dbm);
+        prop_assert!((watts_to_dbm(p) - dbm).abs() < 1e-9);
+    }
+
+    /// Path loss is monotone in distance and in the exponent.
+    #[test]
+    fn path_loss_monotone(d1 in 1.0..1000.0f64, d2 in 1.0..1000.0f64, n in 2.0..4.0f64) {
+        let f = Frequency::from_megahertz(868.0);
+        let model = PathLossModel::new(f, n);
+        let l1 = model.path_loss_db(Length::from_meters(d1));
+        let l2 = model.path_loss_db(Length::from_meters(d2));
+        prop_assert_eq!(d1 < d2, l1 < l2);
+        if d1 > 1.0 {
+            let harsher = PathLossModel::new(f, (n + 0.5).min(6.0));
+            prop_assert!(harsher.path_loss_db(Length::from_meters(d1)) >= l1);
+        }
+    }
+
+    /// range_for_loss inverts path_loss_db.
+    #[test]
+    fn range_inverts_loss(d in 1.0..500.0f64, n in 2.0..4.0f64) {
+        let model = PathLossModel::new(Frequency::from_megahertz(868.0), n);
+        let loss = model.path_loss_db(Length::from_meters(d));
+        let back = model.range_for_loss(loss);
+        prop_assert!((back.as_meters() - d).abs() < 1e-6 * d);
+    }
+
+    /// BER is monotone non-increasing in Eb/N0 for every modulation.
+    #[test]
+    fn ber_monotone(m in any_modulation(), a in 0.0..50.0f64, b in 0.0..50.0f64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(m.bit_error_rate(hi) <= m.bit_error_rate(lo) + 1e-15);
+    }
+
+    /// required_ebn0 meets its BER target for every modulation.
+    #[test]
+    fn required_ebn0_meets_target(m in any_modulation(), exp in 1.0..9.0f64) {
+        let target = 10f64.powf(-exp);
+        let ebn0 = m.required_ebn0(target);
+        prop_assert!(m.bit_error_rate(ebn0) <= target * 1.01);
+    }
+
+    /// Transmit energy decomposes into electronics + amplifier and both
+    /// terms are monotone in their drivers.
+    #[test]
+    fn tx_energy_monotone(bits in 1.0..1e6f64, d1 in 0.0..300.0f64, d2 in 0.0..300.0f64) {
+        let radio = RadioEnergyModel::short_range_2003();
+        let v = DataVolume::from_bits(bits);
+        let e1 = radio.transmit_energy(v, Length::from_meters(d1));
+        let e2 = radio.transmit_energy(v, Length::from_meters(d2));
+        prop_assert_eq!(d1 <= d2, e1 <= e2);
+        prop_assert!(e1 >= radio.receive_energy(v));
+    }
+
+    /// A link closed with the minimum required power has ~zero margin,
+    /// and more power only helps.
+    #[test]
+    fn required_power_closes_link(d in 2.0..200.0f64, kbps in 1.0..250.0f64) {
+        let link = LinkBudget::new(
+            PathLossModel::indoor(Frequency::from_megahertz(868.0)),
+            Modulation::Fsk,
+            10.0,
+            1e-4,
+        );
+        let rate = DataRate::from_kilobits_per_second(kbps);
+        let tx = link.required_tx_power(Length::from_meters(d), rate);
+        prop_assert!(link.margin_db(tx, Length::from_meters(d), rate).abs() < 0.01);
+        prop_assert!(link.closes(tx * 2.0, Length::from_meters(d), rate));
+    }
+
+    /// Packet delivery probability is in [0,1], decreasing in BER and in
+    /// payload size.
+    #[test]
+    fn delivery_probability_sane(payload in 1.0..1e5f64, ber in 0.0..0.01f64) {
+        let p = Packet::with_payload(DataVolume::from_bits(payload));
+        let prob = p.delivery_probability(ber);
+        prop_assert!((0.0..=1.0).contains(&prob));
+        let bigger = Packet::with_payload(DataVolume::from_bits(payload * 2.0));
+        prop_assert!(bigger.delivery_probability(ber) <= prob);
+        prop_assert!(p.delivery_probability(ber / 2.0) >= prob);
+    }
+
+    /// Airtime scales linearly with total size and inversely with rate.
+    #[test]
+    fn airtime_scaling(payload in 8.0..1e5f64, kbps in 1.0..1000.0f64) {
+        let p = Packet::with_payload(DataVolume::from_bits(payload));
+        let r = DataRate::from_kilobits_per_second(kbps);
+        let t = p.airtime(r);
+        prop_assert!((t.as_seconds() * r.as_bits_per_second()
+            - p.total_bits().as_bits()).abs() < 1e-6);
+    }
+
+    /// Received power never exceeds transmitted power (passive channel).
+    #[test]
+    fn channel_is_passive(dbm in -10.0..30.0f64, d in 1.0..500.0f64) {
+        let model = PathLossModel::free_space(Frequency::from_gigahertz(2.4));
+        let tx = dbm_to_watts(dbm);
+        let rx = model.received_power(tx, Length::from_meters(d));
+        prop_assert!(rx <= tx);
+        prop_assert!(rx > Power::ZERO);
+    }
+
+    /// ARQ: delivery probability is monotone in the budget and expected
+    /// transmissions lie in [1, N].
+    #[test]
+    fn arq_bounds(p in 0.001..1.0f64, n in 1u32..20) {
+        let arq = StopAndWaitArq::new(n);
+        let bigger = StopAndWaitArq::new(n + 1);
+        prop_assert!(bigger.delivery_probability(p) >= arq.delivery_probability(p));
+        let e = arq.expected_transmissions(p);
+        prop_assert!((1.0 - 1e-9..=f64::from(n) + 1e-9).contains(&e));
+    }
+
+    /// FEC: every scheme's residual BER is a valid probability, and coding
+    /// helps on good channels.
+    #[test]
+    fn fec_residual_valid(ber in 0.0..0.5f64) {
+        for scheme in FecScheme::all() {
+            let r = scheme.residual_ber(ber);
+            prop_assert!((0.0..=0.5).contains(&r), "{scheme}: {r}");
+        }
+        if ber < 1e-3 && ber > 0.0 {
+            prop_assert!(FecScheme::Repetition3.residual_ber(ber) < ber);
+        }
+    }
+
+    /// Reliability analysis: probabilities valid, energy positive, and
+    /// more ARQ never reduces delivery.
+    #[test]
+    fn reliability_report_valid(exp in 2.0..5.0f64, d in 1.0..100.0f64, n in 1u32..12) {
+        let ber = 10f64.powf(-exp);
+        let radio = RadioEnergyModel::short_range_2003();
+        let packet = Packet::sensor_report();
+        let report = analyze_reliability(
+            &packet, FecScheme::None, StopAndWaitArq::new(n), ber,
+            Length::from_meters(d), &radio,
+        );
+        prop_assert!((0.0..=1.0).contains(&report.delivery_probability));
+        prop_assert!((0.0..=1.0).contains(&report.attempt_success));
+        prop_assert!(report.energy_per_delivered_bit.as_joules_per_bit() > 0.0);
+        let more = analyze_reliability(
+            &packet, FecScheme::None, StopAndWaitArq::new(n + 1), ber,
+            Length::from_meters(d), &radio,
+        );
+        prop_assert!(more.delivery_probability >= report.delivery_probability - 1e-12);
+    }
+
+    /// ALOHA throughputs are bounded by their textbook peaks everywhere.
+    #[test]
+    fn aloha_bounded(g in 0.0..20.0f64) {
+        prop_assert!(slotted_aloha_throughput(g) <= 1.0 / std::f64::consts::E + 1e-12);
+        prop_assert!(pure_aloha_throughput(g) <= 0.5 / std::f64::consts::E + 1e-12);
+        prop_assert!(slotted_aloha_throughput(g) >= pure_aloha_throughput(g) - 1e-12);
+    }
+
+    /// Channel density: delivered fraction is a probability, monotone
+    /// decreasing in node count.
+    #[test]
+    fn channel_density_monotone(nodes in 1.0..1e5f64, secs in 1.0..600.0f64) {
+        let ch = SharedChannel::sensor_default();
+        let interval = TimeSpan::from_seconds(secs);
+        let f1 = ch.delivered_fraction(nodes, interval);
+        let f2 = ch.delivered_fraction(nodes * 2.0, interval);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!(f2 <= f1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-device energy accounting over power states.
+
+use ami_units::{Energy, Power, TimeSpan};
+use std::collections::BTreeMap;
+
+/// Integrates a device's energy exactly as it moves between named power
+/// states, keeping a per-state time and energy breakdown.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::EnergyMeter;
+/// use ami_units::{Power, TimeSpan};
+///
+/// let mut m = EnergyMeter::new("sleep", Power::from_microwatts(2.0), TimeSpan::ZERO);
+/// m.transition("rx", Power::from_milliwatts(15.0), TimeSpan::from_seconds(10.0));
+/// m.transition("sleep", Power::from_microwatts(2.0), TimeSpan::from_seconds(10.1));
+/// let total = m.total_energy(TimeSpan::from_seconds(20.0));
+/// // 10 s sleep + 0.1 s rx + 9.9 s sleep ≈ 1.54 mJ.
+/// assert!((total.as_millijoules() - 1.5398).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    state: String,
+    power: Power,
+    since: TimeSpan,
+    by_state_energy: BTreeMap<String, Energy>,
+    by_state_time: BTreeMap<String, TimeSpan>,
+    transitions: u64,
+}
+
+impl EnergyMeter {
+    /// Starts metering in `state` drawing `power` at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative.
+    pub fn new(state: impl Into<String>, power: Power, start: TimeSpan) -> Self {
+        assert!(!power.is_negative(), "state power must be non-negative");
+        Self {
+            state: state.into(),
+            power,
+            since: start,
+            by_state_energy: BTreeMap::new(),
+            by_state_time: BTreeMap::new(),
+            transitions: 0,
+        }
+    }
+
+    /// The current state name.
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    /// The current state's power.
+    pub fn power(&self) -> Power {
+        self.power
+    }
+
+    /// Number of state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Folds the elapsed interval into the breakdown.
+    fn settle(&mut self, now: TimeSpan) {
+        let dt = now - self.since;
+        assert!(!dt.is_negative(), "time must not run backwards");
+        let e = self.power * dt;
+        *self
+            .by_state_energy
+            .entry(self.state.clone())
+            .or_insert(Energy::ZERO) += e;
+        *self
+            .by_state_time
+            .entry(self.state.clone())
+            .or_insert(TimeSpan::ZERO) += dt;
+        self.since = now;
+    }
+
+    /// Moves to a new state at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last transition or `power` is negative.
+    pub fn transition(&mut self, state: impl Into<String>, power: Power, now: TimeSpan) {
+        assert!(!power.is_negative(), "state power must be non-negative");
+        self.settle(now);
+        self.state = state.into();
+        self.power = power;
+        self.transitions += 1;
+    }
+
+    /// Adds an instantaneous energy cost (e.g. a startup transient) to the
+    /// named bucket without changing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn charge(&mut self, bucket: impl Into<String>, energy: Energy) {
+        assert!(!energy.is_negative(), "charged energy must be non-negative");
+        *self
+            .by_state_energy
+            .entry(bucket.into())
+            .or_insert(Energy::ZERO) += energy;
+    }
+
+    /// Total energy consumed up to `now` (including the open interval).
+    pub fn total_energy(&self, now: TimeSpan) -> Energy {
+        let open = self.power * (now - self.since).max(TimeSpan::ZERO);
+        self.by_state_energy.values().copied().sum::<Energy>() + open
+    }
+
+    /// Average power over `[start, now]` given the metering start time.
+    pub fn average_power(&self, start: TimeSpan, now: TimeSpan) -> Power {
+        let span = now - start;
+        if span <= TimeSpan::ZERO {
+            return Power::ZERO;
+        }
+        self.total_energy(now) / span
+    }
+
+    /// Energy attributed to `state` in closed intervals so far.
+    pub fn energy_in(&self, state: &str) -> Energy {
+        self.by_state_energy
+            .get(state)
+            .copied()
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Time spent in `state` in closed intervals so far.
+    pub fn time_in(&self, state: &str) -> TimeSpan {
+        self.by_state_time
+            .get(state)
+            .copied()
+            .unwrap_or(TimeSpan::ZERO)
+    }
+
+    /// The per-state energy breakdown (closed intervals only), sorted by
+    /// state name.
+    pub fn breakdown(&self) -> Vec<(String, Energy)> {
+        self.by_state_energy
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64) -> TimeSpan {
+        TimeSpan::from_seconds(t)
+    }
+
+    #[test]
+    fn constant_state_integrates_linearly() {
+        let m = EnergyMeter::new("on", Power::from_watts(2.0), s(0.0));
+        assert_eq!(m.total_energy(s(5.0)).as_joules(), 10.0);
+        assert_eq!(m.average_power(s(0.0), s(5.0)).as_watts(), 2.0);
+    }
+
+    #[test]
+    fn transitions_split_the_integral() {
+        let mut m = EnergyMeter::new("a", Power::from_watts(1.0), s(0.0));
+        m.transition("b", Power::from_watts(3.0), s(2.0));
+        m.transition("a", Power::from_watts(1.0), s(4.0));
+        // closed: a 2 J, b 6 J; open: a 1 J more by t=5.
+        assert_eq!(m.energy_in("a").as_joules(), 2.0);
+        assert_eq!(m.energy_in("b").as_joules(), 6.0);
+        assert_eq!(m.total_energy(s(5.0)).as_joules(), 9.0);
+        assert_eq!(m.time_in("b").as_seconds(), 2.0);
+        assert_eq!(m.transitions(), 2);
+    }
+
+    #[test]
+    fn charges_add_to_buckets() {
+        let mut m = EnergyMeter::new("sleep", Power::ZERO, s(0.0));
+        m.charge("startup", Energy::from_microjoules(5.0));
+        m.charge("startup", Energy::from_microjoules(5.0));
+        assert_eq!(m.energy_in("startup").as_microjoules(), 10.0);
+        assert_eq!(m.total_energy(s(10.0)).as_microjoules(), 10.0);
+    }
+
+    #[test]
+    fn breakdown_lists_all_states() {
+        let mut m = EnergyMeter::new("x", Power::from_watts(1.0), s(0.0));
+        m.transition("y", Power::from_watts(1.0), s(1.0));
+        m.transition("z", Power::from_watts(1.0), s(2.0));
+        let names: Vec<String> = m.breakdown().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_reversal_panics() {
+        let mut m = EnergyMeter::new("a", Power::ZERO, s(5.0));
+        m.transition("b", Power::ZERO, s(4.0));
+    }
+
+    #[test]
+    fn average_power_of_duty_cycle() {
+        let mut m = EnergyMeter::new("on", Power::from_milliwatts(10.0), s(0.0));
+        m.transition("off", Power::ZERO, s(1.0));
+        // 1 s on out of 10 s → 1 mW average.
+        let avg = m.average_power(s(0.0), s(10.0));
+        assert!((avg.as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+}

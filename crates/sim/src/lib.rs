@@ -1,0 +1,72 @@
+//! Deterministic discrete-event simulation kernel with energy accounting.
+//!
+//! Ambient-intelligence functions are realized by *networks* of devices,
+//! so their evaluation needs an event-driven simulator. This kernel is
+//! deliberately minimal and fully deterministic:
+//!
+//! * [`EventQueue`] — a time-ordered queue with FIFO tie-breaking by
+//!   sequence number, so identical runs replay identically;
+//! * [`EnergyMeter`] — per-device power-state tracking that integrates
+//!   energy exactly between state changes and keeps a per-state breakdown;
+//! * [`TraceSeries`] — a lightweight time-series recorder with summary
+//!   statistics;
+//! * [`sim_rng`] — the single sanctioned source of randomness
+//!   (a seeded [`rand::rngs::StdRng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ami_sim::EventQueue;
+//! use ami_units::TimeSpan;
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.schedule_in(TimeSpan::from_millis(2.0), "b");
+//! queue.schedule_in(TimeSpan::from_millis(1.0), "a");
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!((ev, t.as_millis()), ("a", 1.0));
+//! ```
+
+pub mod energy;
+pub mod montecarlo;
+pub mod queue;
+pub mod trace;
+
+pub use energy::EnergyMeter;
+pub use montecarlo::{replicate, summarize, Summary};
+pub use queue::EventQueue;
+pub use trace::TraceSeries;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The single sanctioned way to obtain randomness in simulations:
+/// a seeded, portable [`StdRng`]. Two runs with the same seed produce
+/// identical event streams.
+pub fn sim_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = sim_rng(42);
+        let mut b = sim_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = sim_rng(1);
+        let mut b = sim_rng(2);
+        let same = (0..10)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert!(same < 10);
+    }
+}

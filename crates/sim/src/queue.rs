@@ -1,0 +1,225 @@
+//! The deterministic event queue.
+
+use ami_units::TimeSpan;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at an absolute time with a tie-breaking sequence.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: TimeSpan,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first;
+        // ties break FIFO by sequence number.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// The queue tracks *current simulation time*: popping an event advances
+/// `now()` to that event's timestamp. Scheduling into the past is rejected.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::EventQueue;
+/// use ami_units::TimeSpan;
+///
+/// let mut q: EventQueue<u32> = EventQueue::new();
+/// q.schedule_in(TimeSpan::from_seconds(1.0), 1);
+/// q.schedule_in(TimeSpan::from_seconds(1.0), 2); // same instant: FIFO
+/// assert_eq!(q.pop().unwrap().1, 1);
+/// assert_eq!(q.pop().unwrap().1, 2);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: TimeSpan,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: TimeSpan::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> TimeSpan {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current simulation time.
+    pub fn schedule_at(&mut self, at: TimeSpan, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a `delay` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_in(&mut self, delay: TimeSpan, event: E) {
+        assert!(!delay.is_negative(), "delay must be non-negative");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing simulation time to its timestamp.
+    pub fn pop(&mut self) -> Option<(TimeSpan, E)> {
+        let sched = self.heap.pop()?;
+        self.now = sched.time;
+        Some((sched.time, sched.event))
+    }
+
+    /// Pops the earliest event only if it occurs at or before `deadline`;
+    /// otherwise leaves the queue untouched and advances time to the
+    /// deadline (useful for bounded-horizon runs).
+    pub fn pop_until(&mut self, deadline: TimeSpan) -> Option<(TimeSpan, E)> {
+        match self.heap.peek() {
+            Some(s) if s.time <= deadline => self.pop(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<TimeSpan> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(TimeSpan::from_seconds(3.0), 'c');
+        q.schedule_at(TimeSpan::from_seconds(1.0), 'a');
+        q.schedule_at(TimeSpan::from_seconds(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(TimeSpan::from_seconds(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(TimeSpan::from_seconds(2.0), ());
+        assert_eq!(q.now(), TimeSpan::ZERO);
+        q.pop();
+        assert_eq!(q.now(), TimeSpan::from_seconds(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(TimeSpan::from_seconds(2.0), ());
+        q.pop();
+        q.schedule_at(TimeSpan::from_seconds(1.0), ());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(TimeSpan::from_seconds(5.0), 'x');
+        assert!(q.pop_until(TimeSpan::from_seconds(4.0)).is_none());
+        assert_eq!(q.now(), TimeSpan::from_seconds(4.0));
+        assert_eq!(q.len(), 1);
+        let (t, e) = q.pop_until(TimeSpan::from_seconds(6.0)).unwrap();
+        assert_eq!((t.as_seconds(), e), (5.0, 'x'));
+    }
+
+    #[test]
+    fn relative_scheduling_stacks() {
+        let mut q = EventQueue::new();
+        q.schedule_in(TimeSpan::from_seconds(1.0), 1);
+        q.pop();
+        q.schedule_in(TimeSpan::from_seconds(1.0), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_seconds(), 2.0);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+    }
+}

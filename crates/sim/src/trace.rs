@@ -1,0 +1,153 @@
+//! Time-series recording with summary statistics.
+
+use ami_units::TimeSpan;
+
+/// A recorded `(time, value)` series with incremental statistics.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::TraceSeries;
+/// use ami_units::TimeSpan;
+///
+/// let mut t = TraceSeries::new("buffer level");
+/// t.record(TimeSpan::from_seconds(1.0), 3.0);
+/// t.record(TimeSpan::from_seconds(2.0), 5.0);
+/// assert_eq!(t.mean(), Some(4.0));
+/// assert_eq!(t.max(), Some(5.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSeries {
+    name: String,
+    times: Vec<TimeSpan>,
+    values: Vec<f64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TraceSeries {
+    /// An empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or `time` precedes the last sample.
+    pub fn record(&mut self, time: TimeSpan, value: f64) {
+        assert!(value.is_finite(), "trace values must be finite");
+        if let Some(last) = self.times.last() {
+            assert!(time >= *last, "trace times must not decrease");
+        }
+        self.times.push(time);
+        self.values.push(value);
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sample times.
+    pub fn times(&self) -> &[TimeSpan] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean, if any samples exist.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum value, if any samples exist.
+    pub fn min(&self) -> Option<f64> {
+        self.values.first().map(|_| self.min)
+    }
+
+    /// Maximum value, if any samples exist.
+    pub fn max(&self) -> Option<f64> {
+        self.values.first().map(|_| self.max)
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<(TimeSpan, f64)> {
+        match (self.times.last(), self.values.last()) {
+            (Some(&t), Some(&v)) => Some((t, v)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_track_samples() {
+        let mut t = TraceSeries::new("x");
+        for (i, v) in [4.0, 1.0, 7.0, 2.0].iter().enumerate() {
+            t.record(TimeSpan::from_seconds(i as f64), *v);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.mean(), Some(3.5));
+        assert_eq!(t.min(), Some(1.0));
+        assert_eq!(t.max(), Some(7.0));
+        assert_eq!(t.last().unwrap().1, 2.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_stats() {
+        let t = TraceSeries::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), None);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.last(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not decrease")]
+    fn unordered_times_rejected() {
+        let mut t = TraceSeries::new("x");
+        t.record(TimeSpan::from_seconds(2.0), 1.0);
+        t.record(TimeSpan::from_seconds(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_value_rejected() {
+        let mut t = TraceSeries::new("x");
+        t.record(TimeSpan::ZERO, f64::NAN);
+    }
+}

@@ -1,0 +1,208 @@
+//! Power gating: the 2003 answer to the leakage problem.
+//!
+//! Sleep transistors cut an idle block's leakage by orders of magnitude at
+//! the price of wake-up latency and energy (re-charging the virtual rail)
+//! plus an area tax. Gating is what lets a 90/65 nm design behave like an
+//! older node while idle — the mitigation for everything ablation A1
+//! exposes.
+
+use crate::node::TechnologyNode;
+use ami_units::{Energy, Power, Temperature, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// A sleep-transistor power gate wrapped around a logic block.
+///
+/// # Example
+///
+/// ```
+/// use ami_tech::{PowerGate, TechnologyNode};
+/// use ami_units::Temperature;
+///
+/// let node = TechnologyNode::n65();
+/// let gate = PowerGate::sleep_transistor_2003();
+/// let awake = node.leakage_power(100e3, node.vdd_nominal(), Temperature::ROOM);
+/// let gated = gate.gated_leakage(&node, 100e3, Temperature::ROOM);
+/// assert!(awake.as_watts() / gated.as_watts() > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerGate {
+    /// Leakage reduction factor while gated (≥ 1).
+    reduction: f64,
+    /// Time to restore the virtual rail on wake-up.
+    wake_latency: TimeSpan,
+    /// Virtual-rail recharge energy per gate equivalent, at nominal Vdd.
+    wake_energy_per_gate: Energy,
+}
+
+impl PowerGate {
+    /// Creates a gate from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduction < 1`, or latency/energy are negative.
+    pub fn new(reduction: f64, wake_latency: TimeSpan, wake_energy_per_gate: Energy) -> Self {
+        assert!(
+            reduction.is_finite() && reduction >= 1.0,
+            "reduction factor must be >= 1"
+        );
+        assert!(!wake_latency.is_negative(), "latency must be non-negative");
+        assert!(
+            !wake_energy_per_gate.is_negative(),
+            "wake energy must be non-negative"
+        );
+        Self {
+            reduction,
+            wake_latency,
+            wake_energy_per_gate,
+        }
+    }
+
+    /// A 2003-class MTCMOS sleep transistor: 500× leakage reduction,
+    /// 10 µs wake, ~quarter of a gate's switching energy to recharge the
+    /// virtual rail per gate.
+    pub fn sleep_transistor_2003() -> Self {
+        Self::new(500.0, TimeSpan::from_micros(10.0), Energy::from_femto(2.0))
+    }
+
+    /// Leakage-reduction factor while gated.
+    pub fn reduction(&self) -> f64 {
+        self.reduction
+    }
+
+    /// Wake-up latency.
+    pub fn wake_latency(&self) -> TimeSpan {
+        self.wake_latency
+    }
+
+    /// Residual leakage of `gates` gates on `node` while gated.
+    pub fn gated_leakage(&self, node: &TechnologyNode, gates: f64, temp: Temperature) -> Power {
+        node.leakage_power(gates, node.vdd_nominal(), temp) / self.reduction
+    }
+
+    /// Energy of one wake-up for a block of `gates` gates.
+    pub fn wake_energy(&self, gates: f64) -> Energy {
+        assert!(gates >= 0.0, "gate count must be non-negative");
+        self.wake_energy_per_gate * gates
+    }
+
+    /// The idle duration beyond which gating a block of `gates` gates on
+    /// `node` pays off: wake energy divided by the leakage saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node leaks nothing (gating can never pay off).
+    pub fn breakeven_idle(&self, node: &TechnologyNode, gates: f64, temp: Temperature) -> TimeSpan {
+        let ungated = node.leakage_power(gates, node.vdd_nominal(), temp);
+        let saved = ungated - self.gated_leakage(node, gates, temp);
+        assert!(
+            saved > Power::ZERO,
+            "gating cannot pay off on a leakage-free node"
+        );
+        self.wake_energy(gates) / saved
+    }
+
+    /// Average idle power of a gated block woken every `cycle` for
+    /// `active` (during which it leaks ungated), gated the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active + wake latency` exceeds `cycle`.
+    pub fn duty_cycled_leakage(
+        &self,
+        node: &TechnologyNode,
+        gates: f64,
+        temp: Temperature,
+        cycle: TimeSpan,
+        active: TimeSpan,
+    ) -> Power {
+        assert!(
+            active + self.wake_latency <= cycle,
+            "active time plus wake latency must fit in the cycle"
+        );
+        let ungated = node.leakage_power(gates, node.vdd_nominal(), temp);
+        let awake = active + self.wake_latency;
+        let energy = ungated * awake
+            + self.gated_leakage(node, gates, temp) * (cycle - awake)
+            + self.wake_energy(gates);
+        energy / cycle
+    }
+}
+
+/// Helper so the preset reads naturally: femtojoules.
+trait FemtoEnergy {
+    fn from_femto(fj: f64) -> Energy;
+}
+
+impl FemtoEnergy for Energy {
+    fn from_femto(fj: f64) -> Energy {
+        Energy::new(fj * 1e-15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gating_restores_older_node_idle_behaviour() {
+        // The design rule of the era: a gated 65 nm block idles like
+        // ungated 180 nm silicon (or better).
+        let n65 = TechnologyNode::n65();
+        let n180 = TechnologyNode::n180();
+        let gate = PowerGate::sleep_transistor_2003();
+        let gated65 = gate.gated_leakage(&n65, 100e3, Temperature::ROOM);
+        let idle180 = n180.leakage_power(100e3, n180.vdd_nominal(), Temperature::ROOM);
+        assert!(gated65 <= idle180);
+    }
+
+    #[test]
+    fn breakeven_is_sub_millisecond_at_65nm() {
+        // 65 nm leaks so hard that gating pays off almost immediately.
+        let node = TechnologyNode::n65();
+        let gate = PowerGate::sleep_transistor_2003();
+        let be = gate.breakeven_idle(&node, 100e3, Temperature::ROOM);
+        assert!(be.as_millis() < 1.0, "breakeven {be}");
+    }
+
+    #[test]
+    fn breakeven_grows_on_low_leakage_nodes() {
+        let gate = PowerGate::sleep_transistor_2003();
+        let be_old = gate.breakeven_idle(&TechnologyNode::n250(), 100e3, Temperature::ROOM);
+        let be_new = gate.breakeven_idle(&TechnologyNode::n65(), 100e3, Temperature::ROOM);
+        assert!(be_old > be_new * 100.0);
+    }
+
+    #[test]
+    fn duty_cycled_leakage_between_bounds() {
+        let node = TechnologyNode::n90();
+        let gate = PowerGate::sleep_transistor_2003();
+        let gates = 50e3;
+        let cycle = TimeSpan::from_millis(100.0);
+        let active = TimeSpan::from_millis(1.0);
+        let avg = gate.duty_cycled_leakage(&node, gates, Temperature::ROOM, cycle, active);
+        let floor = gate.gated_leakage(&node, gates, Temperature::ROOM);
+        let ceiling = node.leakage_power(gates, node.vdd_nominal(), Temperature::ROOM);
+        assert!(avg > floor && avg < ceiling);
+        // At a 1% duty the average sits near the gated floor.
+        assert!(avg.as_watts() < 0.05 * ceiling.as_watts());
+    }
+
+    #[test]
+    #[should_panic(expected = "wake latency must fit")]
+    fn overlong_active_rejected() {
+        let gate = PowerGate::sleep_transistor_2003();
+        let _ = gate.duty_cycled_leakage(
+            &TechnologyNode::n90(),
+            1e3,
+            Temperature::ROOM,
+            TimeSpan::from_micros(5.0),
+            TimeSpan::from_micros(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction factor")]
+    fn sub_unity_reduction_rejected() {
+        let _ = PowerGate::new(0.5, TimeSpan::ZERO, Energy::ZERO);
+    }
+}

@@ -1,0 +1,106 @@
+//! Intrinsic computational efficiency (ICE) — the technology ceiling.
+//!
+//! The power–information analysis needs an anchor: how many operations per
+//! joule can silicon deliver *at best* in a given process? Following the
+//! convention of the early-2000s low-power literature, we define an
+//! "operation" as a 32-bit-datapath RISC/DSP-class operation and charge it
+//! an equivalent number of gate switching events. A hardwired (ASIC)
+//! datapath pays only this intrinsic cost; programmable architectures pay
+//! a multiplicative *flexibility overhead* on top (modelled in `ami-arch`).
+
+use crate::TechnologyNode;
+use ami_units::{ComputeEfficiency, EnergyPerOp, Voltage};
+
+/// Equivalent gate switching events charged per 32-bit operation.
+///
+/// Calibration: a 32-bit ripple/carry-select adder plus operand routing is
+/// a few hundred gate equivalents at ~50 % activity; 250 switching events
+/// per op puts the 130 nm ASIC bound at ≈50 MOPS/mW, consistent with
+/// published dedicated-datapath silicon of the era.
+pub const GATE_SWITCHES_PER_OP: f64 = 250.0;
+
+/// Energy of one intrinsic (ASIC-bound) operation at supply `vdd`.
+///
+/// # Example
+///
+/// ```
+/// use ami_tech::{ice, TechnologyNode};
+///
+/// let n = TechnologyNode::n130();
+/// let e = ice::intrinsic_energy_per_op(&n, n.vdd_nominal());
+/// // 250 switches × 7.2 fJ ≈ 1.8 pJ/op at 130 nm.
+/// assert!(e.as_picojoules_per_op() > 1.0 && e.as_picojoules_per_op() < 3.0);
+/// ```
+pub fn intrinsic_energy_per_op(node: &TechnologyNode, vdd: Voltage) -> EnergyPerOp {
+    EnergyPerOp::new(GATE_SWITCHES_PER_OP * node.dynamic_energy_per_gate(vdd).as_joules())
+}
+
+/// Intrinsic computational efficiency at supply `vdd`: the reciprocal of
+/// [`intrinsic_energy_per_op`], in operations per joule (≡ op/s per watt).
+///
+/// # Example
+///
+/// ```
+/// use ami_tech::{intrinsic_efficiency, TechnologyNode};
+///
+/// let n90 = TechnologyNode::n90();
+/// let n250 = TechnologyNode::n250();
+/// let e90 = intrinsic_efficiency(&n90, n90.vdd_nominal());
+/// let e250 = intrinsic_efficiency(&n250, n250.vdd_nominal());
+/// // Scaling buys more than an order of magnitude from 250 nm to 90 nm.
+/// assert!(e90.as_ops_per_joule() / e250.as_ops_per_joule() > 10.0);
+/// ```
+pub fn intrinsic_efficiency(node: &TechnologyNode, vdd: Voltage) -> ComputeEfficiency {
+    intrinsic_energy_per_op(node, vdd).to_efficiency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ice_at_130nm_matches_2003_anchor() {
+        let n = TechnologyNode::n130();
+        let ice = intrinsic_efficiency(&n, n.vdd_nominal());
+        let mops_per_mw = ice.as_mops_per_milliwatt();
+        // Published dedicated-silicon numbers of the era: tens of MOPS/mW.
+        assert!(
+            (10.0..1000.0).contains(&mops_per_mw),
+            "130 nm ICE out of calibration window: {mops_per_mw:.1} MOPS/mW"
+        );
+    }
+
+    #[test]
+    fn ice_improves_monotonically_across_roadmap() {
+        let nodes = [
+            TechnologyNode::n250(),
+            TechnologyNode::n180(),
+            TechnologyNode::n130(),
+            TechnologyNode::n90(),
+            TechnologyNode::n65(),
+        ];
+        let mut last = 0.0;
+        for n in &nodes {
+            let ice = intrinsic_efficiency(n, n.vdd_nominal()).as_ops_per_joule();
+            assert!(ice > last, "{} regressed", n.name());
+            last = ice;
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_raises_efficiency() {
+        // Dropping Vdd trades speed for efficiency: the essence of DVS.
+        let n = TechnologyNode::n130();
+        let nominal = intrinsic_efficiency(&n, n.vdd_nominal());
+        let scaled = intrinsic_efficiency(&n, Voltage::from_volts(0.8));
+        assert!(scaled > nominal);
+    }
+
+    #[test]
+    fn energy_and_efficiency_are_reciprocal() {
+        let n = TechnologyNode::n90();
+        let e = intrinsic_energy_per_op(&n, n.vdd_nominal());
+        let eff = intrinsic_efficiency(&n, n.vdd_nominal());
+        assert!((e.as_joules_per_op() * eff.as_ops_per_joule() - 1.0).abs() < 1e-12);
+    }
+}

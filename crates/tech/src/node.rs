@@ -1,0 +1,545 @@
+//! Technology-node parameters and the dynamic/leakage power models.
+
+use ami_units::{Capacitance, Current, Energy, Frequency, Length, Power, Temperature, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Leakage-model selector, the A1 ablation knob.
+///
+/// [`LeakageModel::Off`] reproduces the pre-130 nm mental model in which
+/// static power is negligible; [`LeakageModel::Subthreshold`] is the
+/// realistic model that dominates conclusions at 90/65 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LeakageModel {
+    /// Ignore leakage entirely (the classical CV²f-only view).
+    Off,
+    /// Subthreshold leakage with DIBL supply sensitivity and
+    /// doubling-per-10-kelvin temperature dependence.
+    #[default]
+    Subthreshold,
+}
+
+/// One CMOS process corner, circa the 2003 ITRS window.
+///
+/// All numbers are *calibration constants*: representative of published
+/// 2001–2004 values for a general-purpose logic process, chosen so that the
+/// derived figures (energy/gate-switch, leakage/gate, FO4-limited clock)
+/// land in the ranges the DATE 2003 community quoted. Each accessor
+/// documents its provenance. The struct is immutable; derive variants with
+/// [`TechnologyNode::with_leakage_model`]-style builders.
+///
+/// # Example
+///
+/// ```
+/// use ami_tech::TechnologyNode;
+///
+/// let node = TechnologyNode::n90();
+/// assert!((node.feature_size().as_nanometers() - 90.0).abs() < 1e-9);
+/// // ~3.5 fF switched per average gate at 90 nm.
+/// let e = node.dynamic_energy_per_gate(node.vdd_nominal());
+/// assert!(e.as_joules() > 1e-15 && e.as_joules() < 1e-14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyNode {
+    name: String,
+    feature: Length,
+    vdd_nominal: Voltage,
+    vth: Voltage,
+    /// Effective switched capacitance per average logic gate, local wiring
+    /// included.
+    gate_cap: Capacitance,
+    /// Subthreshold leakage per gate at nominal Vdd and 300 K.
+    leak_per_gate: Current,
+    /// Logic density in gates per square millimetre.
+    gate_density: f64,
+    /// Clock of a 20-FO4 pipeline at nominal Vdd.
+    f_max_nominal: Frequency,
+    /// Velocity-saturation exponent of the alpha-power delay law (1..2).
+    alpha_sat: f64,
+    /// DIBL coefficient: volts of Vth reduction per volt of Vdd.
+    dibl: f64,
+    /// Subthreshold swing at 300 K (volts per decade of current).
+    swing: Voltage,
+    leakage_model: LeakageModel,
+}
+
+impl TechnologyNode {
+    /// Builds a node from explicit parameters.
+    ///
+    /// Prefer the named constructors ([`TechnologyNode::n250`] …
+    /// [`TechnologyNode::n65`]) unless you are modelling a custom process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vth >= vdd_nominal`, if `gate_density`, `alpha_sat` or
+    /// `dibl` are not finite and positive, or if any quantity is negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        feature: Length,
+        vdd_nominal: Voltage,
+        vth: Voltage,
+        gate_cap: Capacitance,
+        leak_per_gate: Current,
+        gate_density: f64,
+        f_max_nominal: Frequency,
+        alpha_sat: f64,
+        dibl: f64,
+        swing: Voltage,
+    ) -> Self {
+        assert!(
+            vth.as_volts() > 0.0 && vth < vdd_nominal,
+            "threshold voltage must be positive and below nominal Vdd"
+        );
+        assert!(
+            gate_density.is_finite() && gate_density > 0.0,
+            "gate density must be positive"
+        );
+        assert!(
+            (1.0..=2.0).contains(&alpha_sat),
+            "alpha-power exponent must lie in [1, 2]"
+        );
+        assert!(
+            dibl.is_finite() && (0.0..1.0).contains(&dibl),
+            "DIBL coefficient must lie in [0, 1)"
+        );
+        assert!(
+            !gate_cap.is_negative() && !leak_per_gate.is_negative() && swing.as_volts() > 0.0,
+            "capacitance, leakage and swing must be non-negative"
+        );
+        Self {
+            name: name.into(),
+            feature,
+            vdd_nominal,
+            vth,
+            gate_cap,
+            leak_per_gate,
+            gate_density,
+            f_max_nominal,
+            alpha_sat,
+            dibl,
+            swing,
+            leakage_model: LeakageModel::default(),
+        }
+    }
+
+    /// The 250 nm node (≈1998 production, entry point of the 2003 roadmap).
+    pub fn n250() -> Self {
+        Self::new(
+            "250nm",
+            Length::from_nanometers(250.0),
+            Voltage::from_volts(2.5),
+            Voltage::from_volts(0.55),
+            Capacitance::from_femtofarads(10.0),
+            Current::from_nanoamps(0.01),
+            30e3,
+            Frequency::from_megahertz(400.0),
+            1.6,
+            0.04,
+            Voltage::from_millivolts(85.0),
+        )
+    }
+
+    /// The 180 nm node (≈2000 production).
+    pub fn n180() -> Self {
+        Self::new(
+            "180nm",
+            Length::from_nanometers(180.0),
+            Voltage::from_volts(1.8),
+            Voltage::from_volts(0.45),
+            Capacitance::from_femtofarads(7.0),
+            Current::from_nanoamps(0.1),
+            60e3,
+            Frequency::from_megahertz(550.0),
+            1.5,
+            0.06,
+            Voltage::from_millivolts(88.0),
+        )
+    }
+
+    /// The 130 nm node (2003's volume workhorse; the keynote's present).
+    pub fn n130() -> Self {
+        Self::new(
+            "130nm",
+            Length::from_nanometers(130.0),
+            Voltage::from_volts(1.2),
+            Voltage::from_volts(0.35),
+            Capacitance::from_femtofarads(5.0),
+            Current::from_nanoamps(1.0),
+            120e3,
+            Frequency::from_megahertz(770.0),
+            1.4,
+            0.08,
+            Voltage::from_millivolts(90.0),
+        )
+    }
+
+    /// The 90 nm node (2004–2005 ramp; the keynote's near future).
+    pub fn n90() -> Self {
+        Self::new(
+            "90nm",
+            Length::from_nanometers(90.0),
+            Voltage::from_volts(1.0),
+            Voltage::from_volts(0.30),
+            Capacitance::from_femtofarads(3.5),
+            Current::from_nanoamps(10.0),
+            250e3,
+            Frequency::from_gigahertz(1.1),
+            1.3,
+            0.10,
+            Voltage::from_millivolts(95.0),
+        )
+    }
+
+    /// The 65 nm node (the far edge of the keynote's horizon).
+    pub fn n65() -> Self {
+        Self::new(
+            "65nm",
+            Length::from_nanometers(65.0),
+            Voltage::from_volts(0.9),
+            Voltage::from_volts(0.25),
+            Capacitance::from_femtofarads(2.5),
+            Current::from_nanoamps(40.0),
+            500e3,
+            Frequency::from_gigahertz(1.5),
+            1.25,
+            0.12,
+            Voltage::from_millivolts(100.0),
+        )
+    }
+
+    /// Node name, e.g. `"130nm"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drawn feature size.
+    pub fn feature_size(&self) -> Length {
+        self.feature
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd_nominal(&self) -> Voltage {
+        self.vdd_nominal
+    }
+
+    /// Long-channel threshold voltage at nominal supply.
+    pub fn threshold(&self) -> Voltage {
+        self.vth
+    }
+
+    /// Effective switched capacitance per average gate.
+    pub fn gate_capacitance(&self) -> Capacitance {
+        self.gate_cap
+    }
+
+    /// Logic density in gates per square millimetre.
+    pub fn gate_density_per_mm2(&self) -> f64 {
+        self.gate_density
+    }
+
+    /// Clock of the 20-FO4 reference pipeline at nominal supply.
+    pub fn f_max_nominal(&self) -> Frequency {
+        self.f_max_nominal
+    }
+
+    /// The subthreshold swing (volts per decade of leakage current).
+    pub fn subthreshold_swing(&self) -> Voltage {
+        self.swing
+    }
+
+    /// The active leakage-model selector.
+    pub fn leakage_model(&self) -> LeakageModel {
+        self.leakage_model
+    }
+
+    /// Returns a copy with the given leakage model (the A1 ablation).
+    pub fn with_leakage_model(mut self, model: LeakageModel) -> Self {
+        self.leakage_model = model;
+        self
+    }
+
+    /// Energy of one gate switching event at supply `vdd`: `C·V²`.
+    pub fn dynamic_energy_per_gate(&self, vdd: Voltage) -> Energy {
+        self.gate_cap.switching_energy(vdd)
+    }
+
+    /// Dynamic power of `gates` gates clocked at `freq` with switching
+    /// activity `activity` (fraction of gates toggling per cycle) at
+    /// supply `vdd`: `α·N·C·V²·f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]` or `gates` is negative.
+    pub fn dynamic_power(&self, gates: f64, activity: f64, vdd: Voltage, freq: Frequency) -> Power {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity factor must lie in [0, 1]"
+        );
+        assert!(gates >= 0.0, "gate count must be non-negative");
+        Power::new(
+            activity * gates * self.dynamic_energy_per_gate(vdd).as_joules() * freq.as_hertz(),
+        )
+    }
+
+    /// Subthreshold leakage current of one gate at supply `vdd` and
+    /// temperature `temp`.
+    ///
+    /// Model: the calibrated 300 K nominal-Vdd leakage, scaled by
+    /// a DIBL term `10^(λ·(Vdd−Vnom)/S)` and a doubling per 10 K.
+    /// Returns zero when the model is [`LeakageModel::Off`].
+    pub fn leakage_current_per_gate(&self, vdd: Voltage, temp: Temperature) -> Current {
+        match self.leakage_model {
+            LeakageModel::Off => Current::ZERO,
+            LeakageModel::Subthreshold => {
+                let dv = vdd.as_volts() - self.vdd_nominal.as_volts();
+                let dibl_factor = 10f64.powf(self.dibl * dv / self.swing.as_volts());
+                let temp_factor = 2f64.powf((temp.as_kelvin() - 300.0) / 10.0);
+                Current::new(self.leak_per_gate.as_amps() * dibl_factor * temp_factor)
+            }
+        }
+    }
+
+    /// Static (leakage) power of `gates` gates at `vdd` and `temp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates` is negative.
+    pub fn leakage_power(&self, gates: f64, vdd: Voltage, temp: Temperature) -> Power {
+        assert!(gates >= 0.0, "gate count must be non-negative");
+        Power::new(gates * self.leakage_current_per_gate(vdd, temp).as_amps() * vdd.as_volts())
+    }
+
+    /// Total power: dynamic plus leakage.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::dynamic_power`].
+    pub fn total_power(
+        &self,
+        gates: f64,
+        activity: f64,
+        vdd: Voltage,
+        freq: Frequency,
+        temp: Temperature,
+    ) -> Power {
+        self.dynamic_power(gates, activity, vdd, freq) + self.leakage_power(gates, vdd, temp)
+    }
+
+    /// Maximum clock at supply `vdd` via the alpha-power law:
+    /// `f(V) = f_nom · [(V−Vth)^α / V] / [(Vnom−Vth)^α / Vnom]`.
+    ///
+    /// Returns zero at or below threshold — the device no longer switches.
+    pub fn frequency_at(&self, vdd: Voltage) -> Frequency {
+        let v = vdd.as_volts();
+        let vth = self.vth.as_volts();
+        if v <= vth {
+            return Frequency::ZERO;
+        }
+        let vnom = self.vdd_nominal.as_volts();
+        let speed = |v: f64| (v - vth).powf(self.alpha_sat) / v;
+        Frequency::new(self.f_max_nominal.as_hertz() * speed(v) / speed(vnom))
+    }
+
+    /// The lowest supply able to sustain `freq`, found by bisection on
+    /// the (monotonic) alpha-power law; the core DVS primitive.
+    ///
+    /// Returns `None` if `freq` exceeds the nominal-supply maximum.
+    pub fn min_vdd_for(&self, freq: Frequency) -> Option<Voltage> {
+        if freq > self.f_max_nominal {
+            return None;
+        }
+        if freq == Frequency::ZERO {
+            return Some(self.vth);
+        }
+        let (mut lo, mut hi) = (self.vth.as_volts(), self.vdd_nominal.as_volts());
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.frequency_at(Voltage::new(mid)) < freq {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Voltage::new(hi))
+    }
+}
+
+impl std::fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (Vdd {}, Vth {}, {} gates/mm\u{00b2})",
+            self.name, self.vdd_nominal, self.vth, self.gate_density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_nodes() -> Vec<TechnologyNode> {
+        vec![
+            TechnologyNode::n250(),
+            TechnologyNode::n180(),
+            TechnologyNode::n130(),
+            TechnologyNode::n90(),
+            TechnologyNode::n65(),
+        ]
+    }
+
+    #[test]
+    fn dynamic_energy_shrinks_with_scaling() {
+        let nodes = all_nodes();
+        for pair in nodes.windows(2) {
+            let e_old = pair[0].dynamic_energy_per_gate(pair[0].vdd_nominal());
+            let e_new = pair[1].dynamic_energy_per_gate(pair[1].vdd_nominal());
+            assert!(
+                e_new < e_old,
+                "energy per switch must fall from {} to {}",
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+    }
+
+    #[test]
+    fn leakage_grows_explosively_with_scaling() {
+        let nodes = all_nodes();
+        let leak_250 = nodes[0]
+            .leakage_current_per_gate(nodes[0].vdd_nominal(), Temperature::ROOM)
+            .as_amps();
+        let leak_65 = nodes[4]
+            .leakage_current_per_gate(nodes[4].vdd_nominal(), Temperature::ROOM)
+            .as_amps();
+        // Three-plus orders of magnitude across the roadmap window.
+        assert!(leak_65 / leak_250 > 1e3);
+    }
+
+    #[test]
+    fn leakage_doubles_every_ten_kelvin() {
+        let n = TechnologyNode::n90();
+        let i300 = n.leakage_current_per_gate(n.vdd_nominal(), Temperature::from_kelvin(300.0));
+        let i310 = n.leakage_current_per_gate(n.vdd_nominal(), Temperature::from_kelvin(310.0));
+        assert!((i310.as_amps() / i300.as_amps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_off_is_zero() {
+        let n = TechnologyNode::n65().with_leakage_model(LeakageModel::Off);
+        assert_eq!(
+            n.leakage_power(1e6, n.vdd_nominal(), Temperature::ROOM),
+            Power::ZERO
+        );
+    }
+
+    #[test]
+    fn dibl_reduces_leakage_at_lower_vdd() {
+        let n = TechnologyNode::n90();
+        let low = n.leakage_current_per_gate(Voltage::from_volts(0.7), Temperature::ROOM);
+        let nom = n.leakage_current_per_gate(n.vdd_nominal(), Temperature::ROOM);
+        assert!(low < nom);
+    }
+
+    #[test]
+    fn dynamic_power_formula() {
+        let n = TechnologyNode::n130();
+        // 1M gates, 10% activity, nominal Vdd, 100 MHz.
+        let p = n.dynamic_power(1e6, 0.1, n.vdd_nominal(), Frequency::from_megahertz(100.0));
+        // 0.1 * 1e6 * 5fF*1.44V² * 1e8 = 0.1*1e6*7.2e-15*1e8 = 72 mW.
+        assert!((p.as_milliwatts() - 72.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor")]
+    fn activity_out_of_range_panics() {
+        let n = TechnologyNode::n130();
+        let _ = n.dynamic_power(1.0, 1.5, n.vdd_nominal(), Frequency::from_megahertz(1.0));
+    }
+
+    #[test]
+    fn frequency_at_nominal_matches_fmax() {
+        for n in all_nodes() {
+            let f = n.frequency_at(n.vdd_nominal());
+            assert!((f.as_hertz() / n.f_max_nominal().as_hertz() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frequency_zero_at_threshold() {
+        let n = TechnologyNode::n130();
+        assert_eq!(n.frequency_at(n.threshold()), Frequency::ZERO);
+        assert_eq!(n.frequency_at(Voltage::from_volts(0.1)), Frequency::ZERO);
+    }
+
+    #[test]
+    fn frequency_monotonic_in_vdd() {
+        let n = TechnologyNode::n90();
+        let mut last = Frequency::ZERO;
+        for step in 1..=10 {
+            let v = Voltage::new(n.threshold().as_volts() + 0.07 * f64::from(step));
+            let f = n.frequency_at(v);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn min_vdd_inverts_frequency_at() {
+        let n = TechnologyNode::n130();
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let target = Frequency::new(n.f_max_nominal().as_hertz() * frac);
+            let v = n.min_vdd_for(target).expect("reachable frequency");
+            let achieved = n.frequency_at(v);
+            assert!(
+                achieved >= target * 0.999,
+                "bisection must meet the target frequency"
+            );
+            assert!(v <= n.vdd_nominal());
+        }
+    }
+
+    #[test]
+    fn min_vdd_rejects_overclock() {
+        let n = TechnologyNode::n130();
+        assert!(n
+            .min_vdd_for(Frequency::new(n.f_max_nominal().as_hertz() * 1.01))
+            .is_none());
+    }
+
+    #[test]
+    fn dvs_cubic_power_saving() {
+        // Running at half frequency and the matching reduced Vdd must save
+        // substantially more than the linear (frequency-only) factor.
+        let n = TechnologyNode::n130();
+        let f_half = Frequency::new(n.f_max_nominal().as_hertz() / 2.0);
+        let v_half = n.min_vdd_for(f_half).unwrap();
+        let p_full = n.dynamic_power(1e6, 0.15, n.vdd_nominal(), n.f_max_nominal());
+        let p_dvs = n.dynamic_power(1e6, 0.15, v_half, f_half);
+        let gain = p_full.as_watts() / p_dvs.as_watts();
+        assert!(gain > 3.0, "expected super-linear gain, got {gain:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold voltage")]
+    fn vth_above_vdd_rejected() {
+        let _ = TechnologyNode::new(
+            "bad",
+            Length::from_nanometers(100.0),
+            Voltage::from_volts(1.0),
+            Voltage::from_volts(1.2),
+            Capacitance::from_femtofarads(3.0),
+            Current::from_nanoamps(1.0),
+            1e5,
+            Frequency::from_gigahertz(1.0),
+            1.3,
+            0.1,
+            Voltage::from_millivolts(90.0),
+        );
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(TechnologyNode::n130().to_string().contains("130nm"));
+    }
+}

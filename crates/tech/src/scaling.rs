@@ -1,0 +1,251 @@
+//! Roadmap projection: carry one design across technology nodes.
+//!
+//! The keynote's scaling argument is that constant functionality gets
+//! exponentially cheaper in energy — but only if leakage is contained.
+//! [`Roadmap::project`] walks a fixed [`DesignPoint`] (gates, activity,
+//! clock) across nodes and reports the dynamic/leakage split at each stop,
+//! which experiment F2/A1 turns into the headline figure.
+
+use crate::node::TechnologyNode;
+use ami_units::{Area, Frequency, Power, Temperature};
+use serde::{Deserialize, Serialize};
+
+/// A fixed piece of functionality to be projected across nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Logic size in gate equivalents.
+    pub gates: f64,
+    /// Average switching activity (fraction of gates toggling per cycle).
+    pub activity: f64,
+    /// Required clock frequency.
+    pub clock: Frequency,
+    /// Operating temperature.
+    pub temperature: Temperature,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates` is negative or `activity` lies outside `[0, 1]`.
+    pub fn new(gates: f64, activity: f64, clock: Frequency, temperature: Temperature) -> Self {
+        assert!(gates >= 0.0, "gate count must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must lie in [0, 1]"
+        );
+        Self {
+            gates,
+            activity,
+            clock,
+            temperature,
+        }
+    }
+}
+
+/// One stop of a roadmap projection: the design evaluated on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingStep {
+    /// Node name.
+    pub node: String,
+    /// Dynamic power at this node (nominal supply, required clock).
+    pub dynamic: Power,
+    /// Leakage power at this node.
+    pub leakage: Power,
+    /// Die area consumed by the logic.
+    pub area: Area,
+    /// Whether the node can reach the required clock at nominal supply.
+    pub meets_clock: bool,
+}
+
+impl ScalingStep {
+    /// Total power at this stop.
+    pub fn total(&self) -> Power {
+        self.dynamic + self.leakage
+    }
+
+    /// Leakage share of total power, in `[0, 1]` (zero if total is zero).
+    pub fn leakage_fraction(&self) -> f64 {
+        let total = self.total().as_watts();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage.as_watts() / total
+        }
+    }
+}
+
+/// An ordered sequence of technology nodes.
+///
+/// # Example
+///
+/// ```
+/// use ami_tech::{DesignPoint, Roadmap};
+/// use ami_units::{Frequency, Temperature};
+///
+/// let design = DesignPoint::new(200e3, 0.1, Frequency::from_megahertz(50.0), Temperature::ROOM);
+/// let steps = Roadmap::full_2003().project(&design);
+/// // Total power falls monotonically while leakage share rises.
+/// assert!(steps.last().unwrap().total() < steps[0].total());
+/// assert!(steps.last().unwrap().leakage_fraction() > steps[0].leakage_fraction());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roadmap {
+    nodes: Vec<TechnologyNode>,
+}
+
+impl Roadmap {
+    /// Builds a roadmap from an explicit node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<TechnologyNode>) -> Self {
+        assert!(!nodes.is_empty(), "a roadmap needs at least one node");
+        Self { nodes }
+    }
+
+    /// The five-node 2003 window: 250, 180, 130, 90, 65 nm.
+    pub fn full_2003() -> Self {
+        Self::new(vec![
+            TechnologyNode::n250(),
+            TechnologyNode::n180(),
+            TechnologyNode::n130(),
+            TechnologyNode::n90(),
+            TechnologyNode::n65(),
+        ])
+    }
+
+    /// The nodes in order.
+    pub fn nodes(&self) -> &[TechnologyNode] {
+        &self.nodes
+    }
+
+    /// Evaluates `design` on every node at nominal supply.
+    pub fn project(&self, design: &DesignPoint) -> Vec<ScalingStep> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let vdd = node.vdd_nominal();
+                ScalingStep {
+                    node: node.name().to_owned(),
+                    dynamic: node.dynamic_power(design.gates, design.activity, vdd, design.clock),
+                    leakage: node.leakage_power(design.gates, vdd, design.temperature),
+                    area: Area::from_square_millimeters(design.gates / node.gate_density_per_mm2()),
+                    meets_clock: design.clock <= node.f_max_nominal(),
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates `design` with each node's supply lowered as far as the
+    /// required clock permits (perfect static DVS). Nodes that cannot reach
+    /// the clock are evaluated at nominal supply with `meets_clock: false`.
+    pub fn project_with_dvs(&self, design: &DesignPoint) -> Vec<ScalingStep> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let (vdd, meets) = match node.min_vdd_for(design.clock) {
+                    Some(v) => (v, true),
+                    None => (node.vdd_nominal(), false),
+                };
+                ScalingStep {
+                    node: node.name().to_owned(),
+                    dynamic: node.dynamic_power(design.gates, design.activity, vdd, design.clock),
+                    leakage: node.leakage_power(design.gates, vdd, design.temperature),
+                    area: Area::from_square_millimeters(design.gates / node.gate_density_per_mm2()),
+                    meets_clock: meets,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeakageModel;
+
+    fn reference_design() -> DesignPoint {
+        DesignPoint::new(
+            500e3,
+            0.12,
+            Frequency::from_megahertz(100.0),
+            Temperature::ROOM,
+        )
+    }
+
+    #[test]
+    fn projection_covers_all_nodes() {
+        let steps = Roadmap::full_2003().project(&reference_design());
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].node, "250nm");
+        assert_eq!(steps[4].node, "65nm");
+    }
+
+    #[test]
+    fn area_shrinks_across_nodes() {
+        let steps = Roadmap::full_2003().project(&reference_design());
+        for pair in steps.windows(2) {
+            assert!(pair[1].area < pair[0].area);
+        }
+    }
+
+    #[test]
+    fn dynamic_power_shrinks_but_leakage_share_grows() {
+        let steps = Roadmap::full_2003().project(&reference_design());
+        for pair in steps.windows(2) {
+            assert!(pair[1].dynamic < pair[0].dynamic);
+            assert!(pair[1].leakage_fraction() >= pair[0].leakage_fraction());
+        }
+        // By 65 nm the leakage share is no longer negligible (> 1 %).
+        assert!(steps[4].leakage_fraction() > 0.01);
+    }
+
+    #[test]
+    fn dvs_projection_never_worse_than_nominal() {
+        let roadmap = Roadmap::full_2003();
+        let design = reference_design();
+        let nominal = roadmap.project(&design);
+        let dvs = roadmap.project_with_dvs(&design);
+        for (n, d) in nominal.iter().zip(&dvs) {
+            assert!(
+                d.total() <= n.total() * 1.0000001,
+                "DVS regressed on {}",
+                n.node
+            );
+        }
+    }
+
+    #[test]
+    fn leakage_ablation_changes_the_conclusion() {
+        let design = reference_design();
+        let with = Roadmap::full_2003().project(&design);
+        let without = Roadmap::new(
+            Roadmap::full_2003()
+                .nodes()
+                .iter()
+                .cloned()
+                .map(|n| n.with_leakage_model(LeakageModel::Off))
+                .collect(),
+        )
+        .project(&design);
+        // Without leakage, 65 nm looks strictly better than with it.
+        assert!(without[4].total() < with[4].total());
+        assert_eq!(without[4].leakage, Power::ZERO);
+    }
+
+    #[test]
+    fn unreachable_clock_is_flagged() {
+        let design = DesignPoint::new(1e5, 0.1, Frequency::from_gigahertz(3.0), Temperature::ROOM);
+        let steps = Roadmap::full_2003().project(&design);
+        assert!(steps.iter().all(|s| !s.meets_clock));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_roadmap_rejected() {
+        let _ = Roadmap::new(Vec::new());
+    }
+}

@@ -1,0 +1,250 @@
+//! Process variation: the within-die spread that made statistical timing
+//! a DATE 2003 headline topic.
+//!
+//! Threshold voltage varies die-to-die and within-die; frequency responds
+//! roughly linearly through the alpha-power law while subthreshold
+//! leakage responds *exponentially* — a few tens of millivolts of σ(Vth)
+//! turn a deterministic leakage number into a long-tailed lognormal. The
+//! [`VariationModel`] samples correlated (Vth-driven) frequency/leakage
+//! pairs so parametric yield can be estimated by Monte Carlo
+//! (`ami-sim::replicate`).
+
+use crate::node::TechnologyNode;
+use ami_units::{Frequency, Power, Temperature, Voltage};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian Vth variation around a node's nominal threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Standard deviation of the die-mean threshold voltage.
+    sigma_vth: Voltage,
+}
+
+/// One sampled die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieSample {
+    /// The sampled threshold shift (positive = slower, leakier the other way).
+    pub delta_vth: Voltage,
+    /// Maximum clock of the reference pipeline on this die.
+    pub f_max: Frequency,
+    /// Leakage power of the reference block on this die.
+    pub leakage: Power,
+}
+
+impl VariationModel {
+    /// Creates a model with the given σ(Vth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the σ is negative.
+    pub fn new(sigma_vth: Voltage) -> Self {
+        assert!(!sigma_vth.is_negative(), "sigma must be non-negative");
+        Self { sigma_vth }
+    }
+
+    /// The circa-2003 die-to-die spread: σ(Vth) = 20 mV.
+    pub fn typical_2003() -> Self {
+        Self::new(Voltage::from_millivolts(20.0))
+    }
+
+    /// σ(Vth).
+    pub fn sigma_vth(&self) -> Voltage {
+        self.sigma_vth
+    }
+
+    /// Draws one standard-normal variate (Box–Muller on the shared RNG).
+    fn standard_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Samples one die of `node` with `gates` gates at `temp`: a Vth
+    /// shift drives both the achievable clock (alpha-power law with the
+    /// shifted threshold) and the leakage (exponential in −ΔVth over the
+    /// subthreshold swing).
+    pub fn sample_die(
+        &self,
+        node: &TechnologyNode,
+        gates: f64,
+        temp: Temperature,
+        rng: &mut StdRng,
+    ) -> DieSample {
+        let z = Self::standard_normal(rng);
+        let delta = self.sigma_vth.as_volts() * z;
+        // Frequency: recompute the alpha-power law with a shifted Vth by
+        // evaluating at an effectively shifted supply (V − ΔVth ≡ V at
+        // Vth + Δ): f(V; Vth+Δ) = f(V−Δ; Vth).
+        let vdd = node.vdd_nominal();
+        let shifted = Voltage::new(vdd.as_volts() - delta);
+        let f_max = node.frequency_at(shifted);
+        // Leakage: exponential in −ΔVth with the node's subthreshold swing
+        // (decade per swing volt): I ∝ 10^(−Δ/S).
+        let swing = node.subthreshold_swing().as_volts();
+        let leak_factor = 10f64.powf(-delta / swing);
+        let leakage = node.leakage_power(gates, vdd, temp) * leak_factor;
+        DieSample {
+            delta_vth: Voltage::new(delta),
+            f_max,
+            leakage,
+        }
+    }
+
+    /// Monte-Carlo parametric yield: the fraction of `samples` dies that
+    /// meet `f_min` AND stay under `leak_max`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parametric_yield(
+        &self,
+        node: &TechnologyNode,
+        gates: f64,
+        temp: Temperature,
+        f_min: Frequency,
+        leak_max: Power,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        assert!(samples > 0, "need at least one sample");
+        let mut rng = ami_sim_rng(seed);
+        let mut pass = 0usize;
+        for _ in 0..samples {
+            let die = self.sample_die(node, gates, temp, &mut rng);
+            if die.f_max >= f_min && die.leakage <= leak_max {
+                pass += 1;
+            }
+        }
+        pass as f64 / samples as f64
+    }
+}
+
+/// Local seeded-RNG constructor (mirrors `ami_sim::sim_rng` without the
+/// dependency, keeping `ami-tech` at the bottom of the crate graph).
+fn ami_sim_rng(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> TechnologyNode {
+        TechnologyNode::n90()
+    }
+
+    #[test]
+    fn zero_sigma_reproduces_nominal() {
+        let model = VariationModel::new(Voltage::ZERO);
+        let mut rng = ami_sim_rng(1);
+        let die = model.sample_die(&node(), 100e3, Temperature::ROOM, &mut rng);
+        assert!((die.f_max.as_hertz() - node().f_max_nominal().as_hertz()).abs() < 1.0);
+        let nominal = node().leakage_power(100e3, node().vdd_nominal(), Temperature::ROOM);
+        assert!((die.leakage.as_watts() - nominal.as_watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let model = VariationModel::typical_2003();
+        let y1 = model.parametric_yield(
+            &node(),
+            100e3,
+            Temperature::ROOM,
+            Frequency::from_gigahertz(1.0),
+            Power::from_milliwatts(50.0),
+            500,
+            7,
+        );
+        let y2 = model.parametric_yield(
+            &node(),
+            100e3,
+            Temperature::ROOM,
+            Frequency::from_gigahertz(1.0),
+            Power::from_milliwatts(50.0),
+            500,
+            7,
+        );
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn slow_dies_leak_less_and_vice_versa() {
+        // The defining anticorrelation: ΔVth > 0 → slower AND less leaky.
+        let model = VariationModel::typical_2003();
+        let mut rng = ami_sim_rng(11);
+        let nominal_leak = node().leakage_power(100e3, node().vdd_nominal(), Temperature::ROOM);
+        for _ in 0..200 {
+            let die = model.sample_die(&node(), 100e3, Temperature::ROOM, &mut rng);
+            if die.delta_vth.as_volts() > 0.0 {
+                assert!(die.f_max <= node().f_max_nominal());
+                assert!(die.leakage <= nominal_leak);
+            } else {
+                assert!(die.f_max >= node().f_max_nominal());
+                assert!(die.leakage >= nominal_leak);
+            }
+        }
+    }
+
+    #[test]
+    fn leakage_spread_is_long_tailed() {
+        // ±3σ of 20 mV over a 95 mV swing: ~4.3x spread each way.
+        let model = VariationModel::typical_2003();
+        let mut rng = ami_sim_rng(3);
+        let mut max_leak = 0.0f64;
+        let mut min_leak = f64::INFINITY;
+        for _ in 0..2000 {
+            let die = model.sample_die(&node(), 100e3, Temperature::ROOM, &mut rng);
+            max_leak = max_leak.max(die.leakage.as_watts());
+            min_leak = min_leak.min(die.leakage.as_watts());
+        }
+        assert!(
+            max_leak / min_leak > 10.0,
+            "spread {:.1}x",
+            max_leak / min_leak
+        );
+    }
+
+    #[test]
+    fn yield_falls_with_tighter_constraints() {
+        let model = VariationModel::typical_2003();
+        let loose = model.parametric_yield(
+            &node(),
+            100e3,
+            Temperature::ROOM,
+            Frequency::from_megahertz(900.0),
+            Power::from_watts(1.0),
+            1000,
+            5,
+        );
+        let tight = model.parametric_yield(
+            &node(),
+            100e3,
+            Temperature::ROOM,
+            Frequency::from_gigahertz(1.1),
+            Power::from_milliwatts(2.0),
+            1000,
+            5,
+        );
+        assert!(loose > 0.9);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn yield_is_a_probability() {
+        let model = VariationModel::typical_2003();
+        let y = model.parametric_yield(
+            &node(),
+            100e3,
+            Temperature::ROOM,
+            Frequency::from_gigahertz(1.05),
+            Power::from_milliwatts(5.0),
+            300,
+            9,
+        );
+        assert!((0.0..=1.0).contains(&y));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the technology models.
+
+use ami_tech::{DesignPoint, LeakageModel, Roadmap, TechnologyNode};
+use ami_units::{Frequency, Temperature, Voltage};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechnologyNode> {
+    prop_oneof![
+        Just(TechnologyNode::n250()),
+        Just(TechnologyNode::n180()),
+        Just(TechnologyNode::n130()),
+        Just(TechnologyNode::n90()),
+        Just(TechnologyNode::n65()),
+    ]
+}
+
+proptest! {
+    /// Frequency is monotone non-decreasing in supply voltage.
+    #[test]
+    fn frequency_monotone_in_vdd(node in any_node(), a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let span = node.vdd_nominal().as_volts() - node.threshold().as_volts();
+        let va = node.threshold().as_volts() + a * span;
+        let vb = node.threshold().as_volts() + b * span;
+        let fa = node.frequency_at(Voltage::new(va));
+        let fb = node.frequency_at(Voltage::new(vb));
+        if va <= vb {
+            prop_assert!(fa <= fb);
+        } else {
+            prop_assert!(fb <= fa);
+        }
+    }
+
+    /// min_vdd_for inverts frequency_at to within bisection tolerance.
+    #[test]
+    fn min_vdd_inverts_frequency(node in any_node(), frac in 0.01..1.0f64) {
+        let target = Frequency::new(node.f_max_nominal().as_hertz() * frac);
+        let vdd = node.min_vdd_for(target).expect("within range");
+        let achieved = node.frequency_at(vdd);
+        prop_assert!(achieved.as_hertz() >= target.as_hertz() * (1.0 - 1e-9));
+        // And it is minimal: 1% less voltage misses the target.
+        let lower = Voltage::new(
+            node.threshold().as_volts()
+                + (vdd.as_volts() - node.threshold().as_volts()) * 0.99,
+        );
+        prop_assert!(node.frequency_at(lower) <= achieved);
+    }
+
+    /// Dynamic power is linear in gates, activity and frequency.
+    #[test]
+    fn dynamic_power_linearity(
+        node in any_node(),
+        gates in 1e3..1e7f64,
+        activity in 0.001..0.5f64,
+        mhz in 1.0..300.0f64,
+    ) {
+        let f = Frequency::from_megahertz(mhz);
+        let vdd = node.vdd_nominal();
+        let p1 = node.dynamic_power(gates, activity, vdd, f);
+        let p2 = node.dynamic_power(2.0 * gates, activity, vdd, f);
+        let p3 = node.dynamic_power(gates, activity, vdd, Frequency::from_megahertz(2.0 * mhz));
+        prop_assert!((p2.as_watts() / p1.as_watts() - 2.0).abs() < 1e-9);
+        prop_assert!((p3.as_watts() / p1.as_watts() - 2.0).abs() < 1e-9);
+    }
+
+    /// Leakage grows with both supply and temperature.
+    #[test]
+    fn leakage_monotone(node in any_node(), dv in 0.0..0.3f64, dt in 0.0..60.0f64) {
+        let base_v = Voltage::new(node.vdd_nominal().as_volts() - 0.3);
+        let hi_v = Voltage::new(base_v.as_volts() + dv);
+        let base_t = Temperature::from_kelvin(300.0);
+        let hi_t = Temperature::from_kelvin(300.0 + dt);
+        let i00 = node.leakage_current_per_gate(base_v, base_t);
+        let i10 = node.leakage_current_per_gate(hi_v, base_t);
+        let i01 = node.leakage_current_per_gate(base_v, hi_t);
+        prop_assert!(i10 >= i00);
+        prop_assert!(i01 >= i00);
+    }
+
+    /// The leakage-off ablation never exceeds the full model.
+    #[test]
+    fn ablation_bounds_full_model(node in any_node(), gates in 1.0..1e6f64) {
+        let off = node.clone().with_leakage_model(LeakageModel::Off);
+        let p_off = off.leakage_power(gates, off.vdd_nominal(), Temperature::ROOM);
+        let p_on = node.leakage_power(gates, node.vdd_nominal(), Temperature::ROOM);
+        prop_assert!(p_off <= p_on);
+        prop_assert_eq!(p_off.as_watts(), 0.0);
+    }
+
+    /// Roadmap projection preserves step count and area monotonicity for
+    /// any valid design point.
+    #[test]
+    fn projection_invariants(gates in 1e3..1e6f64, activity in 0.001..0.5f64, mhz in 1.0..100.0f64) {
+        let design = DesignPoint::new(
+            gates,
+            activity,
+            Frequency::from_megahertz(mhz),
+            Temperature::ROOM,
+        );
+        let steps = Roadmap::full_2003().project(&design);
+        prop_assert_eq!(steps.len(), 5);
+        for pair in steps.windows(2) {
+            prop_assert!(pair[1].area < pair[0].area);
+            prop_assert!(pair[1].dynamic <= pair[0].dynamic);
+        }
+        for step in &steps {
+            prop_assert!((0.0..=1.0).contains(&step.leakage_fraction()));
+        }
+    }
+
+    /// DVS projection never exceeds nominal projection in total power.
+    #[test]
+    fn dvs_projection_bounded(gates in 1e3..1e6f64, mhz in 1.0..200.0f64) {
+        let design = DesignPoint::new(
+            gates,
+            0.1,
+            Frequency::from_megahertz(mhz),
+            Temperature::ROOM,
+        );
+        let roadmap = Roadmap::full_2003();
+        let nominal = roadmap.project(&design);
+        let dvs = roadmap.project_with_dvs(&design);
+        for (n, d) in nominal.iter().zip(&dvs) {
+            prop_assert!(d.total().as_watts() <= n.total().as_watts() * (1.0 + 1e-9));
+        }
+    }
+}

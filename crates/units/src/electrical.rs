@@ -1,0 +1,279 @@
+//! Electrical quantities: voltage, current, charge, capacitance, resistance.
+
+use crate::{Energy, Power, TimeSpan};
+
+quantity! {
+    /// Electric potential in volts (supply rails, battery terminal voltage).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::{Voltage, Current};
+    ///
+    /// let rail = Voltage::from_volts(1.2);
+    /// let draw = Current::from_milliamps(5.0);
+    /// assert_eq!((rail * draw).as_milliwatts(), 6.0);
+    /// ```
+    Voltage, base = "volts", unit = "V"
+}
+
+impl Voltage {
+    /// Creates a voltage from volts (same as [`Voltage::new`]).
+    #[track_caller]
+    pub fn from_volts(v: f64) -> Self {
+        Self::new(v)
+    }
+
+    /// Creates a voltage from millivolts.
+    #[track_caller]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+
+    /// This voltage in volts.
+    pub fn as_volts(self) -> f64 {
+        self.value()
+    }
+
+    /// This voltage in millivolts.
+    pub fn as_millivolts(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+quantity! {
+    /// Electric current in amperes.
+    Current, base = "amperes", unit = "A"
+}
+
+impl Current {
+    /// Creates a current from amperes (same as [`Current::new`]).
+    #[track_caller]
+    pub fn from_amps(a: f64) -> Self {
+        Self::new(a)
+    }
+
+    /// Creates a current from milliamperes.
+    #[track_caller]
+    pub fn from_milliamps(ma: f64) -> Self {
+        Self::new(ma * 1e-3)
+    }
+
+    /// Creates a current from microamperes.
+    #[track_caller]
+    pub fn from_microamps(ua: f64) -> Self {
+        Self::new(ua * 1e-6)
+    }
+
+    /// Creates a current from nanoamperes.
+    #[track_caller]
+    pub fn from_nanoamps(na: f64) -> Self {
+        Self::new(na * 1e-9)
+    }
+
+    /// This current in amperes.
+    pub fn as_amps(self) -> f64 {
+        self.value()
+    }
+
+    /// This current in milliamperes.
+    pub fn as_milliamps(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// This current in microamperes.
+    pub fn as_microamps(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+quantity! {
+    /// Electric charge in coulombs; battery capacity bookkeeping.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Charge;
+    ///
+    /// let cell = Charge::from_milliamp_hours(800.0);
+    /// assert_eq!(cell.as_coulombs(), 2880.0);
+    /// ```
+    Charge, base = "coulombs", unit = "C"
+}
+
+impl Charge {
+    /// Creates a charge from coulombs (same as [`Charge::new`]).
+    #[track_caller]
+    pub fn from_coulombs(c: f64) -> Self {
+        Self::new(c)
+    }
+
+    /// Creates a charge from milliampere-hours — the battery datasheet unit.
+    #[track_caller]
+    pub fn from_milliamp_hours(mah: f64) -> Self {
+        Self::new(mah * 3.6)
+    }
+
+    /// This charge in coulombs.
+    pub fn as_coulombs(self) -> f64 {
+        self.value()
+    }
+
+    /// This charge in milliampere-hours.
+    pub fn as_milliamp_hours(self) -> f64 {
+        self.value() / 3.6
+    }
+}
+
+quantity! {
+    /// Capacitance in farads: switched gate capacitance and storage caps.
+    Capacitance, base = "farads", unit = "F"
+}
+
+impl Capacitance {
+    /// Creates a capacitance from farads (same as [`Capacitance::new`]).
+    #[track_caller]
+    pub fn from_farads(f: f64) -> Self {
+        Self::new(f)
+    }
+
+    /// Creates a capacitance from millifarads.
+    #[track_caller]
+    pub fn from_millifarads(mf: f64) -> Self {
+        Self::new(mf * 1e-3)
+    }
+
+    /// Creates a capacitance from microfarads.
+    #[track_caller]
+    pub fn from_microfarads(uf: f64) -> Self {
+        Self::new(uf * 1e-6)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[track_caller]
+    pub fn from_picofarads(pf: f64) -> Self {
+        Self::new(pf * 1e-12)
+    }
+
+    /// Creates a capacitance from femtofarads — the gate-capacitance scale.
+    #[track_caller]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1e-15)
+    }
+
+    /// This capacitance in farads.
+    pub fn as_farads(self) -> f64 {
+        self.value()
+    }
+
+    /// This capacitance in femtofarads.
+    pub fn as_femtofarads(self) -> f64 {
+        self.value() * 1e15
+    }
+
+    /// Energy stored at voltage `v`: `½·C·V²`.
+    pub fn stored_energy(self, v: Voltage) -> Energy {
+        Energy::new(0.5 * self.value() * v.as_volts() * v.as_volts())
+    }
+
+    /// Energy of one full charge–discharge switching event, `C·V²` —
+    /// the CMOS dynamic-energy kernel.
+    pub fn switching_energy(self, v: Voltage) -> Energy {
+        Energy::new(self.value() * v.as_volts() * v.as_volts())
+    }
+}
+
+quantity! {
+    /// Resistance in ohms.
+    Resistance, base = "ohms", unit = "\u{03a9}"
+}
+
+impl Resistance {
+    /// Creates a resistance from ohms (same as [`Resistance::new`]).
+    #[track_caller]
+    pub fn from_ohms(o: f64) -> Self {
+        Self::new(o)
+    }
+
+    /// Creates a resistance from kilo-ohms.
+    #[track_caller]
+    pub fn from_kilo_ohms(ko: f64) -> Self {
+        Self::new(ko * 1e3)
+    }
+
+    /// This resistance in ohms.
+    pub fn as_ohms(self) -> f64 {
+        self.value()
+    }
+}
+
+cross_mul!(Voltage * Current = Power);
+cross_mul!(Current * TimeSpan = Charge);
+cross_mul!(Voltage * Charge = Energy);
+cross_mul!(Voltage * Capacitance = Charge);
+
+impl std::ops::Div<Resistance> for Voltage {
+    type Output = Current;
+    /// Ohm's law: `I = V / R`.
+    fn div(self, rhs: Resistance) -> Current {
+        Current::new(self.as_volts() / rhs.as_ohms())
+    }
+}
+
+impl std::ops::Mul<Resistance> for Current {
+    type Output = Voltage;
+    /// Ohm's law: `V = I·R`.
+    fn mul(self, rhs: Resistance) -> Voltage {
+        Voltage::new(self.as_amps() * rhs.as_ohms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_amp_is_watt() {
+        let p: Power = Voltage::from_volts(3.0) * Current::from_amps(2.0);
+        assert_eq!(p.as_watts(), 6.0);
+        let i: Current = p / Voltage::from_volts(3.0);
+        assert_eq!(i.as_amps(), 2.0);
+    }
+
+    #[test]
+    fn charge_bookkeeping() {
+        let q: Charge = Current::from_milliamps(10.0) * TimeSpan::from_hours(2.0);
+        assert!((q.as_milliamp_hours() - 20.0).abs() < 1e-9);
+        let e: Energy = Voltage::from_volts(3.0) * q;
+        assert!((e.as_joules() - 216.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_energy() {
+        let c = Capacitance::from_millifarads(100.0);
+        let e = c.stored_energy(Voltage::from_volts(2.0));
+        assert!((e.as_joules() - 0.2).abs() < 1e-12);
+        assert!((c.switching_energy(Voltage::from_volts(2.0)).as_joules() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_cap_switching_energy_scale() {
+        // A 2 fF gate at 1.2 V switches ~2.9 fJ: the CMOS energy quantum.
+        let e = Capacitance::from_femtofarads(2.0).switching_energy(Voltage::from_volts(1.2));
+        assert!((e.as_joules() - 2.88e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let i = Voltage::from_volts(3.3) / Resistance::from_kilo_ohms(1.0);
+        assert!((i.as_milliamps() - 3.3).abs() < 1e-12);
+        let v = i * Resistance::from_kilo_ohms(1.0);
+        assert!((v.as_volts() - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_q() {
+        let q: Charge = Voltage::from_volts(5.0) * Capacitance::from_microfarads(2.0);
+        assert!((q.as_coulombs() - 1e-5).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,100 @@
+//! Environmental quantities sensed or exploited by ambient devices.
+
+use crate::Voltage;
+
+/// Boltzmann constant over elementary charge, in volts per kelvin.
+const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+quantity! {
+    /// Illuminance in lux — the input to photovoltaic harvesting models.
+    ///
+    /// Typical values: 100–500 lx indoors, 1 000 lx overcast outdoors,
+    /// 100 000 lx direct sun.
+    Illuminance, base = "lux", unit = "lx"
+}
+
+impl Illuminance {
+    /// Creates an illuminance from lux (same as [`Illuminance::new`]).
+    #[track_caller]
+    pub fn from_lux(lx: f64) -> Self {
+        Self::new(lx)
+    }
+
+    /// This illuminance in lux.
+    pub fn as_lux(self) -> f64 {
+        self.value()
+    }
+}
+
+quantity! {
+    /// Thermodynamic temperature in kelvin.
+    ///
+    /// Drives the subthreshold-leakage model (`ami-tech`) and thermoelectric
+    /// harvesting (`ami-energy`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Temperature;
+    ///
+    /// let room = Temperature::from_celsius(27.0);
+    /// assert!((room.thermal_voltage().as_millivolts() - 25.9).abs() < 0.1);
+    /// ```
+    Temperature, base = "kelvin", unit = "K"
+}
+
+impl Temperature {
+    /// Standard 300 K (27 °C) reference used by the leakage models.
+    pub const ROOM: Self = Self(300.0);
+
+    /// Creates a temperature from kelvin (same as [`Temperature::new`]).
+    #[track_caller]
+    pub fn from_kelvin(k: f64) -> Self {
+        Self::new(k)
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    #[track_caller]
+    pub fn from_celsius(c: f64) -> Self {
+        Self::new(c + 273.15)
+    }
+
+    /// This temperature in kelvin.
+    pub fn as_kelvin(self) -> f64 {
+        self.value()
+    }
+
+    /// This temperature in degrees Celsius.
+    pub fn as_celsius(self) -> f64 {
+        self.value() - 273.15
+    }
+
+    /// The thermal voltage `kT/q` at this temperature (≈25.9 mV at 300 K).
+    pub fn thermal_voltage(self) -> Voltage {
+        Voltage::new(K_OVER_Q * self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Temperature::from_celsius(85.0);
+        assert!((t.as_kelvin() - 358.15).abs() < 1e-12);
+        assert!((t.as_celsius() - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn room_thermal_voltage() {
+        let vt = Temperature::ROOM.thermal_voltage();
+        assert!((vt.as_millivolts() - 25.852).abs() < 0.01);
+    }
+
+    #[test]
+    fn illuminance_scale() {
+        assert_eq!(Illuminance::from_lux(500.0).as_lux(), 500.0);
+        assert!(Illuminance::from_lux(100.0) < Illuminance::from_lux(1000.0));
+    }
+}

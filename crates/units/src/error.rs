@@ -1,0 +1,64 @@
+//! Error type shared by all fallible quantity constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a quantity from an invalid `f64`.
+///
+/// # Example
+///
+/// ```
+/// use ami_units::{Power, QuantityError};
+///
+/// let err: QuantityError = Power::try_new(f64::NAN).unwrap_err();
+/// assert_eq!(err.quantity(), "Power");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantityError {
+    quantity: &'static str,
+    value: f64,
+}
+
+impl QuantityError {
+    /// Creates an error for the named quantity and offending value.
+    pub fn new(quantity: &'static str, value: f64) -> Self {
+        Self { quantity, value }
+    }
+
+    /// Name of the quantity type whose construction failed.
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+
+    /// The offending raw value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} value: {}", self.quantity, self.value)
+    }
+}
+
+impl Error for QuantityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_quantity_and_value() {
+        let err = QuantityError::new("Power", f64::INFINITY);
+        assert_eq!(err.to_string(), "invalid Power value: inf");
+        assert_eq!(err.quantity(), "Power");
+        assert!(err.value().is_infinite());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantityError>();
+    }
+}

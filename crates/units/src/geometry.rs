@@ -1,0 +1,145 @@
+//! Geometric quantities: lengths (radio range, feature size) and areas
+//! (die area, harvester aperture).
+
+quantity! {
+    /// Length in metres. Doubles as radio range and CMOS feature size.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Length;
+    ///
+    /// let feature = Length::from_nanometers(130.0);
+    /// assert_eq!(format!("{feature}"), "130 nm");
+    /// ```
+    Length, base = "metres", unit = "m"
+}
+
+impl Length {
+    /// Creates a length from metres (same as [`Length::new`]).
+    #[track_caller]
+    pub fn from_meters(m: f64) -> Self {
+        Self::new(m)
+    }
+
+    /// Creates a length from millimetres.
+    #[track_caller]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometres.
+    #[track_caller]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Creates a length from nanometres — the technology-node unit.
+    #[track_caller]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// This length in metres.
+    pub fn as_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// This length in micrometres.
+    pub fn as_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This length in nanometres.
+    pub fn as_nanometers(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+quantity! {
+    /// Area in square metres: die area, solar-cell aperture, antenna area.
+    Area, base = "square metres", unit = "m\u{00b2}"
+}
+
+impl Area {
+    /// Creates an area from square metres (same as [`Area::new`]).
+    #[track_caller]
+    pub fn from_square_meters(m2: f64) -> Self {
+        Self::new(m2)
+    }
+
+    /// Creates an area from square centimetres — the harvester unit.
+    #[track_caller]
+    pub fn from_square_centimeters(cm2: f64) -> Self {
+        Self::new(cm2 * 1e-4)
+    }
+
+    /// Creates an area from square millimetres — the die-area unit.
+    #[track_caller]
+    pub fn from_square_millimeters(mm2: f64) -> Self {
+        Self::new(mm2 * 1e-6)
+    }
+
+    /// Creates an area from square micrometres — the cell-area unit.
+    #[track_caller]
+    pub fn from_square_micrometers(um2: f64) -> Self {
+        Self::new(um2 * 1e-12)
+    }
+
+    /// This area in square metres.
+    pub fn as_square_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// This area in square centimetres.
+    pub fn as_square_centimeters(self) -> f64 {
+        self.value() * 1e4
+    }
+
+    /// This area in square millimetres.
+    pub fn as_square_millimeters(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This area in square micrometres.
+    pub fn as_square_micrometers(self) -> f64 {
+        self.value() * 1e12
+    }
+}
+
+impl std::ops::Mul for Length {
+    type Output = Area;
+    fn mul(self, rhs: Self) -> Area {
+        Area::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Div<Length> for Area {
+    type Output = Length;
+    fn div(self, rhs: Length) -> Length {
+        Length::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_squared_is_area() {
+        let a: Area = Length::from_millimeters(3.0) * Length::from_millimeters(4.0);
+        assert!((a.as_square_millimeters() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_conversions() {
+        let a = Area::from_square_centimeters(2.0);
+        assert!((a.as_square_millimeters() - 200.0).abs() < 1e-9);
+        assert!((Area::from_square_micrometers(1e6).as_square_millimeters() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_sizes() {
+        assert!((Length::from_nanometers(90.0).as_micrometers() - 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Information quantities — the x-axis of the power–information graph.
+
+use crate::TimeSpan;
+
+quantity! {
+    /// Information rate in bits per second.
+    ///
+    /// The x-axis of the Aarts–Roovers power–information graph: every
+    /// ambient-intelligence function is located by the information rate it
+    /// must sustain and the power it may burn doing so.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::{DataRate, TimeSpan};
+    ///
+    /// let audio = DataRate::from_kilobits_per_second(192.0);
+    /// let volume = audio * TimeSpan::from_minutes(1.0);
+    /// assert_eq!(volume.as_kilobits(), 11_520.0);
+    /// ```
+    DataRate, base = "bits per second", unit = "bit/s"
+}
+
+impl DataRate {
+    /// Creates a rate from bits per second (same as [`DataRate::new`]).
+    #[track_caller]
+    pub fn from_bits_per_second(bps: f64) -> Self {
+        Self::new(bps)
+    }
+
+    /// Creates a rate from kilobits per second.
+    #[track_caller]
+    pub fn from_kilobits_per_second(kbps: f64) -> Self {
+        Self::new(kbps * 1e3)
+    }
+
+    /// Creates a rate from megabits per second.
+    #[track_caller]
+    pub fn from_megabits_per_second(mbps: f64) -> Self {
+        Self::new(mbps * 1e6)
+    }
+
+    /// Creates a rate from gigabits per second.
+    #[track_caller]
+    pub fn from_gigabits_per_second(gbps: f64) -> Self {
+        Self::new(gbps * 1e9)
+    }
+
+    /// This rate in bits per second.
+    pub fn as_bits_per_second(self) -> f64 {
+        self.value()
+    }
+
+    /// This rate in kilobits per second.
+    pub fn as_kilobits_per_second(self) -> f64 {
+        self.value() / 1e3
+    }
+
+    /// This rate in megabits per second.
+    pub fn as_megabits_per_second(self) -> f64 {
+        self.value() / 1e6
+    }
+
+    /// Time to transfer `volume` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[track_caller]
+    pub fn time_to_transfer(self, volume: DataVolume) -> TimeSpan {
+        TimeSpan::new(volume.as_bits() / self.value())
+    }
+}
+
+quantity! {
+    /// A volume of information in bits.
+    DataVolume, base = "bits", unit = "bit"
+}
+
+impl DataVolume {
+    /// Creates a volume from bits (same as [`DataVolume::new`]).
+    #[track_caller]
+    pub fn from_bits(bits: f64) -> Self {
+        Self::new(bits)
+    }
+
+    /// Creates a volume from bytes.
+    #[track_caller]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self::new(bytes * 8.0)
+    }
+
+    /// Creates a volume from kilobits.
+    #[track_caller]
+    pub fn from_kilobits(kb: f64) -> Self {
+        Self::new(kb * 1e3)
+    }
+
+    /// Creates a volume from megabits.
+    #[track_caller]
+    pub fn from_megabits(mb: f64) -> Self {
+        Self::new(mb * 1e6)
+    }
+
+    /// This volume in bits.
+    pub fn as_bits(self) -> f64 {
+        self.value()
+    }
+
+    /// This volume in bytes.
+    pub fn as_bytes(self) -> f64 {
+        self.value() / 8.0
+    }
+
+    /// This volume in kilobits.
+    pub fn as_kilobits(self) -> f64 {
+        self.value() / 1e3
+    }
+
+    /// This volume in megabits.
+    pub fn as_megabits(self) -> f64 {
+        self.value() / 1e6
+    }
+}
+
+quantity! {
+    /// Computation rate in operations per second.
+    ///
+    /// Circa-2003 literature quotes MOPS; [`ComputeRate::from_mops`] is the
+    /// conventional constructor.
+    ComputeRate, base = "operations per second", unit = "op/s"
+}
+
+impl ComputeRate {
+    /// Creates a rate from operations per second (same as [`ComputeRate::new`]).
+    #[track_caller]
+    pub fn from_ops_per_second(ops: f64) -> Self {
+        Self::new(ops)
+    }
+
+    /// Creates a rate from millions of operations per second (MOPS).
+    #[track_caller]
+    pub fn from_mops(mops: f64) -> Self {
+        Self::new(mops * 1e6)
+    }
+
+    /// Creates a rate from billions of operations per second (GOPS).
+    #[track_caller]
+    pub fn from_gops(gops: f64) -> Self {
+        Self::new(gops * 1e9)
+    }
+
+    /// This rate in operations per second.
+    pub fn as_ops_per_second(self) -> f64 {
+        self.value()
+    }
+
+    /// This rate in MOPS.
+    pub fn as_mops(self) -> f64 {
+        self.value() / 1e6
+    }
+
+    /// This rate in GOPS.
+    pub fn as_gops(self) -> f64 {
+        self.value() / 1e9
+    }
+}
+
+quantity! {
+    /// A count of operations (dimensionful so that `OpCount / TimeSpan`
+    /// and `Energy / OpCount` type-check).
+    OpCount, base = "operations", unit = "op"
+}
+
+impl OpCount {
+    /// Creates a count from operations (same as [`OpCount::new`]).
+    #[track_caller]
+    pub fn from_ops(ops: f64) -> Self {
+        Self::new(ops)
+    }
+
+    /// Creates a count from millions of operations.
+    #[track_caller]
+    pub fn from_mega_ops(mops: f64) -> Self {
+        Self::new(mops * 1e6)
+    }
+
+    /// This count in operations.
+    pub fn as_ops(self) -> f64 {
+        self.value()
+    }
+}
+
+cross_mul!(DataRate * TimeSpan = DataVolume);
+cross_mul!(ComputeRate * TimeSpan = OpCount);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_times_time_is_volume() {
+        let v: DataVolume = DataRate::from_megabits_per_second(2.0) * TimeSpan::from_seconds(3.0);
+        assert_eq!(v.as_megabits(), 6.0);
+        let r: DataRate = v / TimeSpan::from_seconds(3.0);
+        assert_eq!(r.as_megabits_per_second(), 2.0);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let r = DataRate::from_kilobits_per_second(250.0);
+        let t = r.time_to_transfer(DataVolume::from_bytes(125.0));
+        assert!((t.as_millis() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_rate_conversions() {
+        assert_eq!(ComputeRate::from_mops(1000.0).as_gops(), 1.0);
+        let ops: OpCount = ComputeRate::from_mops(10.0) * TimeSpan::from_seconds(2.0);
+        assert_eq!(ops.as_ops(), 2e7);
+    }
+
+    #[test]
+    fn bytes_are_eight_bits() {
+        assert_eq!(DataVolume::from_bytes(2.0).as_bits(), 16.0);
+        assert_eq!(DataVolume::from_bits(16.0).as_bytes(), 2.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The `quantity!` macro generating one SI newtype per dimension.
+
+/// Defines a quantity newtype over `f64` with validated constructors,
+/// same-dimension arithmetic, scalar scaling, SI `Display`, and serde.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base_doc:literal, unit = $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a `", stringify!($name),
+                "` from a value in ", $base_doc, " (the SI base unit).")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN or infinite. Use
+            /// [`try_new`](Self::try_new) for a fallible variant.
+            #[track_caller]
+            pub fn new(value: f64) -> Self {
+                match Self::try_new(value) {
+                    Ok(q) => q,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+
+            #[doc = concat!("Fallible variant of [`", stringify!($name),
+                "::new`](Self::new).")]
+            ///
+            /// # Errors
+            ///
+            /// Returns [`QuantityError`](crate::QuantityError) if `value`
+            /// is NaN or infinite.
+            pub fn try_new(value: f64) -> Result<Self, $crate::QuantityError> {
+                if value.is_finite() {
+                    Ok(Self(value))
+                } else {
+                    Err($crate::QuantityError::new(stringify!($name), value))
+                }
+            }
+
+            #[doc = concat!("Raw value in ", $base_doc, ".")]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the value is strictly negative.
+            pub fn is_negative(self) -> bool {
+                self.0 < 0.0
+            }
+
+            /// Total ordering suitable for sorting slices of quantities.
+            pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// Dimensionless ratio `self / other`.
+            pub fn ratio_to(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(&$crate::si::format_si(self.0, $unit))
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl std::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> std::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// Defines `impl Mul`/`Div` relations across quantity types, e.g.
+/// `cross_op!(Power * TimeSpan = Energy)` produces `Power * TimeSpan`,
+/// `TimeSpan * Power`, `Energy / Power` and `Energy / TimeSpan`.
+macro_rules! cross_mul {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl std::ops::Mul<$b> for $a {
+            type Output = $c;
+            fn mul(self, rhs: $b) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl std::ops::Mul<$a> for $b {
+            type Output = $c;
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl std::ops::Div<$a> for $c {
+            type Output = $b;
+            fn div(self, rhs: $a) -> $b {
+                $b::new(self.value() / rhs.value())
+            }
+        }
+
+        impl std::ops::Div<$b> for $c {
+            type Output = $a;
+            fn div(self, rhs: $b) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Power and energy — the y-axis of the power–information graph.
+
+use crate::TimeSpan;
+
+quantity! {
+    /// Power in watts.
+    ///
+    /// The defining axis of the Ambient Intelligence device taxonomy:
+    /// autonomous nodes live around a microwatt, personal nodes around a
+    /// milliwatt-to-hundred-milliwatt budget, and static nodes at watts.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::{Power, TimeSpan};
+    ///
+    /// let standby = Power::from_microwatts(2.0);
+    /// let day = TimeSpan::from_days(1.0);
+    /// assert!((standby * day).as_millijoules() - 172.8 < 1e-9);
+    /// ```
+    Power, base = "watts", unit = "W"
+}
+
+impl Power {
+    /// Creates a power from watts (same as [`Power::new`]).
+    #[track_caller]
+    pub fn from_watts(w: f64) -> Self {
+        Self::new(w)
+    }
+
+    /// Creates a power from milliwatts.
+    #[track_caller]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[track_caller]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts.
+    #[track_caller]
+    pub fn from_nanowatts(nw: f64) -> Self {
+        Self::new(nw * 1e-9)
+    }
+
+    /// Creates a power from kilowatts.
+    #[track_caller]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Self::new(kw * 1e3)
+    }
+
+    /// This power in watts.
+    pub fn as_watts(self) -> f64 {
+        self.value()
+    }
+
+    /// This power in milliwatts.
+    pub fn as_milliwatts(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// This power in microwatts.
+    pub fn as_microwatts(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This power in nanowatts.
+    pub fn as_nanowatts(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+quantity! {
+    /// Energy in joules.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Energy;
+    ///
+    /// let aa_cell = Energy::from_watt_hours(2.6);
+    /// assert_eq!(aa_cell.as_joules(), 9360.0);
+    /// ```
+    Energy, base = "joules", unit = "J"
+}
+
+impl Energy {
+    /// Creates an energy from joules (same as [`Energy::new`]).
+    #[track_caller]
+    pub fn from_joules(j: f64) -> Self {
+        Self::new(j)
+    }
+
+    /// Creates an energy from millijoules.
+    #[track_caller]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Self::new(mj * 1e-3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[track_caller]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self::new(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[track_caller]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self::new(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules.
+    #[track_caller]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// Creates an energy from watt-hours.
+    #[track_caller]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self::new(wh * 3600.0)
+    }
+
+    /// Creates an energy from milliwatt-hours.
+    #[track_caller]
+    pub fn from_milliwatt_hours(mwh: f64) -> Self {
+        Self::new(mwh * 3.6)
+    }
+
+    /// This energy in joules.
+    pub fn as_joules(self) -> f64 {
+        self.value()
+    }
+
+    /// This energy in millijoules.
+    pub fn as_millijoules(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// This energy in microjoules.
+    pub fn as_microjoules(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This energy in nanojoules.
+    pub fn as_nanojoules(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// This energy in picojoules.
+    pub fn as_picojoules(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// This energy in watt-hours.
+    pub fn as_watt_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// How long this energy sustains a constant `load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is zero (the lifetime would be infinite); check
+    /// with [`Power::ZERO`] first if the load can vanish.
+    #[track_caller]
+    pub fn sustains_for(self, load: Power) -> TimeSpan {
+        TimeSpan::new(self.value() / load.as_watts())
+    }
+}
+
+cross_mul!(Power * TimeSpan = Energy);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_milliwatts(100.0) * TimeSpan::from_hours(1.0);
+        assert!((e.as_watt_hours() - 0.1).abs() < 1e-12);
+        // Commuted.
+        let e2 = TimeSpan::from_hours(1.0) * Power::from_milliwatts(100.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn energy_divided_recovers_factors() {
+        let e = Energy::from_joules(10.0);
+        let p: Power = e / TimeSpan::from_seconds(5.0);
+        assert_eq!(p.as_watts(), 2.0);
+        let t: TimeSpan = e / Power::from_watts(2.0);
+        assert_eq!(t.as_seconds(), 5.0);
+    }
+
+    #[test]
+    fn sustains_for_matches_division() {
+        let battery = Energy::from_watt_hours(1.0);
+        let load = Power::from_milliwatts(10.0);
+        assert!((battery.sustains_for(load).as_hours() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TimeSpan")]
+    fn sustains_for_zero_load_panics() {
+        let _ = Energy::from_joules(1.0).sustains_for(Power::ZERO);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Power::from_microwatts(1500.0).as_milliwatts(), 1.5);
+        assert_eq!(Energy::from_picojoules(2000.0).as_nanojoules(), 2.0);
+        assert_eq!(Energy::from_milliwatt_hours(1000.0).as_watt_hours(), 1.0);
+    }
+
+    #[test]
+    fn display_spans_the_three_classes() {
+        assert_eq!(format!("{}", Power::from_microwatts(1.0)), "1 µW");
+        assert_eq!(format!("{}", Power::from_milliwatts(1.0)), "1 mW");
+        assert_eq!(format!("{}", Power::from_watts(1.0)), "1 W");
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let p = Power::from_watts(5.0);
+        assert_eq!(
+            p.clamp(Power::ZERO, Power::from_watts(2.0)),
+            Power::from_watts(2.0)
+        );
+        assert_eq!(p.min(Power::from_watts(1.0)).as_watts(), 1.0);
+        assert_eq!(p.max(Power::from_watts(9.0)).as_watts(), 9.0);
+        assert!((-p).is_negative());
+    }
+}

@@ -1,0 +1,299 @@
+//! Derived efficiency quantities — the slopes on the power–information graph.
+
+use crate::{Area, DataRate, DataVolume, Energy, OpCount, Power};
+
+quantity! {
+    /// Energy cost of communicating one bit, in joules per bit.
+    ///
+    /// Circa 2003, short-range radios spent 10–100 nJ/bit at the antenna
+    /// plus overheads; the power–information graph's communication devices
+    /// sit on lines of constant `EnergyPerBit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::{EnergyPerBit, DataRate};
+    ///
+    /// let radio = EnergyPerBit::from_nanojoules_per_bit(50.0);
+    /// let p = radio * DataRate::from_kilobits_per_second(100.0);
+    /// assert_eq!(p.as_milliwatts(), 5.0);
+    /// ```
+    EnergyPerBit, base = "joules per bit", unit = "J/bit"
+}
+
+impl EnergyPerBit {
+    /// Creates a cost from joules per bit (same as [`EnergyPerBit::new`]).
+    #[track_caller]
+    pub fn from_joules_per_bit(jpb: f64) -> Self {
+        Self::new(jpb)
+    }
+
+    /// Creates a cost from nanojoules per bit — the 2003 radio unit.
+    #[track_caller]
+    pub fn from_nanojoules_per_bit(njpb: f64) -> Self {
+        Self::new(njpb * 1e-9)
+    }
+
+    /// Creates a cost from picojoules per bit.
+    #[track_caller]
+    pub fn from_picojoules_per_bit(pjpb: f64) -> Self {
+        Self::new(pjpb * 1e-12)
+    }
+
+    /// This cost in joules per bit.
+    pub fn as_joules_per_bit(self) -> f64 {
+        self.value()
+    }
+
+    /// This cost in nanojoules per bit.
+    pub fn as_nanojoules_per_bit(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+quantity! {
+    /// Energy cost of one operation, in joules per operation.
+    EnergyPerOp, base = "joules per operation", unit = "J/op"
+}
+
+impl EnergyPerOp {
+    /// Creates a cost from joules per operation (same as [`EnergyPerOp::new`]).
+    #[track_caller]
+    pub fn from_joules_per_op(jpo: f64) -> Self {
+        Self::new(jpo)
+    }
+
+    /// Creates a cost from picojoules per operation — the DSP unit.
+    #[track_caller]
+    pub fn from_picojoules_per_op(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// This cost in joules per operation.
+    pub fn as_joules_per_op(self) -> f64 {
+        self.value()
+    }
+
+    /// This cost in picojoules per operation.
+    pub fn as_picojoules_per_op(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// The reciprocal efficiency (operations per joule ≡ op/s per watt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is zero.
+    #[track_caller]
+    pub fn to_efficiency(self) -> ComputeEfficiency {
+        ComputeEfficiency::new(1.0 / self.value())
+    }
+}
+
+quantity! {
+    /// Computational efficiency in operations per joule (equivalently,
+    /// op/s per watt). `MOPS/mW == MOPS/mJ` is the 2003 headline unit; the
+    /// flexibility–efficiency gap between ASIC and CPU spans 2–3 decades
+    /// of this quantity.
+    ComputeEfficiency, base = "operations per joule", unit = "op/J"
+}
+
+impl ComputeEfficiency {
+    /// Creates an efficiency from operations per joule
+    /// (same as [`ComputeEfficiency::new`]).
+    #[track_caller]
+    pub fn from_ops_per_joule(opj: f64) -> Self {
+        Self::new(opj)
+    }
+
+    /// Creates an efficiency from MOPS per milliwatt.
+    #[track_caller]
+    pub fn from_mops_per_milliwatt(mopsmw: f64) -> Self {
+        Self::new(mopsmw * 1e9)
+    }
+
+    /// This efficiency in operations per joule.
+    pub fn as_ops_per_joule(self) -> f64 {
+        self.value()
+    }
+
+    /// This efficiency in MOPS per milliwatt.
+    pub fn as_mops_per_milliwatt(self) -> f64 {
+        self.value() / 1e9
+    }
+
+    /// The reciprocal energy per operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the efficiency is zero.
+    #[track_caller]
+    pub fn to_energy_per_op(self) -> EnergyPerOp {
+        EnergyPerOp::new(1.0 / self.value())
+    }
+}
+
+quantity! {
+    /// Areal power density in watts per square metre (harvester output,
+    /// die thermal budget).
+    PowerDensity, base = "watts per square metre", unit = "W/m\u{00b2}"
+}
+
+impl PowerDensity {
+    /// Creates a density from watts per square metre
+    /// (same as [`PowerDensity::new`]).
+    #[track_caller]
+    pub fn from_watts_per_square_meter(wm2: f64) -> Self {
+        Self::new(wm2)
+    }
+
+    /// Creates a density from microwatts per square centimetre — the
+    /// energy-harvesting literature unit.
+    #[track_caller]
+    pub fn from_microwatts_per_square_centimeter(uwcm2: f64) -> Self {
+        Self::new(uwcm2 * 1e-2)
+    }
+
+    /// This density in watts per square metre.
+    pub fn as_watts_per_square_meter(self) -> f64 {
+        self.value()
+    }
+
+    /// This density in microwatts per square centimetre.
+    pub fn as_microwatts_per_square_centimeter(self) -> f64 {
+        self.value() * 1e2
+    }
+}
+
+quantity! {
+    /// A dimensionless ratio: activity factors, efficiencies, duty cycles.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Ratio;
+    ///
+    /// let duty = Ratio::from_percent(1.0);
+    /// assert_eq!(duty.as_fraction(), 0.01);
+    /// ```
+    Ratio, base = "(dimensionless)", unit = ""
+}
+
+impl Ratio {
+    /// A ratio of exactly one (100 %).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio from a fraction in `[0, …]`
+    /// (same as [`Ratio::new`]).
+    #[track_caller]
+    pub fn from_fraction(f: f64) -> Self {
+        Self::new(f)
+    }
+
+    /// Creates a ratio from a percentage.
+    #[track_caller]
+    pub fn from_percent(pct: f64) -> Self {
+        Self::new(pct / 100.0)
+    }
+
+    /// This ratio as a plain fraction.
+    pub fn as_fraction(self) -> f64 {
+        self.value()
+    }
+
+    /// This ratio as a percentage.
+    pub fn as_percent(self) -> f64 {
+        self.value() * 100.0
+    }
+
+    /// `true` if the ratio lies in the closed unit interval.
+    pub fn is_unit_interval(self) -> bool {
+        (0.0..=1.0).contains(&self.value())
+    }
+}
+
+cross_mul!(EnergyPerBit * DataVolume = Energy);
+cross_mul!(EnergyPerBit * DataRate = Power);
+cross_mul!(EnergyPerOp * OpCount = Energy);
+cross_mul!(ComputeEfficiency * Energy = OpCount);
+cross_mul!(PowerDensity * Area = Power);
+
+impl std::ops::Mul<Power> for ComputeEfficiency {
+    type Output = crate::ComputeRate;
+    /// Sustained compute rate at a given power budget.
+    fn mul(self, rhs: Power) -> crate::ComputeRate {
+        crate::ComputeRate::new(self.value() * rhs.as_watts())
+    }
+}
+
+impl std::ops::Mul<ComputeEfficiency> for Power {
+    type Output = crate::ComputeRate;
+    fn mul(self, rhs: ComputeEfficiency) -> crate::ComputeRate {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputeRate, TimeSpan};
+
+    #[test]
+    fn energy_per_bit_times_rate_is_power() {
+        let cost = EnergyPerBit::from_nanojoules_per_bit(100.0);
+        let p: Power = cost * DataRate::from_megabits_per_second(1.0);
+        assert!((p.as_milliwatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_bit_times_volume_is_energy() {
+        let cost = EnergyPerBit::from_nanojoules_per_bit(10.0);
+        let e: Energy = cost * DataVolume::from_bytes(100.0);
+        assert!((e.as_microjoules() - 8.0).abs() < 1e-12);
+        let back: DataVolume = e / cost;
+        assert!((back.as_bytes() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_reciprocal_round_trip() {
+        let eff = ComputeEfficiency::from_mops_per_milliwatt(10.0);
+        let cost = eff.to_energy_per_op();
+        assert!((cost.as_picojoules_per_op() - 100.0).abs() < 1e-9);
+        let back = cost.to_efficiency();
+        assert!((back.as_mops_per_milliwatt() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_times_power_is_rate() {
+        let eff = ComputeEfficiency::from_mops_per_milliwatt(50.0);
+        let rate: ComputeRate = eff * Power::from_milliwatts(2.0);
+        assert!((rate.as_mops() - 100.0).abs() < 1e-9);
+        let rate2: ComputeRate = Power::from_milliwatts(2.0) * eff;
+        assert_eq!(rate, rate2);
+    }
+
+    #[test]
+    fn harvester_density_times_area_is_power() {
+        let d = PowerDensity::from_microwatts_per_square_centimeter(10.0);
+        let p: Power = d * Area::from_square_centimeters(4.0);
+        assert!((p.as_microwatts() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_percent_round_trip() {
+        let r = Ratio::from_percent(2.5);
+        assert_eq!(r.as_fraction(), 0.025);
+        assert_eq!(r.as_percent(), 2.5);
+        assert!(r.is_unit_interval());
+        assert!(!Ratio::from_fraction(1.5).is_unit_interval());
+    }
+
+    #[test]
+    fn energy_over_time_consistency() {
+        // 1 nJ/bit at 1 Mbit/s for 1 s == 1 mJ? No: 1e-9 * 1e6 = 1 mW, * 1 s = 1 mJ.
+        let p =
+            EnergyPerBit::from_nanojoules_per_bit(1.0) * DataRate::from_megabits_per_second(1.0);
+        let e = p * TimeSpan::from_seconds(1.0);
+        assert!((e.as_millijoules() - 1.0).abs() < 1e-12);
+    }
+}

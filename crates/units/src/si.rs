@@ -1,0 +1,112 @@
+//! SI-prefix engineering formatting shared by all quantity `Display` impls.
+
+/// One SI prefix step: the multiplier and its symbol.
+const PREFIXES: &[(f64, &str)] = &[
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "\u{00b5}"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+    (1e12, "T"),
+];
+
+/// Formats `value` in engineering notation with an SI prefix and `unit`.
+///
+/// The mantissa is kept in `[1, 1000)` where a prefix exists, printed with
+/// up to three significant digits and trailing zeros trimmed. Values outside
+/// the femto–tera range fall back to scientific notation.
+///
+/// # Example
+///
+/// ```
+/// use ami_units::si::format_si;
+///
+/// assert_eq!(format_si(0.0213, "W"), "21.3 mW");
+/// assert_eq!(format_si(0.0, "J"), "0 J");
+/// assert_eq!(format_si(-4.7e-6, "A"), "-4.7 µA");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let mut chosen: Option<(f64, &str)> = None;
+    for &(mult, sym) in PREFIXES {
+        if magnitude >= mult * 0.9995 {
+            chosen = Some((mult, sym));
+        }
+    }
+    match chosen {
+        Some((mult, sym)) if magnitude < mult * 1e3 * 0.9995 => {
+            let mantissa = value / mult;
+            format!("{} {}{}", trim(mantissa), sym, unit)
+        }
+        _ => format!("{value:.3e} {unit}"),
+    }
+}
+
+/// Prints a mantissa with three significant digits, trimming zeros.
+fn trim(mantissa: f64) -> String {
+    let digits = if mantissa.abs() >= 99.95 {
+        0
+    } else if mantissa.abs() >= 9.995 {
+        1
+    } else {
+        2
+    };
+    let s = format!("{mantissa:.digits$}");
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_and_kilo() {
+        assert_eq!(format_si(1.0, "W"), "1 W");
+        assert_eq!(format_si(1500.0, "W"), "1.5 kW");
+        assert_eq!(format_si(999.4, "W"), "999 W");
+    }
+
+    #[test]
+    fn micro_and_nano() {
+        assert_eq!(format_si(3.3e-6, "W"), "3.3 µW");
+        assert_eq!(format_si(4.2e-9, "J"), "4.2 nJ");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(format_si(-0.25, "W"), "-250 mW");
+    }
+
+    #[test]
+    fn boundary_rounds_up_to_next_prefix() {
+        // 999.6 mW would print as "1000 mW"; the formatter promotes it.
+        assert_eq!(format_si(0.9996, "W"), "1 W");
+    }
+
+    #[test]
+    fn out_of_range_uses_scientific() {
+        assert_eq!(format_si(1e20, "W"), "1.000e20 W");
+        assert!(format_si(1e-18, "W").contains('e'));
+    }
+
+    #[test]
+    fn three_significant_digits() {
+        assert_eq!(format_si(123.456, "Hz"), "123 Hz");
+        assert_eq!(format_si(12.3456, "Hz"), "12.3 Hz");
+        assert_eq!(format_si(1.23456, "Hz"), "1.23 Hz");
+    }
+}

@@ -1,0 +1,261 @@
+//! Time spans and frequencies.
+
+quantity! {
+    /// A span of time in seconds.
+    ///
+    /// Used both for physical durations (a radio burst, a battery lifetime)
+    /// and for simulation time in `ami-sim`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::TimeSpan;
+    ///
+    /// let frame = TimeSpan::from_millis(24.0);
+    /// assert_eq!(frame.as_seconds(), 0.024);
+    /// assert_eq!(format!("{frame}"), "24 ms");
+    /// ```
+    TimeSpan, base = "seconds", unit = "s"
+}
+
+impl TimeSpan {
+    /// Creates a span from seconds (same as [`TimeSpan::new`]).
+    #[track_caller]
+    pub fn from_seconds(s: f64) -> Self {
+        Self::new(s)
+    }
+
+    /// Creates a span from milliseconds.
+    #[track_caller]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// Creates a span from microseconds.
+    #[track_caller]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// Creates a span from nanoseconds.
+    #[track_caller]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// Creates a span from minutes.
+    #[track_caller]
+    pub fn from_minutes(min: f64) -> Self {
+        Self::new(min * 60.0)
+    }
+
+    /// Creates a span from hours.
+    #[track_caller]
+    pub fn from_hours(h: f64) -> Self {
+        Self::new(h * 3600.0)
+    }
+
+    /// Creates a span from days.
+    #[track_caller]
+    pub fn from_days(d: f64) -> Self {
+        Self::new(d * 86_400.0)
+    }
+
+    /// Creates a span from (Julian) years of 365.25 days.
+    #[track_caller]
+    pub fn from_years(y: f64) -> Self {
+        Self::new(y * 365.25 * 86_400.0)
+    }
+
+    /// This span in seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.value()
+    }
+
+    /// This span in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// This span in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This span in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// This span in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// This span in hours.
+    pub fn as_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// This span in days.
+    pub fn as_days(self) -> f64 {
+        self.value() / 86_400.0
+    }
+
+    /// This span in Julian years.
+    pub fn as_years(self) -> f64 {
+        self.value() / (365.25 * 86_400.0)
+    }
+}
+
+quantity! {
+    /// A frequency in hertz: clock rates, sample rates, carrier frequencies.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_units::Frequency;
+    ///
+    /// let clk = Frequency::from_megahertz(32.0);
+    /// assert_eq!(clk.period().as_nanos(), 31.25);
+    /// ```
+    Frequency, base = "hertz", unit = "Hz"
+}
+
+impl Frequency {
+    /// Creates a frequency from hertz (same as [`Frequency::new`]).
+    #[track_caller]
+    pub fn from_hertz(hz: f64) -> Self {
+        Self::new(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    #[track_caller]
+    pub fn from_kilohertz(khz: f64) -> Self {
+        Self::new(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[track_caller]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[track_caller]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// This frequency in hertz.
+    pub fn as_hertz(self) -> f64 {
+        self.value()
+    }
+
+    /// This frequency in kilohertz.
+    pub fn as_kilohertz(self) -> f64 {
+        self.value() / 1e3
+    }
+
+    /// This frequency in megahertz.
+    pub fn as_megahertz(self) -> f64 {
+        self.value() / 1e6
+    }
+
+    /// This frequency in gigahertz.
+    pub fn as_gigahertz(self) -> f64 {
+        self.value() / 1e9
+    }
+
+    /// The period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero (the period is infinite).
+    #[track_caller]
+    pub fn period(self) -> TimeSpan {
+        TimeSpan::new(1.0 / self.value())
+    }
+
+    /// Number of cycles elapsed during `span` (dimensionless).
+    pub fn cycles_in(self, span: TimeSpan) -> f64 {
+        self.value() * span.as_seconds()
+    }
+}
+
+impl std::ops::Mul<TimeSpan> for Frequency {
+    type Output = f64;
+    fn mul(self, rhs: TimeSpan) -> f64 {
+        self.cycles_in(rhs)
+    }
+}
+
+impl std::ops::Mul<Frequency> for TimeSpan {
+    type Output = f64;
+    fn mul(self, rhs: Frequency) -> f64 {
+        rhs.cycles_in(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_round_trip() {
+        let t = TimeSpan::from_hours(2.5);
+        assert!((t.as_minutes() - 150.0).abs() < 1e-12);
+        assert!((t.as_days() - 2.5 / 24.0).abs() < 1e-12);
+        assert!((TimeSpan::from_days(t.as_days()).as_seconds() - t.as_seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn years_use_julian_calendar() {
+        assert_eq!(TimeSpan::from_years(1.0).as_days(), 365.25);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = TimeSpan::from_millis(10.0);
+        let b = TimeSpan::from_millis(2.0);
+        assert_eq!((a + b).as_millis(), 12.0);
+        assert_eq!((a - b).as_millis(), 8.0);
+        assert_eq!((a * 3.0).as_millis(), 30.0);
+        assert_eq!(a / b, 5.0);
+        assert_eq!((-b).as_millis(), -2.0);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn frequency_period_and_cycles() {
+        let f = Frequency::from_kilohertz(10.0);
+        assert!((f.period().as_micros() - 100.0).abs() < 1e-12);
+        assert_eq!(f.cycles_in(TimeSpan::from_seconds(2.0)), 20_000.0);
+        assert_eq!(f * TimeSpan::from_millis(1.0), 10.0);
+        assert_eq!(TimeSpan::from_millis(1.0) * f, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TimeSpan")]
+    fn nan_panics() {
+        let _ = TimeSpan::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_reports_error() {
+        assert!(TimeSpan::try_new(f64::INFINITY).is_err());
+        assert!(TimeSpan::try_new(1.0).is_ok());
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: TimeSpan = (1..=4).map(|i| TimeSpan::from_seconds(f64::from(i))).sum();
+        assert_eq!(total.as_seconds(), 10.0);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(format!("{}", TimeSpan::from_micros(15.0)), "15 µs");
+        assert_eq!(format!("{}", Frequency::from_gigahertz(2.4)), "2.4 GHz");
+    }
+}

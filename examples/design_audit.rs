@@ -1,0 +1,67 @@
+//! Auditing candidate devices against the keynote's class contracts, and
+//! exploring the µW-node design space to fix a failing one.
+//!
+//! Run with: `cargo run --example design_audit`
+
+use ambience::arch::SocBuilder;
+use ambience::core::case_studies::cs1::Cs1Config;
+use ambience::core::challenges::{audit, report};
+use ambience::core::design_space::{cs1_frontier, explore_cs1, render_map};
+use ambience::core::{AmbientDevice, EnergySource};
+use ambience::energy::{Battery, BatteryModel, Chemistry};
+use ambience::power::DeviceKind;
+use ambience::units::{Area, DataRate, Power, TimeSpan};
+
+fn main() {
+    // A naive "portable media box": 6 W of silicon on a Li-ion pouch.
+    let naive = AmbientDevice::new(
+        SocBuilder::new("portable media box")
+            .component("cpu video decode", Power::from_watts(4.5))
+            .component("display", Power::from_watts(1.2))
+            .component("wlan", Power::from_milliwatts(300.0))
+            .build(),
+        EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Peukert)),
+        DataRate::from_megabits_per_second(4.0),
+        DeviceKind::Interface,
+    );
+    println!("Audit of the naive design:\n");
+    print!("{}", report(&audit(&naive)));
+
+    // A disciplined alternative: the same function on dedicated silicon.
+    let disciplined = AmbientDevice::new(
+        SocBuilder::new("portable media player")
+            .component("asic video decode", Power::from_milliwatts(60.0))
+            .component("display", Power::from_milliwatts(450.0))
+            .component("wlan (duty-cycled)", Power::from_milliwatts(40.0))
+            .build(),
+        EnergySource::Battery(Battery::new(Chemistry::LiIon, BatteryModel::Peukert)),
+        DataRate::from_megabits_per_second(4.0),
+        DeviceKind::Interface,
+    );
+    println!("\nAudit of the disciplined design:\n");
+    print!("{}", report(&audit(&disciplined)));
+
+    // And for the µW class, the audit's counterpart is the design space.
+    println!("\nThe autonomous node's feasibility map:\n");
+    let areas: Vec<Area> = [2.0, 4.0, 8.0, 16.0]
+        .iter()
+        .map(|&c| Area::from_square_centimeters(c))
+        .collect();
+    let intervals: Vec<TimeSpan> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&s| TimeSpan::from_seconds(s))
+        .collect();
+    let cells = explore_cs1(&Cs1Config::default(), &areas, &intervals);
+    print!("{}", render_map(&cells));
+    println!("\nSmallest sustainable cell per check interval:");
+    for (interval, area) in cs1_frontier(&cells) {
+        println!(
+            "  {:>4.1} s -> {}",
+            interval.as_seconds(),
+            area.map_or("-".to_owned(), |a| format!(
+                "{:.0} cm2",
+                a.as_square_centimeters()
+            ))
+        );
+    }
+}

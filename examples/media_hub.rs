@@ -1,0 +1,42 @@
+//! Choosing silicon for a static W-node: the CS3 media hub's
+//! flexibility–efficiency trade-off at video rates.
+//!
+//! Run with: `cargo run --example media_hub`
+
+use ambience::arch::ArchitectureClass;
+use ambience::core::case_studies::cs3::{best_format, flexibility_table_text, Cs3Config};
+use ambience::units::Power;
+
+fn main() {
+    let config = Cs3Config::default();
+    println!(
+        "Video decode on a {} hub with a {} silicon ceiling:\n",
+        config.node.name(),
+        config.ceiling
+    );
+    print!("{}", flexibility_table_text(&config));
+
+    println!("\nHighest format each architecture sustains inside the ceiling:");
+    for class in ArchitectureClass::all() {
+        println!(
+            "  {:<5} -> {}",
+            class.to_string(),
+            best_format(&config, class).map_or("none".to_owned(), |f| f.to_string())
+        );
+    }
+
+    // Tighten the thermal budget (a sealed, fanless enclosure).
+    let sealed = Cs3Config {
+        ceiling: Power::from_milliwatts(300.0),
+        ..config
+    };
+    println!("\nInside a sealed 300 mW enclosure:");
+    for class in ArchitectureClass::all() {
+        println!(
+            "  {:<5} -> {}",
+            class.to_string(),
+            best_format(&sealed, class).map_or("none".to_owned(), |f| f.to_string())
+        );
+    }
+    println!("\nMoral: flexibility is a power decision, not just a tooling one.");
+}

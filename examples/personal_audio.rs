@@ -1,0 +1,58 @@
+//! Budgeting a personal mW-node: the battery-powered digital-audio
+//! receiver of case study CS2, with DVS on the decoder DSP.
+//!
+//! Run with: `cargo run --example personal_audio`
+
+use ambience::core::case_studies::cs2::{run_cs2, Cs2Config};
+use ambience::dvs::DvsPolicy;
+use ambience::tech::TechnologyNode;
+
+fn main() {
+    let base = Cs2Config::default();
+    let result = run_cs2(&base);
+
+    println!("Component power budget (130 nm, per-job DVS):\n");
+    print!("{}", result.budget.table());
+    println!(
+        "\nThe DSP simulation ran {} decode jobs with {} deadline misses.",
+        result.dsp.jobs_run, result.dsp.deadline_misses
+    );
+    println!(
+        "Battery life on one alkaline AA: {:.1} hours",
+        result.battery_life.as_hours()
+    );
+
+    println!("\nWhat the DVS policy is worth on the DSP line:");
+    for policy in DvsPolicy::all() {
+        let run = run_cs2(&Cs2Config {
+            policy,
+            ..base.clone()
+        });
+        println!(
+            "  {:<22} DSP {:>8}  device total {:>8}  life {:>6.1} h",
+            policy.to_string(),
+            run.dsp.average_power().to_string(),
+            run.budget.total().to_string(),
+            run.battery_life.as_hours()
+        );
+    }
+
+    println!("\nAnd what a technology shrink is worth:");
+    for node in [
+        TechnologyNode::n250(),
+        TechnologyNode::n130(),
+        TechnologyNode::n65(),
+    ] {
+        let run = run_cs2(&Cs2Config {
+            node: node.clone(),
+            ..base.clone()
+        });
+        println!(
+            "  {:<6} DSP {:>8}  device total {:>8}",
+            node.name(),
+            run.dsp.average_power().to_string(),
+            run.budget.total().to_string()
+        );
+    }
+    println!("\nMoral: the digital part melts away; the analog floor stays.");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: locate devices on the power–information graph and let the
+//! toolkit classify them into the keynote's three classes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ambience::power::{portfolio_2003, DeviceKind, DevicePoint, PowerClass};
+use ambience::units::{DataRate, Power};
+
+fn main() {
+    // Start from the built-in 2003 portfolio…
+    let mut graph = portfolio_2003();
+
+    // …and add a device of your own: a wrist-worn health monitor.
+    graph.add(DevicePoint::new(
+        "wrist health monitor",
+        DataRate::from_bits_per_second(50.0),
+        Power::from_microwatts(250.0),
+        DeviceKind::Computation,
+    ));
+
+    println!("The power-information graph:\n");
+    print!("{}", graph.table());
+
+    println!("\nClass populations:");
+    for class in PowerClass::all() {
+        println!(
+            "  {:<8} ({}, fed by {}): {} devices",
+            class.to_string(),
+            class.device_name(),
+            class.energy_source(),
+            graph.in_class(class).len()
+        );
+    }
+
+    let best = graph.most_efficient().expect("graph is non-empty");
+    println!(
+        "\nMost information-efficient device: {} at {:.2e} bit/J",
+        best.name(),
+        best.bits_per_joule()
+    );
+}

@@ -1,0 +1,68 @@
+//! Designing an autonomous µW-node: close the energy loop of a
+//! light-harvesting sensor (the CS1 case study, interactively).
+//!
+//! Run with: `cargo run --example sensor_node`
+
+use ambience::core::case_studies::cs1::{run_cs1, sweep_storage, Cs1Config};
+use ambience::units::{Area, Capacitance, TimeSpan};
+
+fn main() {
+    // The default design: 8 cm² of amorphous-Si PV, a 1 F supercap,
+    // 2-second LPL channel checks, 5-minute reports, 180 nm silicon.
+    let design = Cs1Config::default();
+    let result = run_cs1(&design);
+
+    println!("Power budget of the node:\n");
+    print!("{}", result.budget.table());
+
+    println!("\nEnergy loop over three office days:");
+    println!("  mean harvested : {}", result.sustainability.mean_harvest);
+    println!("  mean consumed  : {}", result.sustainability.mean_load);
+    println!("  margin         : {}", result.sustainability.margin());
+    println!(
+        "  outage         : {:.2}% of the time",
+        100.0 * result.sustainability.outage_fraction
+    );
+    println!("  sustainable    : {}", result.sustainability.sustainable);
+
+    // What if we shrink the solar cell?
+    let cramped = Cs1Config {
+        pv_area: Area::from_square_centimeters(2.0),
+        ..design.clone()
+    };
+    let worse = run_cs1(&cramped);
+    println!(
+        "\nWith only 2 cm² of PV the margin turns {} and the node {}",
+        worse.sustainability.margin(),
+        if worse.sustainability.sustainable {
+            "still survives"
+        } else {
+            "starves"
+        }
+    );
+
+    // And what if we check the channel ten times more often?
+    let eager = Cs1Config {
+        check_interval: TimeSpan::from_millis(200.0),
+        ..design.clone()
+    };
+    let hungry = run_cs1(&eager);
+    println!(
+        "Checking the channel every 200 ms raises the load to {} -> sustainable: {}",
+        hungry.budget.total(),
+        hungry.sustainability.sustainable
+    );
+
+    // Storage is the night bridge — sweep it.
+    println!("\nStorage sizing (outage fraction):");
+    for (cap, outage) in sweep_storage(
+        &design,
+        &[
+            Capacitance::from_millifarads(10.0),
+            Capacitance::from_millifarads(100.0),
+            Capacitance::from_farads(1.0),
+        ],
+    ) {
+        println!("  {:>8}: {:.1}%", cap.to_string(), 100.0 * outage);
+    }
+}

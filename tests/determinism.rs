@@ -1,0 +1,105 @@
+//! Whole-toolkit determinism: identical seeds must reproduce identical
+//! results across every stochastic subsystem, because EXPERIMENTS.md's
+//! numbers are only meaningful if `cargo run` regenerates them bit-exact.
+
+use ambience::arch::{ArchitectureClass, Processor};
+use ambience::core::case_studies::cs1::{run_cs1, Cs1Config};
+use ambience::dvs::{simulate_taskset, DvsPolicy, TaskSet};
+use ambience::net::{
+    simulate_clustered, simulate_gathering, ClusterConfig, NetworkConfig, RoutingStrategy, Topology,
+};
+use ambience::radio::RadioEnergyModel;
+use ambience::sim::replicate;
+use ambience::tech::{TechnologyNode, VariationModel};
+use ambience::units::{Energy, Frequency, Length, Power, Temperature, TimeSpan};
+
+#[test]
+fn gathering_simulation_is_bit_exact() {
+    let topo = Topology::random(25, Length::from_meters(100.0), 99);
+    let config = NetworkConfig::sensor_default();
+    let a = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 200);
+    let b = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 200);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn clustered_simulation_is_bit_exact() {
+    let topo = Topology::grid(4, Length::from_meters(30.0));
+    let radio = RadioEnergyModel::short_range_2003();
+    let a = simulate_clustered(
+        &topo,
+        &radio,
+        &ClusterConfig::classic(),
+        Energy::from_joules(1.0),
+        500,
+        11,
+    );
+    let b = simulate_clustered(
+        &topo,
+        &radio,
+        &ClusterConfig::classic(),
+        Energy::from_joules(1.0),
+        500,
+        11,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dvs_simulation_is_bit_exact() {
+    let dsp = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n130());
+    let tasks = TaskSet::personal_audio();
+    let a = simulate_taskset(
+        &dsp,
+        &tasks,
+        DvsPolicy::Clairvoyant,
+        TimeSpan::from_seconds(3.0),
+        5,
+    );
+    let b = simulate_taskset(
+        &dsp,
+        &tasks,
+        DvsPolicy::Clairvoyant,
+        TimeSpan::from_seconds(3.0),
+        5,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cs1_run_is_deterministic() {
+    let a = run_cs1(&Cs1Config::default());
+    let b = run_cs1(&Cs1Config::default());
+    assert_eq!(a.sustainability, b.sustainability);
+    assert_eq!(a.budget.total(), b.budget.total());
+}
+
+#[test]
+fn variation_yield_is_deterministic() {
+    let model = VariationModel::typical_2003();
+    let node = TechnologyNode::n90();
+    let y = |seed| {
+        model.parametric_yield(
+            &node,
+            50e3,
+            Temperature::ROOM,
+            Frequency::from_gigahertz(1.05),
+            Power::from_milliwatts(5.0),
+            1000,
+            seed,
+        )
+    };
+    assert_eq!(y(3), y(3));
+    assert_ne!(y(3), y(4));
+}
+
+#[test]
+fn monte_carlo_replication_is_deterministic() {
+    let run = || {
+        replicate(50, 123, |seed| {
+            let topo = Topology::random(10, Length::from_meters(60.0), seed);
+            topo.radius().as_meters()
+        })
+    };
+    assert_eq!(run(), run());
+}
