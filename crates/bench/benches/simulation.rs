@@ -121,6 +121,46 @@ fn bench_event_driven_cs1_day(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_replication(c: &mut Criterion) {
+    // The acceptance workload for the parallel runner: 200 replications
+    // of a full gathering simulation on a seeded random topology, serial
+    // versus the seed-partitioned parallel path at 2/4/8 workers. The
+    // per-seed work (~hundreds of µs) dwarfs the scoped-thread setup, so
+    // on a multi-core host the parallel rows win; the parallel rows
+    // compute the bit-identical Summary (asserted in
+    // tests/determinism.rs), here we only time them.
+    let replications = 200;
+    let config = NetworkConfig::sensor_default();
+    let config = &config;
+    let observable = |seed: u64| {
+        let topo = Topology::random(30, Length::from_meters(100.0), seed);
+        simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, config, 50)
+            .total_energy
+            .as_joules()
+    };
+    let mut group = c.benchmark_group("replicate_200x_random_gathering");
+    group.bench_function("serial", |b| {
+        b.iter(|| ami_sim::replicate(black_box(replications), BENCH_SEED, observable))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ami_sim::replicate_par_threads(
+                        threads,
+                        black_box(replications),
+                        BENCH_SEED,
+                        observable,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_variation_monte_carlo(c: &mut Criterion) {
     let model = ami_tech::VariationModel::typical_2003();
     let node = TechnologyNode::n90();
@@ -147,6 +187,7 @@ criterion_group!(
     bench_harvest_simulation,
     bench_clustered_gathering,
     bench_event_driven_cs1_day,
+    bench_parallel_replication,
     bench_variation_monte_carlo
 );
 criterion_main!(benches);

@@ -130,41 +130,40 @@ pub fn run_cs1(config: &Cs1Config) -> Cs1Result {
 
 /// F3's sweep: evaluates sustainability across MAC check intervals.
 /// Returns `(interval, average load, mean harvest, sustainable)` rows.
+///
+/// Each interval is an independent three-day simulation; the rows are
+/// evaluated on the parallel runner and returned in input order.
 pub fn sweep_check_interval(
     base: &Cs1Config,
     intervals: &[TimeSpan],
 ) -> Vec<(TimeSpan, Power, Power, bool)> {
-    intervals
-        .iter()
-        .map(|&interval| {
-            let config = Cs1Config {
-                check_interval: interval,
-                ..base.clone()
-            };
-            let result = run_cs1(&config);
-            (
-                interval,
-                result.budget.total(),
-                result.sustainability.mean_harvest,
-                result.sustainability.sustainable,
-            )
-        })
-        .collect()
+    ami_sim::runner::par_map_indexed(intervals, |_, &interval| {
+        let config = Cs1Config {
+            check_interval: interval,
+            ..base.clone()
+        };
+        let result = run_cs1(&config);
+        (
+            interval,
+            result.budget.total(),
+            result.sustainability.mean_harvest,
+            result.sustainability.sustainable,
+        )
+    })
 }
 
 /// A3's sweep: evaluates outage across storage sizes.
-/// Returns `(capacitance, outage fraction)` rows.
+/// Returns `(capacitance, outage fraction)` rows, evaluated on the
+/// parallel runner in input order.
 pub fn sweep_storage(base: &Cs1Config, caps: &[Capacitance]) -> Vec<(Capacitance, f64)> {
-    caps.iter()
-        .map(|&c| {
-            let config = Cs1Config {
-                storage_capacitance: c,
-                ..base.clone()
-            };
-            let result = run_cs1(&config);
-            (c, result.sustainability.outage_fraction)
-        })
-        .collect()
+    ami_sim::runner::par_map_indexed(caps, |_, &c| {
+        let config = Cs1Config {
+            storage_capacitance: c,
+            ..base.clone()
+        };
+        let result = run_cs1(&config);
+        (c, result.sustainability.outage_fraction)
+    })
 }
 
 #[cfg(test)]

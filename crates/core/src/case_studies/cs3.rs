@@ -63,34 +63,38 @@ fn memory_energy_per_pixel(node: &TechnologyNode) -> Energy {
 }
 
 /// Evaluates every architecture class against every video format (F5).
+///
+/// The (class × format) cross product runs on the parallel runner;
+/// rows come back in the same row-major (class outer, format inner)
+/// order as the original nested loop.
 pub fn flexibility_table(config: &Cs3Config) -> Vec<Cs3Row> {
     let kernel = Kernel::video_decode();
     let mem_per_pixel = memory_energy_per_pixel(&config.node);
-    let mut rows = Vec::new();
-    for class in ArchitectureClass::all() {
+    let grid: Vec<(ArchitectureClass, VideoFormat)> = ArchitectureClass::all()
+        .into_iter()
+        .flat_map(|class| VideoFormat::all().into_iter().map(move |f| (class, f)))
+        .collect();
+    ami_sim::runner::par_map_indexed(&grid, |_, &(class, format)| {
         let engine = Processor::new("video", class, config.node.clone());
-        for format in VideoFormat::all() {
-            let rate = kernel.required_rate_video(format, config.fps);
-            let pixel_rate = format.pixels() * config.fps;
-            let mem_power = Power::new(mem_per_pixel.as_joules() * pixel_rate);
-            let compute = engine.power_for_throughput(rate);
-            let (feasible, power, within) = match compute {
-                Some(p) => {
-                    let total = p + mem_power;
-                    (true, Some(total), total <= config.ceiling)
-                }
-                None => (false, None, false),
-            };
-            rows.push(Cs3Row {
-                class: class.to_string(),
-                format: format.to_string(),
-                feasible,
-                power,
-                within_ceiling: within,
-            });
+        let rate = kernel.required_rate_video(format, config.fps);
+        let pixel_rate = format.pixels() * config.fps;
+        let mem_power = Power::new(mem_per_pixel.as_joules() * pixel_rate);
+        let compute = engine.power_for_throughput(rate);
+        let (feasible, power, within) = match compute {
+            Some(p) => {
+                let total = p + mem_power;
+                (true, Some(total), total <= config.ceiling)
+            }
+            None => (false, None, false),
+        };
+        Cs3Row {
+            class: class.to_string(),
+            format: format.to_string(),
+            feasible,
+            power,
+            within_ceiling: within,
         }
-    }
-    rows
+    })
 }
 
 /// The highest format a class sustains within the ceiling, if any.

@@ -26,26 +26,47 @@ pub struct DesignCell {
 }
 
 /// Evaluates the full (area × interval) grid against the base config.
+///
+/// Grid cells are independent three-day simulations, so they run on the
+/// parallel runner with the default
+/// [`thread_count`](ami_sim::runner::thread_count); results come back
+/// in row-major `(area, interval)` order, bit-exact with the serial
+/// nested loop (see [`explore_cs1_threads`]).
 pub fn explore_cs1(base: &Cs1Config, areas: &[Area], intervals: &[TimeSpan]) -> Vec<DesignCell> {
-    let mut cells = Vec::with_capacity(areas.len() * intervals.len());
-    for &pv_area in areas {
-        for &check_interval in intervals {
-            let config = Cs1Config {
-                pv_area,
-                check_interval,
-                ..base.clone()
-            };
-            let result = run_cs1(&config);
-            cells.push(DesignCell {
-                pv_area,
-                check_interval,
-                load: result.budget.total(),
-                harvest: result.sustainability.mean_harvest,
-                sustainable: result.sustainability.sustainable,
-            });
+    explore_cs1_threads(ami_sim::runner::thread_count(), base, areas, intervals)
+}
+
+/// [`explore_cs1`] with an explicit worker count (1 = serial loop).
+/// Exposed so the determinism tests can pin the thread topology.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn explore_cs1_threads(
+    threads: usize,
+    base: &Cs1Config,
+    areas: &[Area],
+    intervals: &[TimeSpan],
+) -> Vec<DesignCell> {
+    let grid: Vec<(Area, TimeSpan)> = areas
+        .iter()
+        .flat_map(|&pv_area| intervals.iter().map(move |&interval| (pv_area, interval)))
+        .collect();
+    ami_sim::runner::par_map_indexed_threads(threads, &grid, |_, &(pv_area, check_interval)| {
+        let config = Cs1Config {
+            pv_area,
+            check_interval,
+            ..base.clone()
+        };
+        let result = run_cs1(&config);
+        DesignCell {
+            pv_area,
+            check_interval,
+            load: result.budget.total(),
+            harvest: result.sustainability.mean_harvest,
+            sustainable: result.sustainability.sustainable,
         }
-    }
-    cells
+    })
 }
 
 /// The feasibility frontier: for each check interval, the smallest PV

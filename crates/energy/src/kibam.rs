@@ -119,7 +119,7 @@ impl KineticBattery {
         assert!(!dt.is_negative(), "time step must be non-negative");
         let i = load.as_watts() / self.voltage;
         let mut remaining = dt.as_seconds();
-        let sub = (0.1 / self.k).min(60.0).max(1e-3);
+        let sub = (0.1 / self.k).clamp(1e-3, 60.0);
         let mut delivered = 0.0;
         while remaining > 0.0 {
             let step = remaining.min(sub);
@@ -142,7 +142,7 @@ impl KineticBattery {
     pub fn rest(&mut self, dt: TimeSpan) {
         assert!(!dt.is_negative(), "rest time must be non-negative");
         let mut remaining = dt.as_seconds();
-        let sub = (0.1 / self.k).min(600.0).max(1e-3);
+        let sub = (0.1 / self.k).clamp(1e-3, 600.0);
         while remaining > 0.0 {
             let step = remaining.min(sub);
             self.diffuse(step);

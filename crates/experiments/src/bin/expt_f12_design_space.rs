@@ -15,6 +15,10 @@ fn main() {
         "F12",
         "CS1 design space: harvester area vs listening latency",
     );
+    println!(
+        "[runner: {} worker thread(s)]",
+        ami_sim::runner::thread_count()
+    );
 
     let areas: Vec<Area> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
         .iter()

@@ -14,37 +14,41 @@ use ami_units::Length;
 
 fn main() {
     banner("F13", "lossy-link gathering: delivery vs BER and ARQ");
+    println!(
+        "[runner: {} worker thread(s)]",
+        ami_sim::runner::thread_count()
+    );
     let topo = Topology::grid(5, Length::from_meters(30.0));
     let rounds = 300;
 
     section("5x5 grid, 4-attempt ARQ: channel quality sweep");
-    let mut rows = Vec::new();
-    for ber in [1e-5, 1e-4, 1e-3, 3e-3, 1e-2] {
+    let bers = [1e-5, 1e-4, 1e-3, 3e-3, 1e-2];
+    let rows = ami_sim::runner::par_map_indexed(&bers, |_, &ber| {
         let mut config = LossyConfig::bruised_channel();
         config.ber = ber;
         let report = simulate_lossy_gathering(&topo, &config, rounds, 2003);
-        rows.push(vec![
+        vec![
             format!("{ber:.0e}"),
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
             format!("{:.2}", report.tx_per_packet()),
             format!("{:.2}", report.total_energy.as_joules()),
-        ]);
-    }
+        ]
+    });
     print_table(&["BER", "delivered", "tx/packet", "energy (J)"], &rows);
 
     section("BER 3e-3: how much ARQ is enough?");
-    let mut rows = Vec::new();
-    for budget in [1u32, 2, 4, 8] {
+    let budgets = [1u32, 2, 4, 8];
+    let rows = ami_sim::runner::par_map_indexed(&budgets, |_, &budget| {
         let mut config = LossyConfig::bruised_channel();
         config.ber = 3e-3;
         config.arq = StopAndWaitArq::new(budget);
         let report = simulate_lossy_gathering(&topo, &config, rounds, 2003);
-        rows.push(vec![
+        vec![
             budget.to_string(),
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
             format!("{:.2}", report.total_energy.as_joules()),
-        ]);
-    }
+        ]
+    });
     print_table(&["max tx per hop", "delivered", "energy (J)"], &rows);
 
     section("reading");

@@ -12,6 +12,10 @@ use ami_units::TimeSpan;
 
 fn main() {
     banner("F3", "CS1 sensor node: duty cycle vs sustainability");
+    println!(
+        "[runner: {} worker thread(s)]",
+        ami_sim::runner::thread_count()
+    );
 
     let base = Cs1Config::default();
     section("default node budget");

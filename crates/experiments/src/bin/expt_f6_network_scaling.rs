@@ -7,22 +7,29 @@
 //! the relays around the sink.
 
 use ami_experiments::{banner, print_table, section};
-use ami_net::{simulate_gathering, NetworkConfig, RoutingStrategy, Topology};
+use ami_net::{
+    replicate_gathering, simulate_gathering, summarize_reports, NetworkConfig, RoutingStrategy,
+    Topology,
+};
 use ami_units::{Energy, Length};
 
 fn main() {
     banner("F6", "network scaling and the multi-hop crossover");
+    println!(
+        "[runner: {} worker thread(s)]",
+        ami_sim::runner::thread_count()
+    );
     let mut config = NetworkConfig::sensor_default();
     config.node_energy = Energy::from_joules(20.0);
     let rounds = 500;
 
     section("grid networks of growing side (30 m spacing, 500 rounds)");
-    let mut rows = Vec::new();
-    for side in [2usize, 3, 4, 5, 6, 7] {
+    let sides = [2usize, 3, 4, 5, 6, 7];
+    let rows = ami_sim::runner::par_map_indexed(&sides, |_, &side| {
         let topo = Topology::grid(side, Length::from_meters(30.0));
         let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &config, rounds);
         let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
-        rows.push(vec![
+        vec![
             format!("{}x{}", side, side),
             format!("{:.0}", topo.radius().as_meters()),
             format!("{:.2}", direct.total_energy.as_joules()),
@@ -32,8 +39,8 @@ fn main() {
                 direct.total_energy.as_joules() / multi.total_energy.as_joules()
             ),
             format!("{}", multi.delivered_packets),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "grid",
@@ -49,8 +56,8 @@ fn main() {
     section("lifetime to first node death (tiny 0.5 J budgets, 1-min rounds)");
     let mut tiny = NetworkConfig::sensor_default();
     tiny.node_energy = Energy::from_millijoules(500.0);
-    let mut rows = Vec::new();
-    for side in [3usize, 5, 7] {
+    let tiny_sides = [3usize, 5, 7];
+    let rows = ami_sim::runner::par_map_indexed(&tiny_sides, |_, &side| {
         let topo = Topology::grid(side, Length::from_meters(30.0));
         let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &tiny, 20_000);
         let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &tiny, 20_000);
@@ -60,13 +67,50 @@ fn main() {
                     format!("{:.1} h", t.as_hours())
                 })
         };
-        rows.push(vec![
-            format!("{}x{}", side, side),
-            show(&direct),
-            show(&multi),
-        ]);
-    }
+        vec![format!("{}x{}", side, side), show(&direct), show(&multi)]
+    });
     print_table(&["grid", "direct lifetime", "multi-hop lifetime"], &rows);
+
+    section("random fields: multi-hop saving with 95% CI over 32 topologies");
+    // A 400 m square (sink at center) puts most nodes well past the
+    // ~45 m single-hop crossover, so the saving is visible.
+    let field = Length::from_meters(400.0);
+    let n_nodes = 40;
+    let reports_of = |strategy| {
+        replicate_gathering(
+            32,
+            2003,
+            |seed| Topology::random(n_nodes, field, seed),
+            strategy,
+            &config,
+            rounds,
+        )
+    };
+    let direct = reports_of(RoutingStrategy::DirectToSink);
+    let multi = reports_of(RoutingStrategy::MinimumEnergy);
+    let direct_energy = summarize_reports(&direct, |r| r.total_energy.as_joules());
+    let multi_energy = summarize_reports(&multi, |r| r.total_energy.as_joules());
+    let savings: Vec<f64> = direct
+        .iter()
+        .zip(&multi)
+        .map(|(d, m)| d.total_energy.as_joules() / m.total_energy.as_joules())
+        .collect();
+    let saving = ami_sim::summarize(&savings);
+    println!(
+        "direct    {:.2} +/- {:.2} J   multi-hop {:.2} +/- {:.2} J",
+        direct_energy.mean,
+        direct_energy.ci95_half_width(),
+        multi_energy.mean,
+        multi_energy.ci95_half_width()
+    );
+    println!(
+        "saving    {:.2}x +/- {:.2}x  (range {:.2}x..{:.2}x, {} random 40-node fields)",
+        saving.mean,
+        saving.ci95_half_width(),
+        saving.min,
+        saving.max,
+        saving.n
+    );
 
     section("reading");
     println!("multi-hop wins once the field radius passes the ~45 m radio");

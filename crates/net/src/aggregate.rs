@@ -161,7 +161,7 @@ mod tests {
         // Each sink-adjacent child transmits exactly one payload.
         let payload_bits = 16.0 * 8.0;
         let ratio = report.sink_volume.as_bits() / payload_bits;
-        assert!(ratio >= 1.0 && ratio < 15.0);
+        assert!((1.0..15.0).contains(&ratio));
         assert!(report.sink_volume < report.offered_volume);
     }
 

@@ -29,6 +29,7 @@ pub mod aggregate;
 pub mod cluster;
 pub mod gather;
 pub mod lossy;
+pub mod replicate;
 pub mod routing;
 pub mod topology;
 
@@ -36,5 +37,6 @@ pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
 pub use gather::{simulate_gathering, NetworkConfig, NetworkReport};
 pub use lossy::{simulate_lossy_gathering, LossyConfig, LossyReport};
+pub use replicate::{replicate_gathering, replicate_gathering_threads, summarize_reports};
 pub use routing::{build_routes, RoutingStrategy};
 pub use topology::{NodeId, Position, Topology};

@@ -1,0 +1,183 @@
+//! Multi-seed replication of gathering simulations over random
+//! topologies, on the parallel runner.
+//!
+//! A single random field says little: the keynote's network-level claims
+//! (multi-hop savings, the energy hole, delivery under loss) need
+//! confidence intervals over topology draws. This module replicates
+//! [`simulate_gathering`] across `base_seed + k` topologies with the
+//! same seed-partitioning scheme as `ami_sim::replicate` — replication
+//! `k` always sees seed `base_seed + k`, and reports come back in seed
+//! order, so the parallel path is bit-exact with a serial loop at any
+//! worker count (enforced by `tests/determinism.rs`).
+
+use crate::gather::{simulate_gathering, NetworkConfig, NetworkReport};
+use crate::routing::RoutingStrategy;
+use crate::topology::Topology;
+use ami_sim::summarize;
+use ami_sim::Summary;
+
+/// Replicates a gathering study across seeded random topologies with
+/// the default [`thread_count`](ami_sim::runner::thread_count),
+/// returning one report per seed, in seed order.
+///
+/// `topology` builds the field for a given seed — typically
+/// `|seed| Topology::random(n, field, seed)`, but any deterministic
+/// seed-to-field map works (e.g. jittered grids).
+///
+/// # Panics
+///
+/// Panics if `replications` or `rounds` is zero.
+pub fn replicate_gathering(
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> Vec<NetworkReport> {
+    replicate_gathering_threads(
+        ami_sim::runner::thread_count(),
+        replications,
+        base_seed,
+        topology,
+        strategy,
+        config,
+        rounds,
+    )
+}
+
+/// [`replicate_gathering`] with an explicit worker count (1 = serial
+/// loop). Exposed so tests and benchmarks can pin the thread topology.
+///
+/// # Panics
+///
+/// Panics if `threads`, `replications` or `rounds` is zero.
+pub fn replicate_gathering_threads(
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> Vec<NetworkReport> {
+    assert!(replications > 0, "at least one replication");
+    let seeds: Vec<u64> = (0..replications)
+        .map(|k| base_seed.wrapping_add(k as u64))
+        .collect();
+    ami_sim::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
+        simulate_gathering(&topology(seed), strategy, config, rounds)
+    })
+}
+
+/// Summarizes one scalar observable over replicated reports — the
+/// confidence-interval companion to [`replicate_gathering`].
+///
+/// # Example
+///
+/// ```
+/// use ami_net::{replicate_gathering, summarize_reports, NetworkConfig,
+///     RoutingStrategy, Topology};
+/// use ami_units::Length;
+///
+/// let reports = replicate_gathering(
+///     8, 42,
+///     |seed| Topology::random(12, Length::from_meters(80.0), seed),
+///     RoutingStrategy::MinimumEnergy,
+///     &NetworkConfig::sensor_default(),
+///     20,
+/// );
+/// let delivered = summarize_reports(&reports, |r| r.delivered_packets as f64);
+/// assert_eq!(delivered.n, 8);
+/// assert!(delivered.mean > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `reports` is empty or the observable is non-finite.
+pub fn summarize_reports(
+    reports: &[NetworkReport],
+    observable: impl Fn(&NetworkReport) -> f64,
+) -> Summary {
+    let values: Vec<f64> = reports.iter().map(observable).collect();
+    summarize(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ami_units::Length;
+
+    fn field(seed: u64) -> Topology {
+        Topology::random(10, Length::from_meters(70.0), seed)
+    }
+
+    #[test]
+    fn reports_come_back_in_seed_order() {
+        let config = NetworkConfig::sensor_default();
+        let replicated =
+            replicate_gathering(4, 7, field, RoutingStrategy::MinimumEnergy, &config, 10);
+        for (k, report) in replicated.iter().enumerate() {
+            let solo = simulate_gathering(
+                &field(7 + k as u64),
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                10,
+            );
+            assert_eq!(*report, solo, "replication {k}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_reports() {
+        let config = NetworkConfig::sensor_default();
+        let serial = replicate_gathering_threads(
+            1,
+            6,
+            99,
+            field,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            15,
+        );
+        for threads in [2, 4, 8] {
+            let parallel = replicate_gathering_threads(
+                threads,
+                6,
+                99,
+                field,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                15,
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn summary_matches_hand_fold() {
+        let config = NetworkConfig::sensor_default();
+        let reports = replicate_gathering(5, 1, field, RoutingStrategy::DirectToSink, &config, 5);
+        let summary = summarize_reports(&reports, |r| r.delivered_packets as f64);
+        let mean = reports
+            .iter()
+            .map(|r| r.delivered_packets as f64)
+            .sum::<f64>()
+            / reports.len() as f64;
+        assert_eq!(summary.n, 5);
+        assert!((summary.mean - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        let _ = replicate_gathering(
+            0,
+            0,
+            field,
+            RoutingStrategy::DirectToSink,
+            &NetworkConfig::sensor_default(),
+            1,
+        );
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`TraceSeries`] — a lightweight time-series recorder with summary
 //!   statistics;
 //! * [`sim_rng`] — the single sanctioned source of randomness
-//!   (a seeded [`rand::rngs::StdRng`]).
+//!   (a seeded [`rand::rngs::StdRng`]);
+//! * [`runner`] — seed-partitioned parallel execution for independent
+//!   work (replications, sweep grids) that is bit-exact with serial at
+//!   any thread count (`AMBIENCE_THREADS` overrides the worker count).
 //!
 //! # Example
 //!
@@ -29,11 +32,13 @@
 pub mod energy;
 pub mod montecarlo;
 pub mod queue;
+pub mod runner;
 pub mod trace;
 
 pub use energy::EnergyMeter;
-pub use montecarlo::{replicate, summarize, Summary};
+pub use montecarlo::{replicate, replicate_par, replicate_par_threads, summarize, Summary};
 pub use queue::EventQueue;
+pub use runner::{par_map_indexed, par_map_indexed_threads, thread_count};
 pub use trace::TraceSeries;
 
 use rand::rngs::StdRng;

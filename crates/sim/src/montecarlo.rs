@@ -5,7 +5,10 @@
 //! task demands, random topologies). Confidence in a reported number
 //! means replicating across seeds; this module provides the harness and
 //! the summary statistics, keeping determinism: replication `k` of a
-//! study with base seed `s` always uses seed `s + k`.
+//! study with base seed `s` always uses seed `s + k` — whether the
+//! replications run serially ([`replicate`]) or across worker threads
+//! ([`replicate_par`], which merges observables back in seed order and
+//! is therefore bit-exact with the serial path).
 
 /// Summary statistics of a replicated scalar observable.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +80,61 @@ pub fn replicate(
         assert!(v.is_finite(), "observable must be finite, got {v}");
         values.push(v);
     }
+    summarize(&values)
+}
+
+/// Parallel [`replicate`]: the same seed schedule (`base_seed + k`),
+/// spread across the default [`runner::thread_count`](crate::runner::thread_count)
+/// workers, merged back in seed order.
+///
+/// Bit-exact with [`replicate`]: replication `k` sees the identical
+/// seed, and [`summarize`] folds the identical ordered sample vector,
+/// so even floating-point rounding matches. `tests/determinism.rs`
+/// asserts `replicate_par == replicate` at 1, 2 and 8 threads.
+///
+/// The experiment closure takes `Fn` (not `FnMut`) plus `Sync` because
+/// workers share it; any per-replication state belongs inside the
+/// closure, keyed on the seed.
+///
+/// # Panics
+///
+/// Panics if `replications` is zero or the experiment returns a
+/// non-finite observable.
+pub fn replicate_par(
+    replications: usize,
+    base_seed: u64,
+    experiment: impl Fn(u64) -> f64 + Sync,
+) -> Summary {
+    replicate_par_threads(
+        crate::runner::thread_count(),
+        replications,
+        base_seed,
+        experiment,
+    )
+}
+
+/// [`replicate_par`] with an explicit worker count (1 runs the plain
+/// serial loop). Exposed so tests and benchmarks can pin the topology.
+///
+/// # Panics
+///
+/// Panics if `threads` or `replications` is zero, or the experiment
+/// returns a non-finite observable.
+pub fn replicate_par_threads(
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+    experiment: impl Fn(u64) -> f64 + Sync,
+) -> Summary {
+    assert!(replications > 0, "at least one replication");
+    let seeds: Vec<u64> = (0..replications)
+        .map(|k| base_seed.wrapping_add(k as u64))
+        .collect();
+    let values = crate::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
+        let v = experiment(seed);
+        assert!(v.is_finite(), "observable must be finite, got {v}");
+        v
+    });
     summarize(&values)
 }
 

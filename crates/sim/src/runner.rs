@@ -1,0 +1,168 @@
+//! Seed-partitioned parallel execution with a serial-equality guarantee.
+//!
+//! Every sweep and Monte-Carlo study in the toolkit is *independent
+//! work*: cell `(i)` of a grid or replication `k` of a study depends
+//! only on its own inputs (and its own seed), never on a sibling. This
+//! module exploits that to spread the work across OS threads while
+//! keeping the toolkit's determinism contract intact:
+//!
+//! * work item `i` computes `f(i, item)` — a pure function of the index
+//!   and input, never of scheduling;
+//! * results are merged back **in index order**, so downstream consumers
+//!   (e.g. [`summarize`](crate::summarize), which folds floats in sample
+//!   order) see the byte-identical vector a serial loop would produce.
+//!
+//! Together these make parallel execution bit-exact with serial at any
+//! thread count — a property enforced by `tests/determinism.rs` at 1, 2
+//! and 8 threads.
+//!
+//! # Thread-count policy
+//!
+//! [`thread_count`] reads the `AMBIENCE_THREADS` environment variable
+//! (any integer ≥ 1); otherwise it uses
+//! [`std::thread::available_parallelism`]. At 1 the implementation runs
+//! the plain serial loop on the calling thread — no pool, no channels —
+//! so CI boxes and laptops behave identically to the pre-parallel
+//! toolkit.
+//!
+//! # Example
+//!
+//! ```
+//! use ami_sim::runner::{par_map_indexed, par_map_indexed_threads};
+//!
+//! let squares = par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! // Any explicit thread count produces the identical result.
+//! let with_8 = par_map_indexed_threads(8, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, with_8);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "AMBIENCE_THREADS";
+
+/// The worker-thread count: `AMBIENCE_THREADS` if set to an integer
+/// ≥ 1, else [`std::thread::available_parallelism`], else 1.
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` with the default [`thread_count`], returning
+/// results in item order. See [`par_map_indexed_threads`].
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed_threads(thread_count(), items, f)
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in
+/// item order — bit-exact with the serial `items.iter().enumerate()`
+/// loop as long as `f` is a pure function of `(index, item)`.
+///
+/// Work is distributed by atomic index-stealing, so uneven cell costs
+/// (a dying network simulates slower than a healthy one) cannot starve
+/// a worker; the merge order is fixed by the result slot, not by
+/// completion order.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0, or propagates the first panic raised by
+/// `f` on any worker.
+pub fn par_map_indexed_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    assert!(threads > 0, "at least one worker thread");
+    if threads == 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| f(idx, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                // Compute outside the lock; the critical section is one
+                // slot write.
+                let value = f(idx, &items[idx]);
+                slots.lock().expect("no poisoned slot vector")[idx] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 16] {
+            let parallel = par_map_indexed_threads(threads, &items, |_, &x| x * 3 + 1);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = ["a", "b", "c"];
+        let tagged = par_map_indexed_threads(2, &items, |idx, &s| format!("{idx}{s}"));
+        assert_eq!(tagged, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_indexed_threads(4, &empty, |_, &x: &u32| x).is_empty());
+        assert_eq!(par_map_indexed_threads(4, &[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_indexed_threads(32, &[1, 2], |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = par_map_indexed_threads(0, &[1], |_, &x| x);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the Monte-Carlo harness and the parallel
+//! runner: summary invariants and serial/parallel bit-exactness.
+
+use ami_sim::{
+    par_map_indexed_threads, replicate, replicate_par_threads, sim_rng, summarize, Summary,
+};
+use proptest::prelude::*;
+use rand::RngExt;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..64)
+}
+
+/// Deterministic pseudo-random permutation of `0..n` (Fisher–Yates on a
+/// seeded toolkit rng), so the permutation-invariance property explores
+/// many orders without a `Shuffle` strategy.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = sim_rng(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i as u64) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    /// The basic shape of any summary: n matches, the mean lies between
+    /// the extremes, and the spread is non-negative and bounded by the
+    /// range.
+    #[test]
+    fn summary_invariants(values in sample()) {
+        let s = summarize(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.max);
+        // Allow one ulp-scale slack: the running mean can round a hair
+        // past an extreme for near-constant samples.
+        let slack = 1e-9 * s.max.abs().max(s.min.abs()).max(1.0);
+        prop_assert!(s.min - slack <= s.mean && s.mean <= s.max + slack);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.std_dev <= (s.max - s.min) + slack);
+        prop_assert!(s.ci95_half_width() >= 0.0);
+    }
+
+    /// Order statistics (n, min, max) are exactly permutation-invariant;
+    /// mean and standard deviation are invariant up to floating-point
+    /// re-association of the fold.
+    #[test]
+    fn summary_is_permutation_invariant(values in sample(), seed in 0u64..1000) {
+        let original = summarize(&values);
+        let order = permutation(values.len(), seed);
+        let shuffled: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        let permuted = summarize(&shuffled);
+        prop_assert_eq!(original.n, permuted.n);
+        prop_assert_eq!(original.min, permuted.min);
+        prop_assert_eq!(original.max, permuted.max);
+        let tol = 1e-9 * original.mean.abs().max(1.0);
+        prop_assert!((original.mean - permuted.mean).abs() <= tol);
+        let stol = 1e-6 * original.std_dev.max(1.0);
+        prop_assert!((original.std_dev - permuted.std_dev).abs() <= stol);
+    }
+
+    /// A constant observable has zero spread regardless of replication
+    /// count or seed.
+    #[test]
+    fn constant_observable_has_zero_spread(
+        value in -1e6..1e6f64,
+        replications in 1usize..40,
+        base_seed in 0u64..1000,
+    ) {
+        let s = replicate(replications, base_seed, |_| value);
+        // Summing n copies of v and dividing by n can land ulps off v,
+        // which also leaks into the (v - mean)² variance fold.
+        let tol = 1e-12 * value.abs().max(1.0);
+        prop_assert!((s.mean - value).abs() <= tol);
+        prop_assert!(s.std_dev <= tol);
+        prop_assert_eq!((s.min, s.max), (value, value));
+    }
+
+    /// The tentpole contract as a property: for any replication count,
+    /// base seed and worker count, the parallel path produces the
+    /// bit-identical Summary — `==`, not approximately.
+    #[test]
+    fn replicate_par_is_bit_exact_with_replicate(
+        replications in 1usize..50,
+        base_seed in 0u64..u64::MAX,
+        threads in 1usize..9,
+    ) {
+        let observable = |seed: u64| sim_rng(seed).random::<f64>();
+        let serial = replicate(replications, base_seed, observable);
+        let parallel = replicate_par_threads(threads, replications, base_seed, observable);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Both paths see the exact seed schedule base, base+1, … (with
+    /// wrapping), in order: an observable that recovers the replication
+    /// index from its seed reproduces summarize(0..n) bit-exactly.
+    #[test]
+    fn seed_schedule_is_base_plus_index(
+        replications in 1usize..50,
+        base_seed in 0u64..u64::MAX,
+        threads in 1usize..9,
+    ) {
+        let index_of_seed = |seed: u64| seed.wrapping_sub(base_seed) as f64;
+        let expected: Vec<f64> = (0..replications).map(|k| k as f64).collect();
+        let parallel = replicate_par_threads(threads, replications, base_seed, index_of_seed);
+        prop_assert_eq!(parallel, summarize(&expected));
+    }
+
+    /// par_map_indexed preserves order and pairing for any input and
+    /// worker count.
+    #[test]
+    fn par_map_preserves_order(items in prop::collection::vec(0u64..1000, 0..40),
+                               threads in 1usize..9) {
+        let mapped = par_map_indexed_threads(threads, &items, |idx, &item| (idx, item * 2));
+        prop_assert_eq!(mapped.len(), items.len());
+        for (idx, (i, doubled)) in mapped.iter().enumerate() {
+            prop_assert_eq!(*i, idx);
+            prop_assert_eq!(*doubled, items[idx] * 2);
+        }
+    }
+}
+
+/// `Summary` derives `PartialEq`, so the bit-exactness properties above
+/// really compare every field — spot-check the comparison is not vacuous.
+#[test]
+fn summary_equality_is_field_sensitive() {
+    let a = summarize(&[1.0, 2.0, 3.0]);
+    let b = Summary {
+        mean: f64::from_bits(a.mean.to_bits() + 1),
+        ..a.clone()
+    };
+    assert_ne!(a, b);
+    assert_eq!(a, a.clone());
+}

@@ -25,7 +25,7 @@ fn cs1_budget_feeds_network_simulation_consistently() {
     let rounds = 7 * 24 * 60; // one week of 1-minute rounds
     let report = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
     assert!(report.first_death_round.is_none(), "{report:?}");
-    assert_eq!(report.delivered_packets, rounds as u64 * 8);
+    assert_eq!(report.delivered_packets, rounds * 8);
 }
 
 #[test]

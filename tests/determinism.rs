@@ -4,14 +4,16 @@
 
 use ambience::arch::{ArchitectureClass, Processor};
 use ambience::core::case_studies::cs1::{run_cs1, Cs1Config};
+use ambience::core::design_space::{explore_cs1_threads, DesignCell};
 use ambience::dvs::{simulate_taskset, DvsPolicy, TaskSet};
+use ambience::net::replicate_gathering_threads;
 use ambience::net::{
     simulate_clustered, simulate_gathering, ClusterConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ambience::radio::RadioEnergyModel;
-use ambience::sim::replicate;
+use ambience::sim::{replicate, replicate_par_threads};
 use ambience::tech::{TechnologyNode, VariationModel};
-use ambience::units::{Energy, Frequency, Length, Power, Temperature, TimeSpan};
+use ambience::units::{Area, Energy, Frequency, Length, Power, Temperature, TimeSpan};
 
 #[test]
 fn gathering_simulation_is_bit_exact() {
@@ -102,4 +104,74 @@ fn monte_carlo_replication_is_deterministic() {
         })
     };
     assert_eq!(run(), run());
+}
+
+/// The seeded random-topology radius observable shared by the parallel
+/// bit-exactness tests: stochastic in the seed, cheap to evaluate.
+fn radius_observable(seed: u64) -> f64 {
+    Topology::random(10, Length::from_meters(60.0), seed)
+        .radius()
+        .as_meters()
+}
+
+#[test]
+fn parallel_replication_is_bit_exact_with_serial() {
+    // The tentpole contract: replicate_par at any worker count folds the
+    // identical ordered sample vector, so the full Summary struct — mean,
+    // std_dev, min, max, every last rounding — matches `==`.
+    let serial = replicate(64, 123, radius_observable);
+    for threads in [1usize, 2, 8] {
+        let parallel = replicate_par_threads(threads, 64, 123, radius_observable);
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_design_space_is_bit_exact_with_serial() {
+    let base = Cs1Config::default();
+    let areas: Vec<Area> = [2.0, 8.0, 16.0]
+        .iter()
+        .map(|&cm2| Area::from_square_centimeters(cm2))
+        .collect();
+    let intervals: Vec<TimeSpan> = [0.25, 2.0, 8.0]
+        .iter()
+        .map(|&s| TimeSpan::from_seconds(s))
+        .collect();
+    let serial = explore_cs1_threads(1, &base, &areas, &intervals);
+    let key = |c: &DesignCell| {
+        (
+            c.pv_area,
+            c.check_interval,
+            c.load,
+            c.harvest,
+            c.sustainable,
+        )
+    };
+    for threads in [2usize, 8] {
+        let parallel = explore_cs1_threads(threads, &base, &areas, &intervals);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(key(s), key(p), "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_gathering_replication_is_bit_exact_with_serial() {
+    let config = NetworkConfig::sensor_default();
+    let field = |seed| Topology::random(15, Length::from_meters(90.0), seed);
+    let serial =
+        replicate_gathering_threads(1, 12, 7, field, RoutingStrategy::MinimumEnergy, &config, 50);
+    for threads in [2usize, 8] {
+        let parallel = replicate_gathering_threads(
+            threads,
+            12,
+            7,
+            field,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            50,
+        );
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
 }

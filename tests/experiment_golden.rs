@@ -1,0 +1,75 @@
+//! Golden-output smoke tests: the headline table rows of T1 and F2 are
+//! pinned to checked-in strings, via the same library calls the
+//! experiment binaries make.
+//!
+//! These rows are pure functions of the checked-in model constants, so a
+//! mismatch means a model change silently rewrote a published number —
+//! exactly what EXPERIMENTS.md must not do unnoticed. When a change is
+//! intentional, regenerate the goldens with
+//! `cargo run -p ami-experiments --bin expt_t1_device_classes` (and F2)
+//! and update both the strings here and EXPERIMENTS.md together.
+
+use ambience::arch::{ArchitectureClass, Processor};
+use ambience::core::class_table::class_table_text;
+use ambience::tech::{intrinsic_efficiency, Roadmap};
+
+/// T1: the three device-class rows, exactly as the binary prints them.
+#[test]
+fn t1_class_table_headline_rows_match_golden() {
+    let table = class_table_text();
+    let golden_rows = [
+        "µW-node                30 µW  energy scavenging (light, vibration, heat)          17 MOPS          40 m   unlimited",
+        "mW-node               100 mW  battery                                        55556 MOPS         598 m        34 h",
+        "W-node                  10 W  mains                                        5555556 MOPS        2777 m   unlimited",
+    ];
+    for golden in golden_rows {
+        assert!(
+            table.lines().any(|line| line == golden),
+            "missing golden T1 row:\n  expected: {golden:?}\n  table:\n{table}"
+        );
+    }
+    // Exactly one header plus the three class rows.
+    assert_eq!(table.lines().count(), 4, "table:\n{table}");
+}
+
+/// F2, first table: intrinsic (ASIC-bound) efficiency per roadmap node,
+/// formatted with the binary's precision.
+#[test]
+fn f2_intrinsic_efficiency_rows_match_golden() {
+    let golden_rows = [
+        "250nm 2.50 64.0 15.63",
+        "180nm 1.80 176.4 5.67",
+        "130nm 1.20 555.6 1.80",
+        "90nm 1.00 1142.9 0.88",
+        "65nm 0.90 1975.3 0.51",
+    ];
+    let roadmap = Roadmap::full_2003();
+    let rows: Vec<String> = roadmap
+        .nodes()
+        .iter()
+        .map(|node| {
+            let ice = intrinsic_efficiency(node, node.vdd_nominal());
+            format!(
+                "{} {:.2} {:.1} {:.2}",
+                node.name(),
+                node.vdd_nominal().as_volts(),
+                ice.as_mops_per_milliwatt(),
+                ice.to_energy_per_op().as_picojoules_per_op()
+            )
+        })
+        .collect();
+    assert_eq!(rows, golden_rows);
+}
+
+/// F2, last section: the CPU-over-ASIC flexibility gap is 400x at every
+/// node of the 2003 roadmap.
+#[test]
+fn f2_flexibility_gap_matches_golden() {
+    for node in Roadmap::full_2003().nodes() {
+        let asic = Processor::new("a", ArchitectureClass::Asic, node.clone());
+        let cpu = Processor::new("c", ArchitectureClass::Cpu, node.clone());
+        let gap = cpu.energy_per_op_nominal().as_joules_per_op()
+            / asic.energy_per_op_nominal().as_joules_per_op();
+        assert_eq!(format!("{gap:.0}x"), "400x", "node {}", node.name());
+    }
+}

@@ -1,0 +1,278 @@
+//! Repo-local, dependency-free stand-in for the `criterion` crate.
+//!
+//! The offline build cannot fetch upstream criterion; this crate keeps
+//! the workspace's `benches/` sources compiling unchanged and actually
+//! *measures*: warm-up, then timed batches, reporting the mean
+//! time/iteration with min/max batch spread. No statistical regression
+//! machinery — numbers are for comparing alternatives within one run
+//! (e.g. the serial-vs-parallel runner groups), not across machines.
+//!
+//! Mode selection follows cargo's argument convention for
+//! `harness = false` targets:
+//!
+//! * `cargo bench` passes `--bench` → full measurement;
+//! * `cargo test` (which builds and runs bench targets) passes
+//!   `--test` or nothing → each benchmark body runs **once** as a smoke
+//!   test, keeping `cargo test -q` fast.
+
+use std::time::{Duration, Instant};
+
+/// How a benchmark invocation should behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Timed batches (under `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (under `cargo test`).
+    Smoke,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// A benchmark name filter from the command line (first free argument).
+fn filter_from_args() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test")
+}
+
+/// The benchmark driver; one per `criterion_group!` function.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: mode_from_args(),
+            filter: filter_from_args(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut bencher);
+        match (self.mode, bencher.report) {
+            (Mode::Smoke, _) => println!("bench {id}: ok (smoke)"),
+            (Mode::Measure, Some(report)) => println!("{id:<60} {report}"),
+            (Mode::Measure, None) => println!("bench {id}: no measurement recorded"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&id, &mut f);
+        self
+    }
+
+    /// Registers and runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        Self {
+            text: text.to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Measurement summary of one benchmark.
+struct Report {
+    mean: Duration,
+    fastest_batch: Duration,
+    slowest_batch: Duration,
+    iterations: u64,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time/iter: {} [batch min {} max {}] ({} iters)",
+            fmt_duration(self.mean),
+            fmt_duration(self.fastest_batch),
+            fmt_duration(self.slowest_batch),
+            self.iterations
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Runs the closure under timing; handed to benchmark functions.
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure => {
+                // Warm-up: run until the warm-up budget is spent, and use
+                // the observed rate to size measurement batches.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < self.warm_up {
+                    std::hint::black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+                // Aim for ~10 batches inside the measurement budget.
+                let batch_size = (self.measurement.as_nanos() / (10 * per_iter.as_nanos().max(1)))
+                    .clamp(1, u128::from(u32::MAX)) as u64;
+
+                let mut total = Duration::ZERO;
+                let mut iterations = 0u64;
+                let mut fastest_batch = Duration::MAX;
+                let mut slowest_batch = Duration::ZERO;
+                while total < self.measurement {
+                    let start = Instant::now();
+                    for _ in 0..batch_size {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    let per_batch_iter = elapsed / batch_size.max(1) as u32;
+                    fastest_batch = fastest_batch.min(per_batch_iter);
+                    slowest_batch = slowest_batch.max(per_batch_iter);
+                    total += elapsed;
+                    iterations += batch_size;
+                }
+                self.report = Some(Report {
+                    mean: total / iterations.max(1) as u32,
+                    fastest_batch,
+                    slowest_batch,
+                    iterations,
+                });
+            }
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,113 @@
+//! Repo-local, dependency-free stand-in for the `proptest` crate.
+//!
+//! The offline build cannot fetch upstream proptest, so this crate
+//! reimplements the slice of its API the workspace's property tests
+//! use: the [`proptest!`] test macro, panic-based `prop_assert!` /
+//! `prop_assert_eq!`, range and [`Just`] strategies, strategy tuples,
+//! [`prop_oneof!`], `prop::collection::vec`, and `prop_map`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the assertion message
+//!   immediately; rerun with `PROPTEST_CASES` and the printed case seed
+//!   to investigate.
+//! * **Deterministic by default** — each test's RNG is seeded from a
+//!   stable hash of the test name, so CI failures reproduce locally
+//!   without a regressions file (existing `proptest-regressions` files
+//!   are ignored).
+//! * Case count comes from `PROPTEST_CASES` (default 256, like
+//!   upstream).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `PROPTEST_CASES`
+/// times and runs the body against each case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test; panics with the
+/// (optional) formatted message on failure, failing the whole test
+/// without shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// A strategy choosing uniformly among the listed strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+        > = vec![
+            $({
+                let s = $strategy;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample(&s, rng)
+                })
+            }),+
+        ];
+        $crate::strategy::Union::new(options)
+    }};
+}

@@ -1,0 +1,48 @@
+//! The case loop behind [`proptest!`](crate::proptest).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Default number of cases per property, matching upstream proptest.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Number of cases per property: `PROPTEST_CASES` or the default.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Runs `body` against `cases()` generated cases.
+///
+/// The RNG for case `k` is seeded from a stable hash of
+/// `(test name, k)`, so every run — local or CI — exercises the same
+/// deterministic case sequence, and a reported failing case index
+/// reproduces without a regressions file.
+pub fn run(name: &str, body: impl Fn(&mut TestRng)) {
+    for case in 0..cases() {
+        let seed = fnv1a(name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest stand-in: `{name}` failed at case {case} (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// FNV-1a over the test name: stable across runs, platforms and Rust
+/// versions (unlike `DefaultHasher`).
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}

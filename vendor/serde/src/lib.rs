@@ -1,0 +1,42 @@
+//! Repo-local, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment is offline, so upstream `serde` can never be
+//! fetched. This crate supplies the subset of serde's data model that
+//! the workspace actually exercises: the [`Serialize`] /
+//! [`Deserialize`] traits, the full [`Serializer`] method surface (the
+//! units property tests drive a hand-written serializer through it),
+//! [`ser::Impossible`], and the `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from the sibling `serde_derive` stand-in).
+//!
+//! The serializer data model matches upstream: newtype structs forward
+//! to their inner value, named-field structs go through
+//! `serialize_struct`, fieldless enums through `serialize_unit_variant`.
+//! Deserialization is declared but not implemented — nothing in the
+//! toolkit deserializes today, and the derive emits a guarded stub.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data structure reconstructible from the serde data model.
+///
+/// The toolkit derives this for its config/report types but never calls
+/// it; the derived impls are compile-checked stubs.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error on malformed input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format driver for [`Deserialize`]. Declared for signature
+/// compatibility; no formats are bundled.
+pub trait Deserializer<'de> {
+    /// The format's error type.
+    type Error;
+}

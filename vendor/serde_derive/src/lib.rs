@@ -1,0 +1,317 @@
+//! Repo-local stand-in for serde's derive macros.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (the offline build has no `syn`/`quote`).
+//! Supported shapes — exactly the ones the workspace uses:
+//!
+//! * unit structs (`struct CsmaMac;`)
+//! * tuple structs, including the `quantity!` newtypes (`struct Power(f64);`)
+//! * named-field structs
+//! * fieldless enums (unit variants only, `#[default]` attributes allowed)
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error naming this crate, so a future API change fails loudly instead
+//! of silently mis-serializing.
+//!
+//! The generated `Serialize` impls follow upstream serde's data model
+//! (newtypes forward to the inner value, structs use `serialize_struct`,
+//! enums use `serialize_unit_variant`). `Deserialize` impls are guarded
+//! stubs: nothing in the toolkit deserializes, and the stub keeps the
+//! trait bound satisfied without dragging in a full deserializer.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item.
+enum Shape {
+    UnitStruct,
+    TupleStruct { fields: usize },
+    NamedStruct { fields: Vec<String> },
+    FieldlessEnum { variants: Vec<String> },
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => serialize_impl(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => deserialize_impl(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "mini serde_derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    fields: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: named_fields(g.stream())?,
+            },
+            other => return Err(format!("mini serde_derive: unexpected token {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::FieldlessEnum {
+                    variants: enum_variants(g.stream(), &name)?,
+                }
+            }
+            other => return Err(format!("mini serde_derive: unexpected token {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "mini serde_derive: cannot derive for `{other}` items"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1; // pub(crate) and friends
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "mini serde_derive: expected identifier, got {other:?}"
+        )),
+    }
+}
+
+/// Counts the comma-separated fields of a tuple-struct body, ignoring
+/// commas nested inside groups or angle brackets.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Extracts the field names of a named-struct body.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "mini serde_derive: expected `:` after field `{name}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume to the next comma outside groups/angles.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts the variant names of a fieldless enum body.
+fn enum_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "mini serde_derive: variant `{enum_name}::{name}` carries data, \
+                     which this stand-in does not support"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "mini serde_derive: unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => {
+            format!("::serde::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Shape::TupleStruct { fields: 1 } => format!(
+            "::serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Shape::TupleStruct { fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_tuple_struct(\
+                 serializer, \"{name}\", {fields})?;"
+            );
+            for idx in 0..*fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{idx})?;"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            body
+        }
+        Shape::NamedStruct { fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(\
+                 serializer, \"{name}\", {})?;",
+                fields.len()
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut state, \"{field}\", &self.{field})?;"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+            body
+        }
+        Shape::FieldlessEnum { variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    format!(
+                        "{name}::{v} => ::serde::Serializer::serialize_unit_variant(\
+                         serializer, \"{name}\", {idx}u32, \"{v}\"),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(\
+                 &self, serializer: __S\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(\
+                 _deserializer: __D\
+             ) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::unimplemented!(\
+                     \"mini-serde stand-in: deserialization of `{name}` is not supported\"\
+                 )\n\
+             }}\n\
+         }}"
+    )
+}
