@@ -12,11 +12,13 @@ use ami_energy::{
     simulate_buffered_harvesting, EnvironmentProfile, Harvester, Pmu, Storage, SustainabilityReport,
 };
 use ami_radio::{MacAnalysis, MacProtocol, PreambleSamplingMac, RadioPowerStates, TrafficLoad};
+use ami_sim::obs::{EnergyCategory, EnergyLedger};
 use ami_tech::TechnologyNode;
 use ami_units::{Area, Capacitance, Frequency, Power, TimeSpan, Voltage};
+use serde::Serialize;
 
 /// Parameters of the sensor node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Cs1Config {
     /// Photovoltaic cell area.
     pub pv_area: Area,
@@ -128,6 +130,30 @@ pub fn run_cs1(config: &Cs1Config) -> Cs1Result {
     }
 }
 
+/// Renders the CS1 power budget as a single-node energy ledger over
+/// `span`, attributing each budget line to an observability category:
+/// the periodic channel checks are idle listening
+/// ([`EnergyCategory::Idle`] — the duty-cycled radio's dominant cost),
+/// the uplink is [`EnergyCategory::Tx`], and the sensing path (ASIP,
+/// ADC, sensor bias) is [`EnergyCategory::Sensing`].
+///
+/// The ledger reproduces the keynote's headline split — the radio's
+/// channel checks take ~82 % of the default node's budget — as an
+/// energy-attribution statement rather than a power table.
+pub fn cs1_energy_ledger(config: &Cs1Config, span: TimeSpan) -> EnergyLedger {
+    let (budget, _) = cs1_budget(config);
+    let mut ledger = EnergyLedger::with_nodes(1);
+    for line in budget.lines() {
+        let category = match line.name.as_str() {
+            "radio checks (LPL)" => EnergyCategory::Idle,
+            "radio uplink tx" => EnergyCategory::Tx,
+            _ => EnergyCategory::Sensing,
+        };
+        ledger.charge(0, category, (line.power * span).as_joules());
+    }
+    ledger
+}
+
 /// F3's sweep: evaluates sustainability across MAC check intervals.
 /// Returns `(interval, average load, mean harvest, sustainable)` rows.
 ///
@@ -192,6 +218,29 @@ mod tests {
         // µW budget.
         let (budget, _) = cs1_budget(&Cs1Config::default());
         assert!(budget.dominant().unwrap().name.contains("radio"));
+    }
+
+    #[test]
+    fn ledger_reproduces_the_radio_dominance_split() {
+        // The keynote's headline: idle listening (channel checks) takes
+        // ~82 % of the default node's budget. The ledger must reproduce
+        // that from energy attribution alone.
+        let config = Cs1Config::default();
+        let span = TimeSpan::from_days(3.0);
+        let ledger = cs1_energy_ledger(&config, span);
+        let idle = ledger.fraction(EnergyCategory::Idle);
+        assert!((0.80..0.85).contains(&idle), "idle fraction {idle:.4}");
+        assert_eq!(ledger.fraction(EnergyCategory::RxRelay), 0.0);
+
+        // Categories partition the budget total exactly (within float
+        // accumulation): Σ category energy == total power × span.
+        let (budget, _) = cs1_budget(&config);
+        let expected = (budget.total() * span).as_joules();
+        let total = ledger.total().as_joules();
+        assert!(
+            (total - expected).abs() <= 1e-9 * expected,
+            "ledger {total} vs budget {expected}"
+        );
     }
 
     #[test]

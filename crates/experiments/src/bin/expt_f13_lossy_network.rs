@@ -7,10 +7,20 @@
 //! analytic prediction matches the Monte-Carlo network on single-hop
 //! stars (cross-validated in tests).
 
+use ami_experiments::manifests::{emit_when_requested, f13_manifest};
 use ami_experiments::{banner, print_table, section};
-use ami_net::{simulate_lossy_gathering, LossyConfig, Topology};
+use ami_net::{simulate_lossy_gathering, LossyConfig, LossyReport, Topology};
 use ami_radio::StopAndWaitArq;
 use ami_units::Length;
+
+/// The per-delivered-bit column: `-` when nothing got through.
+fn per_bit_cell(report: &LossyReport, config: &LossyConfig) -> String {
+    report
+        .energy_per_delivered_bit(&config.packet)
+        .map_or("-".to_owned(), |e| {
+            format!("{:.2}", 1e6 * e.as_joules_per_bit())
+        })
+}
 
 fn main() {
     banner("F13", "lossy-link gathering: delivery vs BER and ARQ");
@@ -32,9 +42,13 @@ fn main() {
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
             format!("{:.2}", report.tx_per_packet()),
             format!("{:.2}", report.total_energy.as_joules()),
+            per_bit_cell(&report, &config),
         ]
     });
-    print_table(&["BER", "delivered", "tx/packet", "energy (J)"], &rows);
+    print_table(
+        &["BER", "delivered", "tx/packet", "energy (J)", "uJ/bit"],
+        &rows,
+    );
 
     section("BER 3e-3: how much ARQ is enough?");
     let budgets = [1u32, 2, 4, 8];
@@ -47,13 +61,19 @@ fn main() {
             budget.to_string(),
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
             format!("{:.2}", report.total_energy.as_joules()),
+            per_bit_cell(&report, &config),
         ]
     });
-    print_table(&["max tx per hop", "delivered", "energy (J)"], &rows);
+    print_table(
+        &["max tx per hop", "delivered", "energy (J)", "uJ/bit"],
+        &rows,
+    );
 
     section("reading");
     println!("multi-hop compounds loss: what is 'fine' on one link fails the");
     println!("network. Per-hop ARQ restores delivery with energy that tracks");
     println!("the F8 expected-transmission curve — the link and network views");
     println!("of reliability agree.");
+
+    emit_when_requested(f13_manifest);
 }

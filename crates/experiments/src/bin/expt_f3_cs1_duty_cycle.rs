@@ -6,8 +6,10 @@
 //! harvested power (≈14 µW for the default 8 cm² office cell), which
 //! happens around second-scale check intervals.
 
-use ami_core::case_studies::cs1::{run_cs1, sweep_check_interval, Cs1Config};
+use ami_core::case_studies::cs1::{cs1_energy_ledger, run_cs1, sweep_check_interval, Cs1Config};
+use ami_experiments::manifests::{emit_when_requested, f3_manifest};
 use ami_experiments::{banner, print_table, section};
+use ami_sim::obs::EnergyCategory;
 use ami_units::TimeSpan;
 
 fn main() {
@@ -29,6 +31,18 @@ fn main() {
         100.0 * result.sustainability.outage_fraction,
         result.sustainability.sustainable
     );
+
+    section("3-day energy ledger (where every joule goes)");
+    let ledger = cs1_energy_ledger(&base, TimeSpan::from_days(3.0));
+    for category in EnergyCategory::ALL {
+        println!(
+            "{:>8}  {:>8.3} J  {:>5.1}%",
+            category.label(),
+            ledger.category_total(category).as_joules(),
+            100.0 * ledger.fraction(category)
+        );
+    }
+    println!("{:>8}  {:>8.3} J", "total", ledger.total().as_joules());
 
     section("sweep: MAC check interval (the duty-cycle knob)");
     let intervals: Vec<TimeSpan> = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
@@ -53,4 +67,6 @@ fn main() {
     println!();
     println!("the sustainable region opens where load < harvest: the node");
     println!("must duty-cycle its receiver below ~1% to live on office light.");
+
+    emit_when_requested(f3_manifest);
 }

@@ -6,6 +6,7 @@
 //! infrastructure (TDMA) against wake-up preambles (LPL); latency is the
 //! price of every duty-cycled watt saved.
 
+use ami_experiments::manifests::{emit_when_requested, t3_manifest};
 use ami_experiments::{banner, print_table, section};
 use ami_radio::{
     CsmaMac, MacProtocol, PreambleSamplingMac, RadioPowerStates, TdmaMac, TrafficLoad,
@@ -63,4 +64,6 @@ fn main() {
     println!("duty cycling buys 2-3 orders of magnitude of radio power; the");
     println!("LPL check interval trades sender preamble cost (chatty nodes)");
     println!("against listening cost (quiet nodes).");
+
+    emit_when_requested(t3_manifest);
 }

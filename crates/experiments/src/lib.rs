@@ -3,7 +3,11 @@
 //! Every figure and table of the reconstruction (see DESIGN.md's
 //! experiment index) has a binary in `src/bin/` that regenerates its
 //! rows/series on stdout. This library holds the tiny shared formatting
-//! layer so the binaries stay focused on their experiment.
+//! layer so the binaries stay focused on their experiment, plus the
+//! [`manifests`] builders that render headline runs as deterministic
+//! JSON run manifests (gated on `AMBIENCE_MANIFEST`).
+
+pub mod manifests;
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, title: &str) {

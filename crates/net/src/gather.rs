@@ -6,10 +6,23 @@
 //! mains-powered and never depletes. Nodes die when their budget runs out;
 //! dead relays break the routes through them (deliveries stop — the
 //! "hole around the sink" effect).
+//!
+//! Budget exhaustion takes effect **per hop**, not per round: a node whose
+//! budget hits zero mid-round immediately stops sending and relaying (the
+//! formal death flag and route rebuild still happen at the end-of-round
+//! sweep). Residual budgets are reported *unclamped* — a node driven past
+//! empty keeps its negative residual, and
+//! [`NetworkReport::overdraft`] totals the overshoot instead of hiding it.
+//!
+//! Every simulation entry point is generic over an
+//! [`ami_sim::obs::Recorder`]; [`simulate_gathering`] records nothing
+//! (zero cost), [`simulate_gathering_observed`] fills an energy ledger
+//! and packet counters.
 
 use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
 use crate::topology::{NodeId, Topology};
 use ami_radio::{Packet, RadioEnergyModel};
+use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
 use ami_units::{DataVolume, Energy, EnergyPerBit, Length, Power, TimeSpan};
 use serde::{Deserialize, Serialize};
 
@@ -59,24 +72,45 @@ pub struct NetworkReport {
     pub first_death_round: Option<u64>,
     /// Number of nodes still alive at the end.
     pub alive_nodes: usize,
-    /// Residual energy per node (sink excluded, index = id − 1).
+    /// True residual energy per node (sink excluded, index = id − 1).
+    /// Negative values mean the node was driven past empty.
     pub residual_energy: Vec<Energy>,
     /// Rounds simulated.
     pub rounds: u64,
 }
 
 impl NetworkReport {
-    /// Mean energy cost per delivered payload bit.
+    /// Mean energy cost per delivered payload bit, or `None` when the
+    /// run delivered nothing (a dead or disconnected network has no
+    /// per-bit cost, not an infinite one).
+    pub fn energy_per_delivered_bit(&self) -> Option<EnergyPerBit> {
+        if self.delivered_volume.as_bits() > 0.0 {
+            Some(EnergyPerBit::new(
+                self.total_energy.as_joules() / self.delivered_volume.as_bits(),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Total energy drawn past empty, summed over overdrawn nodes.
     ///
-    /// # Panics
-    ///
-    /// Panics if nothing was delivered.
-    pub fn energy_per_delivered_bit(&self) -> EnergyPerBit {
-        assert!(
-            self.delivered_volume.as_bits() > 0.0,
-            "no packets were delivered"
-        );
-        EnergyPerBit::new(self.total_energy.as_joules() / self.delivered_volume.as_bits())
+    /// Bounded by one round's idle charge plus one packet's worth per
+    /// node, since exhausted nodes stop transacting at the next hop.
+    pub fn overdraft(&self) -> Energy {
+        Energy::from_joules(
+            self.residual_energy
+                .iter()
+                .map(|r| {
+                    let j = r.as_joules();
+                    if j < 0.0 {
+                        -j
+                    } else {
+                        0.0
+                    }
+                })
+                .sum(),
+        )
     }
 
     /// Network lifetime (time to first death) given the round interval.
@@ -86,9 +120,8 @@ impl NetworkReport {
     }
 }
 
-/// Runs `rounds` reporting rounds of `topology` under `strategy`.
-///
-/// Routes are rebuilt over the surviving nodes whenever a node dies.
+/// Runs `rounds` reporting rounds of `topology` under `strategy`,
+/// recording nothing. See [`simulate_gathering_with`].
 ///
 /// # Panics
 ///
@@ -98,6 +131,48 @@ pub fn simulate_gathering(
     strategy: RoutingStrategy,
     config: &NetworkConfig,
     rounds: u64,
+) -> NetworkReport {
+    simulate_gathering_with(topology, strategy, config, rounds, &mut NullRecorder)
+}
+
+/// [`simulate_gathering`] with a [`LedgerRecorder`] attached: returns
+/// the report plus the per-node energy ledger (rows indexed by raw node
+/// id — the sink's row 0 stays zero) and end-to-end packet counters.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn simulate_gathering_observed(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> (NetworkReport, LedgerRecorder) {
+    let mut recorder = LedgerRecorder::with_nodes(topology.len());
+    let report = simulate_gathering_with(topology, strategy, config, rounds, &mut recorder);
+    (report, recorder)
+}
+
+/// Runs `rounds` reporting rounds of `topology` under `strategy`,
+/// charging every event through `recorder`.
+///
+/// Routes are rebuilt over the surviving nodes whenever a node dies.
+/// A node participates (sends, relays) only while its budget is
+/// positive: exhaustion stops it at the very next hop, so a depleted
+/// relay cannot keep forwarding traffic for free until the end-of-round
+/// death sweep. Packets that abort on an exhausted hop count as
+/// `dropped_dead_hop`; packets generated with no route to the sink
+/// count as `dropped_disconnected`.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn simulate_gathering_with<R: Recorder>(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+    recorder: &mut R,
 ) -> NetworkReport {
     assert!(rounds > 0, "simulate at least one round");
     let n = topology.len();
@@ -116,23 +191,31 @@ pub fn simulate_gathering(
             if alive[id.0] {
                 budget[id.0] -= idle_per_round;
                 spent += idle_per_round;
+                recorder.charge(id.0, EnergyCategory::Idle, idle_per_round);
             }
         }
 
-        // Each live node reports once.
+        // Each live, still-funded node reports once. (The idle charge
+        // above may have emptied a budget; such a node is silent this
+        // round and will be buried by the sweep below.)
         for id in topology.sensor_ids() {
-            if !alive[id.0] {
+            if !alive[id.0] || budget[id.0] <= 0.0 {
                 continue;
             }
+            recorder.packet_offered();
             let path = route_to_sink(&table, topology, id);
             if path.is_empty() {
+                recorder.packet_dropped_disconnected();
                 continue; // disconnected this round
             }
-            // Charge the sender and every relay; abort if a hop is dead.
+            // Charge the sender and every relay; abort when a hop has
+            // died or — the live-budget check — run out mid-round.
             let mut from = id;
             let mut ok = true;
             for &hop in &path {
-                if !alive[from.0] || (hop != topology.sink() && !alive[hop.0]) {
+                let from_down = !alive[from.0] || budget[from.0] <= 0.0;
+                let hop_down = hop != topology.sink() && (!alive[hop.0] || budget[hop.0] <= 0.0);
+                if from_down || hop_down {
                     ok = false;
                     break;
                 }
@@ -140,15 +223,20 @@ pub fn simulate_gathering(
                 let tx = config.radio.transmit_energy(bits, d).as_joules();
                 budget[from.0] -= tx;
                 spent += tx;
+                recorder.charge(from.0, EnergyCategory::Tx, tx);
                 if hop != topology.sink() {
                     let rx = config.radio.receive_energy(bits).as_joules();
                     budget[hop.0] -= rx;
                     spent += rx;
+                    recorder.charge(hop.0, EnergyCategory::RxRelay, rx);
                 }
                 from = hop;
             }
             if ok {
                 delivered += 1;
+                recorder.packet_delivered();
+            } else {
+                recorder.packet_dropped_dead_hop();
             }
         }
 
@@ -166,6 +254,10 @@ pub fn simulate_gathering(
         }
     }
 
+    for id in topology.sensor_ids() {
+        recorder.record_residual(id.0, budget[id.0]);
+    }
+
     NetworkReport {
         delivered_packets: delivered,
         delivered_volume: DataVolume::from_bits(
@@ -177,7 +269,7 @@ pub fn simulate_gathering(
         residual_energy: budget
             .iter()
             .skip(1)
-            .map(|&j| Energy::from_joules(j.max(0.0)))
+            .map(|&j| Energy::from_joules(j))
             .collect(),
         rounds,
     }
@@ -217,6 +309,7 @@ fn rebuild_over_survivors(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Position;
 
     fn small_grid() -> Topology {
         Topology::grid(3, Length::from_meters(20.0))
@@ -296,10 +389,117 @@ mod tests {
             &NetworkConfig::sensor_default(),
             10,
         );
-        let epb = report.energy_per_delivered_bit();
+        let epb = report.energy_per_delivered_bit().expect("grid delivers");
         // Idle listening dominates at 1-minute rounds: µJ–mJ per bit.
         assert!(epb.as_joules_per_bit() > 1e-9);
         assert!(epb.as_joules_per_bit() < 1.0);
+    }
+
+    #[test]
+    fn zero_delivery_has_no_per_bit_cost() {
+        // Sink at the origin, one sensor far out of radio range: energy
+        // is spent idling but nothing is ever delivered.
+        let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(500.0, 0.0)]);
+        let report = simulate_gathering(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &NetworkConfig::sensor_default(),
+            5,
+        );
+        assert_eq!(report.delivered_packets, 0);
+        assert!(report.total_energy.as_joules() > 0.0);
+        assert_eq!(report.energy_per_delivered_bit(), None);
+    }
+
+    /// Sink—node1—node2 line, 40 m apart with 45 m hops, so node2 must
+    /// relay through node1; idle power zero so only radio charges move
+    /// budgets. Node1's budget covers exactly one transmit plus half a
+    /// receive, making its exhaustion land mid-round.
+    fn relay_line(radio_halves: f64) -> (Topology, NetworkConfig) {
+        let topo = Topology::new(vec![
+            Position::new(0.0, 0.0),
+            Position::new(40.0, 0.0),
+            Position::new(80.0, 0.0),
+        ]);
+        let mut config = NetworkConfig::sensor_default();
+        config.idle_power = Power::ZERO;
+        let bits = config.packet.total_bits();
+        let tx = config
+            .radio
+            .transmit_energy(bits, Length::from_meters(40.0))
+            .as_joules();
+        let rx = config.radio.receive_energy(bits).as_joules();
+        config.node_energy = Energy::from_joules(tx + rx * radio_halves);
+        (topo, config)
+    }
+
+    #[test]
+    fn exhausted_relay_stops_forwarding_mid_round() {
+        // Round 1: node1 sends its own report (one tx), then receives
+        // node2's packet, which drives it past empty mid-round. The
+        // relay must stop *there* — before the zombie-relay fix, node1's
+        // stale alive flag let node2's packet through, so round 1
+        // delivered 2 packets instead of 1.
+        let (topo, config) = relay_line(0.5);
+        let (report, obs) =
+            simulate_gathering_observed(&topo, RoutingStrategy::MinimumEnergy, &config, 5);
+        assert_eq!(report.delivered_packets, 1);
+        assert_eq!(report.first_death_round, Some(1));
+        assert_eq!(obs.packets.offered, 6); // node1 once, node2 every round
+        assert_eq!(obs.packets.delivered, 1);
+        assert_eq!(obs.packets.dropped_dead_hop, 1); // node2's round-1 packet
+        assert_eq!(obs.packets.dropped_disconnected, 4); // node2, rounds 2-5
+        assert!(obs.packets.is_conserved());
+    }
+
+    #[test]
+    fn overdraft_is_reported_not_clamped() {
+        let (topo, config) = relay_line(0.5);
+        let (report, obs) =
+            simulate_gathering_observed(&topo, RoutingStrategy::MinimumEnergy, &config, 5);
+        let rx = config
+            .radio
+            .receive_energy(config.packet.total_bits())
+            .as_joules();
+        // Node1 ends exactly half a receive-energy past empty: one tx
+        // (own report) plus one full rx against a budget of tx + rx/2.
+        let node1 = report.residual_energy[0].as_joules();
+        assert!((node1 + rx / 2.0).abs() < 1e-15, "residual {node1}");
+        assert!((report.overdraft().as_joules() - rx / 2.0).abs() < 1e-15);
+        assert_eq!(
+            report.overdraft().as_joules(),
+            obs.ledger.overdraft().as_joules()
+        );
+    }
+
+    #[test]
+    fn observation_does_not_change_the_report() {
+        let config = NetworkConfig::sensor_default();
+        for strategy in [
+            RoutingStrategy::DirectToSink,
+            RoutingStrategy::MinimumEnergy,
+        ] {
+            let plain = simulate_gathering(&small_grid(), strategy, &config, 25);
+            let (observed, _) = simulate_gathering_observed(&small_grid(), strategy, &config, 25);
+            assert_eq!(plain, observed);
+        }
+    }
+
+    #[test]
+    fn ledger_accounts_for_every_joule() {
+        let mut config = NetworkConfig::sensor_default();
+        config.node_energy = Energy::from_millijoules(40.0); // force deaths
+        let topo = Topology::grid(4, Length::from_meters(30.0));
+        let (report, obs) =
+            simulate_gathering_observed(&topo, RoutingStrategy::MinimumEnergy, &config, 2000);
+        let total = report.total_energy.as_joules();
+        // Ledger categories partition the report's total energy.
+        assert!((obs.ledger.total().as_joules() - total).abs() <= 1e-9 * total);
+        // Conservation: initial budgets − true residuals == spent.
+        let initial = config.node_energy.as_joules() * (topo.len() - 1) as f64;
+        let residual: f64 = report.residual_energy.iter().map(|e| e.as_joules()).sum();
+        assert!((initial - residual - total).abs() <= 1e-9 * initial);
+        assert!(obs.packets.is_conserved());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * [`simulate_gathering`] — round-based data gathering that charges
 //!   every transmit, relay and idle-listening joule against each node's
 //!   energy budget and reports delivered information, network lifetime
-//!   and the energy cost per delivered bit (experiments F6/A3).
+//!   and the energy cost per delivered bit (experiments F6/A3);
+//! * [`simulate_gathering_observed`] — the same run with an
+//!   [`ami_sim::obs`] energy ledger and packet counters attached, for
+//!   per-category energy attribution and run manifests.
 //!
 //! # Example
 //!
@@ -35,8 +38,14 @@ pub mod topology;
 
 pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
-pub use gather::{simulate_gathering, NetworkConfig, NetworkReport};
+pub use gather::{
+    simulate_gathering, simulate_gathering_observed, simulate_gathering_with, NetworkConfig,
+    NetworkReport,
+};
 pub use lossy::{simulate_lossy_gathering, LossyConfig, LossyReport};
-pub use replicate::{replicate_gathering, replicate_gathering_threads, summarize_reports};
+pub use replicate::{
+    replicate_gathering, replicate_gathering_observed, replicate_gathering_observed_threads,
+    replicate_gathering_threads, summarize_reports,
+};
 pub use routing::{build_routes, RoutingStrategy};
 pub use topology::{NodeId, Position, Topology};

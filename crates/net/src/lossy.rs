@@ -12,7 +12,7 @@ use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
 use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
 use ami_sim::sim_rng;
-use ami_units::{Energy, Length};
+use ami_units::{Energy, EnergyPerBit, Length};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,18 @@ impl LossyReport {
             0.0
         } else {
             self.transmissions as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean energy cost per delivered payload bit for `packet`-format
+    /// reports, or `None` when nothing got through (heavy loss with a
+    /// small ARQ budget can starve the sink entirely).
+    pub fn energy_per_delivered_bit(&self, packet: &Packet) -> Option<EnergyPerBit> {
+        let bits = packet.payload().as_bits() * self.delivered as f64;
+        if bits > 0.0 {
+            Some(EnergyPerBit::new(self.total_energy.as_joules() / bits))
+        } else {
+            None
         }
     }
 }
@@ -173,6 +185,26 @@ mod tests {
         let report = simulate_lossy_gathering(&topo(), &config, 50, 1);
         assert_eq!(report.delivered, report.offered);
         assert!((report.tx_per_packet() - expected_hops(&topo(), &config)).abs() < 0.2);
+    }
+
+    #[test]
+    fn per_bit_cost_is_none_when_nothing_gets_through() {
+        let mut config = LossyConfig::bruised_channel();
+        let report = simulate_lossy_gathering(&topo(), &config, 20, 7);
+        let epb = report
+            .energy_per_delivered_bit(&config.packet)
+            .expect("bruised channel still delivers");
+        let direct = report.total_energy.as_joules()
+            / (config.packet.payload().as_bits() * report.delivered as f64);
+        assert!((epb.as_joules_per_bit() - direct).abs() < 1e-18);
+
+        // BER 0.5 with a single attempt: nothing survives a multi-bit
+        // packet, so there is no per-bit cost to report.
+        config.ber = 0.5;
+        config.arq = StopAndWaitArq::new(1);
+        let starved = simulate_lossy_gathering(&topo(), &config, 5, 7);
+        assert_eq!(starved.delivered, 0);
+        assert_eq!(starved.energy_per_delivered_bit(&config.packet), None);
     }
 
     /// Mean hops per packet on the routing tree (tx count lower bound).

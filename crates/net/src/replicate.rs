@@ -10,9 +10,12 @@
 //! order, so the parallel path is bit-exact with a serial loop at any
 //! worker count (enforced by `tests/determinism.rs`).
 
-use crate::gather::{simulate_gathering, NetworkConfig, NetworkReport};
+use crate::gather::{
+    simulate_gathering, simulate_gathering_observed, NetworkConfig, NetworkReport,
+};
 use crate::routing::RoutingStrategy;
 use crate::topology::Topology;
+use ami_sim::obs::LedgerRecorder;
 use ami_sim::summarize;
 use ami_sim::Summary;
 
@@ -68,6 +71,66 @@ pub fn replicate_gathering_threads(
     ami_sim::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
         simulate_gathering(&topology(seed), strategy, config, rounds)
     })
+}
+
+/// [`replicate_gathering`] with observation: returns the per-seed
+/// reports plus one [`LedgerRecorder`] accumulated over all
+/// replications. Per-replication recorders are merged **in seed order**
+/// regardless of which worker finished first, so the combined ledger and
+/// counters are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `replications` or `rounds` is zero.
+pub fn replicate_gathering_observed(
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> (Vec<NetworkReport>, LedgerRecorder) {
+    replicate_gathering_observed_threads(
+        ami_sim::runner::thread_count(),
+        replications,
+        base_seed,
+        topology,
+        strategy,
+        config,
+        rounds,
+    )
+}
+
+/// [`replicate_gathering_observed`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `threads`, `replications` or `rounds` is zero.
+pub fn replicate_gathering_observed_threads(
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> (Vec<NetworkReport>, LedgerRecorder) {
+    assert!(replications > 0, "at least one replication");
+    let seeds: Vec<u64> = (0..replications)
+        .map(|k| base_seed.wrapping_add(k as u64))
+        .collect();
+    let observed = ami_sim::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
+        simulate_gathering_observed(&topology(seed), strategy, config, rounds)
+    });
+    // par_map returns results in seed order, so this serial fold is the
+    // deterministic index-order merge.
+    let mut merged = LedgerRecorder::with_nodes(0);
+    let mut reports = Vec::with_capacity(observed.len());
+    for (report, recorder) in observed {
+        merged.merge(&recorder);
+        reports.push(report);
+    }
+    (reports, merged)
 }
 
 /// Summarizes one scalar observable over replicated reports — the
@@ -166,6 +229,51 @@ mod tests {
             / reports.len() as f64;
         assert_eq!(summary.n, 5);
         assert!((summary.mean - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_replication_merges_in_seed_order() {
+        let config = NetworkConfig::sensor_default();
+        let (reports, merged) = replicate_gathering_observed_threads(
+            1,
+            5,
+            42,
+            field,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            10,
+        );
+        // Merged counters equal the sum over per-seed runs.
+        let mut expect = ami_sim::obs::LedgerRecorder::with_nodes(0);
+        for k in 0..5u64 {
+            let (_, solo) = simulate_gathering_observed(
+                &field(42 + k),
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                10,
+            );
+            expect.merge(&solo);
+        }
+        assert_eq!(merged, expect);
+        assert_eq!(
+            merged.packets.delivered,
+            reports.iter().map(|r| r.delivered_packets).sum::<u64>()
+        );
+
+        // And the merge is bit-identical at any worker count.
+        for threads in [2, 4, 8] {
+            let (par_reports, par_merged) = replicate_gathering_observed_threads(
+                threads,
+                5,
+                42,
+                field,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                10,
+            );
+            assert_eq!(reports, par_reports, "threads = {threads}");
+            assert_eq!(merged, par_merged, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests for topology, routing and gathering invariants.
 
 use ami_net::routing::route_to_sink;
-use ami_net::{build_routes, simulate_gathering, NetworkConfig, RoutingStrategy, Topology};
+use ami_net::{
+    build_routes, simulate_gathering, simulate_gathering_observed, NetworkConfig, RoutingStrategy,
+    Topology,
+};
 use ami_radio::RadioEnergyModel;
 use ami_units::{Energy, Length};
 use proptest::prelude::*;
@@ -72,20 +75,51 @@ proptest! {
         }
     }
 
-    /// Gathering accounting: delivered packets never exceed offered
-    /// packets; budgets never go negative; total spent is positive.
+    /// Gathering accounting: delivered ≤ offered; every joule drawn from
+    /// a budget lands in the ledger; initial energy minus true residuals
+    /// equals total spent (conservation — residuals are unclamped, so
+    /// this balances exactly even when nodes overdraw); every offered
+    /// packet is delivered or counted dropped.
     #[test]
-    fn gathering_accounting(n in 2usize..30, seed in 0u64..200, rounds in 1u64..100) {
+    fn gathering_accounting(
+        n in 2usize..30,
+        seed in 0u64..200,
+        rounds in 1u64..100,
+        budget_mj in 5.0..50_000.0f64,
+    ) {
         let topo = Topology::random(n, Length::from_meters(80.0), seed);
-        let config = NetworkConfig::sensor_default();
-        let report = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
+        let mut config = NetworkConfig::sensor_default();
+        config.node_energy = Energy::from_millijoules(budget_mj);
+        let (report, obs) =
+            simulate_gathering_observed(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
         prop_assert!(report.delivered_packets <= rounds * (n as u64 - 1));
         prop_assert!(report.total_energy.as_joules() > 0.0);
-        for residual in &report.residual_energy {
-            prop_assert!(residual.as_joules() >= 0.0);
-            prop_assert!(residual.as_joules() <= config.node_energy.as_joules());
-        }
         prop_assert_eq!(report.rounds, rounds);
+
+        // Residuals are true balances: bounded above by the initial
+        // budget, unclamped below; the overdraft total matches them.
+        let node_j = config.node_energy.as_joules();
+        let mut overdraft = 0.0;
+        for residual in &report.residual_energy {
+            prop_assert!(residual.as_joules() <= node_j);
+            overdraft += (-residual.as_joules()).max(0.0);
+        }
+        prop_assert!((report.overdraft().as_joules() - overdraft).abs() <= 1e-12);
+
+        // Conservation: what the nodes started with, minus what they
+        // still hold, is exactly what the run reports as spent.
+        let initial = node_j * (n as f64 - 1.0);
+        let residual: f64 = report.residual_energy.iter().map(|e| e.as_joules()).sum();
+        prop_assert!((initial - residual - report.total_energy.as_joules()).abs()
+            <= 1e-9 * initial);
+
+        // The ledger partitions the same total, and the counter tree
+        // loses no packets.
+        let total = report.total_energy.as_joules();
+        prop_assert!((obs.ledger.total().as_joules() - total).abs() <= 1e-9 * total);
+        prop_assert!(obs.packets.is_conserved());
+        prop_assert_eq!(obs.packets.delivered, report.delivered_packets);
+        prop_assert!((obs.ledger.overdraft().as_joules() - overdraft).abs() <= 1e-12);
     }
 
     /// Dijkstra optimality: for every node whose direct hop to the sink is

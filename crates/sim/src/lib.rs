@@ -14,7 +14,10 @@
 //!   (a seeded [`rand::rngs::StdRng`]);
 //! * [`runner`] — seed-partitioned parallel execution for independent
 //!   work (replications, sweep grids) that is bit-exact with serial at
-//!   any thread count (`AMBIENCE_THREADS` overrides the worker count).
+//!   any thread count (`AMBIENCE_THREADS` overrides the worker count);
+//! * [`obs`] — the observability layer: per-node energy ledgers,
+//!   hierarchical packet counters and deterministic JSON run manifests,
+//!   recorded through a zero-cost [`obs::Recorder`] hook.
 //!
 //! # Example
 //!
@@ -31,12 +34,17 @@
 
 pub mod energy;
 pub mod montecarlo;
+pub mod obs;
 pub mod queue;
 pub mod runner;
 pub mod trace;
 
 pub use energy::EnergyMeter;
 pub use montecarlo::{replicate, replicate_par, replicate_par_threads, summarize, Summary};
+pub use obs::{
+    CounterTree, EnergyCategory, EnergyLedger, LedgerRecorder, NullRecorder, PacketCounters,
+    Recorder, RunManifest, MANIFEST_ENV,
+};
 pub use queue::EventQueue;
 pub use runner::{par_map_indexed, par_map_indexed_threads, thread_count};
 pub use trace::TraceSeries;

@@ -11,7 +11,7 @@
 //! is therefore bit-exact with the serial path).
 
 /// Summary statistics of a replicated scalar observable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Summary {
     /// Number of replications.
     pub n: usize,

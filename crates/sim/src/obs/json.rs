@@ -1,0 +1,621 @@
+//! Deterministic JSON rendering for manifests.
+//!
+//! A minimal JSON backend for the vendored serde data model, so every
+//! `#[derive(Serialize)]` config and report in the workspace can be
+//! embedded in a run manifest without new plumbing. Determinism rules:
+//!
+//! * struct fields and map entries render in the order the type emits
+//!   them (serde's own contract — derived structs emit declaration
+//!   order);
+//! * `f64` renders via Rust's shortest-roundtrip `Display`, so equal
+//!   bits always produce equal bytes;
+//! * non-finite floats render as `null` (JSON has no NaN/∞ literals).
+//!
+//! Output is compact (no whitespace); the manifest layer adds the only
+//! pretty-printing the toolkit does.
+
+use serde::ser::{
+    Error as _, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTuple, SerializeTupleStruct, SerializeTupleVariant, Serializer,
+};
+use std::fmt::Write;
+
+/// Renders any `Serialize` value as compact deterministic JSON.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::obs::to_json;
+///
+/// assert_eq!(to_json(&[1.5f64, 2.0][..]), "[1.5,2]");
+/// assert_eq!(to_json(&("id", 7u64)), "[\"id\",7]");
+/// ```
+///
+/// # Panics
+///
+/// Panics if the value's `Serialize` impl reports an error (none of the
+/// toolkit's types do).
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value
+        .serialize(Json { out: &mut out })
+        .expect("toolkit types serialize infallibly");
+    out
+}
+
+/// Formats one `f64` exactly as [`to_json`] would.
+pub fn json_f64(value: f64) -> String {
+    let mut out = String::new();
+    write_f64(&mut out, value);
+    out
+}
+
+fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        write!(out, "{value}").expect("write to String");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The serde-facing JSON writer.
+struct Json<'a> {
+    out: &'a mut String,
+}
+
+/// Comma-separated compound writer shared by arrays, objects and maps.
+struct Compound<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: char,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+macro_rules! int_methods {
+    ($($method:ident: $ty:ty),+ $(,)?) => {$(
+        fn $method(self, v: $ty) -> Result<(), std::fmt::Error> {
+            write!(self.out, "{v}")
+        }
+    )+};
+}
+
+impl<'a> Serializer for Json<'a> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Self::Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    int_methods!(
+        serialize_i8: i8,
+        serialize_i16: i16,
+        serialize_i32: i32,
+        serialize_i64: i64,
+        serialize_u8: u8,
+        serialize_u16: u16,
+        serialize_u32: u32,
+        serialize_u64: u64,
+    );
+
+    fn serialize_f32(self, v: f32) -> Result<(), Self::Error> {
+        // Promote through the shortest f32 representation to avoid the
+        // noisy f32→f64 bit-extension digits.
+        write!(self.out, "{v}")
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Self::Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Self::Error> {
+        write_str(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
+        write_str(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Self::Error> {
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for byte in v {
+            SerializeSeq::serialize_element(&mut seq, byte)?;
+        }
+        SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), Self::Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Self::Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Self::Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Self::Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Self::Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        self.out.push('{');
+        write_str(self.out, variant);
+        self.out.push(':');
+        value.serialize(Json { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+        self.out.push('[');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+        self.out.push('{');
+        write_str(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: ']', // the variant-wrapping `}` is added by end()
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+        self.out.push('{');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error> {
+        self.out.push('{');
+        write_str(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        self.comma();
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+impl SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+impl SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push(self.close);
+        self.out.push('}'); // close the variant-wrapping object
+        Ok(())
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error> {
+        self.comma();
+        // JSON object keys must be strings; route through a checking
+        // serializer so a non-string key fails loudly.
+        key.serialize(KeyJson { out: self.out })
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        self.out.push(':');
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        self.comma();
+        write_str(self.out, key);
+        self.out.push(':');
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push(self.close);
+        self.out.push('}'); // close the variant-wrapping object
+        Ok(())
+    }
+}
+
+/// Object-key serializer: accepts strings and chars only.
+struct KeyJson<'a> {
+    out: &'a mut String,
+}
+
+macro_rules! key_rejects {
+    ($($method:ident: $ty:ty),+ $(,)?) => {$(
+        fn $method(self, _v: $ty) -> Result<(), Self::Error> {
+            Err(Self::Error::custom("JSON object keys must be strings"))
+        }
+    )+};
+}
+
+impl<'a> Serializer for KeyJson<'a> {
+    type Ok = ();
+    type Error = std::fmt::Error;
+    type SerializeSeq = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeTuple = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeTupleStruct = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeTupleVariant = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeMap = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeStruct = serde::ser::Impossible<(), std::fmt::Error>;
+    type SerializeStructVariant = serde::ser::Impossible<(), std::fmt::Error>;
+
+    key_rejects!(
+        serialize_bool: bool,
+        serialize_i8: i8,
+        serialize_i16: i16,
+        serialize_i32: i32,
+        serialize_i64: i64,
+        serialize_u8: u8,
+        serialize_u16: u16,
+        serialize_u32: u32,
+        serialize_u64: u64,
+        serialize_f32: f32,
+        serialize_f64: f64,
+        serialize_bytes: &[u8],
+    );
+
+    fn serialize_char(self, v: char) -> Result<(), Self::Error> {
+        write_str(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
+        write_str(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, _value: &T) -> Result<(), Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_unit(self) -> Result<(), Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Self::Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error> {
+        Err(Self::Error::custom("JSON object keys must be strings"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::CounterTree;
+
+    #[test]
+    fn scalars_render_compactly() {
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(to_json(&-7i32), "-7");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&2.0f64), "2");
+        assert_eq!(to_json(&"hi"), "\"hi\"");
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+        assert_eq!(to_json(&Some(3u8)), "3");
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        // Shortest-roundtrip display: 0.1 stays "0.1", not 0.1000000...
+        assert_eq!(to_json(&0.1f64), "0.1");
+        assert_eq!(json_f64(1.0 / 3.0), format!("{}", 1.0_f64 / 3.0));
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(to_json(&"a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(to_json(&'\u{1}'), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn sequences_and_tuples_are_arrays() {
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&("x", 2u64)), "[\"x\",2]");
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(to_json(&empty), "[]");
+    }
+
+    #[test]
+    fn derived_structs_are_objects_in_field_order() {
+        use ami_units::{Energy, Power};
+        // quantity! newtypes forward to the raw f64.
+        assert_eq!(to_json(&Energy::from_joules(2.5)), "2.5");
+        // Shortest roundtrip is honest about binary floats: 20 µW is
+        // not exactly 2e-5 W, and the digits say so.
+        assert_eq!(
+            to_json(&Power::from_microwatts(20.0)),
+            format!("{}", Power::from_microwatts(20.0).as_watts())
+        );
+    }
+
+    #[test]
+    fn counter_trees_nest_as_objects() {
+        let tree = CounterTree::branch([
+            ("delivered", CounterTree::leaf(4)),
+            (
+                "dropped",
+                CounterTree::branch([("dead_hop", CounterTree::leaf(1))]),
+            ),
+        ]);
+        assert_eq!(
+            to_json(&tree),
+            "{\"delivered\":4,\"dropped\":{\"dead_hop\":1}}"
+        );
+    }
+
+    #[test]
+    fn equal_bits_render_equal_bytes() {
+        let v = 0.1 + 0.2; // 0.30000000000000004
+        assert_eq!(json_f64(v), json_f64(v));
+        assert_eq!(json_f64(v), "0.30000000000000004");
+    }
+}

@@ -1,0 +1,200 @@
+//! The per-run manifest: one JSON document that pins down what a run
+//! *was* — experiment name, configuration, seed, runner policy — and
+//! what it *did* — ledger totals and the counter tree.
+//!
+//! Manifests are a determinism artifact as much as an observability one:
+//! two runs of the same experiment must produce byte-identical manifests
+//! at any `AMBIENCE_THREADS`, so the document deliberately records the
+//! *scheduling policy* (env knob, index-order merge) rather than the
+//! live worker count, which is exactly the quantity allowed to vary
+//! without changing results.
+
+use super::counters::CounterTree;
+use super::json::{json_f64, to_json};
+use super::ledger::{EnergyCategory, EnergyLedger};
+use serde::Serialize;
+
+/// Environment variable experiment binaries consult for manifest
+/// emission: unset → no manifest, `-` → stdout, anything else → a file
+/// path the manifest is written to.
+pub const MANIFEST_ENV: &str = "AMBIENCE_MANIFEST";
+
+/// An ordered-field JSON manifest under construction.
+///
+/// Fields render in insertion order, one top-level field per line, so
+/// manifests diff cleanly and byte-compare across thread counts.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::obs::RunManifest;
+///
+/// let json = RunManifest::new("demo")
+///     .field("seed", &42u64)
+///     .runner()
+///     .to_json();
+/// assert!(json.starts_with("{\n  \"experiment\": \"demo\",\n"));
+/// assert!(json.ends_with("}\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// `(name, rendered JSON value)` in insertion order.
+    fields: Vec<(&'static str, String)>,
+}
+
+impl RunManifest {
+    /// Starts a manifest whose first field names the experiment.
+    pub fn new(experiment: &str) -> Self {
+        let mut manifest = Self { fields: Vec::new() };
+        manifest.push("experiment", to_json(experiment));
+        manifest
+    }
+
+    fn push(&mut self, name: &'static str, rendered: String) {
+        debug_assert!(
+            self.fields.iter().all(|(n, _)| *n != name),
+            "duplicate manifest field {name:?}"
+        );
+        self.fields.push((name, rendered));
+    }
+
+    /// Appends a field rendered from any `Serialize` value.
+    pub fn field<T: Serialize + ?Sized>(mut self, name: &'static str, value: &T) -> Self {
+        self.push(name, to_json(value));
+        self
+    }
+
+    /// Appends a field whose value is already-rendered JSON.
+    pub fn raw_field(mut self, name: &'static str, json: String) -> Self {
+        self.push(name, json);
+        self
+    }
+
+    /// Appends the runner-policy stanza.
+    ///
+    /// Records how parallel work is scheduled — the env knob and the
+    /// index-order merge contract — but *not* the live worker count:
+    /// results are thread-invariant, so the manifest must be too.
+    pub fn runner(self) -> Self {
+        self.raw_field(
+            "runner",
+            concat!(
+                "{\"threads_env\":\"AMBIENCE_THREADS\",",
+                "\"merge\":\"index-order\",",
+                "\"thread_invariant\":true}"
+            )
+            .to_string(),
+        )
+    }
+
+    /// Appends the energy-ledger stanza: node count, grand total, the
+    /// per-category split, and the residual/overdraft totals.
+    pub fn ledger(self, ledger: &EnergyLedger) -> Self {
+        let mut out = String::from("{\"nodes\":");
+        out.push_str(&ledger.nodes().to_string());
+        out.push_str(",\"total_j\":");
+        out.push_str(&json_f64(ledger.total().as_joules()));
+        out.push_str(",\"categories\":{");
+        for (k, category) in EnergyCategory::ALL.into_iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(category.label());
+            out.push_str("\":");
+            out.push_str(&json_f64(ledger.category_total(category).as_joules()));
+        }
+        out.push_str("},\"residual_total_j\":");
+        out.push_str(&json_f64(ledger.residual_total().as_joules()));
+        out.push_str(",\"overdraft_j\":");
+        out.push_str(&json_f64(ledger.overdraft().as_joules()));
+        out.push('}');
+        self.raw_field("ledger", out)
+    }
+
+    /// Appends the hierarchical counter stanza.
+    pub fn counters(self, tree: &CounterTree) -> Self {
+        self.raw_field("counters", to_json(tree))
+    }
+
+    /// Renders the manifest: a JSON object with one top-level field per
+    /// line and a trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (k, (name, rendered)) in self.fields.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&to_json(*name));
+            out.push_str(": ");
+            out.push_str(rendered);
+            if k + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::PacketCounters;
+
+    #[test]
+    fn fields_render_in_insertion_order() {
+        let json = RunManifest::new("t")
+            .field("b", &2u32)
+            .field("a", &1u32)
+            .to_json();
+        assert_eq!(
+            json,
+            "{\n  \"experiment\": \"t\",\n  \"b\": 2,\n  \"a\": 1\n}\n"
+        );
+    }
+
+    #[test]
+    fn runner_stanza_records_policy_not_thread_count() {
+        let json = RunManifest::new("t").runner().to_json();
+        assert!(json.contains("\"threads_env\":\"AMBIENCE_THREADS\""));
+        assert!(json.contains("\"merge\":\"index-order\""));
+        assert!(json.contains("\"thread_invariant\":true"));
+        // No live worker count anywhere — that may vary run to run.
+        assert!(!json.contains("\"threads\":"));
+    }
+
+    #[test]
+    fn ledger_stanza_partitions_the_total() {
+        let mut ledger = EnergyLedger::with_nodes(2);
+        ledger.charge(0, EnergyCategory::Tx, 1.5);
+        ledger.charge(1, EnergyCategory::Idle, 0.5);
+        ledger.set_residual(1, -0.25);
+        let json = RunManifest::new("t").ledger(&ledger).to_json();
+        assert!(json.contains("\"nodes\":2"));
+        assert!(json.contains("\"total_j\":2"));
+        assert!(json.contains("\"tx\":1.5"));
+        assert!(json.contains("\"rx_relay\":0"));
+        assert!(json.contains("\"idle\":0.5"));
+        assert!(json.contains("\"overdraft_j\":0.25"));
+    }
+
+    #[test]
+    fn counters_stanza_nests_the_tree() {
+        let counters = PacketCounters {
+            offered: 3,
+            delivered: 2,
+            dropped_dead_hop: 1,
+            dropped_disconnected: 0,
+        };
+        let json = RunManifest::new("t").counters(&counters.tree()).to_json();
+        assert!(json.contains("\"packets\":{\"offered\":3,\"delivered\":2"));
+        assert!(json.contains("\"dropped\":{\"dead_hop\":1,\"disconnected\":0}"));
+    }
+
+    #[test]
+    fn duplicate_fields_panic_in_debug() {
+        let manifest = RunManifest::new("t").field("x", &1u8);
+        let result = std::panic::catch_unwind(|| manifest.field("x", &2u8));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Structured, deterministic observability for simulation runs.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Recording** — hot loops are generic over [`Recorder`]; the
+//!    default [`NullRecorder`] monomorphizes to nothing, while
+//!    [`LedgerRecorder`] fills pre-sized tables with plain arithmetic.
+//! 2. **Aggregation** — [`EnergyLedger`] attributes every joule to a
+//!    `(node, category)` cell with *unclamped* residuals (overdraft is
+//!    reported, never hidden), and [`PacketCounters`] tallies every
+//!    offered packet into delivered / dropped-dead-hop /
+//!    dropped-disconnected.
+//! 3. **Emission** — [`RunManifest`] renders config, seed, runner
+//!    policy, ledger totals and the [`CounterTree`] as deterministic
+//!    JSON ([`to_json`]): fixed field order, shortest-roundtrip floats,
+//!    byte-identical at any `AMBIENCE_THREADS`.
+//!
+//! Experiment binaries emit manifests when [`MANIFEST_ENV`]
+//! (`AMBIENCE_MANIFEST`) is set: `-` → stdout, a path → written there.
+
+mod counters;
+mod json;
+mod ledger;
+mod manifest;
+mod recorder;
+
+pub use counters::{CounterTree, PacketCounters};
+pub use json::{json_f64, to_json};
+pub use ledger::{EnergyCategory, EnergyLedger};
+pub use manifest::{RunManifest, MANIFEST_ENV};
+pub use recorder::{LedgerRecorder, NullRecorder, Recorder};

@@ -19,11 +19,14 @@
 //! # Thread-count policy
 //!
 //! [`thread_count`] reads the `AMBIENCE_THREADS` environment variable
-//! (any integer ≥ 1); otherwise it uses
-//! [`std::thread::available_parallelism`]. At 1 the implementation runs
-//! the plain serial loop on the calling thread — no pool, no channels —
-//! so CI boxes and laptops behave identically to the pre-parallel
-//! toolkit.
+//! (any integer ≥ 1); when unset it uses
+//! [`std::thread::available_parallelism`]. A set-but-invalid value
+//! (`0`, `-1`, `abc`, empty) is a configuration error and panics with a
+//! clear message — silently falling back would run a determinism
+//! experiment at a thread count the operator never asked for. At 1 the
+//! implementation runs the plain serial loop on the calling thread — no
+//! pool, no channels — so CI boxes and laptops behave identically to
+//! the pre-parallel toolkit.
 //!
 //! # Example
 //!
@@ -43,19 +46,32 @@ use std::sync::Mutex;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "AMBIENCE_THREADS";
 
-/// The worker-thread count: `AMBIENCE_THREADS` if set to an integer
-/// ≥ 1, else [`std::thread::available_parallelism`], else 1.
+/// The worker-thread count: `AMBIENCE_THREADS` if set (which must then
+/// be an integer ≥ 1), else [`std::thread::available_parallelism`],
+/// else 1.
+///
+/// # Panics
+///
+/// Panics if `AMBIENCE_THREADS` is set but is not an integer ≥ 1 — a
+/// misconfigured knob must fail loudly, not silently pick its own
+/// parallelism.
 pub fn thread_count() -> usize {
-    if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    let raw = std::env::var_os(THREADS_ENV).map(|v| v.to_string_lossy().into_owned());
+    thread_count_from(raw.as_deref())
+}
+
+/// [`thread_count`] with the environment read factored out, so the
+/// rejection rules are testable without mutating process-global state.
+fn thread_count_from(raw: Option<&str>) -> usize {
+    match raw {
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("{THREADS_ENV} must be an integer >= 1, got {raw:?}"),
+        },
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 /// Maps `f` over `items` with the default [`thread_count`], returning
@@ -164,5 +180,37 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn valid_env_values_are_accepted() {
+        assert_eq!(thread_count_from(Some("1")), 1);
+        assert_eq!(thread_count_from(Some("8")), 8);
+        assert_eq!(thread_count_from(Some(" 4 ")), 4); // whitespace ok
+        assert!(thread_count_from(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer >= 1")]
+    fn zero_env_value_rejected() {
+        let _ = thread_count_from(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer >= 1")]
+    fn negative_env_value_rejected() {
+        let _ = thread_count_from(Some("-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer >= 1")]
+    fn non_numeric_env_value_rejected() {
+        let _ = thread_count_from(Some("abc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer >= 1")]
+    fn empty_env_value_rejected() {
+        let _ = thread_count_from(Some(""));
     }
 }

@@ -21,7 +21,12 @@ pub struct TraceSeries {
     name: String,
     times: Vec<TimeSpan>,
     values: Vec<f64>,
+    // Neumaier-compensated running sum: `sum` carries the naive total,
+    // `compensation` the low-order bits each addition rounds away.
+    // A plain `sum += value` drifts on long series (millions of samples
+    // of mixed magnitude), which shifted reported means.
     sum: f64,
+    compensation: f64,
     min: f64,
     max: f64,
 }
@@ -34,6 +39,7 @@ impl TraceSeries {
             times: Vec::new(),
             values: Vec::new(),
             sum: 0.0,
+            compensation: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -56,7 +62,15 @@ impl TraceSeries {
         }
         self.times.push(time);
         self.values.push(value);
-        self.sum += value;
+        let t = self.sum + value;
+        // Neumaier's branch: recover the low-order bits of whichever
+        // addend the rounding truncated.
+        self.compensation += if self.sum.abs() >= value.abs() {
+            (self.sum - t) + value
+        } else {
+            (value - t) + self.sum
+        };
+        self.sum = t;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -82,11 +96,14 @@ impl TraceSeries {
     }
 
     /// Arithmetic mean, if any samples exist.
+    ///
+    /// Computed from the compensated running sum, so it does not drift
+    /// on long series the way a naive accumulator does.
     pub fn mean(&self) -> Option<f64> {
         if self.values.is_empty() {
             None
         } else {
-            Some(self.sum / self.values.len() as f64)
+            Some((self.sum + self.compensation) / self.values.len() as f64)
         }
     }
 
@@ -134,6 +151,32 @@ mod tests {
         assert_eq!(t.min(), None);
         assert_eq!(t.max(), None);
         assert_eq!(t.last(), None);
+    }
+
+    #[test]
+    fn mean_survives_catastrophic_cancellation() {
+        // Naive running summation loses the small addend entirely:
+        // 1e16 + 1.0 rounds back to 1e16, so the naive mean of
+        // [1e16, 1.0, -1e16] is 0 instead of 1/3.
+        let mut t = TraceSeries::new("cancel");
+        for (i, v) in [1e16, 1.0, -1e16].iter().enumerate() {
+            t.record(TimeSpan::from_seconds(i as f64), *v);
+        }
+        assert_eq!(t.mean(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn mean_does_not_drift_on_long_series() {
+        // A million samples of 0.1 (not exactly representable): the
+        // compensated mean stays at the nearest-f64 of 0.1; a naive
+        // accumulator is off by ~1e-12 by this length.
+        let mut t = TraceSeries::new("long");
+        let n = 1_000_000;
+        for i in 0..n {
+            t.record(TimeSpan::from_seconds(i as f64), 0.1);
+        }
+        let err = (t.mean().unwrap() - 0.1).abs();
+        assert!(err < 1e-15, "compensated mean drifted by {err:e}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use ambience::arch::{ArchitectureClass, Processor};
 use ambience::core::case_studies::cs1::{run_cs1, Cs1Config};
 use ambience::core::design_space::{explore_cs1_threads, DesignCell};
 use ambience::dvs::{simulate_taskset, DvsPolicy, TaskSet};
-use ambience::net::replicate_gathering_threads;
+use ambience::net::{replicate_gathering_observed_threads, replicate_gathering_threads};
 use ambience::net::{
     simulate_clustered, simulate_gathering, ClusterConfig, NetworkConfig, RoutingStrategy, Topology,
 };
@@ -173,5 +173,48 @@ fn parallel_gathering_replication_is_bit_exact_with_serial() {
             50,
         );
         assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn observed_replication_ledger_is_bit_exact_across_thread_counts() {
+    // The observability contract: the merged energy ledger and packet
+    // counters fold per-replication recorders in seed order, so every
+    // charge cell, residual and counter matches `==` at any worker count.
+    let config = NetworkConfig::sensor_default();
+    let field = |seed| Topology::random(15, Length::from_meters(90.0), seed);
+    let (serial_reports, serial_obs) = replicate_gathering_observed_threads(
+        1,
+        12,
+        7,
+        field,
+        RoutingStrategy::MinimumEnergy,
+        &config,
+        50,
+    );
+    for threads in [2usize, 8] {
+        let (reports, obs) = replicate_gathering_observed_threads(
+            threads,
+            12,
+            7,
+            field,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            50,
+        );
+        assert_eq!(serial_reports, reports, "threads = {threads}");
+        assert_eq!(serial_obs, obs, "threads = {threads}");
+    }
+}
+
+#[test]
+fn f6_manifest_is_byte_identical_across_thread_counts() {
+    // Manifests must not leak the worker count: the runner stanza records
+    // the merge *policy*, and the ledger merges in seed order, so the
+    // rendered JSON is the same byte string at 1, 2 and 8 threads.
+    let at_one = ami_experiments::manifests::f6_manifest_threads(1).to_json();
+    for threads in [2usize, 8] {
+        let json = ami_experiments::manifests::f6_manifest_threads(threads).to_json();
+        assert_eq!(at_one, json, "threads = {threads}");
     }
 }

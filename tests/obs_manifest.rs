@@ -1,0 +1,60 @@
+//! Manifest acceptance: the checked-in golden F3 manifest must match a
+//! fresh rebuild byte-for-byte, and the ledger behind it must reproduce
+//! the keynote's headline split — the radio's channel checks eating
+//! ~82 % of the CS1 node's budget — with every category accounted for.
+
+use ambience::core::case_studies::cs1::{cs1_energy_ledger, Cs1Config};
+use ambience::sim::obs::EnergyCategory;
+use ambience::units::TimeSpan;
+use ami_experiments::manifests::{f13_manifest, f3_manifest, t3_manifest};
+
+/// The golden manifest frozen in the repo; CI also diffs the binary's
+/// `AMBIENCE_MANIFEST` output against this same file.
+const GOLDEN_F3: &str = include_str!("../crates/experiments/golden/f3_manifest.json");
+
+#[test]
+fn f3_manifest_matches_the_checked_in_golden() {
+    assert_eq!(
+        f3_manifest().to_json(),
+        GOLDEN_F3,
+        "f3_manifest() drifted from crates/experiments/golden/f3_manifest.json; \
+         if the change is intentional, regenerate the golden with \
+         AMBIENCE_MANIFEST=crates/experiments/golden/f3_manifest.json \
+         cargo run -p ami-experiments --bin expt_f3_cs1_duty_cycle"
+    );
+}
+
+#[test]
+fn f3_ledger_reproduces_the_radio_dominance_figure() {
+    let ledger = cs1_energy_ledger(&Cs1Config::default(), TimeSpan::from_days(3.0));
+    // The keynote's figure: idle listening (LPL channel checks) takes
+    // ~82 % of the budget on the default duty-cycled node.
+    let idle = ledger.fraction(EnergyCategory::Idle);
+    assert!(
+        (0.80..0.85).contains(&idle),
+        "idle fraction {idle} outside the 82% band"
+    );
+    // The categories partition the total: attribution loses nothing.
+    let by_category: f64 = EnergyCategory::ALL
+        .into_iter()
+        .map(|c| ledger.category_total(c).as_joules())
+        .sum();
+    let total = ledger.total().as_joules();
+    assert!(
+        (by_category - total).abs() <= 1e-9 * total,
+        "categories sum to {by_category}, ledger total {total}"
+    );
+}
+
+#[test]
+fn manifests_render_every_experiment_without_panicking() {
+    for (manifest, tag) in [
+        (f3_manifest(), "\"experiment\": \"F3\""),
+        (f13_manifest(), "\"experiment\": \"F13\""),
+        (t3_manifest(), "\"experiment\": \"T3\""),
+    ] {
+        let json = manifest.to_json();
+        assert!(json.contains(tag));
+        assert!(json.ends_with("}\n"));
+    }
+}
