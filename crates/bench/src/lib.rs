@@ -10,6 +10,21 @@
 //!   experiments (F3/F4/F5 kernels), so reproduction time is tracked.
 //!
 //! Run with `cargo bench --workspace`.
+//!
+//! # Example
+//!
+//! Every bench builds its inputs from [`BENCH_SEED`], so two runs time
+//! exactly the same workload:
+//!
+//! ```
+//! use ami_bench::BENCH_SEED;
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(BENCH_SEED);
+//! let mut b = StdRng::seed_from_u64(BENCH_SEED);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
 
 /// Standard seed used across benches for reproducible inputs.
 pub const BENCH_SEED: u64 = 2003;

@@ -228,6 +228,39 @@ impl Battery {
         effective / i
     }
 
+    /// Applies a capacity fade: the cell now holds at most `factor` of
+    /// its rated charge, and any stored charge above the faded ceiling
+    /// is lost immediately.
+    ///
+    /// This is the storage-side hook for
+    /// `ami_sim::fault::FaultEvent::CapacityFade` events (aging or
+    /// cold-soaked cells). The chemistry's rated numbers are untouched —
+    /// fade caps the *stored* charge, so repeated fades compose as the
+    /// product of their factors and recharge still clamps at the rated
+    /// capacity rather than the faded one.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_energy::{Battery, BatteryModel, Chemistry};
+    ///
+    /// let mut cell = Battery::new(Chemistry::LiCoin, BatteryModel::Linear);
+    /// cell.apply_fade(0.5);
+    /// assert!((cell.state_of_charge() - 0.5).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn apply_fade(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "fade factor must lie in [0, 1], got {factor}"
+        );
+        let ceiling = Charge::new(self.chemistry.rated_capacity().as_coulombs() * factor);
+        self.remaining = self.remaining.min(ceiling);
+    }
+
     /// Recharges by `energy` at nominal voltage, clamped at full
     /// (secondary chemistries; callers decide whether recharge is physical).
     pub fn recharge(&mut self, energy: Energy) {
@@ -341,6 +374,28 @@ mod tests {
     fn lifetime_zero_load_panics() {
         let b = Battery::new(Chemistry::LiIon, BatteryModel::Linear);
         let _ = b.lifetime_under(Power::ZERO);
+    }
+
+    #[test]
+    fn fade_caps_stored_charge_and_composes_multiplicatively() {
+        let mut b = Battery::new(Chemistry::AlkalineAa, BatteryModel::Linear);
+        b.apply_fade(0.5);
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-12);
+        // A second fade to 40% of rated: already below it, nothing lost.
+        b.apply_fade(0.6);
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-12);
+        b.apply_fade(0.2);
+        assert!((b.state_of_charge() - 0.2).abs() < 1e-12);
+        // Rated numbers are untouched: recharge still reaches full.
+        b.recharge(Energy::from_watt_hours(1000.0));
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fade factor")]
+    fn fade_factor_above_one_rejected() {
+        let mut b = Battery::new(Chemistry::LiIon, BatteryModel::Linear);
+        b.apply_fade(1.5);
     }
 
     #[test]

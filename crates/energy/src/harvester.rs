@@ -125,6 +125,36 @@ impl Harvester {
     pub fn power_output(&self, env: &EnvironmentSample) -> Power {
         self.power_density(env) * self.aperture
     }
+
+    /// Output power under a brownout: the ambient source delivers only
+    /// `scale` of its nominal power (lights dimmed, machinery idling).
+    ///
+    /// This is the supply-side hook for
+    /// `ami_sim::fault::FaultEvent::Brownout` events, whose
+    /// `harvest_scale` is the product of all active brownout scales.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ami_energy::{EnvironmentSample, Harvester};
+    /// use ami_units::Area;
+    ///
+    /// let pv = Harvester::photovoltaic(Area::from_square_centimeters(4.0));
+    /// let office = EnvironmentSample::office();
+    /// let dimmed = pv.power_output_derated(&office, 0.25);
+    /// assert!((dimmed.as_watts() - 0.25 * pv.power_output(&office).as_watts()).abs() < 1e-18);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is outside `[0, 1]`.
+    pub fn power_output_derated(&self, env: &EnvironmentSample, scale: f64) -> Power {
+        assert!(
+            (0.0..=1.0).contains(&scale),
+            "brownout scale must lie in [0, 1], got {scale}"
+        );
+        Power::from_watts(self.power_output(env).as_watts() * scale)
+    }
 }
 
 /// The mains supply of the static (W) device class: unlimited energy but a
@@ -216,6 +246,24 @@ mod tests {
     #[should_panic(expected = "aperture")]
     fn zero_aperture_rejected() {
         let _ = Harvester::photovoltaic(Area::ZERO);
+    }
+
+    #[test]
+    fn brownout_derating_scales_linearly() {
+        let pv = Harvester::photovoltaic(Area::from_square_centimeters(4.0));
+        let office = EnvironmentSample::office();
+        let full = pv.power_output(&office);
+        assert_eq!(pv.power_output_derated(&office, 1.0), full);
+        assert_eq!(pv.power_output_derated(&office, 0.0), Power::ZERO);
+        let half = pv.power_output_derated(&office, 0.5);
+        assert!((half.as_watts() - full.as_watts() / 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "brownout scale")]
+    fn brownout_scale_above_one_rejected() {
+        let pv = Harvester::photovoltaic(Area::from_square_centimeters(1.0));
+        let _ = pv.power_output_derated(&EnvironmentSample::office(), 1.1);
     }
 
     #[test]

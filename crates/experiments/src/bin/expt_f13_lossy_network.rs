@@ -7,10 +7,13 @@
 //! analytic prediction matches the Monte-Carlo network on single-hop
 //! stars (cross-validated in tests).
 
-use ami_experiments::manifests::{emit_when_requested, f13_manifest};
+use ami_experiments::manifests::{emit_when_requested, f13_faulted_manifest_with, f13_manifest};
 use ami_experiments::{banner, print_table, section};
-use ami_net::{simulate_lossy_gathering, LossyConfig, LossyReport, Topology};
+use ami_net::{
+    simulate_lossy_gathering, simulate_lossy_gathering_faulted, LossyConfig, LossyReport, Topology,
+};
 use ami_radio::StopAndWaitArq;
+use ami_sim::fault::{FaultModel, FaultSpec, FAULTS_ENV};
 use ami_units::Length;
 
 /// The per-delivered-bit column: `-` when nothing got through.
@@ -69,11 +72,60 @@ fn main() {
         &rows,
     );
 
+    section("resilience: exogenous node churn on the bruised channel");
+    // Node death plus transient outages layered on the BER-1e-3 grid:
+    // routing re-resolves around downed relays, so delivery degrades
+    // with the churn instead of collapsing, and fault losses are
+    // attributed separately from channel losses.
+    let churn = [0.0, 0.1, 0.2, 0.4];
+    let rows = ami_sim::runner::par_map_indexed(&churn, |_, &rate| {
+        let config = LossyConfig::bruised_channel();
+        let model = FaultModel {
+            death_rate: rate,
+            outage_rate: rate,
+            outage_rounds: 40,
+            ..FaultModel::none()
+        };
+        let faults = model.schedule(2003, topo.len(), rounds);
+        let report = simulate_lossy_gathering_faulted(&topo, &config, rounds, 2003, &faults);
+        vec![
+            format!("{:.0}%", 100.0 * rate),
+            report.offered.to_string(),
+            format!("{:.1}%", 100.0 * report.delivery_ratio()),
+            report.dropped_fault.to_string(),
+            format!("{:.2}", report.total_energy.as_joules()),
+            per_bit_cell(&report, &config),
+        ]
+    });
+    print_table(
+        &[
+            "churn rate",
+            "offered",
+            "delivered",
+            "fault drops",
+            "energy (J)",
+            "uJ/bit",
+        ],
+        &rows,
+    );
+
     section("reading");
     println!("multi-hop compounds loss: what is 'fine' on one link fails the");
     println!("network. Per-hop ARQ restores delivery with energy that tracks");
     println!("the F8 expected-transmission curve — the link and network views");
-    println!("of reliability agree.");
+    println!("of reliability agree. Under exogenous churn, rerouting keeps the");
+    println!("network degrading gracefully; set AMBIENCE_FAULTS to rerun the");
+    println!("manifest under any fault mix.");
 
-    emit_when_requested(f13_manifest);
+    // With AMBIENCE_FAULTS set, the manifest pins the faulted run (CI
+    // freezes the F13_FAULT_SPEC mix as a golden file); unset, it pins
+    // the plain one. The spec is parsed eagerly so a malformed value
+    // fails the run even when no manifest is requested.
+    match std::env::var(FAULTS_ENV) {
+        Ok(spec) => {
+            FaultSpec::parse(&spec).unwrap_or_else(|err| panic!("bad {FAULTS_ENV}: {err}"));
+            emit_when_requested(|| f13_faulted_manifest_with(&spec));
+        }
+        Err(_) => emit_when_requested(f13_manifest),
+    }
 }

@@ -6,12 +6,13 @@
 //! (nodes beyond the ~45 m radio crossover). Lifetime is bottlenecked by
 //! the relays around the sink.
 
-use ami_experiments::manifests::{emit_when_requested, f6_manifest};
+use ami_experiments::manifests::{emit_when_requested, f6_manifest, F6_FAULT_SPEC};
 use ami_experiments::{banner, print_table, section};
 use ami_net::{
-    replicate_gathering, replicate_gathering_observed, simulate_gathering, summarize_reports,
-    NetworkConfig, RoutingStrategy, Topology,
+    replicate_gathering, replicate_gathering_faulted_observed, replicate_gathering_observed,
+    simulate_gathering, summarize_reports, NetworkConfig, RoutingStrategy, Topology,
 };
+use ami_sim::fault::FaultSpec;
 use ami_sim::obs::EnergyCategory;
 use ami_units::{Energy, Length};
 
@@ -152,10 +153,74 @@ fn main() {
         obs.packets.dropped_disconnected
     );
 
+    section(&format!(
+        "resilience: the same 32 fields under faults ({F6_FAULT_SPEC})"
+    ));
+    // Each replication's seed derives both its topology and its fault
+    // schedule, so the comparison is paired: same fields, with and
+    // without exogenous churn.
+    let spec = FaultSpec::parse(F6_FAULT_SPEC).expect("frozen spec parses");
+    let (faulted, fobs) = replicate_gathering_faulted_observed(
+        32,
+        2003,
+        |seed| Topology::random(n_nodes, field, seed),
+        |seed| spec.schedule_for(seed, n_nodes, rounds),
+        RoutingStrategy::MinimumEnergy,
+        &config,
+        rounds,
+    );
+    let baseline_delivered = summarize_reports(&multi, |r| r.delivered_packets as f64);
+    let faulted_delivered = summarize_reports(&faulted, |r| r.delivered_packets as f64);
+    let faulted_energy = summarize_reports(&faulted, |r| r.total_energy.as_joules());
+    let rows = vec![
+        vec![
+            "healthy".to_owned(),
+            format!(
+                "{:.0} +/- {:.0}",
+                baseline_delivered.mean,
+                baseline_delivered.ci95_half_width()
+            ),
+            format!(
+                "{:.2} +/- {:.2}",
+                multi_energy.mean,
+                multi_energy.ci95_half_width()
+            ),
+            obs.packets.dropped_fault.to_string(),
+        ],
+        vec![
+            "faulted".to_owned(),
+            format!(
+                "{:.0} +/- {:.0}",
+                faulted_delivered.mean,
+                faulted_delivered.ci95_half_width()
+            ),
+            format!(
+                "{:.2} +/- {:.2}",
+                faulted_energy.mean,
+                faulted_energy.ci95_half_width()
+            ),
+            fobs.packets.dropped_fault.to_string(),
+        ],
+    ];
+    print_table(
+        &["fields", "delivered/field", "energy (J)", "fault drops"],
+        &rows,
+    );
+    println!(
+        "faulted packets: {} offered, {} delivered, {} dead-hop, {} disconnected, {} fault",
+        fobs.packets.offered,
+        fobs.packets.delivered,
+        fobs.packets.dropped_dead_hop,
+        fobs.packets.dropped_disconnected,
+        fobs.packets.dropped_fault
+    );
+
     section("reading");
     println!("multi-hop wins once the field radius passes the ~45 m radio");
     println!("crossover, and the advantage grows with scale; the relays next");
     println!("to the sink are the lifetime bottleneck (the energy hole).");
+    println!("Under exogenous churn the delivered volume drops but the network");
+    println!("keeps operating: rerouting contains each fault's blast radius.");
 
     emit_when_requested(f6_manifest);
 }

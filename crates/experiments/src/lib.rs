@@ -6,6 +6,20 @@
 //! layer so the binaries stay focused on their experiment, plus the
 //! [`manifests`] builders that render headline runs as deterministic
 //! JSON run manifests (gated on `AMBIENCE_MANIFEST`).
+//!
+//! # Example
+//!
+//! The formatting helpers the binaries share:
+//!
+//! ```
+//! use ami_experiments::{eng, print_table};
+//!
+//! assert_eq!(eng(1.5), "1.500");
+//! print_table(
+//!     &["nodes", "energy [J]"],
+//!     &[vec!["25".to_owned(), eng(0.0123)]],
+//! );
+//! ```
 
 pub mod manifests;
 

@@ -14,13 +14,26 @@
 
 use ami_core::case_studies::cs1::{cs1_energy_ledger, sweep_check_interval, Cs1Config};
 use ami_net::{
-    replicate_gathering_observed_threads, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
+    replicate_gathering_faulted_observed_threads, replicate_gathering_observed_threads,
+    LossyConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_radio::{
     CsmaMac, MacAnalysis, MacProtocol, PreambleSamplingMac, RadioPowerStates, TdmaMac, TrafficLoad,
 };
+use ami_sim::fault::FaultSpec;
 use ami_sim::obs::{CounterTree, RunManifest, MANIFEST_ENV};
 use ami_units::{Energy, Length, TimeSpan};
+
+/// The fault mix the F13 resilience study (and its golden manifest)
+/// runs under: 12 % scheduled node deaths, 20 % transient outages of 40
+/// rounds, 15 % link outages of 30 rounds. CI regenerates
+/// `golden/f13_faulted_manifest.json` with `AMBIENCE_FAULTS` set to
+/// exactly this string.
+pub const F13_FAULT_SPEC: &str = "death=0.12,outage=0.2:40,link=0.15:30";
+
+/// The fault mix of the F6 resilience columns: lighter node churn plus
+/// capacity fade, over the replicated random fields.
+pub const F6_FAULT_SPEC: &str = "death=0.08,outage=0.15:60,fade=0.25:0.5";
 
 /// Builds and emits `build()`'s manifest if `AMBIENCE_MANIFEST` is set:
 /// `-` sends it to stdout, any other value names the file to write.
@@ -144,6 +157,109 @@ pub fn f13_manifest() -> RunManifest {
             &report.energy_per_delivered_bit(&config.packet),
         )
         .counters(&counters)
+}
+
+/// [`f13_manifest`]'s run under the fault mix in `spec` (an
+/// `AMBIENCE_FAULTS` grammar string): the same bruised-channel grid with
+/// a seeded [`FaultSpec`] schedule layered on, so the counters grow a
+/// `dropped/fault` attribution next to the channel losses.
+///
+/// # Panics
+///
+/// Panics if `spec` does not parse.
+pub fn f13_faulted_manifest_with(spec: &str) -> RunManifest {
+    let spec = FaultSpec::parse(spec).unwrap_or_else(|err| panic!("invalid fault spec: {err}"));
+    let topo = Topology::grid(5, Length::from_meters(30.0));
+    let config = LossyConfig::bruised_channel();
+    let (rounds, seed) = (300u64, 2003u64);
+    let faults = spec.schedule_for(seed, topo.len(), rounds);
+    let report = ami_net::simulate_lossy_gathering_faulted(&topo, &config, rounds, seed, &faults);
+    let channel_losses = report.offered - report.delivered - report.dropped_fault;
+    let counters = CounterTree::branch([
+        (
+            "packets",
+            CounterTree::branch([
+                ("offered", CounterTree::leaf(report.offered)),
+                ("delivered", CounterTree::leaf(report.delivered)),
+                (
+                    "dropped",
+                    CounterTree::branch([
+                        ("channel", CounterTree::leaf(channel_losses)),
+                        ("fault", CounterTree::leaf(report.dropped_fault)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "fault_events",
+            CounterTree::leaf(faults.events().len() as u64),
+        ),
+        ("transmissions", CounterTree::leaf(report.transmissions)),
+    ]);
+    RunManifest::new("F13-faulted")
+        .field("config", &config)
+        .field("grid_side", &5u64)
+        .field("seed", &seed)
+        .field("rounds", &rounds)
+        .field("fault_model", &spec.model)
+        .field("fault_seed", &spec.seed)
+        .runner()
+        .field("total_energy_j", &report.total_energy)
+        .field(
+            "energy_per_delivered_bit",
+            &report.energy_per_delivered_bit(&config.packet),
+        )
+        .counters(&counters)
+}
+
+/// [`f13_faulted_manifest_with`] under the frozen [`F13_FAULT_SPEC`] mix
+/// — the manifest CI diffs against `golden/f13_faulted_manifest.json`.
+pub fn f13_faulted_manifest() -> RunManifest {
+    f13_faulted_manifest_with(F13_FAULT_SPEC)
+}
+
+/// [`f6_manifest_threads`]'s random-field study under the
+/// [`F6_FAULT_SPEC`] mix: each replication's seed derives both its
+/// topology and its decorrelated fault schedule, and the merged ledger
+/// and counters stay bit-identical at any `threads`.
+pub fn f6_faulted_manifest_threads(threads: usize) -> RunManifest {
+    let spec =
+        FaultSpec::parse(F6_FAULT_SPEC).unwrap_or_else(|err| panic!("invalid fault spec: {err}"));
+    let mut config = NetworkConfig::sensor_default();
+    config.node_energy = Energy::from_joules(20.0);
+    let (replications, base_seed, rounds) = (32usize, 2003u64, 500u64);
+    let nodes = 40usize;
+    let field = Length::from_meters(400.0);
+    let (reports, obs) = replicate_gathering_faulted_observed_threads(
+        threads,
+        replications,
+        base_seed,
+        |seed| Topology::random(nodes, field, seed),
+        |seed| spec.schedule_for(seed, nodes, rounds),
+        RoutingStrategy::MinimumEnergy,
+        &config,
+        rounds,
+    );
+    let delivered: u64 = reports.iter().map(|r| r.delivered_packets).sum();
+    debug_assert_eq!(delivered, obs.packets.delivered);
+    RunManifest::new("F6-faulted")
+        .field("config", &config)
+        .field("strategy", &RoutingStrategy::MinimumEnergy)
+        .field("nodes", &(nodes as u64))
+        .field("field_m", &field.as_meters())
+        .field("replications", &(replications as u64))
+        .field("base_seed", &base_seed)
+        .field("rounds", &rounds)
+        .field("fault_model", &spec.model)
+        .field("fault_seed", &spec.seed)
+        .runner()
+        .ledger(&obs.ledger)
+        .counters(&obs.packets.tree())
+}
+
+/// [`f6_faulted_manifest_threads`] at the ambient thread count.
+pub fn f6_faulted_manifest() -> RunManifest {
+    f6_faulted_manifest_threads(ami_sim::runner::thread_count())
 }
 
 /// T3 (MAC comparison): the analytic MAC table for both traffic regimes

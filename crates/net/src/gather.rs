@@ -18,10 +18,22 @@
 //! [`ami_sim::obs::Recorder`]; [`simulate_gathering`] records nothing
 //! (zero cost), [`simulate_gathering_observed`] fills an energy ledger
 //! and packet counters.
+//!
+//! The `*_faulted` entry points additionally take an
+//! [`ami_sim::fault::FaultSchedule`] of exogenous failures. A fault-downed
+//! node is powered off: it spends nothing, offers nothing, and relays
+//! nothing. Routing detects downed nodes with a one-round lag (the sweep
+//! that notices them re-resolves next hops over the survivors — it never
+//! panics), so packets that hit a freshly downed relay or a downed link
+//! burn the sender's transmit energy and drop with the `dropped_fault`
+//! counter cause. Capacity-fade events scale a node's initial budget;
+//! the unfaulted entry points are the `FaultSchedule::empty()` special
+//! case, bit-exact with the pre-fault implementation.
 
 use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
 use crate::topology::{NodeId, Topology};
 use ami_radio::{Packet, RadioEnergyModel};
+use ami_sim::fault::FaultSchedule;
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
 use ami_units::{DataVolume, Energy, EnergyPerBit, Length, Power, TimeSpan};
 use serde::{Deserialize, Serialize};
@@ -153,6 +165,48 @@ pub fn simulate_gathering_observed(
     (report, recorder)
 }
 
+/// [`simulate_gathering`] under an exogenous [`FaultSchedule`],
+/// recording nothing. See [`simulate_gathering_faulted_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn simulate_gathering_faulted(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+    faults: &FaultSchedule,
+) -> NetworkReport {
+    simulate_gathering_faulted_with(
+        topology,
+        strategy,
+        config,
+        rounds,
+        faults,
+        &mut NullRecorder,
+    )
+}
+
+/// [`simulate_gathering_faulted`] with a [`LedgerRecorder`] attached:
+/// fault-caused losses land in the recorder's `dropped_fault` counter.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn simulate_gathering_faulted_observed(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+    faults: &FaultSchedule,
+) -> (NetworkReport, LedgerRecorder) {
+    let mut recorder = LedgerRecorder::with_nodes(topology.len());
+    let report =
+        simulate_gathering_faulted_with(topology, strategy, config, rounds, faults, &mut recorder);
+    (report, recorder)
+}
+
 /// Runs `rounds` reporting rounds of `topology` under `strategy`,
 /// charging every event through `recorder`.
 ///
@@ -174,11 +228,73 @@ pub fn simulate_gathering_with<R: Recorder>(
     rounds: u64,
     recorder: &mut R,
 ) -> NetworkReport {
+    simulate_gathering_faulted_with(
+        topology,
+        strategy,
+        config,
+        rounds,
+        &FaultSchedule::empty(),
+        recorder,
+    )
+}
+
+/// How one packet's trip through the route table ended.
+enum PacketFate {
+    Delivered,
+    DeadHop,
+    Fault,
+}
+
+/// Runs `rounds` reporting rounds of `topology` under `strategy` and
+/// the exogenous `faults` schedule, charging every event through
+/// `recorder`.
+///
+/// Fault semantics, chosen so the empty schedule degenerates bit-exactly
+/// to [`simulate_gathering_with`]:
+///
+/// * a fault-downed node (death or mid-outage) is powered off: no idle
+///   charge, no report, no relaying; its remaining budget survives a
+///   transient outage;
+/// * routing observes fault state with a **one-round lag** — the network
+///   cannot know a relay died until traffic through it fails — and then
+///   re-resolves next hops over the usable nodes instead of panicking;
+/// * a packet that hits a freshly downed relay or a downed link burns
+///   the sender's transmit energy (the sender cannot know), charges the
+///   downed receiver nothing, and drops as `dropped_fault`;
+/// * capacity-fade events scale the node's *initial* budget;
+/// * budget exhaustion keeps its existing semantics: per-hop stop,
+///   `dropped_dead_hop` attribution, and `first_death_round` counts
+///   energy deaths only (exogenous faults are not "lifetime").
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn simulate_gathering_faulted_with<R: Recorder>(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+    faults: &FaultSchedule,
+    recorder: &mut R,
+) -> NetworkReport {
     assert!(rounds > 0, "simulate at least one round");
     let n = topology.len();
-    let mut budget: Vec<f64> = vec![config.node_energy.as_joules(); n];
+    let sink = topology.sink();
+    let mut budget: Vec<f64> = (0..n)
+        .map(|id| {
+            if id == sink.0 {
+                config.node_energy.as_joules()
+            } else {
+                config.node_energy.as_joules() * faults.capacity_factor(id)
+            }
+        })
+        .collect();
     let mut alive = vec![true; n];
     let mut table = build_routes(topology, strategy, &config.radio, config.max_hop);
+    // The node set the route table was last built over: budget-alive
+    // nodes minus the fault-downs routing has had a round to notice.
+    let mut routed_over = vec![true; n];
+    let mut down_prev = vec![false; n];
     let mut delivered = 0u64;
     let mut spent = 0.0f64;
     let mut first_death: Option<u64> = None;
@@ -186,20 +302,41 @@ pub fn simulate_gathering_with<R: Recorder>(
     let idle_per_round = (config.idle_power * config.report_interval).as_joules();
 
     for round in 0..rounds {
-        // Idle/listening cost for every live sensor node.
+        let down_now: Vec<bool> = (0..n)
+            .map(|id| id != sink.0 && faults.node_down(id, round))
+            .collect();
+
+        // Re-resolve routes when the usable set routing can see (one
+        // round behind on faults) has changed — deaths, outage starts
+        // noticed a round late, reboots rejoining.
+        let usable: Vec<bool> = (0..n)
+            .map(|id| id == sink.0 || (alive[id] && !down_prev[id]))
+            .collect();
+        if usable != routed_over {
+            table = rebuild_over_usable_radio(
+                topology,
+                strategy,
+                &config.radio,
+                config.max_hop,
+                &usable,
+            );
+            routed_over = usable;
+        }
+
+        // Idle/listening cost for every live, powered-on sensor node.
         for id in topology.sensor_ids() {
-            if alive[id.0] {
+            if alive[id.0] && !down_now[id.0] {
                 budget[id.0] -= idle_per_round;
                 spent += idle_per_round;
                 recorder.charge(id.0, EnergyCategory::Idle, idle_per_round);
             }
         }
 
-        // Each live, still-funded node reports once. (The idle charge
-        // above may have emptied a budget; such a node is silent this
-        // round and will be buried by the sweep below.)
+        // Each live, still-funded, powered-on node reports once. (The
+        // idle charge above may have emptied a budget; such a node is
+        // silent this round and will be buried by the sweep below.)
         for id in topology.sensor_ids() {
-            if !alive[id.0] || budget[id.0] <= 0.0 {
+            if !alive[id.0] || budget[id.0] <= 0.0 || down_now[id.0] {
                 continue;
             }
             recorder.packet_offered();
@@ -209,14 +346,14 @@ pub fn simulate_gathering_with<R: Recorder>(
                 continue; // disconnected this round
             }
             // Charge the sender and every relay; abort when a hop has
-            // died or — the live-budget check — run out mid-round.
+            // died, run out mid-round, or gone down to a fault.
             let mut from = id;
-            let mut ok = true;
+            let mut fate = PacketFate::Delivered;
             for &hop in &path {
                 let from_down = !alive[from.0] || budget[from.0] <= 0.0;
-                let hop_down = hop != topology.sink() && (!alive[hop.0] || budget[hop.0] <= 0.0);
+                let hop_down = hop != sink && (!alive[hop.0] || budget[hop.0] <= 0.0);
                 if from_down || hop_down {
-                    ok = false;
+                    fate = PacketFate::DeadHop;
                     break;
                 }
                 let d = topology.distance(from, hop);
@@ -224,7 +361,15 @@ pub fn simulate_gathering_with<R: Recorder>(
                 budget[from.0] -= tx;
                 spent += tx;
                 recorder.charge(from.0, EnergyCategory::Tx, tx);
-                if hop != topology.sink() {
+                // A hop onto a fault-downed node or across a downed link
+                // still costs the sender its transmission — it cannot
+                // know in advance — but nothing arrives and the downed
+                // receiver spends nothing.
+                if (hop != sink && down_now[hop.0]) || faults.link_down(from.0, hop.0, round) {
+                    fate = PacketFate::Fault;
+                    break;
+                }
+                if hop != sink {
                     let rx = config.radio.receive_energy(bits).as_joules();
                     budget[hop.0] -= rx;
                     spent += rx;
@@ -232,26 +377,25 @@ pub fn simulate_gathering_with<R: Recorder>(
                 }
                 from = hop;
             }
-            if ok {
-                delivered += 1;
-                recorder.packet_delivered();
-            } else {
-                recorder.packet_dropped_dead_hop();
+            match fate {
+                PacketFate::Delivered => {
+                    delivered += 1;
+                    recorder.packet_delivered();
+                }
+                PacketFate::DeadHop => recorder.packet_dropped_dead_hop(),
+                PacketFate::Fault => recorder.packet_dropped_fault(),
             }
         }
 
-        // Bury the dead and rebuild routes if anything changed.
-        let mut changed = false;
+        // Bury the budget-dead; the route re-resolution at the top of
+        // the next round folds them (and this round's fault-downs) in.
         for id in topology.sensor_ids() {
             if alive[id.0] && budget[id.0] <= 0.0 {
                 alive[id.0] = false;
-                changed = true;
                 first_death.get_or_insert(round + 1);
             }
         }
-        if changed {
-            table = rebuild_over_survivors(topology, strategy, config, &alive);
-        }
+        down_prev = down_now;
     }
 
     for id in topology.sensor_ids() {
@@ -265,7 +409,12 @@ pub fn simulate_gathering_with<R: Recorder>(
         ),
         total_energy: Energy::from_joules(spent),
         first_death_round: first_death,
-        alive_nodes: alive.iter().skip(1).filter(|&&a| a).count(),
+        // A node down in the final round (dead or still mid-outage)
+        // does not count as part of the surviving network.
+        alive_nodes: topology
+            .sensor_ids()
+            .filter(|id| alive[id.0] && !faults.node_down(id.0, rounds - 1))
+            .count(),
         residual_energy: budget
             .iter()
             .skip(1)
@@ -275,20 +424,21 @@ pub fn simulate_gathering_with<R: Recorder>(
     }
 }
 
-/// Rebuilds routes over the surviving nodes by giving dead nodes an
-/// unreachable position proxy: we simply filter their edges by rebuilding
-/// on a reduced topology and mapping ids back.
-fn rebuild_over_survivors(
+/// Rebuilds routes over the usable nodes (budget-alive and not known to
+/// be fault-downed) by filtering their edges: rebuild on a reduced
+/// topology and map ids back. Shared with the lossy simulator.
+pub(crate) fn rebuild_over_usable_radio(
     topology: &Topology,
     strategy: RoutingStrategy,
-    config: &NetworkConfig,
-    alive: &[bool],
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+    usable: &[bool],
 ) -> Vec<Option<NodeId>> {
-    // Map surviving ids into a compact topology (sink always survives).
+    // Map usable ids into a compact topology (sink always survives).
     let mut forward = Vec::new(); // compact -> original
     let mut positions = Vec::new();
     for id in topology.ids() {
-        if id == topology.sink() || alive[id.0] {
+        if id == topology.sink() || usable[id.0] {
             forward.push(id);
             positions.push(topology.position(id));
         }
@@ -298,7 +448,7 @@ fn rebuild_over_survivors(
         return vec![None; topology.len()];
     }
     let compact = Topology::new(positions);
-    let compact_table = build_routes(&compact, strategy, &config.radio, config.max_hop);
+    let compact_table = build_routes(&compact, strategy, radio, max_hop);
     let mut table = vec![None; topology.len()];
     for (compact_idx, original) in forward.iter().enumerate() {
         table[original.0] = compact_table[compact_idx].map(|next| forward[next.0]);
@@ -522,5 +672,189 @@ mod tests {
             &NetworkConfig::sensor_default(),
             0,
         );
+    }
+
+    mod faulted {
+        use super::*;
+        use ami_sim::fault::{FaultEvent, FaultModel, FaultSchedule};
+
+        #[test]
+        fn empty_schedule_is_bit_exact_with_the_unfaulted_path() {
+            let config = NetworkConfig::sensor_default();
+            let topo = Topology::grid(4, Length::from_meters(30.0));
+            for strategy in [
+                RoutingStrategy::DirectToSink,
+                RoutingStrategy::MinimumEnergy,
+            ] {
+                let plain = simulate_gathering(&topo, strategy, &config, 40);
+                let (faulted, obs) = simulate_gathering_faulted_observed(
+                    &topo,
+                    strategy,
+                    &config,
+                    40,
+                    &FaultSchedule::empty(),
+                );
+                assert_eq!(plain, faulted);
+                assert_eq!(obs.packets.dropped_fault, 0);
+            }
+        }
+
+        #[test]
+        fn heavy_death_faults_never_panic_and_attribute_every_loss() {
+            // Kill relays aggressively on a multi-hop grid: the sim must
+            // degrade (re-resolving routes), not collapse, and packet
+            // accounting must stay conserved with fault losses visible.
+            let config = NetworkConfig::sensor_default();
+            let topo = Topology::grid(5, Length::from_meters(30.0));
+            let model = FaultModel {
+                death_rate: 0.4,
+                outage_rate: 0.3,
+                outage_rounds: 20,
+                link_outage_rate: 0.2,
+                link_outage_rounds: 15,
+                fade_rate: 0.3,
+                fade_factor: 0.6,
+            };
+            let faults = model.schedule(2003, topo.len(), 100);
+            let (report, obs) = simulate_gathering_faulted_observed(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                100,
+                &faults,
+            );
+            assert!(obs.packets.is_conserved());
+            assert!(obs.packets.dropped_fault > 0, "faults must cost packets");
+            assert!(
+                report.delivered_packets > 0,
+                "the network must degrade, not die"
+            );
+            assert_eq!(report.delivered_packets, obs.packets.delivered);
+            // The ledger still partitions the report's total energy.
+            let total = report.total_energy.as_joules();
+            assert!((obs.ledger.total().as_joules() - total).abs() <= 1e-9 * total);
+        }
+
+        #[test]
+        fn relay_death_drops_as_fault_then_routing_re_resolves() {
+            // Sink—1—2 line: node 2 must relay through node 1. Kill node
+            // 1 at round 2: node 2's round-2 packet burns tx into the
+            // dead relay (dropped_fault); from round 3 routing has
+            // noticed and node 2 is disconnected.
+            let topo = Topology::new(vec![
+                Position::new(0.0, 0.0),
+                Position::new(40.0, 0.0),
+                Position::new(80.0, 0.0),
+            ]);
+            let mut config = NetworkConfig::sensor_default();
+            config.idle_power = Power::ZERO;
+            let faults = FaultSchedule::new(vec![FaultEvent::NodeDeath { node: 1, round: 2 }]);
+            let (report, obs) = simulate_gathering_faulted_observed(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                6,
+                &faults,
+            );
+            // Rounds 0–1: both nodes deliver. Round 2: node 1 is off (no
+            // offer), node 2 drops on the dead relay. Rounds 3–5: node 2
+            // is disconnected.
+            assert_eq!(obs.packets.offered, 4 + 1 + 3);
+            assert_eq!(obs.packets.delivered, 4);
+            assert_eq!(obs.packets.dropped_fault, 1);
+            assert_eq!(obs.packets.dropped_disconnected, 3);
+            assert!(obs.packets.is_conserved());
+            assert_eq!(report.alive_nodes, 1);
+            // Exogenous death is not an energy death.
+            assert_eq!(report.first_death_round, None);
+        }
+
+        #[test]
+        fn outage_powers_off_then_reboots_with_budget_intact() {
+            // A single direct-to-sink node with an outage window: it
+            // spends nothing while down and resumes reporting after.
+            let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(20.0, 0.0)]);
+            let config = NetworkConfig::sensor_default();
+            let faults = FaultSchedule::new(vec![FaultEvent::NodeOutage {
+                node: 1,
+                from: 2,
+                until: 5,
+            }]);
+            let (report, obs) = simulate_gathering_faulted_observed(
+                &topo,
+                RoutingStrategy::DirectToSink,
+                &config,
+                8,
+                &faults,
+            );
+            // Offered in rounds 0, 1, 5, 6, 7.
+            assert_eq!(obs.packets.offered, 5);
+            // Routing notices the reboot one round late: the round-5
+            // report finds no route yet and drops as disconnected.
+            assert_eq!(obs.packets.delivered, 4);
+            assert_eq!(obs.packets.dropped_disconnected, 1);
+            assert_eq!(report.alive_nodes, 1);
+            // Exactly 5 rounds of idle + 4 transmissions were spent.
+            let idle = (config.idle_power * config.report_interval).as_joules();
+            let tx = config
+                .radio
+                .transmit_energy(config.packet.total_bits(), Length::from_meters(20.0))
+                .as_joules();
+            let expect = 5.0 * idle + 4.0 * tx;
+            assert!((report.total_energy.as_joules() - expect).abs() < 1e-12);
+        }
+
+        #[test]
+        fn link_outage_burns_tx_and_drops_as_fault() {
+            let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(20.0, 0.0)]);
+            let mut config = NetworkConfig::sensor_default();
+            config.idle_power = Power::ZERO;
+            let faults = FaultSchedule::new(vec![FaultEvent::LinkOutage {
+                a: 1,
+                b: 0,
+                from: 1,
+                until: 3,
+            }]);
+            let (report, obs) = simulate_gathering_faulted_observed(
+                &topo,
+                RoutingStrategy::DirectToSink,
+                &config,
+                4,
+                &faults,
+            );
+            // The node keeps transmitting into the dead link (it cannot
+            // know): 4 tx spent, rounds 1 and 2 lost to the fault.
+            assert_eq!(obs.packets.offered, 4);
+            assert_eq!(obs.packets.delivered, 2);
+            assert_eq!(obs.packets.dropped_fault, 2);
+            let tx = config
+                .radio
+                .transmit_energy(config.packet.total_bits(), Length::from_meters(20.0))
+                .as_joules();
+            assert!((report.total_energy.as_joules() - 4.0 * tx).abs() < 1e-12);
+        }
+
+        #[test]
+        fn capacity_fade_scales_the_initial_budget() {
+            let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(20.0, 0.0)]);
+            let config = NetworkConfig::sensor_default();
+            let faults = FaultSchedule::new(vec![FaultEvent::CapacityFade {
+                node: 1,
+                factor: 0.25,
+            }]);
+            let plain = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &config, 3);
+            let faded = simulate_gathering_faulted(
+                &topo,
+                RoutingStrategy::DirectToSink,
+                &config,
+                3,
+                &faults,
+            );
+            // Same spend, but the faded node starts 75% lower.
+            assert_eq!(plain.total_energy, faded.total_energy);
+            let lost = 0.75 * config.node_energy.as_joules();
+            let gap = plain.residual_energy[0].as_joules() - faded.residual_energy[0].as_joules();
+            assert!((gap - lost).abs() < 1e-9);
+        }
     }
 }

@@ -13,7 +13,13 @@
 //!   and the energy cost per delivered bit (experiments F6/A3);
 //! * [`simulate_gathering_observed`] — the same run with an
 //!   [`ami_sim::obs`] energy ledger and packet counters attached, for
-//!   per-category energy attribution and run manifests.
+//!   per-category energy attribution and run manifests;
+//! * [`simulate_gathering_faulted`] and
+//!   [`simulate_lossy_gathering_faulted`] — the same runs under an
+//!   exogenous [`ami_sim::fault::FaultSchedule`] (node death, outages,
+//!   link outages, capacity fade); routing re-resolves around downed
+//!   nodes and fault losses are attributed to the `dropped_fault`
+//!   counter cause.
 //!
 //! # Example
 //!
@@ -39,13 +45,17 @@ pub mod topology;
 pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
 pub use gather::{
-    simulate_gathering, simulate_gathering_observed, simulate_gathering_with, NetworkConfig,
-    NetworkReport,
+    simulate_gathering, simulate_gathering_faulted, simulate_gathering_faulted_observed,
+    simulate_gathering_faulted_with, simulate_gathering_observed, simulate_gathering_with,
+    NetworkConfig, NetworkReport,
 };
-pub use lossy::{simulate_lossy_gathering, LossyConfig, LossyReport};
+pub use lossy::{
+    simulate_lossy_gathering, simulate_lossy_gathering_faulted, LossyConfig, LossyReport,
+};
 pub use replicate::{
-    replicate_gathering, replicate_gathering_observed, replicate_gathering_observed_threads,
-    replicate_gathering_threads, summarize_reports,
+    replicate_gathering, replicate_gathering_faulted_observed,
+    replicate_gathering_faulted_observed_threads, replicate_gathering_observed,
+    replicate_gathering_observed_threads, replicate_gathering_threads, summarize_reports,
 };
 pub use routing::{build_routes, RoutingStrategy};
 pub use topology::{NodeId, Position, Topology};

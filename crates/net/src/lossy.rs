@@ -7,10 +7,19 @@
 //! at the configured channel BER, failures trigger ARQ retransmissions
 //! (bounded), and all the retry energy is charged to the transmitting and
 //! receiving nodes. Deterministic in a seed.
+//!
+//! [`simulate_lossy_gathering_faulted`] layers an
+//! [`ami_sim::fault::FaultSchedule`] on top: fault-downed relays and
+//! downed links waste the sender's full ARQ budget and count the packet
+//! as `dropped_fault`. Fault handling consumes **no randomness**, so a
+//! faulted run's channel draws stay aligned with the unfaulted run at
+//! the same seed until the first fault actually bites.
 
+use crate::gather::rebuild_over_usable_radio;
 use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
 use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
+use ami_sim::fault::FaultSchedule;
 use ami_sim::sim_rng;
 use ami_units::{Energy, EnergyPerBit, Length};
 use rand::rngs::StdRng;
@@ -56,6 +65,9 @@ pub struct LossyReport {
     pub transmissions: u64,
     /// Total radio energy spent.
     pub total_energy: Energy,
+    /// Packets lost to an injected fault (downed relay or link) rather
+    /// than to channel noise. Always zero on unfaulted runs.
+    pub dropped_fault: u64,
 }
 
 impl LossyReport {
@@ -102,27 +114,79 @@ pub fn simulate_lossy_gathering(
     rounds: u64,
     seed: u64,
 ) -> LossyReport {
+    simulate_lossy_gathering_faulted(topology, config, rounds, seed, &FaultSchedule::empty())
+}
+
+/// [`simulate_lossy_gathering`] under an exogenous [`FaultSchedule`].
+///
+/// Fault semantics mirror the gather simulator's (one-round routing
+/// lag, `dropped_fault` attribution) with one ARQ-specific twist: a
+/// sender facing a fault-downed receiver or a downed link gets no ACK
+/// on any attempt, so it burns its **entire retransmission budget**
+/// before giving up. A downed receiver spends nothing (it is powered
+/// off); a downed link charges both powered ends per attempt. Fault
+/// handling consumes no random draws, so the channel stream stays
+/// aligned with the unfaulted run at the same seed until a fault bites.
+/// The empty schedule is bit-exact with [`simulate_lossy_gathering`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+) -> LossyReport {
     assert!(rounds > 0, "simulate at least one round");
     assert!(
         (0.0..=0.5).contains(&config.ber),
         "BER must lie in [0, 0.5]"
     );
-    let table = build_routes(
+    let n = topology.len();
+    let sink = topology.sink();
+    let mut table = build_routes(
         topology,
         RoutingStrategy::MinimumEnergy,
         &config.radio,
         config.max_hop,
     );
+    let mut routed_over = vec![true; n];
+    let mut down_prev = vec![false; n];
     let p_hop = config.packet.delivery_probability(config.ber);
     let bits = config.packet.total_bits();
+    let attempts = u64::from(config.arq.max_transmissions);
     let mut rng = sim_rng(seed);
     let mut offered = 0u64;
     let mut delivered = 0u64;
     let mut transmissions = 0u64;
+    let mut dropped_fault = 0u64;
     let mut energy = 0.0f64;
 
-    for _ in 0..rounds {
+    for round in 0..rounds {
+        let down_now: Vec<bool> = (0..n)
+            .map(|id| id != sink.0 && faults.node_down(id, round))
+            .collect();
+        // Routing sees fault state with a one-round lag, as in `gather`
+        // (no budget deaths here — links are lossy but energy is not
+        // finite in this model).
+        let usable: Vec<bool> = (0..n).map(|id| id == sink.0 || !down_prev[id]).collect();
+        if usable != routed_over {
+            table = rebuild_over_usable_radio(
+                topology,
+                RoutingStrategy::MinimumEnergy,
+                &config.radio,
+                config.max_hop,
+                &usable,
+            );
+            routed_over = usable;
+        }
+
         for id in topology.sensor_ids() {
+            if down_now[id.0] {
+                continue; // powered off: offers nothing
+            }
             let path = route_to_sink(&table, topology, id);
             if path.is_empty() {
                 continue;
@@ -130,18 +194,40 @@ pub fn simulate_lossy_gathering(
             offered += 1;
             let mut from = id;
             let mut alive = true;
+            let mut faulted = false;
             for hop in path {
                 if !alive {
                     break;
                 }
                 let d = topology.distance(from, hop);
+                let tx = config.radio.transmit_energy(bits, d).as_joules();
+                let rx = config.radio.receive_energy(bits).as_joules();
+                if hop != sink && down_now[hop.0] {
+                    // Powered-off receiver: no ACK ever comes, so the
+                    // sender exhausts its ARQ budget; nothing listens on
+                    // the far end. No random draws — the channel stream
+                    // stays aligned with the unfaulted run.
+                    transmissions += attempts;
+                    energy += attempts as f64 * tx;
+                    faulted = true;
+                    break;
+                }
+                if faults.link_down(from.0, hop.0, round) {
+                    // Downed link between two powered nodes: every
+                    // attempt costs the sender a transmit and the
+                    // receiver a listen, but nothing crosses.
+                    transmissions += attempts;
+                    energy += attempts as f64 * (tx + rx);
+                    faulted = true;
+                    break;
+                }
                 let mut hop_ok = false;
                 for _attempt in 0..config.arq.max_transmissions {
                     transmissions += 1;
-                    energy += config.radio.transmit_energy(bits, d).as_joules();
+                    energy += tx;
                     // The receiver listens whether or not the packet
                     // survives (it cannot know in advance).
-                    energy += config.radio.receive_energy(bits).as_joules();
+                    energy += rx;
                     if bernoulli(&mut rng, p_hop) {
                         hop_ok = true;
                         break;
@@ -152,10 +238,13 @@ pub fn simulate_lossy_gathering(
                 }
                 from = hop;
             }
-            if alive {
+            if faulted {
+                dropped_fault += 1;
+            } else if alive {
                 delivered += 1;
             }
         }
+        down_prev = down_now;
     }
 
     LossyReport {
@@ -163,6 +252,7 @@ pub fn simulate_lossy_gathering(
         delivered,
         transmissions,
         total_energy: Energy::from_joules(energy),
+        dropped_fault,
     }
 }
 
@@ -278,5 +368,103 @@ mod tests {
         let mut config = LossyConfig::bruised_channel();
         config.ber = 0.9;
         let _ = simulate_lossy_gathering(&topo(), &config, 1, 0);
+    }
+
+    mod faulted {
+        use super::*;
+        use crate::topology::Position;
+        use ami_sim::fault::{FaultEvent, FaultModel};
+
+        #[test]
+        fn empty_schedule_is_bit_exact_with_the_unfaulted_path() {
+            let config = LossyConfig::bruised_channel();
+            let plain = simulate_lossy_gathering(&topo(), &config, 100, 11);
+            let faulted = simulate_lossy_gathering_faulted(
+                &topo(),
+                &config,
+                100,
+                11,
+                &FaultSchedule::empty(),
+            );
+            assert_eq!(plain, faulted);
+            assert_eq!(faulted.dropped_fault, 0);
+        }
+
+        #[test]
+        fn faulted_runs_are_deterministic_in_seed() {
+            let config = LossyConfig::bruised_channel();
+            let model = FaultModel {
+                death_rate: 0.2,
+                outage_rate: 0.3,
+                outage_rounds: 10,
+                link_outage_rate: 0.2,
+                link_outage_rounds: 8,
+                fade_rate: 0.0,
+                fade_factor: 1.0,
+            };
+            let faults = model.schedule(5, topo().len(), 80);
+            let a = simulate_lossy_gathering_faulted(&topo(), &config, 80, 9, &faults);
+            let b = simulate_lossy_gathering_faulted(&topo(), &config, 80, 9, &faults);
+            assert_eq!(a, b);
+            assert!(a.dropped_fault > 0, "the fault mix must cost packets");
+            assert!(a.delivered > 0, "the network must degrade, not die");
+        }
+
+        #[test]
+        fn downed_relay_burns_the_arq_budget_then_routing_re_resolves() {
+            // Sink—1—2 line on a perfect channel: kill node 1 at round 1.
+            // Node 2's round-1 packet spends all 4 attempts into the dead
+            // relay (tx only, no listener) and drops as a fault; from
+            // round 2 routing has noticed and node 2 has no route (not
+            // even offered, matching the unfaulted disconnection rule).
+            let line = Topology::new(vec![
+                Position::new(0.0, 0.0),
+                Position::new(40.0, 0.0),
+                Position::new(80.0, 0.0),
+            ]);
+            let mut config = LossyConfig::bruised_channel();
+            config.ber = 0.0;
+            let faults = FaultSchedule::new(vec![FaultEvent::NodeDeath { node: 1, round: 1 }]);
+            let report = simulate_lossy_gathering_faulted(&line, &config, 4, 3, &faults);
+            // Round 0: both deliver (3 hops total). Round 1: node 2
+            // faults out. Rounds 2–3: node 2 is routeless, nothing sent.
+            assert_eq!(report.offered, 3);
+            assert_eq!(report.delivered, 2);
+            assert_eq!(report.dropped_fault, 1);
+            let attempts = u64::from(config.arq.max_transmissions);
+            assert_eq!(report.transmissions, 3 + attempts);
+        }
+
+        #[test]
+        fn link_outage_charges_both_ends_per_attempt() {
+            let pair = Topology::new(vec![Position::new(0.0, 0.0), Position::new(20.0, 0.0)]);
+            let mut config = LossyConfig::bruised_channel();
+            config.ber = 0.0;
+            let faults = FaultSchedule::new(vec![FaultEvent::LinkOutage {
+                a: 1,
+                b: 0,
+                from: 1,
+                until: 2,
+            }]);
+            let report = simulate_lossy_gathering_faulted(&pair, &config, 3, 3, &faults);
+            assert_eq!(report.offered, 3);
+            assert_eq!(report.delivered, 2);
+            assert_eq!(report.dropped_fault, 1);
+            let bits = config.packet.total_bits();
+            let tx = config
+                .radio
+                .transmit_energy(bits, Length::from_meters(20.0))
+                .as_joules();
+            let rx = config.radio.receive_energy(bits).as_joules();
+            // Two clean single-attempt hops plus one full ARQ budget of
+            // tx+rx attempts into the downed link.
+            let attempts = config.arq.max_transmissions as f64;
+            let expect = (2.0 + attempts) * (tx + rx);
+            assert!((report.total_energy.as_joules() - expect).abs() < 1e-15);
+            assert_eq!(
+                report.transmissions,
+                2 + u64::from(config.arq.max_transmissions)
+            );
+        }
     }
 }

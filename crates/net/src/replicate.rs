@@ -11,10 +11,12 @@
 //! worker count (enforced by `tests/determinism.rs`).
 
 use crate::gather::{
-    simulate_gathering, simulate_gathering_observed, NetworkConfig, NetworkReport,
+    simulate_gathering, simulate_gathering_faulted_observed, simulate_gathering_observed,
+    NetworkConfig, NetworkReport,
 };
 use crate::routing::RoutingStrategy;
 use crate::topology::Topology;
+use ami_sim::fault::FaultSchedule;
 use ami_sim::obs::LedgerRecorder;
 use ami_sim::summarize;
 use ami_sim::Summary;
@@ -124,6 +126,80 @@ pub fn replicate_gathering_observed_threads(
     });
     // par_map returns results in seed order, so this serial fold is the
     // deterministic index-order merge.
+    let mut merged = LedgerRecorder::with_nodes(0);
+    let mut reports = Vec::with_capacity(observed.len());
+    for (report, recorder) in observed {
+        merged.merge(&recorder);
+        reports.push(report);
+    }
+    (reports, merged)
+}
+
+/// [`replicate_gathering_observed`] under per-replication fault
+/// schedules, with the default worker count.
+///
+/// `faults` maps each replication's seed to its [`FaultSchedule`] —
+/// typically `|seed| spec.schedule_for(seed, nodes, rounds)` so every
+/// topology draw gets a decorrelated but reproducible fault history.
+/// Like `topology`, it must be a pure function of the seed: the runner
+/// may call it from any worker.
+///
+/// # Panics
+///
+/// Panics if `replications` or `rounds` is zero.
+pub fn replicate_gathering_faulted_observed(
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    faults: impl Fn(u64) -> FaultSchedule + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> (Vec<NetworkReport>, LedgerRecorder) {
+    replicate_gathering_faulted_observed_threads(
+        ami_sim::runner::thread_count(),
+        replications,
+        base_seed,
+        topology,
+        faults,
+        strategy,
+        config,
+        rounds,
+    )
+}
+
+/// [`replicate_gathering_faulted_observed`] with an explicit worker
+/// count (1 = serial loop). Reports come back in seed order and the
+/// recorder merge is index-ordered, so results are bit-identical at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `threads`, `replications` or `rounds` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_gathering_faulted_observed_threads(
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+    topology: impl Fn(u64) -> Topology + Sync,
+    faults: impl Fn(u64) -> FaultSchedule + Sync,
+    strategy: RoutingStrategy,
+    config: &NetworkConfig,
+    rounds: u64,
+) -> (Vec<NetworkReport>, LedgerRecorder) {
+    assert!(replications > 0, "at least one replication");
+    let seeds: Vec<u64> = (0..replications)
+        .map(|k| base_seed.wrapping_add(k as u64))
+        .collect();
+    let observed = ami_sim::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
+        simulate_gathering_faulted_observed(
+            &topology(seed),
+            strategy,
+            config,
+            rounds,
+            &faults(seed),
+        )
+    });
     let mut merged = LedgerRecorder::with_nodes(0);
     let mut reports = Vec::with_capacity(observed.len());
     for (report, recorder) in observed {
@@ -273,6 +349,51 @@ mod tests {
             );
             assert_eq!(reports, par_reports, "threads = {threads}");
             assert_eq!(merged, par_merged, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn faulted_replication_is_thread_invariant() {
+        use ami_sim::fault::FaultModel;
+        let config = NetworkConfig::sensor_default();
+        let model = FaultModel {
+            death_rate: 0.15,
+            outage_rate: 0.2,
+            outage_rounds: 5,
+            link_outage_rate: 0.1,
+            link_outage_rounds: 4,
+            fade_rate: 0.2,
+            fade_factor: 0.5,
+        };
+        let schedule = |seed: u64| model.schedule(seed, 10, 12);
+        let (serial, serial_obs) = replicate_gathering_faulted_observed_threads(
+            1,
+            6,
+            77,
+            field,
+            schedule,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            12,
+        );
+        assert!(serial_obs.packets.is_conserved());
+        assert!(
+            serial_obs.packets.dropped_fault > 0,
+            "this fault mix must cost packets somewhere in 6 replications"
+        );
+        for threads in [2, 8] {
+            let (parallel, parallel_obs) = replicate_gathering_faulted_observed_threads(
+                threads,
+                6,
+                77,
+                field,
+                schedule,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                12,
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+            assert_eq!(serial_obs, parallel_obs, "threads = {threads}");
         }
     }
 

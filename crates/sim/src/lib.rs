@@ -17,7 +17,11 @@
 //!   any thread count (`AMBIENCE_THREADS` overrides the worker count);
 //! * [`obs`] — the observability layer: per-node energy ledgers,
 //!   hierarchical packet counters and deterministic JSON run manifests,
-//!   recorded through a zero-cost [`obs::Recorder`] hook.
+//!   recorded through a zero-cost [`obs::Recorder`] hook;
+//! * [`fault`] — deterministic exogenous fault injection: explicit
+//!   [`FaultSchedule`]s or seeded [`FaultModel`] draws (node death,
+//!   outage/reboot, link outage, harvester brownout, capacity fade),
+//!   parsed from the `AMBIENCE_FAULTS` spec by [`FaultSpec`].
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 //! ```
 
 pub mod energy;
+pub mod fault;
 pub mod montecarlo;
 pub mod obs;
 pub mod queue;
@@ -40,6 +45,7 @@ pub mod runner;
 pub mod trace;
 
 pub use energy::EnergyMeter;
+pub use fault::{FaultEvent, FaultModel, FaultSchedule, FaultSpec, FAULTS_ENV};
 pub use montecarlo::{replicate, replicate_par, replicate_par_threads, summarize, Summary};
 pub use obs::{
     CounterTree, EnergyCategory, EnergyLedger, LedgerRecorder, NullRecorder, PacketCounters,

@@ -185,10 +185,11 @@ mod tests {
             delivered: 2,
             dropped_dead_hop: 1,
             dropped_disconnected: 0,
+            dropped_fault: 0,
         };
         let json = RunManifest::new("t").counters(&counters.tree()).to_json();
         assert!(json.contains("\"packets\":{\"offered\":3,\"delivered\":2"));
-        assert!(json.contains("\"dropped\":{\"dead_hop\":1,\"disconnected\":0}"));
+        assert!(json.contains("\"dropped\":{\"dead_hop\":1,\"disconnected\":0,\"fault\":0}"));
     }
 
     #[test]

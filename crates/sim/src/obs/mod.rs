@@ -18,6 +18,8 @@
 //! Experiment binaries emit manifests when [`MANIFEST_ENV`]
 //! (`AMBIENCE_MANIFEST`) is set: `-` → stdout, a path → written there.
 
+#![deny(missing_docs)]
+
 mod counters;
 mod json;
 mod ledger;

@@ -40,6 +40,8 @@
 //! assert_eq!(squares, with_8);
 //! ```
 
+#![deny(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

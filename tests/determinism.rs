@@ -6,11 +6,15 @@ use ambience::arch::{ArchitectureClass, Processor};
 use ambience::core::case_studies::cs1::{run_cs1, Cs1Config};
 use ambience::core::design_space::{explore_cs1_threads, DesignCell};
 use ambience::dvs::{simulate_taskset, DvsPolicy, TaskSet};
-use ambience::net::{replicate_gathering_observed_threads, replicate_gathering_threads};
+use ambience::net::{
+    replicate_gathering_faulted_observed_threads, replicate_gathering_observed_threads,
+    replicate_gathering_threads,
+};
 use ambience::net::{
     simulate_clustered, simulate_gathering, ClusterConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ambience::radio::RadioEnergyModel;
+use ambience::sim::fault::FaultSpec;
 use ambience::sim::{replicate, replicate_par_threads};
 use ambience::tech::{TechnologyNode, VariationModel};
 use ambience::units::{Area, Energy, Frequency, Length, Power, Temperature, TimeSpan};
@@ -215,6 +219,58 @@ fn f6_manifest_is_byte_identical_across_thread_counts() {
     let at_one = ami_experiments::manifests::f6_manifest_threads(1).to_json();
     for threads in [2usize, 8] {
         let json = ami_experiments::manifests::f6_manifest_threads(threads).to_json();
+        assert_eq!(at_one, json, "threads = {threads}");
+    }
+}
+
+#[test]
+fn faulted_replication_is_bit_exact_across_thread_counts() {
+    // Fault injection must not weaken the determinism contract: a
+    // FaultSpec schedule is a pure function of each replication's seed,
+    // so faulted reports and the merged ledger/counters match `==` at
+    // any worker count.
+    let config = NetworkConfig::sensor_default();
+    let field = |seed| Topology::random(15, Length::from_meters(90.0), seed);
+    let spec = FaultSpec::parse("death=0.2,outage=0.3:10,link=0.2:8,seed=9").unwrap();
+    let faults = |seed| spec.schedule_for(seed, 15, 50);
+    let (serial_reports, serial_obs) = replicate_gathering_faulted_observed_threads(
+        1,
+        12,
+        7,
+        field,
+        faults,
+        RoutingStrategy::MinimumEnergy,
+        &config,
+        50,
+    );
+    assert!(
+        serial_obs.packets.dropped_fault > 0,
+        "the fault mix must actually bite for this test to mean anything"
+    );
+    assert!(serial_obs.packets.is_conserved());
+    for threads in [2usize, 8] {
+        let (reports, obs) = replicate_gathering_faulted_observed_threads(
+            threads,
+            12,
+            7,
+            field,
+            faults,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            50,
+        );
+        assert_eq!(serial_reports, reports, "threads = {threads}");
+        assert_eq!(serial_obs, obs, "threads = {threads}");
+    }
+}
+
+#[test]
+fn f6_faulted_manifest_is_byte_identical_across_thread_counts() {
+    let at_one = ami_experiments::manifests::f6_faulted_manifest_threads(1).to_json();
+    assert!(at_one.contains("\"experiment\": \"F6-faulted\""));
+    assert!(at_one.contains("\"fault\":"));
+    for threads in [2usize, 8] {
+        let json = ami_experiments::manifests::f6_faulted_manifest_threads(threads).to_json();
         assert_eq!(at_one, json, "threads = {threads}");
     }
 }

@@ -6,11 +6,19 @@
 use ambience::core::case_studies::cs1::{cs1_energy_ledger, Cs1Config};
 use ambience::sim::obs::EnergyCategory;
 use ambience::units::TimeSpan;
-use ami_experiments::manifests::{f13_manifest, f3_manifest, t3_manifest};
+use ami_experiments::manifests::{
+    f13_faulted_manifest, f13_manifest, f3_manifest, t3_manifest, F13_FAULT_SPEC,
+};
 
 /// The golden manifest frozen in the repo; CI also diffs the binary's
 /// `AMBIENCE_MANIFEST` output against this same file.
 const GOLDEN_F3: &str = include_str!("../crates/experiments/golden/f3_manifest.json");
+
+/// The frozen faulted-F13 run: the same grid and seed as F13 under the
+/// [`F13_FAULT_SPEC`] mix. CI regenerates it by running the F13 binary
+/// with `AMBIENCE_FAULTS` set to that spec and diffing.
+const GOLDEN_F13_FAULTED: &str =
+    include_str!("../crates/experiments/golden/f13_faulted_manifest.json");
 
 #[test]
 fn f3_manifest_matches_the_checked_in_golden() {
@@ -47,10 +55,35 @@ fn f3_ledger_reproduces_the_radio_dominance_figure() {
 }
 
 #[test]
+fn f13_faulted_manifest_matches_the_checked_in_golden() {
+    assert_eq!(
+        f13_faulted_manifest().to_json(),
+        GOLDEN_F13_FAULTED,
+        "f13_faulted_manifest() drifted from \
+         crates/experiments/golden/f13_faulted_manifest.json; if the change \
+         is intentional, regenerate the golden with \
+         AMBIENCE_FAULTS='{F13_FAULT_SPEC}' \
+         AMBIENCE_MANIFEST=crates/experiments/golden/f13_faulted_manifest.json \
+         cargo run -p ami-experiments --bin expt_f13_lossy_network"
+    );
+}
+
+#[test]
+fn f13_faulted_manifest_attributes_fault_losses_separately() {
+    let json = f13_faulted_manifest().to_json();
+    assert!(json.contains("\"experiment\": \"F13-faulted\""));
+    assert!(json.contains("\"fault_model\":"));
+    // Channel and fault losses are separate causes in the counter tree.
+    assert!(json.contains("\"dropped\":{\"channel\":"));
+    assert!(json.contains("\"fault\":"));
+}
+
+#[test]
 fn manifests_render_every_experiment_without_panicking() {
     for (manifest, tag) in [
         (f3_manifest(), "\"experiment\": \"F3\""),
         (f13_manifest(), "\"experiment\": \"F13\""),
+        (f13_faulted_manifest(), "\"experiment\": \"F13-faulted\""),
         (t3_manifest(), "\"experiment\": \"T3\""),
     ] {
         let json = manifest.to_json();

@@ -14,6 +14,18 @@
 //! * `cargo test` (which builds and runs bench targets) passes
 //!   `--test` or nothing → each benchmark body runs **once** as a smoke
 //!   test, keeping `cargo test -q` fast.
+//!
+//! # Example
+//!
+//! The registration surface matches upstream, so a bench body is plain
+//! criterion code (here it runs in smoke mode — no `--bench` argument):
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("add", |b| b.iter(|| 1 + 1));
+//! ```
 
 use std::time::{Duration, Instant};
 

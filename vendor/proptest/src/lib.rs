@@ -3,7 +3,8 @@
 //! The offline build cannot fetch upstream proptest, so this crate
 //! reimplements the slice of its API the workspace's property tests
 //! use: the [`proptest!`] test macro, panic-based `prop_assert!` /
-//! `prop_assert_eq!`, range and [`Just`] strategies, strategy tuples,
+//! `prop_assert_eq!`, range and [`Just`](crate::strategy::Just)
+//! strategies, strategy tuples,
 //! [`prop_oneof!`], `prop::collection::vec`, and `prop_map`.
 //!
 //! Differences from upstream, deliberately accepted:
@@ -17,6 +18,23 @@
 //!   are ignored).
 //! * Case count comes from `PROPTEST_CASES` (default 256, like
 //!   upstream).
+//!
+//! # Example
+//!
+//! Strategies can also be driven directly through the
+//! [`test_runner`] case loop, which is what the [`proptest!`] macro
+//! expands to:
+//!
+//! ```
+//! use proptest::strategy::{Just, Strategy};
+//! use proptest::test_runner;
+//!
+//! test_runner::run("doc-example", |rng| {
+//!     let x = (1u32..100).sample(rng);
+//!     assert!((1..100).contains(&x));
+//!     assert_eq!(Just(7u32).sample(rng), 7);
+//! });
+//! ```
 
 pub mod strategy;
 pub mod test_runner;

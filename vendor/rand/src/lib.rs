@@ -12,6 +12,20 @@
 //! SplitMix64 exactly as the reference implementation recommends, so
 //! nearby `u64` seeds yield well-decorrelated streams — important for
 //! the `base_seed + k` replication scheme in `ami-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(2003);
+//! let mut b = StdRng::seed_from_u64(2003);
+//! // Same seed, same stream — on every platform, forever.
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let roll = a.random_range(1u32..=6);
+//! assert!((1..=6).contains(&roll));
+//! ```
 
 pub mod rngs {
     /// A portable, seedable pseudo-random generator (xoshiro256**).

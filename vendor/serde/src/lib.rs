@@ -13,6 +13,24 @@
 //! `serialize_struct`, fieldless enums through `serialize_unit_variant`.
 //! Deserialization is declared but not implemented — nothing in the
 //! toolkit deserializes today, and the derive emits a guarded stub.
+//!
+//! # Example
+//!
+//! With the `derive` feature (how every workspace crate consumes this
+//! stand-in), config and report types opt into the data model with the
+//! usual attribute:
+//!
+//! ```
+//! # use serde_derive::Serialize; // dev-dep import: compiles with `derive` on or off
+//! #[derive(Serialize)]
+//! struct RunReport {
+//!     delivered: u64,
+//!     energy_j: f64,
+//! }
+//!
+//! fn pin_serializable<T: serde::Serialize>(_: &T) {}
+//! pin_serializable(&RunReport { delivered: 42, energy_j: 1.5 });
+//! ```
 
 pub mod ser;
 

@@ -18,6 +18,22 @@
 //! enums use `serialize_unit_variant`). `Deserialize` impls are guarded
 //! stubs: nothing in the toolkit deserializes, and the stub keeps the
 //! trait bound satisfied without dragging in a full deserializer.
+//!
+//! # Example
+//!
+//! The macros expand against the sibling `serde` stand-in:
+//!
+//! ```
+//! use serde_derive::Serialize;
+//!
+//! #[derive(Serialize)]
+//! struct Probe {
+//!     value: u32,
+//! }
+//!
+//! fn pin_serializable<T: serde::Serialize>(_: &T) {}
+//! pin_serializable(&Probe { value: 7 });
+//! ```
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
