@@ -7,7 +7,11 @@
 //! * `analysis` — the analysis kernels (Pareto frontier, Dijkstra
 //!   routing, link-budget and DVS bisections);
 //! * `experiments` — end-to-end regeneration cost of the headline
-//!   experiments (F3/F4/F5 kernels), so reproduction time is tracked.
+//!   experiments (F3/F4/F5 kernels), so reproduction time is tracked;
+//! * `net_hotpath` — the network-simulator hot paths (route build,
+//!   gather/lossy rounds, faulted replication) at N ∈ {25, 100, 400,
+//!   1600}, mirroring the `expt_bench_snapshot` / `BENCH_NET.json`
+//!   labels.
 //!
 //! Run with `cargo bench --workspace`.
 //!

@@ -1,0 +1,251 @@
+//! Bench snapshot — a fast, machine-readable timing pass over the
+//! network-simulator hot paths, for tracking the perf trajectory
+//! across PRs.
+//!
+//! Unlike the criterion benches (`cargo bench -p ami-bench`), this
+//! binary is built to run in CI in seconds and emit `BENCH_NET.json`:
+//! one entry per (workload, network size) with wall times and ops/sec,
+//! keyed by commit-stable labels (`gather_round/n400`, …) so successive
+//! snapshots diff cleanly. Workloads:
+//!
+//! * `route_build`  — one minimum-energy route-table build (op = build);
+//! * `gather_round` — a healthy gathering run (op = simulated round);
+//! * `lossy_round`  — a lossy-link ARQ run (op = simulated round);
+//! * `faulted_replication` — seeded replications under a fault mix on a
+//!   single pinned worker (op = replication).
+//!
+//! Network sizes are N ∈ {25, 100, 400, 1600} uniform-random fields at
+//! constant node density (field side 25·√N m, so ~10 neighbours in
+//! radio range whatever the scale).
+//!
+//! Flags / environment:
+//!
+//! * `--quick` (or `AMBIENCE_BENCH_QUICK=1`): two timed iterations per
+//!   label instead of a 0.5 s budget — the CI smoke mode;
+//! * `AMBIENCE_BENCH_OUT`: output path (default `BENCH_NET.json`,
+//!   `-` = stdout only).
+
+use ami_experiments::banner;
+use ami_net::{
+    build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
+    simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
+};
+use ami_sim::fault::FaultSpec;
+use ami_units::Length;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Network sizes of the snapshot sweep.
+const SIZES: [usize; 4] = [25, 100, 400, 1600];
+/// Rounds per gather / lossy iteration (kept small so route building is
+/// a realistic share of the work, as in short replication studies).
+const GATHER_ROUNDS: u64 = 10;
+const LOSSY_ROUNDS: u64 = 10;
+/// Faulted-replication workload: replications × rounds under this mix.
+const FAULT_REPS: usize = 3;
+const FAULT_ROUNDS: u64 = 30;
+const FAULT_MIX: &str = "death=0.1,outage=0.2:10,link=0.1:8";
+/// Seed for every topology draw (matches `ami_bench::BENCH_SEED`).
+const SEED: u64 = 2003;
+
+/// One measured row of the snapshot.
+struct Entry {
+    label: String,
+    group: &'static str,
+    n: usize,
+    ops_per_iter: u64,
+    iters: u64,
+    wall_ns_mean: u128,
+    wall_ns_min: u128,
+    ops_per_sec: f64,
+}
+
+/// Times `work` (which performs `ops_per_iter` logical operations per
+/// call): one warm-up call, then either exactly two timed iterations
+/// (quick) or iterations until ~0.5 s of measurement (full).
+fn measure(
+    label: String,
+    group: &'static str,
+    n: usize,
+    ops_per_iter: u64,
+    quick: bool,
+    mut work: impl FnMut(),
+) -> Entry {
+    work(); // warm-up: populates caches exactly like a long run would
+    let budget_ns: u128 = 500_000_000;
+    let (min_iters, max_iters) = if quick { (2, 2) } else { (3, 50) };
+    let mut samples: Vec<u128> = Vec::new();
+    let mut elapsed: u128 = 0;
+    while samples.len() < max_iters && (samples.len() < min_iters || elapsed < budget_ns) {
+        let start = Instant::now();
+        work();
+        let ns = start.elapsed().as_nanos();
+        elapsed += ns;
+        samples.push(ns);
+    }
+    let iters = samples.len() as u64;
+    let wall_ns_mean = elapsed / u128::from(iters);
+    let wall_ns_min = samples.iter().copied().min().expect("at least one sample");
+    let ops_per_sec = ops_per_iter as f64 * 1e9 / wall_ns_mean as f64;
+    Entry {
+        label,
+        group,
+        n,
+        ops_per_iter,
+        iters,
+        wall_ns_mean,
+        wall_ns_min,
+        ops_per_sec,
+    }
+}
+
+/// Constant-density random field for `n` nodes.
+fn field(n: usize) -> Topology {
+    let side = Length::from_meters(25.0 * (n as f64).sqrt());
+    Topology::random(n, side, SEED)
+}
+
+fn run_snapshot(quick: bool) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let net_config = NetworkConfig::sensor_default();
+    let lossy_config = LossyConfig::bruised_channel();
+    let spec = FaultSpec::parse(FAULT_MIX).expect("frozen fault mix parses");
+
+    for &n in &SIZES {
+        let topo = field(n);
+        entries.push(measure(
+            format!("route_build/n{n}"),
+            "route_build",
+            n,
+            1,
+            quick,
+            || {
+                black_box(build_routes(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config.radio,
+                    net_config.max_hop,
+                ));
+            },
+        ));
+        entries.push(measure(
+            format!("gather_round/n{n}"),
+            "gather_round",
+            n,
+            GATHER_ROUNDS,
+            quick,
+            || {
+                black_box(simulate_gathering(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config,
+                    GATHER_ROUNDS,
+                ));
+            },
+        ));
+        entries.push(measure(
+            format!("lossy_round/n{n}"),
+            "lossy_round",
+            n,
+            LOSSY_ROUNDS,
+            quick,
+            || {
+                black_box(simulate_lossy_gathering(
+                    black_box(&topo),
+                    &lossy_config,
+                    LOSSY_ROUNDS,
+                    SEED,
+                ));
+            },
+        ));
+        let side = Length::from_meters(25.0 * (n as f64).sqrt());
+        entries.push(measure(
+            format!("faulted_replication/n{n}"),
+            "faulted_replication",
+            n,
+            FAULT_REPS as u64,
+            quick,
+            || {
+                black_box(replicate_gathering_faulted_observed_threads(
+                    1, // pinned worker: the snapshot times the simulator, not the pool
+                    FAULT_REPS,
+                    SEED,
+                    |seed| Topology::random(n, side, seed),
+                    |seed| spec.schedule_for(seed, n, FAULT_ROUNDS),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config,
+                    FAULT_ROUNDS,
+                ));
+            },
+        ));
+    }
+    entries
+}
+
+/// Renders the snapshot as deterministic, diff-stable JSON.
+fn to_json(entries: &[Entry], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambience-bench-net/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (idx, e) in entries.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"label\": \"{}\", ", e.label));
+        out.push_str(&format!("\"group\": \"{}\", ", e.group));
+        out.push_str(&format!("\"n\": {}, ", e.n));
+        out.push_str(&format!("\"ops_per_iter\": {}, ", e.ops_per_iter));
+        out.push_str(&format!("\"iters\": {}, ", e.iters));
+        out.push_str(&format!("\"wall_ns_mean\": {}, ", e.wall_ns_mean));
+        out.push_str(&format!("\"wall_ns_min\": {}, ", e.wall_ns_min));
+        out.push_str(&format!("\"ops_per_sec\": {:.3}", e.ops_per_sec));
+        out.push_str(if idx + 1 == entries.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("AMBIENCE_BENCH_QUICK").is_some_and(|v| v == "1");
+    banner(
+        "BENCH",
+        "network hot-path snapshot (machine-readable trajectory)",
+    );
+    println!("[mode: {}]", if quick { "quick" } else { "full" });
+
+    let entries = run_snapshot(quick);
+    println!();
+    println!(
+        "{:<28} {:>6} {:>7} {:>14} {:>14} {:>14}",
+        "label", "n", "iters", "mean (µs)", "min (µs)", "ops/sec"
+    );
+    for e in &entries {
+        println!(
+            "{:<28} {:>6} {:>7} {:>14.1} {:>14.1} {:>14.1}",
+            e.label,
+            e.n,
+            e.iters,
+            e.wall_ns_mean as f64 / 1e3,
+            e.wall_ns_min as f64 / 1e3,
+            e.ops_per_sec
+        );
+    }
+
+    let json = to_json(&entries, quick);
+    let target = std::env::var_os("AMBIENCE_BENCH_OUT")
+        .unwrap_or_else(|| std::ffi::OsString::from("BENCH_NET.json"));
+    if target == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(&target, &json)
+            .unwrap_or_else(|err| panic!("cannot write snapshot to {target:?}: {err}"));
+        println!("\n[snapshot written to {}]", target.to_string_lossy());
+    }
+}

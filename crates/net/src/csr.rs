@@ -1,0 +1,172 @@
+//! Compressed-sparse-row adjacency for bounded-range hop graphs.
+//!
+//! [`Topology::neighbors_within`](crate::Topology::neighbors_within) is
+//! an O(N) scan that allocates per call; every Dijkstra relaxation used
+//! to pay it. A [`CsrAdjacency`] pre-resolves the whole hop graph for
+//! one (topology, range) pair in a single O(N²) pass and stores it as
+//! the classic offsets/targets pair, **id-ordered per row** so that
+//! iteration order — and therefore deterministic tie-breaking and every
+//! golden manifest downstream — is identical to the scan it replaces.
+//! Hop distances are captured alongside each edge (the same
+//! [`Position::distance_to`](crate::Position::distance_to) floats the
+//! scan produced), so routing never recomputes a square root.
+//!
+//! Built lazily by [`Topology::csr_within`](crate::Topology::csr_within)
+//! and cached on the topology behind an `Arc`, one slot per range:
+//! healthy simulations build it exactly once.
+
+use crate::topology::Position;
+use ami_units::Length;
+
+/// A bounded-range hop graph in compressed-sparse-row form.
+///
+/// Row `u` holds the ids of every node within `range` of `u` (itself
+/// excluded) in ascending id order, plus the matching hop distances.
+///
+/// # Example
+///
+/// ```
+/// use ami_net::Topology;
+/// use ami_units::Length;
+///
+/// let grid = Topology::grid(3, Length::from_meters(10.0));
+/// let csr = grid.csr_within(Length::from_meters(10.5));
+/// // The centre node has its 4 orthogonal neighbours, id-ordered.
+/// assert_eq!(csr.neighbors(4), &[1, 3, 5, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    /// The range this graph was built for, as raw bits (the cache key).
+    range_bits: u64,
+    /// `offsets[u]..offsets[u + 1]` indexes row `u` in `targets`.
+    offsets: Vec<u32>,
+    /// Neighbour ids, ascending within each row.
+    targets: Vec<u32>,
+    /// Hop distance to the matching entry of `targets`, in metres.
+    distances_m: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    /// Builds the hop graph over `positions` with hops bounded by
+    /// `range` (inclusive, matching `neighbors_within`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than `u32::MAX` nodes.
+    pub fn build(positions: &[Position], range: Length) -> Self {
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "CSR ids are u32");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut distances_m = Vec::new();
+        offsets.push(0u32);
+        for (u, pu) in positions.iter().enumerate() {
+            for (v, pv) in positions.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let d = pu.distance_to(pv);
+                if d <= range {
+                    targets.push(v as u32);
+                    distances_m.push(d.as_meters());
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            range_bits: range.as_meters().to_bits(),
+            offsets,
+            targets,
+            distances_m,
+        }
+    }
+
+    /// Whether this graph was built for `range` (bitwise-exact key).
+    pub fn matches_range(&self, range: Length) -> bool {
+        self.range_bits == range.as_meters().to_bits()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbour ids of `node`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Neighbour ids of `node` paired with hop distances in metres,
+    /// ascending by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors_with_distance(&self, node: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        (&self.targets[lo..hi], &self.distances_m[lo..hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeId, Topology};
+
+    #[test]
+    fn csr_rows_match_the_scan_exactly() {
+        let topo = Topology::random(40, Length::from_meters(120.0), 7);
+        for range_m in [15.0, 40.0, 80.0] {
+            let range = Length::from_meters(range_m);
+            let csr = CsrAdjacency::build(
+                &topo.ids().map(|id| topo.position(id)).collect::<Vec<_>>(),
+                range,
+            );
+            for u in topo.ids() {
+                let scan: Vec<u32> = topo
+                    .ids()
+                    .filter(|&v| v != u && topo.distance(u, v) <= range)
+                    .map(|v| v.0 as u32)
+                    .collect();
+                assert_eq!(csr.neighbors(u.0), scan.as_slice(), "row {u}");
+                let (ids, dists) = csr.neighbors_with_distance(u.0);
+                for (&v, &d) in ids.iter().zip(dists) {
+                    assert_eq!(
+                        d.to_bits(),
+                        topo.distance(u, NodeId(v as usize)).as_meters().to_bits(),
+                        "distance {u}->{v} must be bit-identical to the scan"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_key_is_bitwise() {
+        let topo = Topology::grid(3, Length::from_meters(10.0));
+        let positions: Vec<Position> = topo.ids().map(|id| topo.position(id)).collect();
+        let csr = CsrAdjacency::build(&positions, Length::from_meters(10.5));
+        assert!(csr.matches_range(Length::from_meters(10.5)));
+        assert!(!csr.matches_range(Length::from_meters(15.0)));
+        assert_eq!(csr.len(), 9);
+        // 4 corners x 2 + 4 edges x 3 + centre x 4 edges, directed.
+        assert_eq!(csr.edge_count(), 24);
+    }
+}

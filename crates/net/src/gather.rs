@@ -30,8 +30,8 @@
 //! the unfaulted entry points are the `FaultSchedule::empty()` special
 //! case, bit-exact with the pre-fault implementation.
 
-use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
-use crate::topology::{NodeId, Topology};
+use crate::routing::{RouteCache, RoutingStrategy};
+use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel};
 use ami_sim::fault::FaultSchedule;
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
@@ -290,37 +290,51 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
         })
         .collect();
     let mut alive = vec![true; n];
-    let mut table = build_routes(topology, strategy, &config.radio, config.max_hop);
-    // The node set the route table was last built over: budget-alive
-    // nodes minus the fault-downs routing has had a round to notice.
-    let mut routed_over = vec![true; n];
-    let mut down_prev = vec![false; n];
     let mut delivered = 0u64;
     let mut spent = 0.0f64;
     let mut first_death: Option<u64> = None;
     let bits = config.packet.total_bits();
     let idle_per_round = (config.idle_power * config.report_interval).as_joules();
+    // Receive energy is distance-independent: one value serves every hop.
+    let rx_per_hop = config.radio.receive_energy(bits).as_joules();
+    let faults_active = !faults.is_empty();
+
+    // Scratch buffers reused across rounds — the round loop allocates
+    // nothing. `usable` is the node set routing can see: budget-alive
+    // nodes minus the fault-downs routing has had a round to notice.
+    let mut down_now = vec![false; n];
+    let mut down_prev = vec![false; n];
+    let mut usable = vec![true; n];
+    let mut cache = RouteCache::new(n);
+    // Usable-set epoch: routes re-resolve only on rounds where a death
+    // or a fault transition actually changed what routing can see.
+    // Starts dirty so the first round performs the (single) healthy
+    // build.
+    let mut routes_dirty = true;
 
     for round in 0..rounds {
-        let down_now: Vec<bool> = (0..n)
-            .map(|id| id != sink.0 && faults.node_down(id, round))
-            .collect();
+        if faults_active {
+            for (id, down) in down_now.iter_mut().enumerate() {
+                *down = id != sink.0 && faults.node_down(id, round);
+            }
+        }
 
         // Re-resolve routes when the usable set routing can see (one
         // round behind on faults) has changed — deaths, outage starts
         // noticed a round late, reboots rejoining.
-        let usable: Vec<bool> = (0..n)
-            .map(|id| id == sink.0 || (alive[id] && !down_prev[id]))
-            .collect();
-        if usable != routed_over {
-            table = rebuild_over_usable_radio(
+        if routes_dirty {
+            for (id, flag) in usable.iter_mut().enumerate() {
+                *flag = id == sink.0 || (alive[id] && !down_prev[id]);
+            }
+            cache.ensure(
                 topology,
                 strategy,
                 &config.radio,
                 config.max_hop,
+                bits,
                 &usable,
             );
-            routed_over = usable;
+            routes_dirty = false;
         }
 
         // Idle/listening cost for every live, powered-on sensor node.
@@ -340,24 +354,27 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
                 continue;
             }
             recorder.packet_offered();
-            let path = route_to_sink(&table, topology, id);
-            if path.is_empty() {
+            if !cache.is_connected(id) {
                 recorder.packet_dropped_disconnected();
                 continue; // disconnected this round
             }
-            // Charge the sender and every relay; abort when a hop has
-            // died, run out mid-round, or gone down to a fault.
+            // Charge the sender and every relay by walking the cached
+            // table directly (the connectivity check above guarantees
+            // the chain reaches the sink); abort when a hop has died,
+            // run out mid-round, or gone down to a fault.
             let mut from = id;
             let mut fate = PacketFate::Delivered;
-            for &hop in &path {
+            while from != sink {
+                let hop = cache
+                    .next_hop(from)
+                    .expect("connected route reaches the sink");
                 let from_down = !alive[from.0] || budget[from.0] <= 0.0;
                 let hop_down = hop != sink && (!alive[hop.0] || budget[hop.0] <= 0.0);
                 if from_down || hop_down {
                     fate = PacketFate::DeadHop;
                     break;
                 }
-                let d = topology.distance(from, hop);
-                let tx = config.radio.transmit_energy(bits, d).as_joules();
+                let tx = cache.tx_cost(from);
                 budget[from.0] -= tx;
                 spent += tx;
                 recorder.charge(from.0, EnergyCategory::Tx, tx);
@@ -370,10 +387,9 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
                     break;
                 }
                 if hop != sink {
-                    let rx = config.radio.receive_energy(bits).as_joules();
-                    budget[hop.0] -= rx;
-                    spent += rx;
-                    recorder.charge(hop.0, EnergyCategory::RxRelay, rx);
+                    budget[hop.0] -= rx_per_hop;
+                    spent += rx_per_hop;
+                    recorder.charge(hop.0, EnergyCategory::RxRelay, rx_per_hop);
                 }
                 from = hop;
             }
@@ -393,9 +409,13 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
             if alive[id.0] && budget[id.0] <= 0.0 {
                 alive[id.0] = false;
                 first_death.get_or_insert(round + 1);
+                routes_dirty = true;
             }
         }
-        down_prev = down_now;
+        if faults_active && down_now != down_prev {
+            routes_dirty = true;
+        }
+        std::mem::swap(&mut down_prev, &mut down_now);
     }
 
     for id in topology.sensor_ids() {
@@ -424,42 +444,91 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
     }
 }
 
-/// Rebuilds routes over the usable nodes (budget-alive and not known to
-/// be fault-downed) by filtering their edges: rebuild on a reduced
-/// topology and map ids back. Shared with the lossy simulator.
-pub(crate) fn rebuild_over_usable_radio(
-    topology: &Topology,
-    strategy: RoutingStrategy,
-    radio: &RadioEnergyModel,
-    max_hop: Length,
-    usable: &[bool],
-) -> Vec<Option<NodeId>> {
-    // Map usable ids into a compact topology (sink always survives).
-    let mut forward = Vec::new(); // compact -> original
-    let mut positions = Vec::new();
-    for id in topology.ids() {
-        if id == topology.sink() || usable[id.0] {
-            forward.push(id);
-            positions.push(topology.position(id));
-        }
-    }
-    if positions.len() < 2 {
-        // Everyone but the sink is dead: no routes remain.
-        return vec![None; topology.len()];
-    }
-    let compact = Topology::new(positions);
-    let compact_table = build_routes(&compact, strategy, radio, max_hop);
-    let mut table = vec![None; topology.len()];
-    for (compact_idx, original) in forward.iter().enumerate() {
-        table[original.0] = compact_table[compact_idx].map(|next| forward[next.0]);
-    }
-    table
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::Position;
+    use crate::routing::{build_routes, build_routes_over};
+    use crate::topology::{NodeId, Position};
+
+    /// The historical usable-subset rebuild: filter usable nodes into a
+    /// compact topology, route it, map ids back. Kept verbatim as the
+    /// bit-exactness reference for [`build_routes_over`], which routes
+    /// the full cached CSR with an id-order-preserving subset skip.
+    fn rebuild_over_usable_radio(
+        topology: &Topology,
+        strategy: RoutingStrategy,
+        radio: &RadioEnergyModel,
+        max_hop: Length,
+        usable: &[bool],
+    ) -> Vec<Option<NodeId>> {
+        // Map usable ids into a compact topology (sink always survives).
+        let mut forward = Vec::new(); // compact -> original
+        let mut positions = Vec::new();
+        for id in topology.ids() {
+            if id == topology.sink() || usable[id.0] {
+                forward.push(id);
+                positions.push(topology.position(id));
+            }
+        }
+        if positions.len() < 2 {
+            // Everyone but the sink is dead: no routes remain.
+            return vec![None; topology.len()];
+        }
+        let compact = Topology::new(positions);
+        let compact_table = build_routes(&compact, strategy, radio, max_hop);
+        let mut table = vec![None; topology.len()];
+        for (compact_idx, original) in forward.iter().enumerate() {
+            table[original.0] = compact_table[compact_idx].map(|next| forward[next.0]);
+        }
+        table
+    }
+
+    #[test]
+    fn subset_routing_matches_the_compact_rebuild_exactly() {
+        // The id-order-preserving map between the compact topology and
+        // the masked full topology must make the two approaches agree
+        // bit-for-bit, whatever the usable mask.
+        let config = NetworkConfig::sensor_default();
+        for seed in 0..10u64 {
+            let topo = Topology::random(40, Length::from_meters(130.0), seed);
+            // A deterministic, seed-varied mask (sink always usable).
+            let mut usable: Vec<bool> = (0..topo.len())
+                .map(|id| id == 0 || !(id as u64).wrapping_mul(seed + 3).is_multiple_of(5))
+                .collect();
+            usable[0] = true;
+            for strategy in [
+                RoutingStrategy::DirectToSink,
+                RoutingStrategy::MinimumEnergy,
+            ] {
+                let compact = rebuild_over_usable_radio(
+                    &topo,
+                    strategy,
+                    &config.radio,
+                    config.max_hop,
+                    &usable,
+                );
+                let masked =
+                    build_routes_over(&topo, strategy, &config.radio, config.max_hop, &usable);
+                assert_eq!(masked, compact, "seed {seed} strategy {strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_routing_handles_the_everyone_dead_case() {
+        let topo = Topology::grid(3, Length::from_meters(20.0));
+        let config = NetworkConfig::sensor_default();
+        let mut usable = vec![false; topo.len()];
+        usable[0] = true;
+        let table = build_routes_over(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &config.radio,
+            config.max_hop,
+            &usable,
+        );
+        assert!(table.iter().all(Option::is_none));
+    }
 
     fn small_grid() -> Topology {
         Topology::grid(3, Length::from_meters(20.0))

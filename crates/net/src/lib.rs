@@ -36,6 +36,7 @@
 
 pub mod aggregate;
 pub mod cluster;
+pub mod csr;
 pub mod gather;
 pub mod lossy;
 pub mod replicate;
@@ -44,6 +45,7 @@ pub mod topology;
 
 pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
+pub use csr::CsrAdjacency;
 pub use gather::{
     simulate_gathering, simulate_gathering_faulted, simulate_gathering_faulted_observed,
     simulate_gathering_faulted_with, simulate_gathering_observed, simulate_gathering_with,
@@ -57,5 +59,5 @@ pub use replicate::{
     replicate_gathering_faulted_observed_threads, replicate_gathering_observed,
     replicate_gathering_observed_threads, replicate_gathering_threads, summarize_reports,
 };
-pub use routing::{build_routes, RoutingStrategy};
-pub use topology::{NodeId, Position, Topology};
+pub use routing::{build_routes, build_routes_over, RouteCache, RoutingStrategy};
+pub use topology::{NeighborsWithin, NodeId, Position, Topology};

@@ -15,8 +15,7 @@
 //! faulted run's channel draws stay aligned with the unfaulted run at
 //! the same seed until the first fault actually bites.
 
-use crate::gather::rebuild_over_usable_radio;
-use crate::routing::{build_routes, route_to_sink, RoutingStrategy};
+use crate::routing::{RouteCache, RoutingStrategy};
 use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
 use ami_sim::fault::FaultSchedule;
@@ -146,17 +145,12 @@ pub fn simulate_lossy_gathering_faulted(
     );
     let n = topology.len();
     let sink = topology.sink();
-    let mut table = build_routes(
-        topology,
-        RoutingStrategy::MinimumEnergy,
-        &config.radio,
-        config.max_hop,
-    );
-    let mut routed_over = vec![true; n];
-    let mut down_prev = vec![false; n];
     let p_hop = config.packet.delivery_probability(config.ber);
     let bits = config.packet.total_bits();
     let attempts = u64::from(config.arq.max_transmissions);
+    // Receive energy is distance-independent: one value serves every hop.
+    let rx = config.radio.receive_energy(bits).as_joules();
+    let faults_active = !faults.is_empty();
     let mut rng = sim_rng(seed);
     let mut offered = 0u64;
     let mut delivered = 0u64;
@@ -164,44 +158,55 @@ pub fn simulate_lossy_gathering_faulted(
     let mut dropped_fault = 0u64;
     let mut energy = 0.0f64;
 
+    // Scratch buffers reused across rounds — the round loop allocates
+    // nothing, and on rounds with no fault transition the previous
+    // usable set (and route table) is reused as-is.
+    let mut down_now = vec![false; n];
+    let mut down_prev = vec![false; n];
+    let mut usable = vec![true; n];
+    let mut cache = RouteCache::new(n);
+    let mut routes_dirty = true;
+
     for round in 0..rounds {
-        let down_now: Vec<bool> = (0..n)
-            .map(|id| id != sink.0 && faults.node_down(id, round))
-            .collect();
+        if faults_active {
+            for (id, down) in down_now.iter_mut().enumerate() {
+                *down = id != sink.0 && faults.node_down(id, round);
+            }
+        }
         // Routing sees fault state with a one-round lag, as in `gather`
         // (no budget deaths here — links are lossy but energy is not
         // finite in this model).
-        let usable: Vec<bool> = (0..n).map(|id| id == sink.0 || !down_prev[id]).collect();
-        if usable != routed_over {
-            table = rebuild_over_usable_radio(
+        if routes_dirty {
+            for (id, flag) in usable.iter_mut().enumerate() {
+                *flag = id == sink.0 || !down_prev[id];
+            }
+            cache.ensure(
                 topology,
                 RoutingStrategy::MinimumEnergy,
                 &config.radio,
                 config.max_hop,
+                bits,
                 &usable,
             );
-            routed_over = usable;
+            routes_dirty = false;
         }
 
         for id in topology.sensor_ids() {
             if down_now[id.0] {
                 continue; // powered off: offers nothing
             }
-            let path = route_to_sink(&table, topology, id);
-            if path.is_empty() {
+            if !cache.is_connected(id) {
                 continue;
             }
             offered += 1;
             let mut from = id;
             let mut alive = true;
             let mut faulted = false;
-            for hop in path {
-                if !alive {
-                    break;
-                }
-                let d = topology.distance(from, hop);
-                let tx = config.radio.transmit_energy(bits, d).as_joules();
-                let rx = config.radio.receive_energy(bits).as_joules();
+            while alive && from != sink {
+                let hop = cache
+                    .next_hop(from)
+                    .expect("connected route reaches the sink");
+                let tx = cache.tx_cost(from);
                 if hop != sink && down_now[hop.0] {
                     // Powered-off receiver: no ACK ever comes, so the
                     // sender exhausts its ARQ budget; nothing listens on
@@ -244,7 +249,10 @@ pub fn simulate_lossy_gathering_faulted(
                 delivered += 1;
             }
         }
-        down_prev = down_now;
+        if faults_active && down_now != down_prev {
+            routes_dirty = true;
+        }
+        std::mem::swap(&mut down_prev, &mut down_now);
     }
 
     LossyReport {
@@ -263,6 +271,7 @@ fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::{build_routes, route_to_sink};
 
     fn topo() -> Topology {
         Topology::grid(4, Length::from_meters(30.0))

@@ -9,6 +9,15 @@
 //! `k` always sees seed `base_seed + k`, and reports come back in seed
 //! order, so the parallel path is bit-exact with a serial loop at any
 //! worker count (enforced by `tests/determinism.rs`).
+//!
+//! Each replication inherits the gather core's hot-path machinery
+//! (CSR adjacency, epoch-cached routing, allocation-free rounds — see
+//! DESIGN.md "Performance"): route tables rebuild only when a fault
+//! or death changes the usable set, and since every replication draws
+//! a fresh [`Topology`], the per-topology CSR is built once per
+//! replication, never shared nor rebuilt across rounds. The
+//! `faulted_replication` group of `expt_bench_snapshot` /
+//! `BENCH_NET.json` tracks this path end-to-end.
 
 use crate::gather::{
     simulate_gathering, simulate_gathering_faulted_observed, simulate_gathering_observed,

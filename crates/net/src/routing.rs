@@ -1,9 +1,26 @@
 //! Route construction: who relays for whom.
+//!
+//! The minimum-energy strategy runs a binary-heap Dijkstra over the
+//! topology's cached [`CsrAdjacency`](crate::csr::CsrAdjacency) hop
+//! graph, with deterministic tie-breaking on [`NodeId`]: among equal
+//! tentative distances the lowest id settles first, exactly like the
+//! O(N²) scan it replaced, so route tables — and every golden manifest
+//! built on them — are bit-identical to the historical implementation
+//! (`tests` pin this against a reference scan).
+//!
+//! [`RouteCache`] wraps a table in a usable-set epoch: the table is
+//! rebuilt only when the usable set actually differs from the one the
+//! routes were last built over, and each build pre-resolves per-node
+//! next-hop transmit costs and sink connectivity so the simulators'
+//! round loops touch no allocator and recompute no distances.
 
 use crate::topology::{NodeId, Topology};
 use ami_radio::RadioEnergyModel;
-use ami_units::Length;
+use ami_units::{DataVolume, Length};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The routing strategies compared in experiment F6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,6 +41,27 @@ impl std::fmt::Display for RoutingStrategy {
     }
 }
 
+thread_local! {
+    /// Route builds performed on this thread (test instrumentation).
+    static ROUTE_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_route_build() {
+    ROUTE_BUILDS.with(|count| count.set(count.get() + 1));
+}
+
+/// Number of route-table builds performed on this thread since the last
+/// [`reset_route_build_count`]. Test instrumentation: the epoch-cache
+/// regression tests count builds across whole simulations with it.
+pub fn route_build_count() -> u64 {
+    ROUTE_BUILDS.with(Cell::get)
+}
+
+/// Resets this thread's [`route_build_count`] to zero.
+pub fn reset_route_build_count() {
+    ROUTE_BUILDS.with(|count| count.set(0));
+}
+
 /// Builds the next-hop table: `table[node] = Some(next)` for every
 /// non-sink node that can reach the sink, `None` for disconnected nodes
 /// (and for the sink itself).
@@ -38,6 +76,7 @@ pub fn build_routes(
     radio: &RadioEnergyModel,
     max_hop: Length,
 ) -> Vec<Option<NodeId>> {
+    note_route_build();
     match strategy {
         RoutingStrategy::DirectToSink => topology
             .ids()
@@ -49,43 +88,121 @@ pub fn build_routes(
                 }
             })
             .collect(),
-        RoutingStrategy::MinimumEnergy => dijkstra_to_sink(topology, radio, max_hop),
+        RoutingStrategy::MinimumEnergy => dijkstra_to_sink(topology, radio, max_hop, None),
     }
 }
 
-/// Dijkstra from the sink outwards over the bounded-range hop graph;
-/// each node's parent toward the sink becomes its next hop.
+/// [`build_routes`] restricted to the `usable` node subset: nodes with
+/// `usable[id] == false` get no route and relay for nobody (the sink is
+/// always usable). Equivalent to rebuilding on the sub-topology of the
+/// usable nodes, but reuses the full topology's cached CSR hop graph —
+/// the id-order-preserving subset walk keeps the result bit-identical
+/// to a compact rebuild (pinned in `gather::tests`).
+///
+/// # Panics
+///
+/// Panics if `usable` is shorter than the topology.
+pub fn build_routes_over(
+    topology: &Topology,
+    strategy: RoutingStrategy,
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+    usable: &[bool],
+) -> Vec<Option<NodeId>> {
+    assert!(usable.len() >= topology.len(), "usable mask too short");
+    note_route_build();
+    let sink = topology.sink();
+    match strategy {
+        RoutingStrategy::DirectToSink => topology
+            .ids()
+            .map(|id| {
+                if id != sink && usable[id.0] {
+                    Some(sink)
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        RoutingStrategy::MinimumEnergy => dijkstra_to_sink(topology, radio, max_hop, Some(usable)),
+    }
+}
+
+/// A pending heap entry; ordered by `(dist, node)` so ties settle
+/// lowest-id-first, matching the historical linear scan.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Distances are finite, non-negative path sums: total_cmp is a
+        // plain numeric order here, it just satisfies Ord's contract.
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from the sink outwards over the bounded-range CSR hop
+/// graph; each node's parent toward the sink becomes its next hop.
+/// With `usable`, non-usable nodes are treated as absent.
 fn dijkstra_to_sink(
     topology: &Topology,
     radio: &RadioEnergyModel,
     max_hop: Length,
+    usable: Option<&[bool]>,
 ) -> Vec<Option<NodeId>> {
     let n = topology.len();
     let sink = topology.sink();
+    let csr = topology.csr_within(max_hop);
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut visited = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
     dist[sink.0] = 0.0;
+    heap.push(Reverse(HeapEntry {
+        dist: 0.0,
+        node: sink.0 as u32,
+    }));
 
-    for _ in 0..n {
-        // Extract the unvisited node with the smallest distance.
-        let mut best: Option<usize> = None;
-        for (idx, &d) in dist.iter().enumerate() {
-            if !visited[idx] && d.is_finite() && best.is_none_or(|b| d < dist[b]) {
-                best = Some(idx);
-            }
+    while let Some(Reverse(HeapEntry { dist: d, node })) = heap.pop() {
+        let u = node as usize;
+        if visited[u] || d > dist[u] {
+            continue; // stale entry superseded by a better one
         }
-        let Some(u) = best else { break };
         visited[u] = true;
-        for v in topology.neighbors_within(NodeId(u), max_hop) {
-            if visited[v.0] {
+        let (targets, hops_m) = csr.neighbors_with_distance(u);
+        for (&target, &hop_m) in targets.iter().zip(hops_m) {
+            let v = target as usize;
+            if visited[v] {
                 continue;
             }
-            let hop = topology.distance(NodeId(u), v);
-            let weight = radio.hop_energy_per_bit(hop).as_joules_per_bit();
-            if dist[u] + weight < dist[v.0] {
-                dist[v.0] = dist[u] + weight;
-                parent[v.0] = Some(NodeId(u));
+            if let Some(mask) = usable {
+                if v != sink.0 && !mask[v] {
+                    continue;
+                }
+            }
+            let weight = radio
+                .hop_energy_per_bit(Length::from_meters(hop_m))
+                .as_joules_per_bit();
+            let candidate = dist[u] + weight;
+            if candidate < dist[v] {
+                dist[v] = candidate;
+                parent[v] = Some(NodeId(u));
+                heap.push(Reverse(HeapEntry {
+                    dist: candidate,
+                    node: target,
+                }));
             }
         }
     }
@@ -113,12 +230,223 @@ pub fn route_to_sink(table: &[Option<NodeId>], topology: &Topology, node: NodeId
     Vec::new()
 }
 
+/// A next-hop table cached behind a usable-set epoch.
+///
+/// The simulators' round loops call [`ensure`](RouteCache::ensure) every
+/// time the usable set *may* have changed; the table is actually rebuilt
+/// only when it *did* change (fault events are sparse, and a healthy run
+/// builds exactly once). Each build also pre-resolves, per node, the
+/// transmit energy to its next hop and whether its route reaches the
+/// sink, so the per-packet hot loop is pure array reads — no `Vec`
+/// allocation, no distance recomputation.
+///
+/// # Example
+///
+/// ```
+/// use ami_net::routing::RouteCache;
+/// use ami_net::{RoutingStrategy, Topology};
+/// use ami_radio::{Packet, RadioEnergyModel};
+/// use ami_units::Length;
+///
+/// let topo = Topology::grid(3, Length::from_meters(20.0));
+/// let radio = RadioEnergyModel::short_range_2003();
+/// let bits = Packet::sensor_report().total_bits();
+/// let mut cache = RouteCache::new(topo.len());
+/// let usable = vec![true; topo.len()];
+/// let hop = Length::from_meters(45.0);
+/// // First ensure builds; an identical usable set is a cache hit.
+/// assert!(cache.ensure(&topo, RoutingStrategy::MinimumEnergy, &radio, hop, bits, &usable));
+/// assert!(!cache.ensure(&topo, RoutingStrategy::MinimumEnergy, &radio, hop, bits, &usable));
+/// assert_eq!(cache.builds(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    table: Vec<Option<NodeId>>,
+    routed_over: Vec<bool>,
+    connected: Vec<bool>,
+    tx_cost: Vec<f64>,
+    builds: u64,
+    primed: bool,
+}
+
+impl RouteCache {
+    /// An unprimed cache for an `nodes`-node topology; the first
+    /// [`ensure`](RouteCache::ensure) always builds.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            table: vec![None; nodes],
+            routed_over: vec![false; nodes],
+            connected: vec![false; nodes],
+            tx_cost: vec![0.0; nodes],
+            builds: 0,
+            primed: false,
+        }
+    }
+
+    /// Makes the cached table current for `usable`, rebuilding only when
+    /// the set differs from the one routes were last built over. Returns
+    /// whether a rebuild happened. `volume` sizes the cached per-hop
+    /// transmit costs (one packet's bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usable` or the topology disagree with the node count
+    /// the cache was created for.
+    pub fn ensure(
+        &mut self,
+        topology: &Topology,
+        strategy: RoutingStrategy,
+        radio: &RadioEnergyModel,
+        max_hop: Length,
+        volume: DataVolume,
+        usable: &[bool],
+    ) -> bool {
+        let n = self.table.len();
+        assert_eq!(topology.len(), n, "topology/cache node count mismatch");
+        assert_eq!(usable.len(), n, "usable mask/cache node count mismatch");
+        if self.primed && self.routed_over == usable {
+            return false;
+        }
+        self.table = build_routes_over(topology, strategy, radio, max_hop, usable);
+        self.routed_over.copy_from_slice(usable);
+        for id in topology.ids() {
+            self.tx_cost[id.0] = match self.table[id.0] {
+                Some(next) => radio
+                    .transmit_energy(volume, topology.distance(id, next))
+                    .as_joules(),
+                None => 0.0,
+            };
+        }
+        self.resolve_connectivity(topology.sink());
+        self.builds += 1;
+        self.primed = true;
+        true
+    }
+
+    /// Fills `connected` by walking the table with memoization: each
+    /// node is marked by the verdict of the first already-resolved node
+    /// (or the sink / a dead end / the cycle bound) its chain reaches.
+    fn resolve_connectivity(&mut self, sink: NodeId) {
+        let n = self.table.len();
+        // 0 = unresolved, 1 = connected, 2 = disconnected.
+        let mut state = vec![0u8; n];
+        let mut chain: Vec<usize> = Vec::new();
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            chain.clear();
+            let mut current = start;
+            let verdict = loop {
+                if state[current] != 0 {
+                    break state[current];
+                }
+                chain.push(current);
+                match self.table[current] {
+                    None => break 2,
+                    Some(next) if next == sink => break 1,
+                    // Longer than n hops means a cycle: disconnected,
+                    // matching `route_to_sink`'s bounded walk.
+                    Some(next) => {
+                        if chain.len() > n {
+                            break 2;
+                        }
+                        current = next.0;
+                    }
+                }
+            };
+            for &id in &chain {
+                state[id] = verdict;
+            }
+        }
+        for (flag, s) in self.connected.iter_mut().zip(&state) {
+            *flag = *s == 1;
+        }
+    }
+
+    /// The cached next-hop table.
+    pub fn table(&self) -> &[Option<NodeId>] {
+        &self.table
+    }
+
+    /// Next hop of `node`, `None` when routeless (or the sink).
+    pub fn next_hop(&self, node: NodeId) -> Option<NodeId> {
+        self.table[node.0]
+    }
+
+    /// Whether `node`'s cached route reaches the sink.
+    pub fn is_connected(&self, node: NodeId) -> bool {
+        self.connected[node.0]
+    }
+
+    /// Transmit energy (joules) for `node` to push one cached-volume
+    /// packet to its next hop; `0.0` for routeless nodes.
+    pub fn tx_cost(&self, node: NodeId) -> f64 {
+        self.tx_cost[node.0]
+    }
+
+    /// Route builds this cache has performed.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn radio() -> RadioEnergyModel {
         RadioEnergyModel::short_range_2003()
+    }
+
+    /// The historical O(N²) scan Dijkstra, kept verbatim as the
+    /// bit-exactness reference for the heap implementation.
+    fn dijkstra_reference_scan(
+        topology: &Topology,
+        radio: &RadioEnergyModel,
+        max_hop: Length,
+    ) -> Vec<Option<NodeId>> {
+        let n = topology.len();
+        let sink = topology.sink();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        dist[sink.0] = 0.0;
+        for _ in 0..n {
+            let mut best: Option<usize> = None;
+            for (idx, &d) in dist.iter().enumerate() {
+                if !visited[idx] && d.is_finite() && best.is_none_or(|b| d < dist[b]) {
+                    best = Some(idx);
+                }
+            }
+            let Some(u) = best else { break };
+            visited[u] = true;
+            for v in topology.neighbors_within(NodeId(u), max_hop) {
+                if visited[v.0] {
+                    continue;
+                }
+                let hop = topology.distance(NodeId(u), v);
+                let weight = radio.hop_energy_per_bit(hop).as_joules_per_bit();
+                if dist[u] + weight < dist[v.0] {
+                    dist[v.0] = dist[u] + weight;
+                    parent[v.0] = Some(NodeId(u));
+                }
+            }
+        }
+        parent
+    }
+
+    #[test]
+    fn heap_dijkstra_matches_the_reference_scan_exactly() {
+        for seed in 0..20u64 {
+            let topo = Topology::random(60, Length::from_meters(160.0), seed);
+            for range_m in [30.0, 45.0, 70.0] {
+                let range = Length::from_meters(range_m);
+                let fast = build_routes(&topo, RoutingStrategy::MinimumEnergy, &radio(), range);
+                let slow = dijkstra_reference_scan(&topo, &radio(), range);
+                assert_eq!(fast, slow, "seed {seed} range {range_m}");
+            }
+        }
     }
 
     #[test]
@@ -199,5 +527,123 @@ mod tests {
                 current = hop;
             }
         }
+    }
+
+    #[test]
+    fn build_routes_over_excludes_unusable_relays() {
+        // Sink—1—2 line: with node 1 masked out, node 2 is routeless.
+        let topo = Topology::new(vec![
+            crate::topology::Position::new(0.0, 0.0),
+            crate::topology::Position::new(40.0, 0.0),
+            crate::topology::Position::new(80.0, 0.0),
+        ]);
+        let table = build_routes_over(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            Length::from_meters(45.0),
+            &[true, false, true],
+        );
+        assert_eq!(table[1], None);
+        assert_eq!(table[2], None);
+        // DirectToSink ignores relays but still drops masked senders.
+        let direct = build_routes_over(
+            &topo,
+            RoutingStrategy::DirectToSink,
+            &radio(),
+            Length::from_meters(45.0),
+            &[true, false, true],
+        );
+        assert_eq!(direct, vec![None, None, Some(NodeId(0))]);
+    }
+
+    #[test]
+    fn route_cache_rebuilds_only_on_usable_changes() {
+        let topo = Topology::grid(4, Length::from_meters(30.0));
+        let bits = ami_radio::Packet::sensor_report().total_bits();
+        let hop = Length::from_meters(45.0);
+        let mut cache = RouteCache::new(topo.len());
+        let mut usable = vec![true; topo.len()];
+        assert!(cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable
+        ));
+        for _ in 0..10 {
+            assert!(!cache.ensure(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &radio(),
+                hop,
+                bits,
+                &usable
+            ));
+        }
+        usable[5] = false;
+        assert!(cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable
+        ));
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.next_hop(NodeId(5)), None);
+        assert!(!cache.is_connected(NodeId(5)));
+        assert_eq!(cache.tx_cost(NodeId(5)), 0.0);
+    }
+
+    #[test]
+    fn cached_tx_costs_match_inline_computation() {
+        let topo = Topology::random(30, Length::from_meters(120.0), 3);
+        let bits = ami_radio::Packet::sensor_report().total_bits();
+        let hop = Length::from_meters(45.0);
+        let mut cache = RouteCache::new(topo.len());
+        let usable = vec![true; topo.len()];
+        cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        for id in topo.ids() {
+            match cache.next_hop(id) {
+                Some(next) => {
+                    let inline = radio()
+                        .transmit_energy(bits, topo.distance(id, next))
+                        .as_joules();
+                    assert_eq!(
+                        cache.tx_cost(id).to_bits(),
+                        inline.to_bits(),
+                        "tx cost for {id} must be bit-identical"
+                    );
+                    assert_eq!(
+                        cache.is_connected(id),
+                        !route_to_sink(cache.table(), &topo, id).is_empty()
+                    );
+                }
+                None => assert_eq!(cache.tx_cost(id), 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn build_count_hook_tracks_thread_local_builds() {
+        reset_route_build_count();
+        let topo = Topology::grid(3, Length::from_meters(20.0));
+        let before = route_build_count();
+        let _ = build_routes(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            Length::from_meters(45.0),
+        );
+        assert_eq!(route_build_count(), before + 1);
     }
 }

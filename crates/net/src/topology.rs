@@ -1,9 +1,11 @@
 //! Node layouts for ambient networks.
 
+use crate::csr::CsrAdjacency;
 use ami_sim::sim_rng;
 use ami_units::Length;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Index of a node within a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -41,7 +43,31 @@ impl Position {
     }
 }
 
+/// Lazily-built single-slot cache for the CSR hop graph of the most
+/// recently requested range. Positions are immutable after
+/// construction, so a cached graph never goes stale — the slot only
+/// turns over when a *different* range is requested.
+struct CsrSlot(Mutex<Option<Arc<CsrAdjacency>>>);
+
+impl CsrSlot {
+    fn empty() -> Self {
+        Self(Mutex::new(None))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Arc<CsrAdjacency>>> {
+        // A poisoned slot only means a build panicked; the cache holds
+        // no invariants beyond "present means valid", so recover.
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// A set of node positions with a designated sink (node 0).
+///
+/// The topology carries a lazily-built [`CsrAdjacency`] cache (one slot,
+/// keyed by range) so hot paths resolve bounded-range neighbourhoods
+/// without rescanning all pairs; see [`Topology::csr_within`].
 ///
 /// # Example
 ///
@@ -53,9 +79,57 @@ impl Position {
 /// assert_eq!(grid.len(), 9);
 /// assert_eq!(grid.sink().0, 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Topology {
     positions: Vec<Position>,
+    csr: CsrSlot,
+}
+
+impl std::fmt::Debug for CsrSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.lock().as_ref() {
+            Some(csr) => write!(f, "CsrSlot(cached, {} edges)", csr.edge_count()),
+            None => f.write_str("CsrSlot(empty)"),
+        }
+    }
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Self {
+            positions: self.positions.clone(),
+            // The clone shares the already-built graph (it is immutable
+            // behind the Arc), saving a rebuild on cloned topologies.
+            csr: CsrSlot(Mutex::new(self.csr.lock().clone())),
+        }
+    }
+}
+
+/// Equality is positional: the CSR cache is derived state and ignored.
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.positions == other.positions
+    }
+}
+
+/// Serializes exactly like the historical derived impl: a struct named
+/// `Topology` with the single field `positions` (the cache is derived
+/// state and never leaves the process).
+impl Serialize for Topology {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("Topology", 1)?;
+        state.serialize_field("positions", &self.positions)?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Topology {
+    fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        // Mirrors the vendored derive's guarded stub: nothing in the
+        // toolkit deserializes today.
+        unimplemented!("mini-serde stand-in: deserialization of `Topology` is not supported")
+    }
 }
 
 impl Topology {
@@ -69,7 +143,10 @@ impl Topology {
             positions.len() >= 2,
             "a network needs a sink and at least one node"
         );
-        Self { positions }
+        Self {
+            positions,
+            csr: CsrSlot::empty(),
+        }
     }
 
     /// A square grid of `side × side` nodes spaced `spacing` apart, with
@@ -154,6 +231,11 @@ impl Topology {
         self.positions[node.0]
     }
 
+    /// All positions, id-ordered (sink first).
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
     /// Distance between two nodes.
     pub fn distance(&self, a: NodeId, b: NodeId) -> Length {
         self.positions[a.0].distance_to(&self.positions[b.0])
@@ -169,11 +251,45 @@ impl Topology {
         (1..self.positions.len()).map(NodeId)
     }
 
-    /// Neighbours of `node` within `range` (excluding itself).
+    /// The CSR hop graph for `range`, built on first request and cached
+    /// (single slot, bitwise range key) for every later caller — healthy
+    /// simulations pay the O(N²) scan exactly once.
+    pub fn csr_within(&self, range: Length) -> Arc<CsrAdjacency> {
+        let mut slot = self.csr.lock();
+        if let Some(csr) = slot.as_ref() {
+            if csr.matches_range(range) {
+                return Arc::clone(csr);
+            }
+        }
+        let built = Arc::new(CsrAdjacency::build(&self.positions, range));
+        *slot = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Neighbours of `node` within `range` (excluding itself), ascending
+    /// by id. Backed by the CSR cache; prefer
+    /// [`neighbors_within_iter`](Topology::neighbors_within_iter) in hot
+    /// paths to skip this `Vec` allocation.
     pub fn neighbors_within(&self, node: NodeId, range: Length) -> Vec<NodeId> {
-        self.ids()
-            .filter(|&other| other != node && self.distance(node, other) <= range)
+        self.csr_within(range)
+            .neighbors(node.0)
+            .iter()
+            .map(|&v| NodeId(v as usize))
             .collect()
+    }
+
+    /// Allocation-free variant of
+    /// [`neighbors_within`](Topology::neighbors_within): iterates the
+    /// cached CSR row directly (same ascending-id order).
+    pub fn neighbors_within_iter(&self, node: NodeId, range: Length) -> NeighborsWithin {
+        let csr = self.csr_within(range);
+        let len = csr.neighbors(node.0).len();
+        NeighborsWithin {
+            csr,
+            node: node.0,
+            cursor: 0,
+            len,
+        }
     }
 
     /// The maximum node-to-sink distance (network radius).
@@ -184,6 +300,35 @@ impl Topology {
             .unwrap_or(Length::ZERO)
     }
 }
+
+/// Iterator over one cached CSR row; see
+/// [`Topology::neighbors_within_iter`]. Holds the graph alive via `Arc`,
+/// so it stays valid even if the topology caches a different range
+/// mid-iteration.
+pub struct NeighborsWithin {
+    csr: Arc<CsrAdjacency>,
+    node: usize,
+    cursor: usize,
+    len: usize,
+}
+
+impl Iterator for NeighborsWithin {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let row = self.csr.neighbors(self.node);
+        let v = *row.get(self.cursor)?;
+        self.cursor += 1;
+        Some(NodeId(v as usize))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.len - self.cursor;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for NeighborsWithin {}
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +375,35 @@ mod tests {
         assert_eq!(close.len(), 4);
         let all = g.neighbors_within(NodeId(4), Length::from_meters(15.0));
         assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn neighbors_iter_matches_vec_variant() {
+        let g = Topology::random(30, Length::from_meters(90.0), 5);
+        for range_m in [20.0, 45.0] {
+            let range = Length::from_meters(range_m);
+            for id in g.ids() {
+                let iter = g.neighbors_within_iter(id, range);
+                assert_eq!(iter.len(), g.neighbors_within(id, range).len());
+                let collected: Vec<NodeId> = g.neighbors_within_iter(id, range).collect();
+                assert_eq!(collected, g.neighbors_within(id, range));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_cache_is_reused_for_same_range_and_replaced_on_change() {
+        let g = Topology::grid(4, Length::from_meters(10.0));
+        let a = g.csr_within(Length::from_meters(12.0));
+        let b = g.csr_within(Length::from_meters(12.0));
+        assert!(Arc::ptr_eq(&a, &b), "same range must hit the cache");
+        let c = g.csr_within(Length::from_meters(20.0));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // The clone shares the currently-cached graph.
+        let cloned = g.clone();
+        let d = cloned.csr_within(Length::from_meters(20.0));
+        assert!(Arc::ptr_eq(&c, &d));
+        assert_eq!(g, cloned);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Proof that the healthy round loops are allocation-free: a counting
+//! global allocator measures whole simulations at two very different
+//! round counts — if any allocation happened per round, the counts
+//! would differ. (This binary holds exactly one test so no concurrent
+//! test pollutes the counter.)
+
+use ami_net::{
+    simulate_gathering, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
+    Topology,
+};
+use ami_units::Length;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a
+// side-effect-only atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(work: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    work();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn healthy_round_loops_allocate_nothing_per_round() {
+    let topo = Topology::random(80, Length::from_meters(220.0), 17);
+    let config = NetworkConfig::sensor_default();
+    let lossy = LossyConfig::bruised_channel();
+
+    // Warm the topology's CSR cache so every measured run starts from
+    // the same state (the cache builds once per topology, not per run).
+    let _ = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 1);
+    let _ = simulate_lossy_gathering(&topo, &lossy, 1, 3);
+
+    // Setup and teardown allocate (budgets, scratch buffers, the one
+    // route build, the report); the rounds themselves must not, so a
+    // 100x longer run costs exactly the same number of allocations.
+    let gather_short = allocations_during(|| {
+        let _ = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 10);
+    });
+    let gather_long = allocations_during(|| {
+        let _ = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 1000);
+    });
+    assert_eq!(
+        gather_short, gather_long,
+        "gather round loop allocated ({gather_short} vs {gather_long} allocations)"
+    );
+    assert!(gather_short > 0, "the counter must actually be counting");
+
+    let lossy_short = allocations_during(|| {
+        let _ = simulate_lossy_gathering(&topo, &lossy, 10, 3);
+    });
+    let lossy_long = allocations_during(|| {
+        let _ = simulate_lossy_gathering(&topo, &lossy, 1000, 3);
+    });
+    assert_eq!(
+        lossy_short, lossy_long,
+        "lossy round loop allocated ({lossy_short} vs {lossy_long} allocations)"
+    );
+}
