@@ -1,0 +1,120 @@
+//! Simulation-kernel and sweep-layer hot paths: the CS1 day simulation,
+//! interned-id meter transitions, event-queue churn, A6's Monte-Carlo
+//! die sweep and F12's design-space grid. The groups mirror the labels
+//! of `expt_bench_snapshot` / `BENCH_SIM.json`, so criterion runs and
+//! the machine-readable trajectory stay comparable.
+
+use ami_bench::BENCH_SEED;
+use ami_core::case_studies::cs1::Cs1Config;
+use ami_core::case_studies::cs1_trace::trace_one_day;
+use ami_core::design_space::explore_cs1;
+use ami_sim::{replicate_par, sim_rng, EnergyMeter, EventQueue};
+use ami_tech::{TechnologyNode, VariationModel};
+use ami_units::{Area, Power, Temperature, TimeSpan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const TRANSITIONS: u64 = 100_000;
+const CHURNS: u64 = 100_000;
+
+fn bench_day_sim_cs1(c: &mut Criterion) {
+    let config = Cs1Config::default();
+    let mut group = c.benchmark_group("day_sim_cs1");
+    group.bench_function("default_node", |b| {
+        b.iter(|| trace_one_day(black_box(&config)))
+    });
+    group.finish();
+}
+
+fn bench_state_meter_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_meter_transition");
+    group.bench_function("interned_100k", |b| {
+        b.iter(|| {
+            let mut meter =
+                EnergyMeter::new("baseline", Power::from_microwatts(2.0), TimeSpan::ZERO);
+            let states = [
+                meter.intern("baseline"),
+                meter.intern("radio check"),
+                meter.intern("radio tx"),
+                meter.intern("radio startup"),
+            ];
+            for i in 0..TRANSITIONS {
+                let id = states[(i % 4) as usize];
+                meter.transition_id(
+                    id,
+                    Power::from_microwatts(5.0),
+                    TimeSpan::from_seconds(i as f64),
+                );
+            }
+            black_box(meter.transitions())
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_churn");
+    group.bench_function("pop_schedule_100k", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::with_capacity(1000);
+            for i in 0..1000u64 {
+                queue.schedule_in(TimeSpan::from_seconds(i as f64), i);
+            }
+            for i in 0..CHURNS {
+                let (_, e) = queue.pop().expect("queue stays populated");
+                queue.schedule_in(TimeSpan::from_seconds(1000.0 + (e % 7) as f64), i);
+            }
+            black_box(queue.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mc_variation_2000(c: &mut Criterion) {
+    let model = VariationModel::typical_2003();
+    let node = TechnologyNode::n90();
+    let mut group = c.benchmark_group("mc_variation_2000");
+    group.bench_function("leakage_spread", |b| {
+        b.iter(|| {
+            replicate_par(2000, 42, |seed| {
+                let mut rng = sim_rng(seed);
+                model
+                    .sample_die(&node, 100e3, Temperature::ROOM, &mut rng)
+                    .leakage
+                    .as_watts()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_design_space_grid(c: &mut Criterion) {
+    let config = Cs1Config::default();
+    let areas: Vec<Area> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|&cm2| Area::from_square_centimeters(cm2))
+        .collect();
+    let intervals: Vec<TimeSpan> = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&s| TimeSpan::from_seconds(s))
+        .collect();
+    let mut group = c.benchmark_group("design_space_grid");
+    group.bench_function("f12_6x7", |b| {
+        b.iter(|| explore_cs1(black_box(&config), &areas, &intervals))
+    });
+    group.finish();
+}
+
+// BENCH_SEED anchors the shared seed convention; the sweeps above pin
+// their own experiment seeds (42) to stay label-compatible with A6.
+const _: u64 = BENCH_SEED;
+
+criterion_group!(
+    benches,
+    bench_day_sim_cs1,
+    bench_state_meter_transition,
+    bench_event_queue_churn,
+    bench_mc_variation_2000,
+    bench_design_space_grid
+);
+criterion_main!(benches);

@@ -11,7 +11,10 @@
 //! * `net_hotpath` — the network-simulator hot paths (route build,
 //!   gather/lossy rounds, faulted replication) at N ∈ {25, 100, 400,
 //!   1600}, mirroring the `expt_bench_snapshot` / `BENCH_NET.json`
-//!   labels.
+//!   labels;
+//! * `sim_hotpath` — the simulation-kernel and sweep-layer hot paths
+//!   (CS1 day sim, interned meter transitions, event-queue churn, A6
+//!   Monte Carlo, F12 grid), mirroring the `BENCH_SIM.json` labels.
 //!
 //! Run with `cargo bench --workspace`.
 //!

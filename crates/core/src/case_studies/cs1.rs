@@ -9,7 +9,8 @@
 
 use ami_arch::{Adc, ArchitectureClass, Kernel, Processor, Soc, SocBuilder};
 use ami_energy::{
-    simulate_buffered_harvesting, EnvironmentProfile, Harvester, Pmu, Storage, SustainabilityReport,
+    simulate_buffered_harvesting_report, EnvironmentProfile, Harvester, Pmu, Storage,
+    SustainabilityReport,
 };
 use ami_radio::{MacAnalysis, MacProtocol, PreambleSamplingMac, RadioPowerStates, TrafficLoad};
 use ami_sim::obs::{EnergyCategory, EnergyLedger};
@@ -114,7 +115,10 @@ pub fn run_cs1(config: &Cs1Config) -> Cs1Result {
     let harvester = Harvester::photovoltaic(config.pv_area);
     let pmu = Pmu::micro_power();
     let mut storage = Storage::supercapacitor(config.storage_capacitance, config.storage_voltage);
-    let (sustainability, _) = simulate_buffered_harvesting(
+    // Report-only variant: the sweeps over this function never read the
+    // buffer trace, and the report is bit-identical with the retaining
+    // path (same loop, same float order).
+    let sustainability = simulate_buffered_harvesting_report(
         &harvester,
         &pmu,
         &mut storage,

@@ -7,10 +7,18 @@
 //! report transmission) over a full day and integrates energy with an
 //! [`EnergyMeter`]. Agreement between the two is a reproduction-quality
 //! check the test suite enforces.
+//!
+//! The simulation is split into explicit phases — [`DaySimulation::new`]
+//! (build the schedule, intern the power states), [`DaySimulation::run`]
+//! (the event loop) and [`DaySimulation::finish`] (summarize) — so the
+//! steady-state loop can be measured in isolation:
+//! `crates/core/tests/zero_alloc.rs` proves `run` performs no heap
+//! allocation at all. The hot path works entirely in pre-interned
+//! [`StateId`]s; no event touches a string.
 
 use crate::case_studies::cs1::{cs1_budget, Cs1Config};
 use ami_radio::{Packet, RadioPowerStates};
-use ami_sim::{EnergyMeter, EventQueue};
+use ami_sim::{EnergyMeter, EventQueue, StateId};
 use ami_units::{DataRate, Energy, Power, TimeSpan};
 
 /// One day of node operation, summarized by power state.
@@ -28,84 +36,186 @@ pub struct DayTrace {
     pub checks_done: u64,
 }
 
-/// The node's radio schedule events.
+/// The dynamic end-of-activity events; the periodic starts never enter
+/// the queue (see [`DaySimulation::run`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum NodeEvent {
-    CheckStart,
     CheckEnd,
-    ReportStart,
     ReportEnd,
 }
 
-/// Simulates one day of the CS1 node event-by-event.
-///
-/// The baseline (sleep) state carries the always-on loads — ASIP,
-/// ADC, sensor bias, radio sleep floor — taken from the analytic budget;
-/// the radio's check and transmit states are driven by the event queue
-/// with their startup energies charged explicitly.
-pub fn trace_one_day(config: &Cs1Config) -> DayTrace {
-    let radio = RadioPowerStates::sensor_default();
-    let (budget, _) = cs1_budget(config);
-    // Baseline = everything except the two radio lines.
-    let baseline: Power = budget
-        .lines()
-        .iter()
-        .filter(|l| !l.name.starts_with("radio"))
-        .map(|l| l.power)
-        .sum::<Power>()
-        + radio.sleep;
+/// The CS1 day simulation with its phases exposed: build with
+/// [`DaySimulation::new`], drive the event loop with
+/// [`DaySimulation::run`], then summarize with
+/// [`DaySimulation::finish`]. [`trace_one_day`] is the one-call
+/// convenience wrapper.
+#[derive(Debug)]
+pub struct DaySimulation {
+    /// Dynamic end-of-activity events only; never more than two pending.
+    queue: EventQueue<NodeEvent>,
+    meter: EnergyMeter,
+    day: TimeSpan,
+    sample_time: TimeSpan,
+    airtime: TimeSpan,
+    check_interval: TimeSpan,
+    report_interval: TimeSpan,
+    next_check: TimeSpan,
+    next_report: TimeSpan,
+    baseline_power: Power,
+    check_power: Power,
+    tx_power: Power,
+    startup_energy: Energy,
+    // Pre-interned state ids: the event loop never looks up a string.
+    baseline: StateId,
+    startup: StateId,
+    check: StateId,
+    tx: StateId,
+    checks: u64,
+    reports: u64,
+}
 
-    let sample_time = TimeSpan::from_micros(500.0);
-    let airtime = Packet::sensor_report().airtime(DataRate::from_kilobits_per_second(50.0));
-    let day = TimeSpan::from_days(1.0);
+impl DaySimulation {
+    /// Builds the day's schedule and meter for `config`.
+    ///
+    /// The baseline (sleep) state carries the always-on loads — ASIP,
+    /// ADC, sensor bias, radio sleep floor — taken from the analytic
+    /// budget; the radio's check and transmit states are driven by the
+    /// event queue with their startup energies charged explicitly.
+    pub fn new(config: &Cs1Config) -> Self {
+        let radio = RadioPowerStates::sensor_default();
+        let (budget, _) = cs1_budget(config);
+        // Baseline = everything except the two radio lines.
+        let baseline_power: Power = budget
+            .lines()
+            .iter()
+            .filter(|l| !l.name.starts_with("radio"))
+            .map(|l| l.power)
+            .sum::<Power>()
+            + radio.sleep;
 
-    let mut queue: EventQueue<NodeEvent> = EventQueue::new();
-    // Interleave the two periodic processes.
-    let mut t = config.check_interval;
-    while t < day {
-        queue.schedule_at(t, NodeEvent::CheckStart);
-        t += config.check_interval;
+        let sample_time = TimeSpan::from_micros(500.0);
+        let airtime = Packet::sensor_report().airtime(DataRate::from_kilobits_per_second(50.0));
+        let day = TimeSpan::from_days(1.0);
+
+        // The two periodic start streams are generated lazily in `run`
+        // instead of being materialized into the heap: ~87 000 events
+        // would otherwise sift through a full-day heap, and the merge
+        // order is statically known. Only the dynamic end-of-activity
+        // events flow through the queue, which therefore never holds
+        // more than two entries; capacity 4 keeps `run` allocation-free.
+        let queue: EventQueue<NodeEvent> = EventQueue::with_capacity(4);
+
+        let mut meter = EnergyMeter::new("baseline", baseline_power, TimeSpan::ZERO);
+        let baseline = meter.intern("baseline");
+        let startup = meter.intern("radio startup");
+        let check = meter.intern("radio check");
+        let tx = meter.intern("radio tx");
+        Self {
+            queue,
+            meter,
+            day,
+            sample_time,
+            airtime,
+            check_interval: config.check_interval,
+            report_interval: config.report_interval,
+            next_check: config.check_interval,
+            next_report: config.report_interval,
+            baseline_power,
+            check_power: baseline_power + radio.rx,
+            tx_power: baseline_power + radio.tx,
+            startup_energy: radio.startup_energy(),
+            baseline,
+            startup,
+            check,
+            tx,
+            checks: 0,
+            reports: 0,
+        }
     }
-    let mut t = config.report_interval;
-    while t < day {
-        queue.schedule_at(t, NodeEvent::ReportStart);
-        t += config.report_interval;
-    }
 
-    let mut meter = EnergyMeter::new("baseline", baseline, TimeSpan::ZERO);
-    let mut checks = 0u64;
-    let mut reports = 0u64;
-    while let Some((now, event)) = queue.pop_until(day) {
-        match event {
-            NodeEvent::CheckStart => {
-                meter.charge("radio startup", radio.startup_energy());
-                meter.transition("radio check", baseline + radio.rx, now);
-                queue.schedule_at(now + sample_time, NodeEvent::CheckEnd);
+    /// Drives the event loop to the end of the day. This is the
+    /// steady-state hot path: event pop → state transition → meter
+    /// update, with zero heap allocation.
+    ///
+    /// The pop order reproduces the retired materialize-everything heap
+    /// exactly. There, every periodic start was scheduled in `new` (all
+    /// checks first, then all reports) and every end-of-activity event
+    /// in `run`, so the `(time, seq)` tie-break resolved coincident
+    /// instants as check ≺ report ≺ end. The lazy merge below encodes
+    /// that order statically: earliest time wins, and on ties the
+    /// periodic streams outrank the queue, checks outrank reports.
+    pub fn run(&mut self) {
+        loop {
+            // Candidate sources: (time, rank) with the tie ranking above.
+            // Starts exist at t < day; queued ends pop while t ≤ day —
+            // the inclusive deadline `pop_until` applied.
+            let mut best: Option<(TimeSpan, u8)> = None;
+            if self.next_check < self.day {
+                best = Some((self.next_check, 0));
             }
-            NodeEvent::CheckEnd => {
-                meter.transition("baseline", baseline, now);
-                checks += 1;
+            if self.next_report < self.day {
+                let cand = (self.next_report, 1);
+                best = match best {
+                    Some(b) if b.0 <= cand.0 => Some(b),
+                    _ => Some(cand),
+                };
             }
-            NodeEvent::ReportStart => {
-                meter.charge("radio startup", radio.startup_energy());
-                meter.transition("radio tx", baseline + radio.tx, now);
-                queue.schedule_at(now + airtime, NodeEvent::ReportEnd);
+            if let Some(td) = self.queue.peek_time().filter(|&t| t <= self.day) {
+                let cand = (td, 2);
+                best = match best {
+                    Some(b) if b.0 <= cand.0 => Some(b),
+                    _ => Some(cand),
+                };
             }
-            NodeEvent::ReportEnd => {
-                meter.transition("baseline", baseline, now);
-                reports += 1;
+            let Some((now, rank)) = best else {
+                break;
+            };
+            match rank {
+                0 => {
+                    self.next_check += self.check_interval;
+                    self.meter.charge_id(self.startup, self.startup_energy);
+                    self.meter.transition_id(self.check, self.check_power, now);
+                    self.queue
+                        .schedule_at(now + self.sample_time, NodeEvent::CheckEnd);
+                }
+                1 => {
+                    self.next_report += self.report_interval;
+                    self.meter.charge_id(self.startup, self.startup_energy);
+                    self.meter.transition_id(self.tx, self.tx_power, now);
+                    self.queue
+                        .schedule_at(now + self.airtime, NodeEvent::ReportEnd);
+                }
+                _ => {
+                    let (t, event) = self.queue.pop().expect("peeked above");
+                    self.meter
+                        .transition_id(self.baseline, self.baseline_power, t);
+                    match event {
+                        NodeEvent::CheckEnd => self.checks += 1,
+                        NodeEvent::ReportEnd => self.reports += 1,
+                    }
+                }
             }
         }
     }
 
-    let total = meter.total_energy(day);
-    DayTrace {
-        breakdown: meter.breakdown(),
-        average_power: total / day,
-        transitions: meter.transitions(),
-        reports_sent: reports,
-        checks_done: checks,
+    /// Summarizes the completed day.
+    pub fn finish(self) -> DayTrace {
+        let total = self.meter.total_energy(self.day);
+        DayTrace {
+            breakdown: self.meter.breakdown(),
+            average_power: total / self.day,
+            transitions: self.meter.transitions(),
+            reports_sent: self.reports,
+            checks_done: self.checks,
+        }
     }
+}
+
+/// Simulates one day of the CS1 node event-by-event.
+pub fn trace_one_day(config: &Cs1Config) -> DayTrace {
+    let mut sim = DaySimulation::new(config);
+    sim.run();
+    sim.finish()
 }
 
 #[cfg(test)]

@@ -103,27 +103,42 @@ pub fn run_cs2(config: &Cs2Config) -> Cs2Result {
 
 /// F4's sweep: battery life across technology nodes and DVS policies.
 /// Returns `(node name, policy, dsp average power, battery life)` rows.
+///
+/// Grid cells are independent (each runs its own seeded `run_cs2`), so
+/// the sweep fans out across the default worker pool; merging in
+/// node-major cell order keeps the rows byte-identical to the serial
+/// nested loop at any thread count.
 pub fn sweep_battery_life(
     nodes: &[TechnologyNode],
     policies: &[DvsPolicy],
 ) -> Vec<(String, DvsPolicy, Power, TimeSpan)> {
-    let mut rows = Vec::new();
-    for node in nodes {
-        for &policy in policies {
-            let result = run_cs2(&Cs2Config {
-                node: node.clone(),
-                policy,
-                ..Cs2Config::default()
-            });
-            rows.push((
-                node.name().to_owned(),
-                policy,
-                result.dsp.average_power(),
-                result.battery_life,
-            ));
-        }
-    }
-    rows
+    sweep_battery_life_threads(ami_sim::thread_count(), nodes, policies)
+}
+
+/// [`sweep_battery_life`] with an explicit worker count (1 runs the
+/// plain serial loop). Exposed so tests can pin the topology.
+pub fn sweep_battery_life_threads(
+    threads: usize,
+    nodes: &[TechnologyNode],
+    policies: &[DvsPolicy],
+) -> Vec<(String, DvsPolicy, Power, TimeSpan)> {
+    let cells: Vec<(&TechnologyNode, DvsPolicy)> = nodes
+        .iter()
+        .flat_map(|node| policies.iter().map(move |&policy| (node, policy)))
+        .collect();
+    ami_sim::par_map_indexed_threads(threads, &cells, |_, &(node, policy)| {
+        let result = run_cs2(&Cs2Config {
+            node: node.clone(),
+            policy,
+            ..Cs2Config::default()
+        });
+        (
+            node.name().to_owned(),
+            policy,
+            result.dsp.average_power(),
+            result.battery_life,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -248,6 +248,18 @@ fn simulate_inner(
         }
         let (rate, power) = ready[pick].rate.expect("just fixed");
         let to_finish = TimeSpan::new(ready[pick].remaining / rate.as_ops_per_second());
+        // A residual above the finish threshold can still be too small to
+        // advance `now` by one representable f64 step (high rates late in
+        // a long horizon); the slice below would then be zero forever, so
+        // retire the job here. Reachable only when the slice arithmetic
+        // can no longer make progress — terminating runs never take it.
+        if now + to_finish == now {
+            let finished = ready.swap_remove(pick);
+            if now > jobs[finished.job].deadline * (1.0 + 1e-9) {
+                misses += 1;
+            }
+            continue;
+        }
         // Run until completion or the next release, whichever is sooner.
         let slice_end = match jobs.get(next_release) {
             Some(next) if next.release < now + to_finish => next.release,
@@ -481,5 +493,24 @@ mod tests {
         let r = run(DvsPolicy::WorstCaseStretch);
         let expected = r.total_energy.as_joules() / r.horizon.as_seconds();
         assert!((r.average_power().as_watts() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_ulp_residuals_terminate() {
+        // Regression: at 65 nm the personal-audio set used to leave a job
+        // with residual ops above the finish threshold but whose service
+        // time rounds to zero against a seconds-scale `now` — the slice
+        // loop then spun forever. Every policy must complete the 10 s
+        // horizon the F4 sweep runs.
+        let fast = Processor::new("dsp", ArchitectureClass::Dsp, TechnologyNode::n65());
+        let tasks = TaskSet::personal_audio();
+        for policy in DvsPolicy::all() {
+            let report =
+                simulate_taskset(&fast, &tasks, policy, TimeSpan::from_seconds(10.0), 2003);
+            assert_eq!(
+                report.deadline_misses, 0,
+                "{policy:?} must meet every deadline"
+            );
+        }
     }
 }

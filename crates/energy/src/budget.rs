@@ -68,17 +68,79 @@ pub fn simulate_buffered_harvesting(
     horizon: TimeSpan,
     step: TimeSpan,
 ) -> (SustainabilityReport, BufferTrace) {
-    assert!(step > TimeSpan::ZERO, "step must be positive");
-    assert!(horizon >= step, "horizon must cover at least one step");
-    assert!(!load.is_negative(), "load must be non-negative");
-
-    storage.deposit(storage.capacity()); // start full
     let steps = (horizon.as_seconds() / step.as_seconds()).round() as usize;
     let mut trace = BufferTrace {
         times: Vec::with_capacity(steps),
         levels: Vec::with_capacity(steps),
         starved: Vec::with_capacity(steps),
     };
+    let report = run_buffered_harvesting(
+        harvester,
+        pmu,
+        storage,
+        load,
+        profile,
+        horizon,
+        step,
+        |t, level, starved| {
+            trace.times.push(t);
+            trace.levels.push(level);
+            trace.starved.push(starved);
+        },
+    );
+    (report, trace)
+}
+
+/// [`simulate_buffered_harvesting`] without the per-step trace: same
+/// arithmetic in the same order (the report is bit-identical), but no
+/// sample vectors are built — the fast path for sweeps that only read
+/// the [`SustainabilityReport`] (e.g. CS1's check-interval and storage
+/// sweeps, which discard the trace).
+///
+/// # Panics
+///
+/// Panics if `step` or `horizon` is not positive, or `load` is negative.
+pub fn simulate_buffered_harvesting_report(
+    harvester: &Harvester,
+    pmu: &Pmu,
+    storage: &mut Storage,
+    load: Power,
+    profile: &EnvironmentProfile,
+    horizon: TimeSpan,
+    step: TimeSpan,
+) -> SustainabilityReport {
+    run_buffered_harvesting(
+        harvester,
+        pmu,
+        storage,
+        load,
+        profile,
+        horizon,
+        step,
+        |_, _, _| {},
+    )
+}
+
+/// The shared fixed-step loop: every per-step sample goes through
+/// `sink(time, level, starved)`, so retaining and discarding callers run
+/// byte-for-byte the same float operations.
+#[allow(clippy::too_many_arguments)]
+fn run_buffered_harvesting(
+    harvester: &Harvester,
+    pmu: &Pmu,
+    storage: &mut Storage,
+    load: Power,
+    profile: &EnvironmentProfile,
+    horizon: TimeSpan,
+    step: TimeSpan,
+    mut sink: impl FnMut(TimeSpan, Energy, bool),
+) -> SustainabilityReport {
+    assert!(step > TimeSpan::ZERO, "step must be positive");
+    assert!(horizon >= step, "horizon must cover at least one step");
+    assert!(!load.is_negative(), "load must be non-negative");
+
+    storage.deposit(storage.capacity()); // start full
+    let steps = (horizon.as_seconds() / step.as_seconds()).round() as usize;
     let mut harvested = Energy::ZERO;
     let mut demanded = Energy::ZERO;
     let mut starved_steps = 0usize;
@@ -104,9 +166,7 @@ pub fn simulate_buffered_harvesting(
         if k >= first_period_steps {
             min_level_steady = min_level_steady.min(storage.level());
         }
-        trace.times.push(t + step);
-        trace.levels.push(storage.level());
-        trace.starved.push(starved);
+        sink(t + step, storage.level(), starved);
     }
 
     let sim_time = TimeSpan::new(step.as_seconds() * steps as f64);
@@ -114,14 +174,13 @@ pub fn simulate_buffered_harvesting(
     if min_level_steady.as_joules() == f64::MAX {
         min_level_steady = storage.level();
     }
-    let report = SustainabilityReport {
+    SustainabilityReport {
         mean_harvest: harvested / sim_time,
         mean_load: demanded / sim_time,
         outage_fraction: outage,
         min_level: min_level_steady,
         sustainable: outage == 0.0 && harvested.as_joules() >= demanded.as_joules() * 0.999,
-    };
-    (report, trace)
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +280,52 @@ mod tests {
             step,
         );
         assert!(lossy.mean_harvest < ideal.mean_harvest);
+    }
+
+    #[test]
+    fn report_only_variant_is_bit_identical() {
+        // The trace-retaining and report-only paths share one loop; the
+        // reports must match to the last bit, not merely approximately.
+        let run = |report_only: bool| {
+            let mut storage = big_buffer();
+            let load = Power::from_microwatts(3.0);
+            let profile = EnvironmentProfile::office_day();
+            let horizon = TimeSpan::from_days(3.0);
+            let step = TimeSpan::from_minutes(5.0);
+            if report_only {
+                simulate_buffered_harvesting_report(
+                    &pv4(),
+                    &Pmu::micro_power(),
+                    &mut storage,
+                    load,
+                    &profile,
+                    horizon,
+                    step,
+                )
+            } else {
+                simulate_buffered_harvesting(
+                    &pv4(),
+                    &Pmu::micro_power(),
+                    &mut storage,
+                    load,
+                    &profile,
+                    horizon,
+                    step,
+                )
+                .0
+            }
+        };
+        let with_trace = run(false);
+        let report_only = run(true);
+        assert_eq!(with_trace, report_only);
+        assert_eq!(
+            with_trace.mean_harvest.as_watts().to_bits(),
+            report_only.mean_harvest.as_watts().to_bits()
+        );
+        assert_eq!(
+            with_trace.min_level.as_joules().to_bits(),
+            report_only.min_level.as_joules().to_bits()
+        );
     }
 
     #[test]

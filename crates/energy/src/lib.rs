@@ -33,7 +33,10 @@ pub mod pmu;
 pub mod storage;
 
 pub use battery::{Battery, BatteryModel, Chemistry};
-pub use budget::{simulate_buffered_harvesting, BufferTrace, SustainabilityReport};
+pub use budget::{
+    simulate_buffered_harvesting, simulate_buffered_harvesting_report, BufferTrace,
+    SustainabilityReport,
+};
 pub use environment::{EnvironmentProfile, EnvironmentSample};
 pub use harvester::{Harvester, Mains};
 pub use kibam::KineticBattery;

@@ -6,65 +6,23 @@
 //! not the speed one, becomes binding at the scaled nodes. This is the
 //! statistical-design headline of the 2003 proceedings.
 
+use ami_experiments::tables::{a6_joint_yield_rows, a6_leakage_spread_rows_threads};
 use ami_experiments::{banner, print_table, section};
-use ami_sim::{replicate, sim_rng};
-use ami_tech::{Roadmap, TechnologyNode, VariationModel};
-use ami_units::{Frequency, Power, Temperature};
 
 fn main() {
     banner("A6", "parametric yield under threshold-voltage variation");
-    let model = VariationModel::typical_2003();
-    let gates = 100e3;
-    let temp = Temperature::ROOM;
 
     section("leakage spread per node (2000 Monte-Carlo dies, sigma 20 mV)");
-    let mut rows = Vec::new();
-    for node in Roadmap::full_2003().nodes() {
-        let summary = replicate(2000, 42, |seed| {
-            let mut rng = sim_rng(seed);
-            model
-                .sample_die(node, gates, temp, &mut rng)
-                .leakage
-                .as_watts()
-        });
-        rows.push(vec![
-            node.name().to_owned(),
-            format!("{:.3e}", summary.mean),
-            format!("{:.3e}", summary.max),
-            format!("{:.1}x", summary.max / summary.min.max(1e-30)),
-            format!("{:.2}", summary.cv()),
-        ]);
-    }
+    // Replicated across the worker pool; seed-order merge keeps the
+    // table byte-identical to the old serial loop at any thread count.
+    let rows = a6_leakage_spread_rows_threads(ami_sim::thread_count());
     print_table(
         &["node", "mean leak (W)", "max leak (W)", "max/min", "CV"],
         &rows,
     );
 
     section("joint yield at 90 nm: speed x power constraints");
-    let node = TechnologyNode::n90();
-    let mut rows = Vec::new();
-    for (f_ghz, p_mw) in [
-        (0.9, 100.0),
-        (1.0, 100.0),
-        (1.05, 10.0),
-        (1.1, 5.0),
-        (1.15, 5.0),
-    ] {
-        let y = model.parametric_yield(
-            &node,
-            gates,
-            temp,
-            Frequency::from_gigahertz(f_ghz),
-            Power::from_milliwatts(p_mw),
-            4000,
-            7,
-        );
-        rows.push(vec![
-            format!("{f_ghz:.2} GHz"),
-            format!("{p_mw:.0} mW"),
-            format!("{:.1}%", 100.0 * y),
-        ]);
-    }
+    let rows = a6_joint_yield_rows();
     print_table(&["f_min", "leak_max", "yield"], &rows);
 
     section("reading");

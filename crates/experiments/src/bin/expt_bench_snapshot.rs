@@ -1,12 +1,13 @@
 //! Bench snapshot — a fast, machine-readable timing pass over the
-//! network-simulator hot paths, for tracking the perf trajectory
-//! across PRs.
+//! network-simulator and simulation-kernel hot paths, for tracking the
+//! perf trajectory across PRs.
 //!
 //! Unlike the criterion benches (`cargo bench -p ami-bench`), this
-//! binary is built to run in CI in seconds and emit `BENCH_NET.json`:
-//! one entry per (workload, network size) with wall times and ops/sec,
-//! keyed by commit-stable labels (`gather_round/n400`, …) so successive
-//! snapshots diff cleanly. Workloads:
+//! binary is built to run in CI in seconds and emit two snapshots:
+//!
+//! `BENCH_NET.json` (schema `ambience-bench-net/v1`) — one entry per
+//! (workload, network size), keyed by commit-stable labels
+//! (`gather_round/n400`, …) so successive snapshots diff cleanly:
 //!
 //! * `route_build`  — one minimum-energy route-table build (op = build);
 //! * `gather_round` — a healthy gathering run (op = simulated round);
@@ -18,20 +19,41 @@
 //! constant node density (field side 25·√N m, so ~10 neighbours in
 //! radio range whatever the scale).
 //!
+//! `BENCH_SIM.json` (schema `ambience-bench-sim/v1`) — the `ami-sim`
+//! kernel and sweep layer (labels mirrored by the `sim_hotpath`
+//! criterion group in `ami-bench`):
+//!
+//! * `day_sim_cs1` — one full CS1 day simulation (op = simulated day);
+//! * `state_meter_transition` — interned-id meter transitions
+//!   (op = transition);
+//! * `event_queue_churn` — steady-state pop/schedule churn on a
+//!   1000-event population (op = pop+schedule);
+//! * `mc_variation_2000` — A6's 2000-die Monte-Carlo leakage spread on
+//!   the worker pool (op = die, honors `AMBIENCE_THREADS`);
+//! * `design_space_grid` — F12's 6×7 area×interval feasibility grid on
+//!   the worker pool (op = grid cell, honors `AMBIENCE_THREADS`).
+//!
 //! Flags / environment:
 //!
 //! * `--quick` (or `AMBIENCE_BENCH_QUICK=1`): two timed iterations per
 //!   label instead of a 0.5 s budget — the CI smoke mode;
-//! * `AMBIENCE_BENCH_OUT`: output path (default `BENCH_NET.json`,
-//!   `-` = stdout only).
+//! * `AMBIENCE_BENCH_OUT`: network snapshot path (default
+//!   `BENCH_NET.json`, `-` = stdout only);
+//! * `AMBIENCE_BENCH_SIM_OUT`: kernel snapshot path (default
+//!   `BENCH_SIM.json`, `-` = stdout only).
 
+use ami_core::case_studies::cs1::Cs1Config;
+use ami_core::case_studies::cs1_trace::trace_one_day;
+use ami_core::design_space::explore_cs1;
 use ami_experiments::banner;
 use ami_net::{
     build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
     simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_sim::fault::FaultSpec;
-use ami_units::Length;
+use ami_sim::{replicate_par, sim_rng, EnergyMeter, EventQueue};
+use ami_tech::{TechnologyNode, VariationModel};
+use ami_units::{Area, Length, Power, Temperature, TimeSpan};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -105,7 +127,7 @@ fn field(n: usize) -> Topology {
     Topology::random(n, side, SEED)
 }
 
-fn run_snapshot(quick: bool) -> Vec<Entry> {
+fn run_net_snapshot(quick: bool) -> Vec<Entry> {
     let mut entries = Vec::new();
     let net_config = NetworkConfig::sensor_default();
     let lossy_config = LossyConfig::bruised_channel();
@@ -182,10 +204,122 @@ fn run_snapshot(quick: bool) -> Vec<Entry> {
     entries
 }
 
-/// Renders the snapshot as deterministic, diff-stable JSON.
-fn to_json(entries: &[Entry], quick: bool) -> String {
+/// The simulation-kernel and sweep-layer workloads (`BENCH_SIM.json`).
+fn run_sim_snapshot(quick: bool) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let config = Cs1Config::default();
+
+    entries.push(measure(
+        "day_sim_cs1".to_owned(),
+        "day_sim_cs1",
+        1,
+        1,
+        quick,
+        || {
+            black_box(trace_one_day(black_box(&config)));
+        },
+    ));
+
+    // The meter hot path as the day sim drives it: pre-interned ids,
+    // rotating through four states.
+    const TRANSITIONS: u64 = 100_000;
+    entries.push(measure(
+        "state_meter_transition".to_owned(),
+        "state_meter_transition",
+        TRANSITIONS as usize,
+        TRANSITIONS,
+        quick,
+        || {
+            let mut meter =
+                EnergyMeter::new("baseline", Power::from_microwatts(2.0), TimeSpan::ZERO);
+            let states = [
+                meter.intern("baseline"),
+                meter.intern("radio check"),
+                meter.intern("radio tx"),
+                meter.intern("radio startup"),
+            ];
+            for i in 0..TRANSITIONS {
+                let id = states[(i % 4) as usize];
+                meter.transition_id(
+                    id,
+                    Power::from_microwatts(5.0),
+                    TimeSpan::from_seconds(i as f64),
+                );
+            }
+            black_box(meter.transitions());
+        },
+    ));
+
+    const CHURNS: u64 = 100_000;
+    entries.push(measure(
+        "event_queue_churn".to_owned(),
+        "event_queue_churn",
+        CHURNS as usize,
+        CHURNS,
+        quick,
+        || {
+            let mut queue: EventQueue<u64> = EventQueue::with_capacity(1000);
+            for i in 0..1000u64 {
+                queue.schedule_in(TimeSpan::from_seconds(i as f64), i);
+            }
+            for i in 0..CHURNS {
+                let (_, e) = queue.pop().expect("queue stays populated");
+                queue.schedule_in(TimeSpan::from_seconds(1000.0 + (e % 7) as f64), i);
+            }
+            black_box(queue.len());
+        },
+    ));
+
+    // A6's leakage-spread Monte Carlo on the worker pool (the snapshot
+    // honors AMBIENCE_THREADS, like the experiment binaries).
+    let model = VariationModel::typical_2003();
+    let node = TechnologyNode::n90();
+    entries.push(measure(
+        "mc_variation_2000".to_owned(),
+        "mc_variation_2000",
+        2000,
+        2000,
+        quick,
+        || {
+            let summary = replicate_par(2000, 42, |seed| {
+                let mut rng = sim_rng(seed);
+                model
+                    .sample_die(&node, 100e3, Temperature::ROOM, &mut rng)
+                    .leakage
+                    .as_watts()
+            });
+            black_box(summary.mean);
+        },
+    ));
+
+    // F12's area × check-interval feasibility grid on the worker pool.
+    let areas: Vec<Area> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|&cm2| Area::from_square_centimeters(cm2))
+        .collect();
+    let intervals: Vec<TimeSpan> = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&s| TimeSpan::from_seconds(s))
+        .collect();
+    let cells = areas.len() * intervals.len();
+    entries.push(measure(
+        "design_space_grid".to_owned(),
+        "design_space_grid",
+        cells,
+        cells as u64,
+        quick,
+        || {
+            black_box(explore_cs1(black_box(&config), &areas, &intervals));
+        },
+    ));
+
+    entries
+}
+
+/// Renders a snapshot as deterministic, diff-stable JSON.
+fn to_json(schema: &str, entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"ambience-bench-net/v1\",\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -211,22 +345,14 @@ fn to_json(entries: &[Entry], quick: bool) -> String {
     out
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var_os("AMBIENCE_BENCH_QUICK").is_some_and(|v| v == "1");
-    banner(
-        "BENCH",
-        "network hot-path snapshot (machine-readable trajectory)",
-    );
-    println!("[mode: {}]", if quick { "quick" } else { "full" });
-
-    let entries = run_snapshot(quick);
+/// Prints one snapshot's table and writes (or streams) its JSON.
+fn emit(entries: &[Entry], schema: &str, quick: bool, out_env: &str, default_path: &str) {
     println!();
     println!(
         "{:<28} {:>6} {:>7} {:>14} {:>14} {:>14}",
         "label", "n", "iters", "mean (µs)", "min (µs)", "ops/sec"
     );
-    for e in &entries {
+    for e in entries {
         println!(
             "{:<28} {:>6} {:>7} {:>14.1} {:>14.1} {:>14.1}",
             e.label,
@@ -238,9 +364,9 @@ fn main() {
         );
     }
 
-    let json = to_json(&entries, quick);
-    let target = std::env::var_os("AMBIENCE_BENCH_OUT")
-        .unwrap_or_else(|| std::ffi::OsString::from("BENCH_NET.json"));
+    let json = to_json(schema, entries, quick);
+    let target =
+        std::env::var_os(out_env).unwrap_or_else(|| std::ffi::OsString::from(default_path));
     if target == "-" {
         print!("{json}");
     } else {
@@ -248,4 +374,36 @@ fn main() {
             .unwrap_or_else(|err| panic!("cannot write snapshot to {target:?}: {err}"));
         println!("\n[snapshot written to {}]", target.to_string_lossy());
     }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("AMBIENCE_BENCH_QUICK").is_some_and(|v| v == "1");
+    banner(
+        "BENCH",
+        "network + simulation-kernel hot-path snapshot (machine-readable trajectory)",
+    );
+    println!("[mode: {}]", if quick { "quick" } else { "full" });
+    println!(
+        "[runner: {} worker thread(s)]",
+        ami_sim::runner::thread_count()
+    );
+
+    let net = run_net_snapshot(quick);
+    emit(
+        &net,
+        "ambience-bench-net/v1",
+        quick,
+        "AMBIENCE_BENCH_OUT",
+        "BENCH_NET.json",
+    );
+
+    let sim = run_sim_snapshot(quick);
+    emit(
+        &sim,
+        "ambience-bench-sim/v1",
+        quick,
+        "AMBIENCE_BENCH_SIM_OUT",
+        "BENCH_SIM.json",
+    );
 }

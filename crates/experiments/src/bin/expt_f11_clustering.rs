@@ -5,69 +5,16 @@
 //! aggregation balances residual energy (lower CV) and extends the time
 //! to first death on spread-out fields.
 
+use ami_experiments::tables::f11_clustering_rows_threads;
 use ami_experiments::{banner, print_table, section};
-use ami_net::{
-    simulate_clustered, simulate_gathering, ClusterConfig, NetworkConfig, RoutingStrategy, Topology,
-};
-use ami_radio::RadioEnergyModel;
-use ami_units::{Energy, Length, Power};
 
 fn main() {
     banner("F11", "rotating clusters vs the static gathering tree");
-    let radio = RadioEnergyModel::short_range_2003();
-    let budget = Energy::from_joules(2.0);
-    let rounds = 30_000;
 
     section("time to first death, and residual balance after 2000 rounds");
-    let mut rows = Vec::new();
-    for side in [4usize, 5, 6] {
-        let topo = Topology::grid(side, Length::from_meters(30.0));
-
-        let mut tree_config = NetworkConfig::sensor_default();
-        tree_config.idle_power = Power::ZERO; // isolate radio energy
-        tree_config.node_energy = budget;
-        let tree = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &tree_config, rounds);
-        let clustered = simulate_clustered(
-            &topo,
-            &radio,
-            &ClusterConfig::classic(),
-            budget,
-            rounds,
-            2003,
-        );
-
-        // Balance is measured early, while everyone is still alive.
-        let early_rounds = 2000;
-        let tree_early = simulate_gathering(
-            &topo,
-            RoutingStrategy::MinimumEnergy,
-            &tree_config,
-            early_rounds,
-        );
-        let clustered_early = simulate_clustered(
-            &topo,
-            &radio,
-            &ClusterConfig::classic(),
-            budget,
-            early_rounds,
-            2003,
-        );
-        let cv_of = |residual: &[ami_units::Energy]| {
-            let v: Vec<f64> = residual.iter().map(|e| e.as_joules()).collect();
-            let mean = v.iter().sum::<f64>() / v.len() as f64;
-            (v.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
-                / mean.max(1e-12)
-        };
-
-        let fmt_death = |r: Option<u64>| r.map_or("-".to_owned(), |v| v.to_string());
-        rows.push(vec![
-            format!("{side}x{side}"),
-            fmt_death(tree.first_death_round),
-            format!("{:.3}", cv_of(&tree_early.residual_energy)),
-            fmt_death(clustered.first_death_round),
-            format!("{:.3}", cv_of(&clustered_early.residual_energy)),
-        ]);
-    }
+    // One worker per grid side; side-order merge keeps the table
+    // byte-identical to the old serial loop at any thread count.
+    let rows = f11_clustering_rows_threads(ami_sim::thread_count());
     print_table(
         &[
             "grid",

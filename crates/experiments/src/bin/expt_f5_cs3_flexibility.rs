@@ -6,14 +6,15 @@
 //! DSP, FPGA) tops out between QCIF and CIF-or-SD — "who wins" depends
 //! on the rate.
 
-use ami_arch::ArchitectureClass;
-use ami_core::case_studies::cs3::{best_format, flexibility_table_text, Cs3Config};
+use ami_core::case_studies::cs3::{flexibility_table_text, Cs3Config};
+use ami_experiments::tables::f5_best_format_lines_threads;
 use ami_experiments::{banner, section};
 use ami_tech::TechnologyNode;
 
 fn main() {
     banner("F5", "CS3 media hub: the flexibility-efficiency crossover");
     let config = Cs3Config::default();
+    let threads = ami_sim::thread_count();
 
     section(&format!(
         "feasibility and power at {} (25 fps, ceiling {})",
@@ -23,12 +24,10 @@ fn main() {
     print!("{}", flexibility_table_text(&config));
 
     section("highest sustainable format per class (within ceiling)");
-    for class in ArchitectureClass::all() {
-        println!(
-            "{:<5}  {}",
-            class.to_string(),
-            best_format(&config, class).map_or("none".to_owned(), |f| f.to_string())
-        );
+    // One worker per architecture class; class-order merge keeps the
+    // listing byte-identical to the old serial loop.
+    for line in f5_best_format_lines_threads(threads, &config) {
+        println!("{line}");
     }
 
     section("and at 65 nm — scaling relaxes the gap");
@@ -36,11 +35,7 @@ fn main() {
         node: TechnologyNode::n65(),
         ..Cs3Config::default()
     };
-    for class in ArchitectureClass::all() {
-        println!(
-            "{:<5}  {}",
-            class.to_string(),
-            best_format(&future, class).map_or("none".to_owned(), |f| f.to_string())
-        );
+    for line in f5_best_format_lines_threads(threads, &future) {
+        println!("{line}");
     }
 }

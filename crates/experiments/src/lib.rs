@@ -22,6 +22,7 @@
 //! ```
 
 pub mod manifests;
+pub mod tables;
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, title: &str) {

@@ -1,7 +1,32 @@
 //! Per-device energy accounting over power states.
+//!
+//! State names are *interned*: the first time a name is seen it is
+//! assigned a dense [`StateId`] slot, and every subsequent transition or
+//! charge is plain indexed arithmetic over `Vec` accumulators — no
+//! per-transition `String` clone, no tree/hash walk with owned keys.
+//! Day-scale event-driven simulations make tens of thousands of
+//! transitions over a handful of states, so the hot path is
+//! [`EnergyMeter::transition_id`] / [`EnergyMeter::charge_id`] on
+//! pre-interned ids, which allocate nothing at steady state. The
+//! string-keyed entry points ([`EnergyMeter::transition`],
+//! [`EnergyMeter::charge`]) intern on first use and then cost one
+//! by-reference hash lookup.
 
 use ami_units::{Energy, Power, TimeSpan};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// A dense handle for an interned state (or charge-bucket) name,
+/// obtained from [`EnergyMeter::intern`]. Ids are only meaningful for
+/// the meter that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The dense slot index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Integrates a device's energy exactly as it moves between named power
 /// states, keeping a per-state time and energy breakdown.
@@ -19,13 +44,43 @@ use std::collections::BTreeMap;
 /// // 10 s sleep + 0.1 s rx + 9.9 s sleep ≈ 1.54 mJ.
 /// assert!((total.as_millijoules() - 1.5398).abs() < 1e-3);
 /// ```
+///
+/// The allocation-free hot path pre-interns the state set once:
+///
+/// ```
+/// use ami_sim::EnergyMeter;
+/// use ami_units::{Power, TimeSpan};
+///
+/// let mut m = EnergyMeter::new("sleep", Power::from_microwatts(2.0), TimeSpan::ZERO);
+/// let rx = m.intern("rx");
+/// let sleep = m.intern("sleep");
+/// for k in 0..1000 {
+///     let t = TimeSpan::from_seconds(k as f64);
+///     m.transition_id(rx, Power::from_milliwatts(15.0), t);
+///     m.transition_id(sleep, Power::from_microwatts(2.0), t + TimeSpan::from_millis(1.0));
+/// }
+/// assert_eq!(m.transitions(), 2000);
+/// ```
 #[derive(Debug, Clone)]
 pub struct EnergyMeter {
-    state: String,
+    state: StateId,
     power: Power,
     since: TimeSpan,
-    by_state_energy: BTreeMap<String, Energy>,
-    by_state_time: BTreeMap<String, TimeSpan>,
+    /// Interned names, indexed by `StateId`.
+    names: Vec<String>,
+    /// Name → id lookup for the string-keyed entry points.
+    index: HashMap<String, u32>,
+    /// Ids in name-sorted order, maintained incrementally at intern time
+    /// so `breakdown()` never re-sorts.
+    sorted: Vec<u32>,
+    /// Closed-interval energy per id.
+    energy: Vec<Energy>,
+    /// Closed-interval time per id.
+    time: Vec<TimeSpan>,
+    /// Whether the id was ever settled into or charged — `breakdown()`
+    /// lists exactly these, matching the lazily-inserted map the meter
+    /// used to keep.
+    touched: Vec<bool>,
     transitions: u64,
 }
 
@@ -35,21 +90,64 @@ impl EnergyMeter {
     /// # Panics
     ///
     /// Panics if `power` is negative.
-    pub fn new(state: impl Into<String>, power: Power, start: TimeSpan) -> Self {
+    pub fn new(state: impl AsRef<str>, power: Power, start: TimeSpan) -> Self {
         assert!(!power.is_negative(), "state power must be non-negative");
-        Self {
-            state: state.into(),
+        let mut meter = Self {
+            state: StateId(0),
             power,
             since: start,
-            by_state_energy: BTreeMap::new(),
-            by_state_time: BTreeMap::new(),
+            names: Vec::new(),
+            index: HashMap::new(),
+            sorted: Vec::new(),
+            energy: Vec::new(),
+            time: Vec::new(),
+            touched: Vec::new(),
             transitions: 0,
+        };
+        meter.state = meter.intern(state);
+        meter
+    }
+
+    /// Interns `name`, returning its dense id; the same name always maps
+    /// to the same id. Interning is the only allocating operation — do it
+    /// at registration time and drive the simulation loop through
+    /// [`transition_id`](Self::transition_id) /
+    /// [`charge_id`](Self::charge_id).
+    pub fn intern(&mut self, name: impl AsRef<str>) -> StateId {
+        let name = name.as_ref();
+        if let Some(&id) = self.index.get(name) {
+            return StateId(id);
         }
+        let id = u32::try_from(self.names.len()).expect("fewer than 2^32 states");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        let at = self
+            .sorted
+            .partition_point(|&other| self.names[other as usize].as_str() < name);
+        self.sorted.insert(at, id);
+        self.energy.push(Energy::ZERO);
+        self.time.push(TimeSpan::ZERO);
+        self.touched.push(false);
+        StateId(id)
+    }
+
+    /// The interned name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this meter.
+    pub fn state_name(&self, id: StateId) -> &str {
+        &self.names[id.index()]
     }
 
     /// The current state name.
     pub fn state(&self) -> &str {
-        &self.state
+        &self.names[self.state.index()]
+    }
+
+    /// The current state's id.
+    pub fn state_id(&self) -> StateId {
+        self.state
     }
 
     /// The current state's power.
@@ -63,52 +161,74 @@ impl EnergyMeter {
     }
 
     /// Folds the elapsed interval into the breakdown.
+    #[inline]
     fn settle(&mut self, now: TimeSpan) {
         let dt = now - self.since;
         assert!(!dt.is_negative(), "time must not run backwards");
-        let e = self.power * dt;
-        *self
-            .by_state_energy
-            .entry(self.state.clone())
-            .or_insert(Energy::ZERO) += e;
-        *self
-            .by_state_time
-            .entry(self.state.clone())
-            .or_insert(TimeSpan::ZERO) += dt;
+        let slot = self.state.index();
+        self.energy[slot] += self.power * dt;
+        self.time[slot] += dt;
+        self.touched[slot] = true;
         self.since = now;
     }
 
-    /// Moves to a new state at time `now`.
+    /// Moves to a new state at time `now`, interning `state` if needed.
     ///
     /// # Panics
     ///
     /// Panics if `now` precedes the last transition or `power` is negative.
-    pub fn transition(&mut self, state: impl Into<String>, power: Power, now: TimeSpan) {
+    pub fn transition(&mut self, state: impl AsRef<str>, power: Power, now: TimeSpan) {
+        let id = self.intern(state);
+        self.transition_id(id, power, now);
+    }
+
+    /// Moves to the pre-interned state `id` at time `now` — the
+    /// allocation-free hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last transition, `power` is negative,
+    /// or `id` was not issued by this meter.
+    #[inline]
+    pub fn transition_id(&mut self, id: StateId, power: Power, now: TimeSpan) {
         assert!(!power.is_negative(), "state power must be non-negative");
+        assert!(id.index() < self.names.len(), "unknown state id");
         self.settle(now);
-        self.state = state.into();
+        self.state = id;
         self.power = power;
         self.transitions += 1;
     }
 
     /// Adds an instantaneous energy cost (e.g. a startup transient) to the
-    /// named bucket without changing state.
+    /// named bucket without changing state, interning `bucket` if needed.
     ///
     /// # Panics
     ///
     /// Panics if `energy` is negative.
-    pub fn charge(&mut self, bucket: impl Into<String>, energy: Energy) {
+    pub fn charge(&mut self, bucket: impl AsRef<str>, energy: Energy) {
+        let id = self.intern(bucket);
+        self.charge_id(id, energy);
+    }
+
+    /// [`charge`](Self::charge) against a pre-interned bucket — the
+    /// allocation-free hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative or `id` was not issued by this meter.
+    #[inline]
+    pub fn charge_id(&mut self, id: StateId, energy: Energy) {
         assert!(!energy.is_negative(), "charged energy must be non-negative");
-        *self
-            .by_state_energy
-            .entry(bucket.into())
-            .or_insert(Energy::ZERO) += energy;
+        self.energy[id.index()] += energy;
+        self.touched[id.index()] = true;
     }
 
     /// Total energy consumed up to `now` (including the open interval).
     pub fn total_energy(&self, now: TimeSpan) -> Energy {
         let open = self.power * (now - self.since).max(TimeSpan::ZERO);
-        self.by_state_energy.values().copied().sum::<Energy>() + open
+        // Fold in name-sorted order: bit-identical to the sorted-map
+        // accumulator this meter used to keep.
+        self.breakdown_iter().map(|(_, e)| e).sum::<Energy>() + open
     }
 
     /// Average power over `[start, now]` given the metering start time.
@@ -122,27 +242,36 @@ impl EnergyMeter {
 
     /// Energy attributed to `state` in closed intervals so far.
     pub fn energy_in(&self, state: &str) -> Energy {
-        self.by_state_energy
+        self.index
             .get(state)
-            .copied()
+            .map(|&id| self.energy[id as usize])
             .unwrap_or(Energy::ZERO)
     }
 
     /// Time spent in `state` in closed intervals so far.
     pub fn time_in(&self, state: &str) -> TimeSpan {
-        self.by_state_time
+        self.index
             .get(state)
-            .copied()
+            .map(|&id| self.time[id as usize])
             .unwrap_or(TimeSpan::ZERO)
     }
 
     /// The per-state energy breakdown (closed intervals only), sorted by
     /// state name.
     pub fn breakdown(&self) -> Vec<(String, Energy)> {
-        self.by_state_energy
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
+        self.breakdown_iter()
+            .map(|(name, e)| (name.to_owned(), e))
             .collect()
+    }
+
+    /// Borrowing [`breakdown`](Self::breakdown): the same name-sorted
+    /// rows without cloning any key — use this when reading the
+    /// breakdown repeatedly mid-run (e.g. per observed round).
+    pub fn breakdown_iter(&self) -> impl Iterator<Item = (&str, Energy)> + '_ {
+        self.sorted
+            .iter()
+            .filter(|&&id| self.touched[id as usize])
+            .map(|&id| (self.names[id as usize].as_str(), self.energy[id as usize]))
     }
 }
 
@@ -190,6 +319,53 @@ mod tests {
         m.transition("z", Power::from_watts(1.0), s(2.0));
         let names: Vec<String> = m.breakdown().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    fn breakdown_is_name_sorted_whatever_the_intern_order() {
+        let mut m = EnergyMeter::new("zeta", Power::from_watts(1.0), s(0.0));
+        m.charge("alpha", Energy::from_joules(1.0));
+        m.charge("mid", Energy::from_joules(2.0));
+        m.transition("alpha", Power::ZERO, s(1.0)); // settles zeta
+        let names: Vec<String> = m.breakdown().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_shared_with_string_paths() {
+        let mut m = EnergyMeter::new("a", Power::from_watts(1.0), s(0.0));
+        let a = m.intern("a");
+        let b = m.intern("b");
+        assert_eq!(m.intern("a"), a);
+        assert_eq!(m.state_id(), a);
+        assert_eq!(m.state_name(b), "b");
+        m.transition_id(b, Power::from_watts(3.0), s(2.0));
+        assert_eq!(m.state(), "b");
+        // The string path lands in the same accumulator slots.
+        m.transition("a", Power::from_watts(1.0), s(4.0));
+        assert_eq!(m.energy_in("a").as_joules(), 2.0);
+        assert_eq!(m.energy_in("b").as_joules(), 6.0);
+    }
+
+    #[test]
+    fn breakdown_iter_matches_breakdown_without_cloning() {
+        let mut m = EnergyMeter::new("b", Power::from_watts(1.0), s(0.0));
+        m.transition("a", Power::from_watts(2.0), s(1.0));
+        m.transition("b", Power::from_watts(1.0), s(2.0));
+        let owned = m.breakdown();
+        let borrowed: Vec<(String, Energy)> =
+            m.breakdown_iter().map(|(n, e)| (n.to_owned(), e)).collect();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown state id")]
+    fn foreign_state_id_rejected() {
+        let mut other = EnergyMeter::new("a", Power::ZERO, s(0.0));
+        let foreign = other.intern("somewhere else");
+        let _ = other.intern("pad");
+        let mut m = EnergyMeter::new("a", Power::ZERO, s(0.0));
+        m.transition_id(StateId(foreign.0 + 1), Power::ZERO, s(1.0));
     }
 
     #[test]

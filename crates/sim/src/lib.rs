@@ -7,9 +7,11 @@
 //! * [`EventQueue`] — a time-ordered queue with FIFO tie-breaking by
 //!   sequence number, so identical runs replay identically;
 //! * [`EnergyMeter`] — per-device power-state tracking that integrates
-//!   energy exactly between state changes and keeps a per-state breakdown;
+//!   energy exactly between state changes and keeps a per-state
+//!   breakdown, with states interned to [`StateId`]s so the hot path
+//!   never touches a string;
 //! * [`TraceSeries`] — a lightweight time-series recorder with summary
-//!   statistics;
+//!   statistics and an allocation-free summary-only mode;
 //! * [`sim_rng`] — the single sanctioned source of randomness
 //!   (a seeded [`rand::rngs::StdRng`]);
 //! * [`runner`] — seed-partitioned parallel execution for independent
@@ -44,9 +46,12 @@ pub mod queue;
 pub mod runner;
 pub mod trace;
 
-pub use energy::EnergyMeter;
+pub use energy::{EnergyMeter, StateId};
 pub use fault::{FaultEvent, FaultModel, FaultSchedule, FaultSpec, FAULTS_ENV};
-pub use montecarlo::{replicate, replicate_par, replicate_par_threads, summarize, Summary};
+pub use montecarlo::{
+    replicate, replicate_all, replicate_all_par, replicate_all_par_threads, replicate_par,
+    replicate_par_threads, summarize, Summary,
+};
 pub use obs::{
     CounterTree, EnergyCategory, EnergyLedger, LedgerRecorder, NullRecorder, PacketCounters,
     Recorder, RunManifest, MANIFEST_ENV,

@@ -138,6 +138,117 @@ pub fn replicate_par_threads(
     summarize(&values)
 }
 
+/// Multi-observable [`replicate`]: one pass over the seed schedule, one
+/// [`Summary`] per observable.
+///
+/// Callers that summarize several observables of the same experiment
+/// previously re-ran the whole replication per observable (N passes over
+/// N·replications experiment runs). Here the experiment returns all its
+/// observables at once — `observables` names them and fixes their order
+/// — and each replication runs exactly once.
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::{replicate_all, sim_rng};
+/// use rand::RngExt;
+///
+/// let [raw, squared] = replicate_all(100, 7, 2, |seed, out| {
+///     let x = sim_rng(seed).random::<f64>();
+///     out[0] = x;
+///     out[1] = x * x;
+/// })
+/// .try_into()
+/// .unwrap();
+/// assert!((raw.mean - 0.5).abs() < 0.1);
+/// assert!(squared.mean < raw.mean); // x² < x on [0,1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `replications` or `observables` is zero, or the experiment
+/// writes a non-finite observable.
+pub fn replicate_all(
+    replications: usize,
+    base_seed: u64,
+    observables: usize,
+    mut experiment: impl FnMut(u64, &mut [f64]),
+) -> Vec<Summary> {
+    assert!(replications > 0, "at least one replication");
+    assert!(observables > 0, "at least one observable");
+    // Column-major: values[obs] is the sample vector of one observable,
+    // in seed order — each summarized exactly like a solo `replicate`.
+    let mut values = vec![Vec::with_capacity(replications); observables];
+    let mut row = vec![f64::NAN; observables];
+    for k in 0..replications {
+        row.fill(f64::NAN);
+        experiment(base_seed.wrapping_add(k as u64), &mut row);
+        for (obs, &v) in row.iter().enumerate() {
+            assert!(v.is_finite(), "observable {obs} must be finite, got {v}");
+            values[obs].push(v);
+        }
+    }
+    values.iter().map(|column| summarize(column)).collect()
+}
+
+/// Parallel [`replicate_all`] on the default worker count: same seed
+/// schedule, observables merged back in seed order per column, so every
+/// summary is bit-exact with the serial pass.
+///
+/// # Panics
+///
+/// Panics if `replications` or `observables` is zero, or the experiment
+/// writes a non-finite observable.
+pub fn replicate_all_par(
+    replications: usize,
+    base_seed: u64,
+    observables: usize,
+    experiment: impl Fn(u64, &mut [f64]) + Sync,
+) -> Vec<Summary> {
+    replicate_all_par_threads(
+        crate::runner::thread_count(),
+        replications,
+        base_seed,
+        observables,
+        experiment,
+    )
+}
+
+/// [`replicate_all_par`] with an explicit worker count (1 runs the plain
+/// serial loop). Exposed so tests and benchmarks can pin the topology.
+///
+/// # Panics
+///
+/// Panics if `threads`, `replications` or `observables` is zero, or the
+/// experiment writes a non-finite observable.
+pub fn replicate_all_par_threads(
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+    observables: usize,
+    experiment: impl Fn(u64, &mut [f64]) + Sync,
+) -> Vec<Summary> {
+    assert!(replications > 0, "at least one replication");
+    assert!(observables > 0, "at least one observable");
+    let seeds: Vec<u64> = (0..replications)
+        .map(|k| base_seed.wrapping_add(k as u64))
+        .collect();
+    let rows = crate::runner::par_map_indexed_threads(threads, &seeds, |_, &seed| {
+        let mut row = vec![f64::NAN; observables];
+        experiment(seed, &mut row);
+        for (obs, &v) in row.iter().enumerate() {
+            assert!(v.is_finite(), "observable {obs} must be finite, got {v}");
+        }
+        row
+    });
+    (0..observables)
+        .map(|obs| {
+            let column: Vec<f64> = rows.iter().map(|row| row[obs]).collect();
+            summarize(&column)
+        })
+        .collect()
+}
+
 /// Summarizes an existing sample.
 ///
 /// # Panics
@@ -218,6 +329,62 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_rejected() {
         let _ = replicate(0, 0, |_| 0.0);
+    }
+
+    #[test]
+    fn replicate_all_matches_per_observable_replicate() {
+        // One multi-observable pass must produce exactly the summaries
+        // the old one-pass-per-observable pattern did.
+        let observable = |seed: u64, obs: usize| {
+            let mut rng = sim_rng(seed);
+            let x: f64 = rng.random();
+            match obs {
+                0 => x,
+                _ => x * x,
+            }
+        };
+        let solo = [
+            replicate(200, 42, |seed| observable(seed, 0)),
+            replicate(200, 42, |seed| observable(seed, 1)),
+        ];
+        let all = replicate_all(200, 42, 2, |seed, out| {
+            let mut rng = sim_rng(seed);
+            let x: f64 = rng.random();
+            out[0] = x;
+            out[1] = x * x;
+        });
+        assert_eq!(all.as_slice(), &solo);
+    }
+
+    #[test]
+    fn replicate_all_par_is_bit_exact_with_serial() {
+        let experiment = |seed: u64, out: &mut [f64]| {
+            let mut rng = sim_rng(seed);
+            out[0] = rng.random();
+            out[1] = rng.random_range(0.0..10.0);
+            out[2] = f64::from(rng.random_range(0u32..100));
+        };
+        let serial = replicate_all(97, 5, 3, experiment);
+        for threads in [1, 2, 8] {
+            let par = replicate_all_par_threads(threads, 97, 5, 3, experiment);
+            assert_eq!(par, serial, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observable")]
+    fn replicate_all_rejects_zero_observables() {
+        let _ = replicate_all(1, 0, 0, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "observable 1 must be finite")]
+    fn replicate_all_rejects_unwritten_observables() {
+        // Forgetting to fill an observable leaves the NaN sentinel, which
+        // names the offending column.
+        let _ = replicate_all(1, 0, 2, |_, out| {
+            out[0] = 1.0;
+        });
     }
 
     #[test]

@@ -1,39 +1,38 @@
 //! The deterministic event queue.
+//!
+//! Internally the queue is an index min-heap over small `(time, seq,
+//! slot)` keys plus a slab of event payloads with a free list: sifting
+//! moves 24-byte keys instead of whole events, and `pop` /
+//! `schedule_in` recycle slab slots and heap capacity, so the loop
+//! allocates nothing at steady state (`tests/zero_alloc.rs` proves it
+//! with a counting global allocator). The retired `BinaryHeap`
+//! implementation survives as a test-only reference that a proptest
+//! replays arbitrary `schedule_in`/`pop` interleavings against,
+//! event-for-event.
 
 use ami_units::TimeSpan;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// An event scheduled at an absolute time with a tie-breaking sequence.
-#[derive(Debug)]
-struct Scheduled<E> {
+/// A heap key: absolute time plus the tie-breaking sequence number, and
+/// the slab slot holding the event payload.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
     time: TimeSpan,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first;
-        // ties break FIFO by sequence number.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl HeapKey {
+    /// Strict total order: earlier time first, ties broken FIFO by
+    /// sequence number (sequence numbers are unique, so two keys never
+    /// compare equal).
+    #[inline]
+    fn before(&self, other: &HeapKey) -> bool {
+        match self.time.total_cmp(&other.time) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
@@ -57,7 +56,12 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Binary min-heap of keys (earliest `(time, seq)` at the root).
+    heap: Vec<HeapKey>,
+    /// Event payloads, indexed by `HeapKey::slot`.
+    slots: Vec<Option<E>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
     seq: u64,
     now: TimeSpan,
 }
@@ -72,7 +76,21 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: TimeSpan::ZERO,
+        }
+    }
+
+    /// An empty queue at time zero with room for `capacity` pending
+    /// events before any (re)allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
             seq: 0,
             now: TimeSpan::ZERO,
         }
@@ -105,12 +123,29 @@ impl<E> EventQueue<E> {
             at,
             self.now
         );
-        self.heap.push(Scheduled {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 pending events");
+                self.slots.push(Some(event));
+                // Grow the free list's capacity alongside the slab: every
+                // live slot may be freed by a pop, and pops must stay
+                // allocation-free (a draining queue would otherwise
+                // reallocate `free` mid-loop).
+                self.free.reserve(self.slots.len() - self.free.len());
+                slot
+            }
+        };
+        self.heap.push(HeapKey {
             time: at,
             seq: self.seq,
-            event,
+            slot,
         });
         self.seq += 1;
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Schedules `event` after a `delay` from now.
@@ -125,17 +160,26 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing simulation time to its timestamp.
     pub fn pop(&mut self) -> Option<(TimeSpan, E)> {
-        let sched = self.heap.pop()?;
-        self.now = sched.time;
-        Some((sched.time, sched.event))
+        let root = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let event = self.slots[root.slot as usize]
+            .take()
+            .expect("scheduled slot holds an event");
+        self.free.push(root.slot);
+        self.now = root.time;
+        Some((root.time, event))
     }
 
     /// Pops the earliest event only if it occurs at or before `deadline`;
     /// otherwise leaves the queue untouched and advances time to the
     /// deadline (useful for bounded-horizon runs).
     pub fn pop_until(&mut self, deadline: TimeSpan) -> Option<(TimeSpan, E)> {
-        match self.heap.peek() {
-            Some(s) if s.time <= deadline => self.pop(),
+        match self.heap.first() {
+            Some(key) if key.time <= deadline => self.pop(),
             _ => {
                 if deadline > self.now {
                     self.now = deadline;
@@ -147,7 +191,41 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<TimeSpan> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.first().map(|key| key.time)
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.heap[idx].before(&self.heap[parent]) {
+                self.heap.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * idx + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.heap[right].before(&self.heap[left]) {
+                right
+            } else {
+                left
+            };
+            if self.heap[child].before(&self.heap[idx]) {
+                self.heap.swap(idx, child);
+                idx = child;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -221,5 +299,155 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(4);
+        for i in 0..4u64 {
+            q.schedule_in(TimeSpan::from_seconds(i as f64), i);
+        }
+        // Churn far more events than the peak population: the slab must
+        // stay at the high-water mark.
+        for i in 0..1000u64 {
+            let (_, e) = q.pop().unwrap();
+            q.schedule_in(TimeSpan::from_seconds(4.0), e + i);
+        }
+        assert_eq!(q.slots.len(), 4);
+        assert_eq!(q.len(), 4);
+    }
+}
+
+/// The retired `BinaryHeap` queue, kept verbatim as the ordering oracle
+/// for the slab implementation (mirrors the reference Dijkstra scan the
+/// network crate keeps for its heap router).
+#[cfg(test)]
+mod reference {
+    use ami_units::TimeSpan;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug)]
+    struct Scheduled<E> {
+        time: TimeSpan,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Scheduled<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+
+    impl<E> Eq for Scheduled<E> {}
+
+    impl<E> PartialOrd for Scheduled<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Scheduled<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest-first;
+            // ties break FIFO by sequence number.
+            other
+                .time
+                .total_cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// The pre-slab event queue.
+    #[derive(Debug)]
+    pub struct ReferenceQueue<E> {
+        heap: BinaryHeap<Scheduled<E>>,
+        seq: u64,
+        now: TimeSpan,
+    }
+
+    impl<E> ReferenceQueue<E> {
+        pub fn new() -> Self {
+            Self {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                now: TimeSpan::ZERO,
+            }
+        }
+
+        pub fn now(&self) -> TimeSpan {
+            self.now
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        pub fn schedule_in(&mut self, delay: TimeSpan, event: E) {
+            assert!(!delay.is_negative(), "delay must be non-negative");
+            let at = self.now + delay;
+            self.heap.push(Scheduled {
+                time: at,
+                seq: self.seq,
+                event,
+            });
+            self.seq += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(TimeSpan, E)> {
+            let sched = self.heap.pop()?;
+            self.now = sched.time;
+            Some((sched.time, sched.event))
+        }
+    }
+}
+
+#[cfg(test)]
+mod reference_equivalence {
+    use super::reference::ReferenceQueue;
+    use super::EventQueue;
+    use ami_units::TimeSpan;
+    use proptest::prelude::*;
+
+    /// One step of an interleaving: schedule an event at one of a few
+    /// coarse delays (coarse so simultaneous events — the tie-break case
+    /// — are common), or pop (op == 1).
+    fn interleaving() -> impl Strategy<Value = Vec<(u8, u8)>> {
+        prop::collection::vec((0u8..2, 0u8..4), 1..200)
+    }
+
+    proptest! {
+        /// The slab queue replays any schedule_in/pop interleaving
+        /// event-for-event like the retired BinaryHeap implementation:
+        /// same popped (time, payload) stream, same clock, same final
+        /// population.
+        #[test]
+        fn slab_queue_matches_reference_event_for_event(ops in interleaving()) {
+            let mut fast: EventQueue<u64> = EventQueue::new();
+            let mut slow: ReferenceQueue<u64> = ReferenceQueue::new();
+            for (step, &(op, delay)) in ops.iter().enumerate() {
+                if op == 1 {
+                    let a = fast.pop();
+                    let b = slow.pop();
+                    prop_assert_eq!(a, b);
+                } else {
+                    let delay = TimeSpan::from_seconds(f64::from(delay));
+                    fast.schedule_in(delay, step as u64);
+                    slow.schedule_in(delay, step as u64);
+                }
+                prop_assert_eq!(fast.now(), slow.now());
+                prop_assert_eq!(fast.len(), slow.len());
+            }
+            // Drain: the leftovers must agree too.
+            loop {
+                let a = fast.pop();
+                let b = slow.pop();
+                prop_assert_eq!(a, b);
+                if fast.is_empty() && slow.len() == 0 {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -1,8 +1,23 @@
 //! Time-series recording with summary statistics.
 
+use crate::obs::Recorder;
 use ami_units::TimeSpan;
 
 /// A recorded `(time, value)` series with incremental statistics.
+///
+/// By default every sample is retained; [`TraceSeries::summary_only`]
+/// builds a series that keeps only the incremental statistics (count,
+/// compensated sum, min/max, last sample), so day-scale simulations can
+/// record millions of samples without carrying them. All statistics are
+/// computed identically in both modes — the Neumaier-compensated sum
+/// sees the same additions in the same order, so [`TraceSeries::mean`]
+/// is bit-identical whether or not samples are retained.
+///
+/// Retention can also be tied to the observability layer's
+/// [`Recorder`] gate: [`TraceSeries::for_recorder`] retains samples
+/// only when the recorder type asks for them
+/// ([`Recorder::RETAIN_SAMPLES`]), so un-instrumented runs get the
+/// summary-only fast path automatically.
 ///
 /// # Example
 ///
@@ -15,12 +30,24 @@ use ami_units::TimeSpan;
 /// t.record(TimeSpan::from_seconds(2.0), 5.0);
 /// assert_eq!(t.mean(), Some(4.0));
 /// assert_eq!(t.max(), Some(5.0));
+///
+/// let mut s = TraceSeries::summary_only("buffer level");
+/// s.record(TimeSpan::from_seconds(1.0), 3.0);
+/// s.record(TimeSpan::from_seconds(2.0), 5.0);
+/// assert_eq!(s.mean(), Some(4.0)); // identical statistics...
+/// assert!(s.values().is_empty()); // ...without the samples
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceSeries {
     name: String,
+    retain: bool,
     times: Vec<TimeSpan>,
     values: Vec<f64>,
+    /// Samples seen (equals `values.len()` when retaining).
+    count: usize,
+    /// Last recorded sample, kept even in summary mode for the
+    /// monotonic-time check and [`TraceSeries::last`].
+    last: Option<(TimeSpan, f64)>,
     // Neumaier-compensated running sum: `sum` carries the naive total,
     // `compensation` the low-order bits each addition rounds away.
     // A plain `sum += value` drifts on long series (millions of samples
@@ -32,12 +59,34 @@ pub struct TraceSeries {
 }
 
 impl TraceSeries {
-    /// An empty named series.
+    /// An empty named series retaining every sample.
     pub fn new(name: impl Into<String>) -> Self {
+        Self::with_retention(name, true)
+    }
+
+    /// An empty named series keeping only summary statistics: `record`
+    /// never allocates, and [`TraceSeries::times`] /
+    /// [`TraceSeries::values`] stay empty.
+    pub fn summary_only(name: impl Into<String>) -> Self {
+        Self::with_retention(name, false)
+    }
+
+    /// An empty named series whose retention follows the recorder type
+    /// `R`: full samples for instrumented runs
+    /// (`R::RETAIN_SAMPLES == true`), summary-only otherwise (e.g.
+    /// [`crate::obs::NullRecorder`]).
+    pub fn for_recorder<R: Recorder>(name: impl Into<String>) -> Self {
+        Self::with_retention(name, R::RETAIN_SAMPLES)
+    }
+
+    fn with_retention(name: impl Into<String>, retain: bool) -> Self {
         Self {
             name: name.into(),
+            retain,
             times: Vec::new(),
             values: Vec::new(),
+            count: 0,
+            last: None,
             sum: 0.0,
             compensation: 0.0,
             min: f64::INFINITY,
@@ -50,6 +99,11 @@ impl TraceSeries {
         &self.name
     }
 
+    /// `true` when every sample is kept (not summary-only mode).
+    pub fn retains_samples(&self) -> bool {
+        self.retain
+    }
+
     /// Appends a sample.
     ///
     /// # Panics
@@ -57,11 +111,15 @@ impl TraceSeries {
     /// Panics if `value` is not finite or `time` precedes the last sample.
     pub fn record(&mut self, time: TimeSpan, value: f64) {
         assert!(value.is_finite(), "trace values must be finite");
-        if let Some(last) = self.times.last() {
-            assert!(time >= *last, "trace times must not decrease");
+        if let Some((last_time, _)) = self.last {
+            assert!(time >= last_time, "trace times must not decrease");
         }
-        self.times.push(time);
-        self.values.push(value);
+        if self.retain {
+            self.times.push(time);
+            self.values.push(value);
+        }
+        self.count += 1;
+        self.last = Some((time, value));
         let t = self.sum + value;
         // Neumaier's branch: recover the low-order bits of whichever
         // addend the rounding truncated.
@@ -75,22 +133,22 @@ impl TraceSeries {
         self.max = self.max.max(value);
     }
 
-    /// Number of samples.
+    /// Number of samples recorded (counted even in summary-only mode).
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.count
     }
 
     /// `true` when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.count == 0
     }
 
-    /// The sample times.
+    /// The sample times (empty in summary-only mode).
     pub fn times(&self) -> &[TimeSpan] {
         &self.times
     }
 
-    /// The sample values.
+    /// The sample values (empty in summary-only mode).
     pub fn values(&self) -> &[f64] {
         &self.values
     }
@@ -98,37 +156,36 @@ impl TraceSeries {
     /// Arithmetic mean, if any samples exist.
     ///
     /// Computed from the compensated running sum, so it does not drift
-    /// on long series the way a naive accumulator does.
+    /// on long series the way a naive accumulator does, and is
+    /// bit-identical in retaining and summary-only modes.
     pub fn mean(&self) -> Option<f64> {
-        if self.values.is_empty() {
+        if self.count == 0 {
             None
         } else {
-            Some((self.sum + self.compensation) / self.values.len() as f64)
+            Some((self.sum + self.compensation) / self.count as f64)
         }
     }
 
     /// Minimum value, if any samples exist.
     pub fn min(&self) -> Option<f64> {
-        self.values.first().map(|_| self.min)
+        (self.count > 0).then_some(self.min)
     }
 
     /// Maximum value, if any samples exist.
     pub fn max(&self) -> Option<f64> {
-        self.values.first().map(|_| self.max)
+        (self.count > 0).then_some(self.max)
     }
 
     /// Last recorded value, if any.
     pub fn last(&self) -> Option<(TimeSpan, f64)> {
-        match (self.times.last(), self.values.last()) {
-            (Some(&t), Some(&v)) => Some((t, v)),
-            _ => None,
-        }
+        self.last
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{LedgerRecorder, NullRecorder};
 
     #[test]
     fn statistics_track_samples() {
@@ -192,5 +249,51 @@ mod tests {
     fn nan_value_rejected() {
         let mut t = TraceSeries::new("x");
         t.record(TimeSpan::ZERO, f64::NAN);
+    }
+
+    #[test]
+    fn summary_mode_statistics_are_bit_identical() {
+        // Adversarial magnitudes so any change to the summation order or
+        // compensation path would show: the summary-mode statistics must
+        // be *bit*-equal to the retaining ones, not merely close.
+        let samples: Vec<f64> = (0..10_000)
+            .map(|i| {
+                let x = i as f64;
+                (x * 0.7).sin() * 10f64.powf((i % 17) as f64 - 8.0)
+            })
+            .collect();
+        let mut full = TraceSeries::new("x");
+        let mut summary = TraceSeries::summary_only("x");
+        for (i, &v) in samples.iter().enumerate() {
+            let t = TimeSpan::from_seconds(i as f64);
+            full.record(t, v);
+            summary.record(t, v);
+        }
+        assert!(full.retains_samples());
+        assert!(!summary.retains_samples());
+        assert_eq!(full.len(), summary.len());
+        assert_eq!(
+            full.mean().unwrap().to_bits(),
+            summary.mean().unwrap().to_bits()
+        );
+        assert_eq!(full.min(), summary.min());
+        assert_eq!(full.max(), summary.max());
+        assert_eq!(full.last(), summary.last());
+        assert!(summary.times().is_empty());
+        assert!(summary.values().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not decrease")]
+    fn summary_mode_still_rejects_unordered_times() {
+        let mut t = TraceSeries::summary_only("x");
+        t.record(TimeSpan::from_seconds(2.0), 1.0);
+        t.record(TimeSpan::from_seconds(1.0), 1.0);
+    }
+
+    #[test]
+    fn recorder_gate_selects_retention() {
+        assert!(TraceSeries::for_recorder::<LedgerRecorder>("x").retains_samples());
+        assert!(!TraceSeries::for_recorder::<NullRecorder>("x").retains_samples());
     }
 }

@@ -4,6 +4,7 @@
 
 use ambience::arch::{ArchitectureClass, Processor};
 use ambience::core::case_studies::cs1::{run_cs1, Cs1Config};
+use ambience::core::case_studies::cs2::sweep_battery_life_threads;
 use ambience::core::design_space::{explore_cs1_threads, DesignCell};
 use ambience::dvs::{simulate_taskset, DvsPolicy, TaskSet};
 use ambience::net::{
@@ -15,7 +16,7 @@ use ambience::net::{
 };
 use ambience::radio::RadioEnergyModel;
 use ambience::sim::fault::FaultSpec;
-use ambience::sim::{replicate, replicate_par_threads};
+use ambience::sim::{replicate, replicate_all, replicate_all_par_threads, replicate_par_threads};
 use ambience::tech::{TechnologyNode, VariationModel};
 use ambience::units::{Area, Energy, Frequency, Length, Power, Temperature, TimeSpan};
 
@@ -126,6 +127,54 @@ fn parallel_replication_is_bit_exact_with_serial() {
     let serial = replicate(64, 123, radius_observable);
     for threads in [1usize, 2, 8] {
         let parallel = replicate_par_threads(threads, 64, 123, radius_observable);
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn multi_observable_replication_matches_per_observable_replicate() {
+    // replicate_all summarizes each observable column exactly like a
+    // solo replicate over the same seed schedule — same folds, same
+    // bits — while running the experiment once instead of once per
+    // observable.
+    let all = replicate_all(64, 123, 2, |seed, row| {
+        let r = radius_observable(seed);
+        row[0] = r;
+        row[1] = r * r;
+    });
+    let radius = replicate(64, 123, radius_observable);
+    let squared = replicate(64, 123, |seed| {
+        let r = radius_observable(seed);
+        r * r
+    });
+    assert_eq!(all, vec![radius, squared]);
+}
+
+#[test]
+fn parallel_multi_observable_replication_is_bit_exact_with_serial() {
+    let experiment = |seed: u64, row: &mut [f64]| {
+        let r = radius_observable(seed);
+        row[0] = r;
+        row[1] = r * r;
+    };
+    let serial = replicate_all(64, 123, 2, experiment);
+    for threads in [1usize, 2, 8] {
+        let parallel = replicate_all_par_threads(threads, 64, 123, 2, experiment);
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_battery_life_sweep_is_bit_exact_with_serial() {
+    // F4's node×policy sweep fans one cell per (node, policy) pair and
+    // merges in node-major order, so the table the binary prints cannot
+    // depend on the worker count.
+    let nodes = [TechnologyNode::n130(), TechnologyNode::n90()];
+    let policies = [DvsPolicy::None, DvsPolicy::Clairvoyant];
+    let serial = sweep_battery_life_threads(1, &nodes, &policies);
+    assert_eq!(serial.len(), 4, "node-major grid of 2x2 cells");
+    for threads in [2usize, 8] {
+        let parallel = sweep_battery_life_threads(threads, &nodes, &policies);
         assert_eq!(serial, parallel, "threads = {threads}");
     }
 }
