@@ -17,7 +17,11 @@
 //!
 //! Network sizes are N ∈ {25, 100, 400, 1600} uniform-random fields at
 //! constant node density (field side 25·√N m, so ~10 neighbours in
-//! radio range whatever the scale).
+//! radio range whatever the scale). `route_build` and `gather_round`
+//! additionally run at the city scales N ∈ {10 000, 100 000} (fewer
+//! rounds per iteration), pinning the spatial-grid CSR build and the
+//! incremental-repair round loop where quadratic scans would be
+//! unaffordable.
 //!
 //! `BENCH_SIM.json` (schema `ambience-bench-sim/v1`) — the `ami-sim`
 //! kernel and sweep layer (labels mirrored by the `sim_hotpath`
@@ -59,6 +63,13 @@ use std::time::Instant;
 
 /// Network sizes of the snapshot sweep.
 const SIZES: [usize; 4] = [25, 100, 400, 1600];
+/// City-scale sizes: `route_build` and `gather_round` only (the lossy
+/// and faulted-replication workloads stay at the classic sizes so the
+/// snapshot keeps finishing in seconds).
+const LARGE_SIZES: [usize; 2] = [10_000, 100_000];
+/// Rounds per gather iteration at the city scales — enough to expose a
+/// per-round regression without drowning the snapshot in wall clock.
+const GATHER_ROUNDS_LARGE: u64 = 2;
 /// Rounds per gather / lossy iteration (kept small so route building is
 /// a realistic share of the work, as in short replication studies).
 const GATHER_ROUNDS: u64 = 10;
@@ -197,6 +208,40 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
                     RoutingStrategy::MinimumEnergy,
                     &net_config,
                     FAULT_ROUNDS,
+                ));
+            },
+        ));
+    }
+
+    for &n in &LARGE_SIZES {
+        let topo = field(n);
+        entries.push(measure(
+            format!("route_build/n{n}"),
+            "route_build",
+            n,
+            1,
+            quick,
+            || {
+                black_box(build_routes(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config.radio,
+                    net_config.max_hop,
+                ));
+            },
+        ));
+        entries.push(measure(
+            format!("gather_round/n{n}"),
+            "gather_round",
+            n,
+            GATHER_ROUNDS_LARGE,
+            quick,
+            || {
+                black_box(simulate_gathering(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config,
+                    GATHER_ROUNDS_LARGE,
                 ));
             },
         ));

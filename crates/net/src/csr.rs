@@ -50,10 +50,118 @@ impl CsrAdjacency {
     /// Builds the hop graph over `positions` with hops bounded by
     /// `range` (inclusive, matching `neighbors_within`).
     ///
+    /// Candidate pairs come from a uniform spatial grid with cells at
+    /// least `range` wide (probing the 3×3 block around each node), so
+    /// construction is O(N · candidates) instead of the all-pairs scan —
+    /// the difference between seconds and hours at city scale. Rows are
+    /// still emitted in ascending id order with the exact same
+    /// [`Position::distance_to`] floats, so the result is bit-identical
+    /// to [`build_scan`](Self::build_scan) (pinned by tests).
+    ///
     /// # Panics
     ///
     /// Panics if there are more than `u32::MAX` nodes.
     pub fn build(positions: &[Position], range: Length) -> Self {
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "CSR ids are u32");
+        let r = range.as_meters();
+        if n == 0 || !r.is_finite() || r <= 0.0 {
+            // Degenerate ranges have no useful cell size; the scan is
+            // exact and these cases are never hot.
+            return Self::build_scan(positions, range);
+        }
+
+        // Deployment bounding box.
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+
+        // Cell size: at least `range` so the 3×3 probe covers every
+        // in-range pair, and at least extent/√n so the grid stays O(n)
+        // cells even when the range is tiny relative to the field.
+        let cap = (n as f64).sqrt().ceil().max(1.0);
+        let cell = r.max((max_x - min_x) / cap).max((max_y - min_y) / cap);
+        let nx = ((max_x - min_x) / cell) as usize + 1;
+        let ny = ((max_y - min_y) / cell) as usize + 1;
+        let cell_xy = |p: &Position| -> (usize, usize) {
+            let cx = (((p.x - min_x) / cell) as usize).min(nx - 1);
+            let cy = (((p.y - min_y) / cell) as usize).min(ny - 1);
+            (cx, cy)
+        };
+
+        // Counting-sort node ids into cells (ascending id per cell).
+        let cells = nx * ny;
+        let mut start = vec![0u32; cells + 1];
+        for p in positions {
+            let (cx, cy) = cell_xy(p);
+            start[cy * nx + cx + 1] += 1;
+        }
+        for c in 0..cells {
+            start[c + 1] += start[c];
+        }
+        let mut bucket = vec![0u32; n];
+        let mut cursor = start.clone();
+        for (id, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_xy(p);
+            let c = cy * nx + cx;
+            bucket[cursor[c] as usize] = id as u32;
+            cursor[c] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut distances_m = Vec::new();
+        let mut candidates: Vec<u32> = Vec::new();
+        offsets.push(0u32);
+        for (u, pu) in positions.iter().enumerate() {
+            let (cx, cy) = cell_xy(pu);
+            candidates.clear();
+            for gy in cy.saturating_sub(1)..=(cy + 1).min(ny - 1) {
+                for gx in cx.saturating_sub(1)..=(cx + 1).min(nx - 1) {
+                    let c = gy * nx + gx;
+                    candidates.extend_from_slice(&bucket[start[c] as usize..start[c + 1] as usize]);
+                }
+            }
+            // Nine ascending runs merge into one ascending row: the sort
+            // restores the id order the scan produced.
+            candidates.sort_unstable();
+            for &vid in &candidates {
+                let v = vid as usize;
+                if v == u {
+                    continue;
+                }
+                let d = pu.distance_to(&positions[v]);
+                if d <= range {
+                    targets.push(vid);
+                    distances_m.push(d.as_meters());
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            range_bits: range.as_meters().to_bits(),
+            offsets,
+            targets,
+            distances_m,
+        }
+    }
+
+    /// The historical all-pairs O(N²) construction, kept in-tree as the
+    /// pinned oracle for the spatial-grid [`build`](Self::build): tests
+    /// diff the two row-for-row (ids *and* distance bits) on random and
+    /// degenerate layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than `u32::MAX` nodes.
+    pub fn build_scan(positions: &[Position], range: Length) -> Self {
         let n = positions.len();
         assert!(u32::try_from(n).is_ok(), "CSR ids are u32");
         let mut offsets = Vec::with_capacity(n + 1);

@@ -33,7 +33,7 @@
 use crate::routing::{RouteCache, RoutingStrategy};
 use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel};
-use ami_sim::fault::FaultSchedule;
+use ami_sim::fault::{FaultSchedule, FaultTimeline};
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
 use ami_units::{DataVolume, Energy, EnergyPerBit, Length, Power, TimeSpan};
 use serde::{Deserialize, Serialize};
@@ -280,12 +280,13 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
     assert!(rounds > 0, "simulate at least one round");
     let n = topology.len();
     let sink = topology.sink();
+    let capacity = faults.capacity_factors(n);
     let mut budget: Vec<f64> = (0..n)
         .map(|id| {
             if id == sink.0 {
                 config.node_energy.as_joules()
             } else {
-                config.node_energy.as_joules() * faults.capacity_factor(id)
+                config.node_energy.as_joules() * capacity[id]
             }
         })
         .collect();
@@ -298,6 +299,10 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
     // Receive energy is distance-independent: one value serves every hop.
     let rx_per_hop = config.radio.receive_energy(bits).as_joules();
     let faults_active = !faults.is_empty();
+    // The compiled timeline answers per-round down queries in O(1)
+    // instead of scanning the event list; its cursor advances with the
+    // round loop and allocates nothing.
+    let mut timeline = FaultTimeline::compile(faults, n);
 
     // Scratch buffers reused across rounds — the round loop allocates
     // nothing. `usable` is the node set routing can see: budget-alive
@@ -314,8 +319,9 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
 
     for round in 0..rounds {
         if faults_active {
+            timeline.advance_to(round);
             for (id, down) in down_now.iter_mut().enumerate() {
-                *down = id != sink.0 && faults.node_down(id, round);
+                *down = id != sink.0 && timeline.node_down(id);
             }
         }
 
@@ -382,7 +388,7 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
                 // still costs the sender its transmission — it cannot
                 // know in advance — but nothing arrives and the downed
                 // receiver spends nothing.
-                if (hop != sink && down_now[hop.0]) || faults.link_down(from.0, hop.0, round) {
+                if (hop != sink && down_now[hop.0]) || timeline.link_down(from.0, hop.0) {
                     fate = PacketFate::Fault;
                     break;
                 }
@@ -430,10 +436,12 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
         total_energy: Energy::from_joules(spent),
         first_death_round: first_death,
         // A node down in the final round (dead or still mid-outage)
-        // does not count as part of the surviving network.
+        // does not count as part of the surviving network. The timeline
+        // already sits at `rounds - 1`, so this is a counter read per
+        // node, not an event scan.
         alive_nodes: topology
             .sensor_ids()
-            .filter(|id| alive[id.0] && !faults.node_down(id.0, rounds - 1))
+            .filter(|id| alive[id.0] && !timeline.node_down(id.0))
             .count(),
         residual_energy: budget
             .iter()
@@ -447,72 +455,13 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routing::{build_routes, build_routes_over};
-    use crate::topology::{NodeId, Position};
+    use crate::routing::build_routes_over;
+    use crate::topology::Position;
 
-    /// The historical usable-subset rebuild: filter usable nodes into a
-    /// compact topology, route it, map ids back. Kept verbatim as the
-    /// bit-exactness reference for [`build_routes_over`], which routes
-    /// the full cached CSR with an id-order-preserving subset skip.
-    fn rebuild_over_usable_radio(
-        topology: &Topology,
-        strategy: RoutingStrategy,
-        radio: &RadioEnergyModel,
-        max_hop: Length,
-        usable: &[bool],
-    ) -> Vec<Option<NodeId>> {
-        // Map usable ids into a compact topology (sink always survives).
-        let mut forward = Vec::new(); // compact -> original
-        let mut positions = Vec::new();
-        for id in topology.ids() {
-            if id == topology.sink() || usable[id.0] {
-                forward.push(id);
-                positions.push(topology.position(id));
-            }
-        }
-        if positions.len() < 2 {
-            // Everyone but the sink is dead: no routes remain.
-            return vec![None; topology.len()];
-        }
-        let compact = Topology::new(positions);
-        let compact_table = build_routes(&compact, strategy, radio, max_hop);
-        let mut table = vec![None; topology.len()];
-        for (compact_idx, original) in forward.iter().enumerate() {
-            table[original.0] = compact_table[compact_idx].map(|next| forward[next.0]);
-        }
-        table
-    }
-
-    #[test]
-    fn subset_routing_matches_the_compact_rebuild_exactly() {
-        // The id-order-preserving map between the compact topology and
-        // the masked full topology must make the two approaches agree
-        // bit-for-bit, whatever the usable mask.
-        let config = NetworkConfig::sensor_default();
-        for seed in 0..10u64 {
-            let topo = Topology::random(40, Length::from_meters(130.0), seed);
-            // A deterministic, seed-varied mask (sink always usable).
-            let mut usable: Vec<bool> = (0..topo.len())
-                .map(|id| id == 0 || !(id as u64).wrapping_mul(seed + 3).is_multiple_of(5))
-                .collect();
-            usable[0] = true;
-            for strategy in [
-                RoutingStrategy::DirectToSink,
-                RoutingStrategy::MinimumEnergy,
-            ] {
-                let compact = rebuild_over_usable_radio(
-                    &topo,
-                    strategy,
-                    &config.radio,
-                    config.max_hop,
-                    &usable,
-                );
-                let masked =
-                    build_routes_over(&topo, strategy, &config.radio, config.max_hop, &usable);
-                assert_eq!(masked, compact, "seed {seed} strategy {strategy}");
-            }
-        }
-    }
+    // The historical compact-rebuild oracle and the test pinning
+    // `build_routes_over` against it moved to `tests/common/oracle.rs`
+    // + `tests/differential.rs`, shared with the incremental-repair
+    // differential layer.
 
     #[test]
     fn subset_routing_handles_the_everyone_dead_case() {

@@ -18,7 +18,7 @@
 use crate::routing::{RouteCache, RoutingStrategy};
 use crate::topology::Topology;
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
-use ami_sim::fault::FaultSchedule;
+use ami_sim::fault::{FaultSchedule, FaultTimeline};
 use ami_sim::sim_rng;
 use ami_units::{Energy, EnergyPerBit, Length};
 use rand::rngs::StdRng;
@@ -151,6 +151,9 @@ pub fn simulate_lossy_gathering_faulted(
     // Receive energy is distance-independent: one value serves every hop.
     let rx = config.radio.receive_energy(bits).as_joules();
     let faults_active = !faults.is_empty();
+    // Compiled down/link windows: O(1) per query instead of an event
+    // scan, cursor advanced once per round.
+    let mut timeline = FaultTimeline::compile(faults, n);
     let mut rng = sim_rng(seed);
     let mut offered = 0u64;
     let mut delivered = 0u64;
@@ -169,8 +172,9 @@ pub fn simulate_lossy_gathering_faulted(
 
     for round in 0..rounds {
         if faults_active {
+            timeline.advance_to(round);
             for (id, down) in down_now.iter_mut().enumerate() {
-                *down = id != sink.0 && faults.node_down(id, round);
+                *down = id != sink.0 && timeline.node_down(id);
             }
         }
         // Routing sees fault state with a one-round lag, as in `gather`
@@ -217,7 +221,7 @@ pub fn simulate_lossy_gathering_faulted(
                     faulted = true;
                     break;
                 }
-                if faults.link_down(from.0, hop.0, round) {
+                if timeline.link_down(from.0, hop.0) {
                     // Downed link between two powered nodes: every
                     // attempt costs the sender a transmit and the
                     // receiver a listen, but nothing crosses.

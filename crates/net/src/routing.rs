@@ -9,10 +9,26 @@
 //! (`tests` pin this against a reference scan).
 //!
 //! [`RouteCache`] wraps a table in a usable-set epoch: the table is
-//! rebuilt only when the usable set actually differs from the one the
+//! recomputed only when the usable set actually differs from the one the
 //! routes were last built over, and each build pre-resolves per-node
 //! next-hop transmit costs and sink connectivity so the simulators'
 //! round loops touch no allocator and recompute no distances.
+//!
+//! Since the city-scale work, a usable-set *transition* no longer pays a
+//! full-graph Dijkstra: the cache keeps the final distance labels of the
+//! last build and performs **incremental route repair** — it invalidates
+//! exactly the parent-tree subtrees hanging off newly-unusable nodes
+//! (plus any rebooted nodes), re-seeds the frontier from untouched
+//! neighbours, and re-relaxes only that wave. Because heap Dijkstra with
+//! `(dist, id)` tie-breaking makes every node's parent a pure function
+//! of the final distance labels (the lowest-`(dist, id)` optimal
+//! predecessor), the repaired table is bit-identical to a from-scratch
+//! rebuild — a contract pinned by the differential tests in
+//! `tests/differential.rs`, which drive random topologies × random fault
+//! schedules through both paths. The full-rebuild path stays in-tree as
+//! that oracle, reachable via [`set_route_repair_enabled`]. Repairs are
+//! observable through [`route_repair_count`] next to the existing
+//! [`route_build_count`].
 
 use crate::topology::{NodeId, Topology};
 use ami_radio::RadioEnergyModel;
@@ -44,10 +60,18 @@ impl std::fmt::Display for RoutingStrategy {
 thread_local! {
     /// Route builds performed on this thread (test instrumentation).
     static ROUTE_BUILDS: Cell<u64> = const { Cell::new(0) };
+    /// Incremental route repairs performed on this thread.
+    static ROUTE_REPAIRS: Cell<u64> = const { Cell::new(0) };
+    /// Whether [`RouteCache`] may repair instead of rebuilding.
+    static REPAIR_ENABLED: Cell<bool> = const { Cell::new(true) };
 }
 
 fn note_route_build() {
     ROUTE_BUILDS.with(|count| count.set(count.get() + 1));
+}
+
+fn note_route_repair() {
+    ROUTE_REPAIRS.with(|count| count.set(count.get() + 1));
 }
 
 /// Number of route-table builds performed on this thread since the last
@@ -60,6 +84,33 @@ pub fn route_build_count() -> u64 {
 /// Resets this thread's [`route_build_count`] to zero.
 pub fn reset_route_build_count() {
     ROUTE_BUILDS.with(|count| count.set(0));
+}
+
+/// Number of incremental route repairs performed on this thread since
+/// the last [`reset_route_repair_count`]. A usable-set transition costs
+/// one repair instead of one build whenever the cache can splice the
+/// affected subtrees; builds + repairs together account for every
+/// transition.
+pub fn route_repair_count() -> u64 {
+    ROUTE_REPAIRS.with(Cell::get)
+}
+
+/// Resets this thread's [`route_repair_count`] to zero.
+pub fn reset_route_repair_count() {
+    ROUTE_REPAIRS.with(|count| count.set(0));
+}
+
+/// Whether [`RouteCache`] repairs incrementally on this thread.
+pub fn route_repair_enabled() -> bool {
+    REPAIR_ENABLED.with(Cell::get)
+}
+
+/// Enables or disables incremental repair on this thread, returning the
+/// previous setting. Disabling forces every usable-set transition back
+/// onto the historical full-rebuild path — the in-tree oracle the
+/// differential tests diff the repair path against.
+pub fn set_route_repair_enabled(enabled: bool) -> bool {
+    REPAIR_ENABLED.with(|flag| flag.replace(enabled))
 }
 
 /// Builds the next-hop table: `table[node] = Some(next)` for every
@@ -129,7 +180,7 @@ pub fn build_routes_over(
 
 /// A pending heap entry; ordered by `(dist, node)` so ties settle
 /// lowest-id-first, matching the historical linear scan.
-#[derive(PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
     dist: f64,
     node: u32,
@@ -163,12 +214,41 @@ fn dijkstra_to_sink(
     usable: Option<&[bool]>,
 ) -> Vec<Option<NodeId>> {
     let n = topology.len();
-    let sink = topology.sink();
-    let csr = topology.csr_within(max_hop);
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut visited = vec![false; n];
     let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+    dijkstra_into(
+        topology,
+        radio,
+        max_hop,
+        usable,
+        &mut dist,
+        &mut parent,
+        &mut heap,
+    );
+    parent
+}
+
+/// The Dijkstra core behind [`dijkstra_to_sink`] and the full-build arm
+/// of [`RouteCache`]: resets `dist`/`parent` in place and fills both,
+/// reusing the caller's heap scratch. Stale heap entries are skipped by
+/// the `d > dist[u]` check alone — with strictly positive weights a
+/// node's first pop carries its final distance, so a separate visited
+/// set changes nothing.
+fn dijkstra_into(
+    topology: &Topology,
+    radio: &RadioEnergyModel,
+    max_hop: Length,
+    usable: Option<&[bool]>,
+    dist: &mut [f64],
+    parent: &mut [Option<NodeId>],
+    heap: &mut BinaryHeap<Reverse<HeapEntry>>,
+) {
+    let sink = topology.sink();
+    let csr = topology.csr_within(max_hop);
+    dist.fill(f64::INFINITY);
+    parent.fill(None);
+    heap.clear();
     dist[sink.0] = 0.0;
     heap.push(Reverse(HeapEntry {
         dist: 0.0,
@@ -177,16 +257,12 @@ fn dijkstra_to_sink(
 
     while let Some(Reverse(HeapEntry { dist: d, node })) = heap.pop() {
         let u = node as usize;
-        if visited[u] || d > dist[u] {
+        if d > dist[u] {
             continue; // stale entry superseded by a better one
         }
-        visited[u] = true;
         let (targets, hops_m) = csr.neighbors_with_distance(u);
         for (&target, &hop_m) in targets.iter().zip(hops_m) {
             let v = target as usize;
-            if visited[v] {
-                continue;
-            }
             if let Some(mask) = usable {
                 if v != sink.0 && !mask[v] {
                     continue;
@@ -206,7 +282,6 @@ fn dijkstra_to_sink(
             }
         }
     }
-    parent
 }
 
 /// Walks a route table from `node` to the sink, returning the hop
@@ -233,12 +308,20 @@ pub fn route_to_sink(table: &[Option<NodeId>], topology: &Topology, node: NodeId
 /// A next-hop table cached behind a usable-set epoch.
 ///
 /// The simulators' round loops call [`ensure`](RouteCache::ensure) every
-/// time the usable set *may* have changed; the table is actually rebuilt
-/// only when it *did* change (fault events are sparse, and a healthy run
+/// time the usable set *may* have changed; the table is recomputed only
+/// when it *did* change (fault events are sparse, and a healthy run
 /// builds exactly once). Each build also pre-resolves, per node, the
 /// transmit energy to its next hop and whether its route reaches the
 /// sink, so the per-packet hot loop is pure array reads — no `Vec`
 /// allocation, no distance recomputation.
+///
+/// A minimum-energy transition after the first build runs as an
+/// **incremental repair** (see the module docs): only the parent-tree
+/// subtrees hanging off the changed nodes are re-relaxed, against the
+/// retained distance labels of the previous epoch, using scratch buffers
+/// that the cache reuses across transitions. The result is bit-identical
+/// to a full rebuild; [`builds`](RouteCache::builds) and
+/// [`repairs`](RouteCache::repairs) say which path each transition took.
 ///
 /// # Example
 ///
@@ -265,8 +348,36 @@ pub struct RouteCache {
     routed_over: Vec<bool>,
     connected: Vec<bool>,
     tx_cost: Vec<f64>,
+    /// Final Dijkstra distance labels of the current epoch; the anchor
+    /// the repair wave re-relaxes against. Infinity for routeless nodes
+    /// and for every node under [`RoutingStrategy::DirectToSink`].
+    dist: Vec<f64>,
     builds: u64,
+    repairs: u64,
     primed: bool,
+    /// Strategy of the current epoch; repair is only sound on top of a
+    /// minimum-energy table.
+    built_with: Option<RoutingStrategy>,
+    scratch: RepairScratch,
+}
+
+/// Reusable buffers for [`RouteCache::repair`] and connectivity
+/// resolution: after the first transition of a run, repairs and rebuilds
+/// touch the allocator not at all (proven by `tests/zero_alloc_faulted`).
+#[derive(Debug, Clone, Default)]
+struct RepairScratch {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Children CSR over the current parent table: row `p` is
+    /// `child_ids[child_off[p]..child_off[p + 1]]`.
+    child_off: Vec<u32>,
+    child_cursor: Vec<u32>,
+    child_ids: Vec<u32>,
+    /// Invalidated (or rebooted) nodes, doubling as the BFS worklist.
+    affected: Vec<u32>,
+    in_affected: Vec<bool>,
+    /// Connectivity resolution: 0 unresolved, 1 connected, 2 not.
+    conn_state: Vec<u8>,
+    conn_chain: Vec<u32>,
 }
 
 impl RouteCache {
@@ -278,15 +389,24 @@ impl RouteCache {
             routed_over: vec![false; nodes],
             connected: vec![false; nodes],
             tx_cost: vec![0.0; nodes],
+            dist: vec![f64::INFINITY; nodes],
             builds: 0,
+            repairs: 0,
             primed: false,
+            built_with: None,
+            scratch: RepairScratch::default(),
         }
     }
 
-    /// Makes the cached table current for `usable`, rebuilding only when
-    /// the set differs from the one routes were last built over. Returns
-    /// whether a rebuild happened. `volume` sizes the cached per-hop
-    /// transmit costs (one packet's bits).
+    /// Makes the cached table current for `usable`, recomputing only
+    /// when the set differs from the one routes were last built over.
+    /// Returns whether a recompute (build or repair) happened. `volume`
+    /// sizes the cached per-hop transmit costs (one packet's bits).
+    ///
+    /// Minimum-energy transitions after the first build repair
+    /// incrementally unless [`set_route_repair_enabled`] turned the
+    /// optimization off for this thread; either path yields bit-identical
+    /// tables, costs, and connectivity.
     ///
     /// # Panics
     ///
@@ -307,7 +427,42 @@ impl RouteCache {
         if self.primed && self.routed_over == usable {
             return false;
         }
-        self.table = build_routes_over(topology, strategy, radio, max_hop, usable);
+        let repairable = self.primed
+            && strategy == RoutingStrategy::MinimumEnergy
+            && self.built_with == Some(RoutingStrategy::MinimumEnergy)
+            && route_repair_enabled();
+        if repairable {
+            self.repair(topology, radio, max_hop, usable);
+            note_route_repair();
+            self.repairs += 1;
+        } else {
+            match strategy {
+                RoutingStrategy::DirectToSink => {
+                    let sink = topology.sink();
+                    for id in topology.ids() {
+                        self.table[id.0] = if id != sink && usable[id.0] {
+                            Some(sink)
+                        } else {
+                            None
+                        };
+                    }
+                    self.dist.fill(f64::INFINITY);
+                }
+                RoutingStrategy::MinimumEnergy => {
+                    dijkstra_into(
+                        topology,
+                        radio,
+                        max_hop,
+                        Some(usable),
+                        &mut self.dist,
+                        &mut self.table,
+                        &mut self.scratch.heap,
+                    );
+                }
+            }
+            note_route_build();
+            self.builds += 1;
+        }
         self.routed_over.copy_from_slice(usable);
         for id in topology.ids() {
             self.tx_cost[id.0] = match self.table[id.0] {
@@ -318,9 +473,178 @@ impl RouteCache {
             };
         }
         self.resolve_connectivity(topology.sink());
-        self.builds += 1;
+        self.built_with = Some(strategy);
         self.primed = true;
         true
+    }
+
+    /// Splices the cached minimum-energy table from the previous usable
+    /// set onto `usable` without a full Dijkstra.
+    ///
+    /// Correctness rests on the canonical-parent property of the full
+    /// build: with `(dist, id)` heap ordering and strictly positive
+    /// weights, `table[v]` is always the optimal predecessor minimizing
+    /// `(dist, id)`. Nodes outside the subtrees of changed nodes keep
+    /// both labels — removals can only lengthen paths elsewhere, so
+    /// their surviving tree path and parent choice stand — while every
+    /// node inside is re-seeded from the untouched frontier and
+    /// re-relaxed; reboots enter the same wave as improvement sources.
+    /// Ties discovered during the wave adopt a predecessor only when its
+    /// `(dist, id)` beats the incumbent's, reproducing the settle order
+    /// of a from-scratch run bit for bit.
+    fn repair(
+        &mut self,
+        topology: &Topology,
+        radio: &RadioEnergyModel,
+        max_hop: Length,
+        usable: &[bool],
+    ) {
+        let n = self.table.len();
+        let sink = topology.sink().0;
+        let csr = topology.csr_within(max_hop);
+        let s = &mut self.scratch;
+
+        // Children index over the outgoing parent table, so subtree
+        // invalidation is O(subtree) instead of O(N) per changed node.
+        s.child_off.clear();
+        s.child_off.resize(n + 1, 0);
+        for parent in self.table.iter().flatten() {
+            s.child_off[parent.0 + 1] += 1;
+        }
+        for p in 0..n {
+            s.child_off[p + 1] += s.child_off[p];
+        }
+        s.child_cursor.clear();
+        s.child_cursor.extend_from_slice(&s.child_off[..n]);
+        s.child_ids.clear();
+        s.child_ids.resize(s.child_off[n] as usize, 0);
+        for (v, parent) in self.table.iter().enumerate() {
+            if let Some(p) = parent {
+                let slot = s.child_cursor[p.0] as usize;
+                s.child_ids[slot] = v as u32;
+                s.child_cursor[p.0] += 1;
+            }
+        }
+
+        // Diff the epochs. Newly-unusable nodes lose their labels and
+        // stay routeless; rebooted nodes join the affected set so the
+        // wave gives them (back) a route. The sink is always usable.
+        s.affected.clear();
+        s.in_affected.clear();
+        s.in_affected.resize(n, false);
+        for (v, &now_usable) in usable.iter().enumerate() {
+            if v == sink || self.routed_over[v] == now_usable {
+                continue;
+            }
+            if !now_usable {
+                self.dist[v] = f64::INFINITY;
+                self.table[v] = None;
+            }
+            s.in_affected[v] = true;
+            s.affected.push(v as u32);
+        }
+
+        // Everything routing *through* a changed node is stale too:
+        // invalidate the parent-tree subtrees breadth-first.
+        let mut head = 0;
+        while head < s.affected.len() {
+            let u = s.affected[head] as usize;
+            head += 1;
+            let lo = s.child_off[u] as usize;
+            let hi = s.child_off[u + 1] as usize;
+            for idx in lo..hi {
+                let c = s.child_ids[idx] as usize;
+                if !s.in_affected[c] {
+                    s.in_affected[c] = true;
+                    self.dist[c] = f64::INFINITY;
+                    self.table[c] = None;
+                    s.affected.push(c as u32);
+                }
+            }
+        }
+
+        // Seed each affected usable node from its best untouched usable
+        // neighbour: among minimum-candidate predecessors the one with
+        // the lowest (dist, id) — exactly the parent a full run's settle
+        // order would have recorded first.
+        s.heap.clear();
+        for &vu in &s.affected {
+            let v = vu as usize;
+            if !usable[v] {
+                continue;
+            }
+            let (targets, hops_m) = csr.neighbors_with_distance(v);
+            let mut best = f64::INFINITY;
+            let mut best_pred = usize::MAX;
+            let mut best_pred_dist = f64::INFINITY;
+            for (&target, &hop_m) in targets.iter().zip(hops_m) {
+                let p = target as usize;
+                if s.in_affected[p] || (p != sink && !usable[p]) {
+                    continue;
+                }
+                let dp = self.dist[p];
+                if !dp.is_finite() {
+                    continue;
+                }
+                let weight = radio
+                    .hop_energy_per_bit(Length::from_meters(hop_m))
+                    .as_joules_per_bit();
+                let candidate = dp + weight;
+                if candidate < best || (candidate == best && (dp, p) < (best_pred_dist, best_pred))
+                {
+                    best = candidate;
+                    best_pred = p;
+                    best_pred_dist = dp;
+                }
+            }
+            if best_pred != usize::MAX {
+                self.dist[v] = best;
+                self.table[v] = Some(NodeId(best_pred));
+                s.heap.push(Reverse(HeapEntry {
+                    dist: best,
+                    node: vu,
+                }));
+            }
+        }
+
+        // Bounded re-relaxation wave. Strict improvements propagate as
+        // in a full run; an equal-distance candidate only steals the
+        // parent slot when its (dist, id) precedes the incumbent's (and
+        // needs no re-push: children pick parents by label values, which
+        // a tie does not change).
+        while let Some(Reverse(HeapEntry { dist: d, node })) = s.heap.pop() {
+            let u = node as usize;
+            if d > self.dist[u] {
+                continue;
+            }
+            let du = self.dist[u];
+            let (targets, hops_m) = csr.neighbors_with_distance(u);
+            for (&target, &hop_m) in targets.iter().zip(hops_m) {
+                let v = target as usize;
+                if v == sink || !usable[v] {
+                    continue;
+                }
+                let weight = radio
+                    .hop_energy_per_bit(Length::from_meters(hop_m))
+                    .as_joules_per_bit();
+                let candidate = du + weight;
+                let dv = self.dist[v];
+                if candidate < dv {
+                    self.dist[v] = candidate;
+                    self.table[v] = Some(NodeId(u));
+                    s.heap.push(Reverse(HeapEntry {
+                        dist: candidate,
+                        node: target,
+                    }));
+                } else if candidate == dv {
+                    if let Some(incumbent) = self.table[v] {
+                        if (du, u) < (self.dist[incumbent.0], incumbent.0) {
+                            self.table[v] = Some(NodeId(u));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Fills `connected` by walking the table with memoization: each
@@ -328,9 +652,10 @@ impl RouteCache {
     /// (or the sink / a dead end / the cycle bound) its chain reaches.
     fn resolve_connectivity(&mut self, sink: NodeId) {
         let n = self.table.len();
-        // 0 = unresolved, 1 = connected, 2 = disconnected.
-        let mut state = vec![0u8; n];
-        let mut chain: Vec<usize> = Vec::new();
+        let state = &mut self.scratch.conn_state;
+        state.clear();
+        state.resize(n, 0);
+        let chain = &mut self.scratch.conn_chain;
         for start in 0..n {
             if state[start] != 0 {
                 continue;
@@ -341,7 +666,7 @@ impl RouteCache {
                 if state[current] != 0 {
                     break state[current];
                 }
-                chain.push(current);
+                chain.push(current as u32);
                 match self.table[current] {
                     None => break 2,
                     Some(next) if next == sink => break 1,
@@ -355,11 +680,11 @@ impl RouteCache {
                     }
                 }
             };
-            for &id in &chain {
-                state[id] = verdict;
+            for &id in chain.iter() {
+                state[id as usize] = verdict;
             }
         }
-        for (flag, s) in self.connected.iter_mut().zip(&state) {
+        for (flag, s) in self.connected.iter_mut().zip(state.iter()) {
             *flag = *s == 1;
         }
     }
@@ -389,6 +714,13 @@ impl RouteCache {
     pub fn builds(&self) -> u64 {
         self.builds
     }
+
+    /// Incremental repairs this cache has performed; together with
+    /// [`builds`](RouteCache::builds) this accounts for every usable-set
+    /// transition the cache has absorbed.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
 }
 
 #[cfg(test)]
@@ -399,55 +731,10 @@ mod tests {
         RadioEnergyModel::short_range_2003()
     }
 
-    /// The historical O(N²) scan Dijkstra, kept verbatim as the
-    /// bit-exactness reference for the heap implementation.
-    fn dijkstra_reference_scan(
-        topology: &Topology,
-        radio: &RadioEnergyModel,
-        max_hop: Length,
-    ) -> Vec<Option<NodeId>> {
-        let n = topology.len();
-        let sink = topology.sink();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent: Vec<Option<NodeId>> = vec![None; n];
-        let mut visited = vec![false; n];
-        dist[sink.0] = 0.0;
-        for _ in 0..n {
-            let mut best: Option<usize> = None;
-            for (idx, &d) in dist.iter().enumerate() {
-                if !visited[idx] && d.is_finite() && best.is_none_or(|b| d < dist[b]) {
-                    best = Some(idx);
-                }
-            }
-            let Some(u) = best else { break };
-            visited[u] = true;
-            for v in topology.neighbors_within(NodeId(u), max_hop) {
-                if visited[v.0] {
-                    continue;
-                }
-                let hop = topology.distance(NodeId(u), v);
-                let weight = radio.hop_energy_per_bit(hop).as_joules_per_bit();
-                if dist[u] + weight < dist[v.0] {
-                    dist[v.0] = dist[u] + weight;
-                    parent[v.0] = Some(NodeId(u));
-                }
-            }
-        }
-        parent
-    }
-
-    #[test]
-    fn heap_dijkstra_matches_the_reference_scan_exactly() {
-        for seed in 0..20u64 {
-            let topo = Topology::random(60, Length::from_meters(160.0), seed);
-            for range_m in [30.0, 45.0, 70.0] {
-                let range = Length::from_meters(range_m);
-                let fast = build_routes(&topo, RoutingStrategy::MinimumEnergy, &radio(), range);
-                let slow = dijkstra_reference_scan(&topo, &radio(), range);
-                assert_eq!(fast, slow, "seed {seed} range {range_m}");
-            }
-        }
-    }
+    // The historical O(N²) scan-Dijkstra oracle and the tests diffing
+    // the heap implementation against it live in
+    // `tests/common/oracle.rs` + `tests/differential.rs`, shared with
+    // the incremental-repair differential layer.
 
     #[test]
     fn direct_routes_all_point_at_sink() {
@@ -591,10 +878,81 @@ mod tests {
             bits,
             &usable
         ));
-        assert_eq!(cache.builds(), 2);
+        // The transition is absorbed by an incremental repair, not a
+        // second full build.
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.repairs(), 1);
         assert_eq!(cache.next_hop(NodeId(5)), None);
         assert!(!cache.is_connected(NodeId(5)));
         assert_eq!(cache.tx_cost(NodeId(5)), 0.0);
+    }
+
+    #[test]
+    fn disabling_repair_restores_the_full_rebuild_oracle_path() {
+        let topo = Topology::grid(4, Length::from_meters(30.0));
+        let bits = ami_radio::Packet::sensor_report().total_bits();
+        let hop = Length::from_meters(45.0);
+        let mut cache = RouteCache::new(topo.len());
+        let mut usable = vec![true; topo.len()];
+        let previous = set_route_repair_enabled(false);
+        cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        usable[5] = false;
+        cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        set_route_repair_enabled(previous);
+        assert_eq!(cache.builds(), 2, "oracle path rebuilds per transition");
+        assert_eq!(cache.repairs(), 0);
+    }
+
+    #[test]
+    fn strategy_change_falls_back_to_a_full_build() {
+        // A direct-to-sink epoch leaves no distance labels to repair
+        // against; switching strategies must rebuild, not splice.
+        let topo = Topology::grid(3, Length::from_meters(20.0));
+        let bits = ami_radio::Packet::sensor_report().total_bits();
+        let hop = Length::from_meters(45.0);
+        let mut cache = RouteCache::new(topo.len());
+        let mut usable = vec![true; topo.len()];
+        cache.ensure(
+            &topo,
+            RoutingStrategy::DirectToSink,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        usable[4] = false;
+        cache.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.repairs(), 0);
+        let fresh = build_routes_over(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            &usable,
+        );
+        assert_eq!(cache.table(), fresh.as_slice());
     }
 
     #[test]

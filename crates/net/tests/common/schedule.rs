@@ -1,0 +1,84 @@
+//! Random fault-schedule generation for property tests: a proptest
+//! strategy over validated [`FaultEvent`]s, plus a greedy
+//! delta-debugging minimizer that stands in for shrinking (the vendored
+//! proptest has no value trees — see `vendor/proptest`).
+
+use ami_sim::fault::{FaultEvent, FaultSchedule};
+use proptest::prelude::*;
+
+/// Strategy over one validated fault event for an `nodes`-node,
+/// `rounds`-round run: node deaths, node outage windows and link outage
+/// windows, uniformly mixed. Node events never target the sink (id 0);
+/// windows start inside `[0, rounds)` and are clamped to end by
+/// `rounds`, so every generated event passes `FaultSchedule::new`
+/// validation.
+///
+/// # Panics
+///
+/// Panics when `nodes < 3` or `rounds == 0` — too small to draw
+/// distinct link endpoints or any window.
+pub fn fault_event(nodes: usize, rounds: u64) -> impl Strategy<Value = FaultEvent> {
+    assert!(nodes >= 3, "need a sink plus two sensors");
+    assert!(rounds >= 1, "need at least one round");
+    prop_oneof![
+        (1..nodes, 0..rounds).prop_map(|(node, round)| FaultEvent::NodeDeath { node, round }),
+        (1..nodes, 0..rounds, 1..=10u64).prop_map(move |(node, from, span)| {
+            FaultEvent::NodeOutage {
+                node,
+                from,
+                until: (from + span).min(rounds),
+            }
+        }),
+        (1..nodes, 0..nodes - 1, 0..rounds, 1..=10u64).prop_map(move |(a, other, from, span)| {
+            // `other` skips over `a`, giving a distinct endpoint
+            // (possibly the sink — links touching it are valid).
+            let b = if other >= a { other + 1 } else { other };
+            FaultEvent::LinkOutage {
+                a,
+                b,
+                from,
+                until: (from + span).min(rounds),
+            }
+        }),
+    ]
+}
+
+/// Strategy over whole validated [`FaultSchedule`]s: up to `max_events`
+/// events drawn from [`fault_event`].
+pub fn fault_schedule(
+    nodes: usize,
+    rounds: u64,
+    max_events: usize,
+) -> impl Strategy<Value = FaultSchedule> {
+    prop::collection::vec(fault_event(nodes, rounds), 0..max_events + 1)
+        .prop_map(FaultSchedule::new)
+}
+
+/// Greedy delta-debugging stand-in for shrinking: repeatedly drops
+/// events while `fails` still holds on the remainder, until the failing
+/// schedule is 1-minimal (removing any single event makes it pass).
+/// Callers report the minimized schedule in their panic message so a
+/// 12-event counterexample arrives as the 2 events that matter.
+pub fn minimize_failing_schedule(
+    events: &[FaultEvent],
+    fails: impl Fn(&FaultSchedule) -> bool,
+) -> FaultSchedule {
+    let mut current: Vec<FaultEvent> = events.to_vec();
+    loop {
+        let mut shrunk = false;
+        let mut index = 0;
+        while index < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(index);
+            if fails(&FaultSchedule::new(candidate.clone())) {
+                current = candidate;
+                shrunk = true;
+            } else {
+                index += 1;
+            }
+        }
+        if !shrunk {
+            return FaultSchedule::new(current);
+        }
+    }
+}

@@ -2,13 +2,19 @@
 //! from routes rebuilt from scratch every round, under arbitrary fault
 //! schedules — and healthy runs must pay for exactly one build.
 
-use ami_net::routing::{reset_route_build_count, route_build_count, RouteCache};
+mod common;
+
+use ami_net::routing::{
+    reset_route_build_count, reset_route_repair_count, route_build_count, route_repair_count,
+    RouteCache,
+};
 use ami_net::{
     build_routes_over, simulate_gathering, simulate_gathering_faulted, simulate_lossy_gathering,
     LossyConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_sim::fault::{FaultEvent, FaultModel, FaultSchedule};
 use ami_units::Length;
+use common::schedule::fault_schedule;
 use proptest::prelude::*;
 
 proptest! {
@@ -16,28 +22,18 @@ proptest! {
     /// arbitrary fault schedule (deaths, outage+reboot windows, link
     /// windows) with the simulators' one-round lag; after every round
     /// the cached table must equal a fresh scratch build over the same
-    /// usable set, and the cache must never build more than once per
-    /// round.
+    /// usable set, and the cache must never build or repair more than
+    /// once per round. Schedules come from the shared
+    /// [`common::schedule::fault_schedule`] strategy; events aimed at
+    /// nodes beyond `n` are legal no-ops for an `n`-node run.
     #[test]
     fn epoch_cached_routes_match_fresh_builds(
         seed in 0u64..200,
         n in 5usize..40,
         rounds in 1u64..40,
-        death in 0.0..0.4f64,
-        outage in 0.0..0.4f64,
-        link in 0.0..0.3f64,
+        faults in fault_schedule(40, 40, 14),
     ) {
         let topo = Topology::random(n, Length::from_meters(130.0), seed);
-        let model = FaultModel {
-            death_rate: death,
-            outage_rate: outage,
-            outage_rounds: 6,
-            link_outage_rate: link,
-            link_outage_rounds: 5,
-            fade_rate: 0.0,
-            fade_factor: 1.0,
-        };
-        let faults = model.schedule(seed ^ 0xA51C, n, rounds);
         let config = NetworkConfig::sensor_default();
         let bits = config.packet.total_bits();
         let mut cache = RouteCache::new(n);
@@ -67,7 +63,10 @@ proptest! {
                 *down = id != 0 && faults.node_down(id, round);
             }
         }
-        prop_assert!(cache.builds() <= rounds, "at most one build per round");
+        prop_assert!(
+            cache.builds() + cache.repairs() <= rounds,
+            "at most one build or repair per round"
+        );
     }
 
     /// The faulted simulators never panic and stay packet-sane across
@@ -131,11 +130,11 @@ fn healthy_lossy_run_builds_routes_exactly_once() {
 }
 
 #[test]
-fn outage_costs_exactly_two_extra_builds() {
+fn outage_costs_exactly_two_repairs_and_no_extra_builds() {
     // One outage window (rounds 3–5): routing notices the power-off one
-    // round late (rebuild at round 4) and the reboot one round late
-    // (rebuild at round 7). With the initial build that is 3 total —
-    // not one per round.
+    // round late (repair at round 4) and the reboot one round late
+    // (repair at round 7). Only the round-0 build is full — both
+    // transitions are incremental repairs.
     let topo = Topology::grid(4, Length::from_meters(25.0));
     let config = NetworkConfig::sensor_default();
     let faults = FaultSchedule::new(vec![FaultEvent::NodeOutage {
@@ -144,10 +143,43 @@ fn outage_costs_exactly_two_extra_builds() {
         until: 6,
     }]);
     reset_route_build_count();
+    reset_route_repair_count();
     let _ = simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 10, &faults);
+    assert_eq!(route_build_count(), 1, "only the initial build may be full");
     assert_eq!(
-        route_build_count(),
-        3,
-        "one initial build plus one per usable-set transition"
+        route_repair_count(),
+        2,
+        "power-off and reboot each cost one incremental repair"
     );
+}
+
+#[test]
+fn reboot_landing_with_a_second_death_repairs_once() {
+    // Counter-accounting regression for repair-while-dirty ordering: an
+    // outage on node 5 ends (reboot, visible at round 5) in the same
+    // diff as node 10's death (round 4, also visible at round 5). The
+    // single repair must splice one node back in while carving the
+    // other out — two repairs total for three transitions' worth of
+    // events, and never a second full build.
+    let topo = Topology::grid(4, Length::from_meters(25.0));
+    let config = NetworkConfig::sensor_default();
+    let faults = FaultSchedule::new(vec![
+        FaultEvent::NodeOutage {
+            node: 5,
+            from: 1,
+            until: 4,
+        },
+        FaultEvent::NodeDeath { node: 10, round: 4 },
+    ]);
+    reset_route_build_count();
+    reset_route_repair_count();
+    let report =
+        simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 10, &faults);
+    assert_eq!(route_build_count(), 1, "round-0 build only");
+    assert_eq!(
+        route_repair_count(),
+        2,
+        "power-off at round 2; reboot + death folded into one repair at round 5"
+    );
+    assert!(report.delivered_packets > 0);
 }

@@ -22,7 +22,10 @@
 //! Consumers query the schedule per round ([`node_down`],
 //! [`link_down`], [`harvest_scale`], [`capacity_factor`]) and attribute
 //! fault-caused packet losses to the `dropped_fault` counter cause (see
-//! [`crate::obs::PacketCounters`]).
+//! [`crate::obs::PacketCounters`]). Round loops that would pay those
+//! O(events) scans per query compile the schedule into a
+//! [`FaultTimeline`] once and advance a monotone cursor instead — same
+//! answers (pinned by tests), O(1) per query.
 //!
 //! [`node_down`]: FaultSchedule::node_down
 //! [`link_down`]: FaultSchedule::link_down
@@ -219,6 +222,167 @@ impl FaultSchedule {
                 _ => None,
             })
             .product()
+    }
+
+    /// All per-node [`capacity_factor`](Self::capacity_factor)s for a
+    /// `nodes`-node run in one pass: factors multiply in event order, so
+    /// each entry is bit-identical to the per-node query. Events naming
+    /// nodes at or beyond `nodes` are ignored, matching the query's
+    /// behaviour for in-range ids.
+    pub fn capacity_factors(&self, nodes: usize) -> Vec<f64> {
+        let mut factors = vec![1.0; nodes];
+        for event in &self.events {
+            if let FaultEvent::CapacityFade { node, factor } = *event {
+                if node < nodes {
+                    factors[node] *= factor;
+                }
+            }
+        }
+        factors
+    }
+}
+
+/// A per-round cursor over a compiled [`FaultSchedule`]: the city-scale
+/// replacement for the O(events) [`FaultSchedule::node_down`] /
+/// [`FaultSchedule::link_down`] scans the simulators used to pay per
+/// query.
+///
+/// [`compile`](Self::compile) flattens the schedule into round-sorted
+/// up/down transitions; [`advance_to`](Self::advance_to) applies the
+/// transitions due by a round (a monotone cursor, O(transitions) over a
+/// whole run); the point queries then read a counter in O(1). Counters
+/// make overlapping windows additive, so the answers match the event
+/// scan exactly — pinned by unit tests against the scan on arbitrary
+/// schedules — and the whole structure allocates nothing after
+/// `compile` (link keys are pre-inserted).
+///
+/// # Example
+///
+/// ```
+/// use ami_sim::fault::{FaultEvent, FaultSchedule, FaultTimeline};
+///
+/// let schedule = FaultSchedule::new(vec![
+///     FaultEvent::NodeOutage { node: 3, from: 2, until: 5 },
+/// ]);
+/// let mut timeline = FaultTimeline::compile(&schedule, 8);
+/// timeline.advance_to(2);
+/// assert!(timeline.node_down(3));
+/// timeline.advance_to(5);
+/// assert!(!timeline.node_down(3)); // rebooted
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    /// Round-sorted node transitions: `(round, node, becomes_down)`.
+    node_transitions: Vec<(u64, u32, bool)>,
+    /// Round-sorted link transitions: `(round, normalized key, down)`.
+    link_transitions: Vec<(u64, (usize, usize), bool)>,
+    node_cursor: usize,
+    link_cursor: usize,
+    /// Active down-windows per node; down while > 0.
+    node_active: Vec<u32>,
+    /// Active down-windows per normalized link key; keys are
+    /// pre-inserted at compile time so advancing never allocates.
+    link_active: std::collections::HashMap<(usize, usize), u32>,
+    /// Highest round advanced to, enforcing cursor monotonicity.
+    advanced_to: u64,
+}
+
+impl FaultTimeline {
+    /// Compiles `schedule` for a `nodes`-node run.
+    ///
+    /// Node events naming ids at or beyond `nodes` are dropped — the
+    /// simulators never query them. Deaths become a single down
+    /// transition (permanent); outages pair a down transition at `from`
+    /// with an up transition at `until`, matching the half-open windows
+    /// of the event scan.
+    pub fn compile(schedule: &FaultSchedule, nodes: usize) -> Self {
+        let mut node_transitions = Vec::new();
+        let mut link_transitions = Vec::new();
+        let mut link_active = std::collections::HashMap::new();
+        for event in schedule.events() {
+            match *event {
+                FaultEvent::NodeDeath { node, round } if node < nodes => {
+                    node_transitions.push((round, node as u32, true));
+                }
+                FaultEvent::NodeOutage { node, from, until } if node < nodes => {
+                    node_transitions.push((from, node as u32, true));
+                    node_transitions.push((until, node as u32, false));
+                }
+                FaultEvent::LinkOutage { a, b, from, until } => {
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    link_transitions.push((from, key, true));
+                    link_transitions.push((until, key, false));
+                    link_active.insert(key, 0);
+                }
+                _ => {}
+            }
+        }
+        node_transitions.sort_by_key(|&(round, ..)| round);
+        link_transitions.sort_by_key(|&(round, ..)| round);
+        Self {
+            node_transitions,
+            link_transitions,
+            node_cursor: 0,
+            link_cursor: 0,
+            node_active: vec![0; nodes],
+            link_active,
+            advanced_to: 0,
+        }
+    }
+
+    /// Applies every transition due at or before `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` precedes an earlier `advance_to` call — the
+    /// cursor only moves forward, like simulation time.
+    pub fn advance_to(&mut self, round: u64) {
+        assert!(
+            round >= self.advanced_to,
+            "fault timeline cannot rewind ({round} < {})",
+            self.advanced_to
+        );
+        self.advanced_to = round;
+        while let Some(&(at, node, down)) = self.node_transitions.get(self.node_cursor) {
+            if at > round {
+                break;
+            }
+            let active = &mut self.node_active[node as usize];
+            *active = if down { *active + 1 } else { *active - 1 };
+            self.node_cursor += 1;
+        }
+        while let Some(&(at, key, down)) = self.link_transitions.get(self.link_cursor) {
+            if at > round {
+                break;
+            }
+            let active = self
+                .link_active
+                .get_mut(&key)
+                .expect("link keys pre-inserted at compile");
+            *active = if down { *active + 1 } else { *active - 1 };
+            self.link_cursor += 1;
+        }
+    }
+
+    /// Whether `node` is down at the round last advanced to. O(1).
+    pub fn node_down(&self, node: usize) -> bool {
+        self.node_active[node] > 0
+    }
+
+    /// Whether the link between `x` and `y` (either order) is down at
+    /// the round last advanced to. O(1).
+    pub fn link_down(&self, x: usize, y: usize) -> bool {
+        if self.link_active.is_empty() {
+            return false;
+        }
+        let key = if x <= y { (x, y) } else { (y, x) };
+        self.link_active.get(&key).is_some_and(|&active| active > 0)
+    }
+
+    /// Whether the compiled schedule has any node or link windows at
+    /// all; `false` lets round loops skip the per-round refresh.
+    pub fn is_trivial(&self) -> bool {
+        self.node_transitions.is_empty() && self.link_transitions.is_empty()
     }
 }
 
@@ -672,6 +836,117 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(on_node_3(&small), on_node_3(&large));
+    }
+
+    #[test]
+    fn timeline_matches_the_event_scan_on_model_schedules() {
+        // The compiled cursor must answer every (node, link, round)
+        // query exactly like the O(events) scan it replaces, including
+        // overlapping windows, deaths inside outages and reboots.
+        let model = FaultModel {
+            death_rate: 0.4,
+            outage_rate: 0.6,
+            outage_rounds: 7,
+            link_outage_rate: 0.5,
+            link_outage_rounds: 5,
+            fade_rate: 0.0,
+            fade_factor: 1.0,
+        };
+        let nodes = 14;
+        let rounds = 60;
+        for seed in 0..25u64 {
+            let schedule = model.schedule(seed, nodes, rounds);
+            let mut timeline = FaultTimeline::compile(&schedule, nodes);
+            for round in 0..rounds {
+                timeline.advance_to(round);
+                for node in 0..nodes {
+                    assert_eq!(
+                        timeline.node_down(node),
+                        schedule.node_down(node, round),
+                        "seed {seed} node {node} round {round}"
+                    );
+                }
+                for x in 0..nodes {
+                    for y in 0..nodes {
+                        assert_eq!(
+                            timeline.link_down(x, y),
+                            schedule.link_down(x, y, round),
+                            "seed {seed} link {x}-{y} round {round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_handles_overlapping_windows_and_skips_advances() {
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent::NodeOutage {
+                node: 2,
+                from: 1,
+                until: 6,
+            },
+            FaultEvent::NodeOutage {
+                node: 2,
+                from: 4,
+                until: 9,
+            },
+            FaultEvent::NodeDeath { node: 3, round: 5 },
+            FaultEvent::LinkOutage {
+                a: 7,
+                b: 1,
+                from: 2,
+                until: 4,
+            },
+        ]);
+        let mut timeline = FaultTimeline::compile(&schedule, 10);
+        assert!(!timeline.is_trivial());
+        // Jump straight into the overlap: both windows activate at once.
+        timeline.advance_to(5);
+        assert!(timeline.node_down(2));
+        assert!(timeline.node_down(3));
+        assert!(!timeline.link_down(1, 7), "link window already closed");
+        timeline.advance_to(6);
+        assert!(timeline.node_down(2), "second window still open");
+        timeline.advance_to(9);
+        assert!(!timeline.node_down(2), "rebooted after the overlap");
+        assert!(timeline.node_down(3), "death is permanent");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn timeline_rejects_rewinds() {
+        let schedule = FaultSchedule::empty();
+        let mut timeline = FaultTimeline::compile(&schedule, 4);
+        timeline.advance_to(5);
+        timeline.advance_to(3);
+    }
+
+    #[test]
+    fn capacity_factors_match_the_per_node_query_bitwise() {
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent::CapacityFade {
+                node: 2,
+                factor: 0.8,
+            },
+            FaultEvent::CapacityFade {
+                node: 4,
+                factor: 0.3,
+            },
+            FaultEvent::CapacityFade {
+                node: 2,
+                factor: 0.5,
+            },
+        ]);
+        let factors = schedule.capacity_factors(6);
+        for (node, factor) in factors.iter().enumerate() {
+            assert_eq!(
+                factor.to_bits(),
+                schedule.capacity_factor(node).to_bits(),
+                "node {node}"
+            );
+        }
     }
 
     #[test]

@@ -258,3 +258,47 @@ fn a3_storage_knee() {
     assert!(rows[0].1 > 0.1);
     assert_eq!(rows[1].1, 0.0);
 }
+
+/// F15: the city-scale machinery — the spatial-grid CSR reproduces the
+/// all-pairs scan bit for bit, and under the frozen churn mix every
+/// transition after round 0 is an incremental repair whose run is
+/// report-identical to the retired full-rebuild oracle.
+#[test]
+fn f15_city_scale_repairs_match_the_oracle() {
+    use ambience::net::routing::{
+        reset_route_build_count, reset_route_repair_count, route_build_count, route_repair_count,
+        set_route_repair_enabled,
+    };
+    use ambience::net::{simulate_gathering_faulted, CsrAdjacency};
+    use ambience::sim::fault::FaultSpec;
+
+    let n = 400;
+    let topo = Topology::random(n, Length::from_meters(25.0 * (n as f64).sqrt()), 2003);
+    let config = NetworkConfig::sensor_default();
+
+    let positions: Vec<_> = topo.ids().map(|id| topo.position(id)).collect();
+    assert_eq!(
+        CsrAdjacency::build(&positions, config.max_hop),
+        CsrAdjacency::build_scan(&positions, config.max_hop),
+        "grid CSR must equal the scan oracle"
+    );
+
+    let faults = FaultSpec::parse("death=0.1,outage=0.2:10,link=0.1:8")
+        .unwrap()
+        .schedule_for(2003, n, 30);
+    let was_enabled = set_route_repair_enabled(false);
+    let oracle =
+        simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 30, &faults);
+    set_route_repair_enabled(true);
+    reset_route_build_count();
+    reset_route_repair_count();
+    let repaired =
+        simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 30, &faults);
+    set_route_repair_enabled(was_enabled);
+    assert_eq!(repaired, oracle, "repairs must not change the physics");
+    assert_eq!(route_build_count(), 1, "only the round-0 build is full");
+    assert!(
+        route_repair_count() > 0,
+        "the churn mix must exercise repair"
+    );
+}
