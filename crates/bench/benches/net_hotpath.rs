@@ -7,7 +7,8 @@
 use ami_bench::BENCH_SEED;
 use ami_net::{
     build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
-    simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
+    simulate_gathering_par, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
+    Topology,
 };
 use ami_sim::fault::FaultSpec;
 use ami_units::Length;
@@ -69,6 +70,37 @@ fn bench_gather_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The region-parallel PDES engine on the same healthy workload —
+/// mirrors the snapshot's `gather_round_par` city rows at criterion
+/// scale. Worker counts are explicit (1 = engine bookkeeping overhead
+/// vs the serial `gather_round` group, 8 = the parallel win on a
+/// multi-core box).
+fn bench_gather_round_par(c: &mut Criterion) {
+    let config = NetworkConfig::sensor_default();
+    let mut group = c.benchmark_group("gather_round_par");
+    for n in SIZES {
+        let topo = field(n);
+        for threads in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("healthy_10_rounds_t{threads}"), n),
+                &topo,
+                |b, topo| {
+                    b.iter(|| {
+                        simulate_gathering_par(
+                            black_box(topo),
+                            RoutingStrategy::MinimumEnergy,
+                            &config,
+                            GATHER_ROUNDS,
+                            threads,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_lossy_round(c: &mut Criterion) {
     let config = LossyConfig::bruised_channel();
     let mut group = c.benchmark_group("lossy_round");
@@ -109,6 +141,7 @@ criterion_group!(
     benches,
     bench_route_build,
     bench_gather_round,
+    bench_gather_round_par,
     bench_lossy_round,
     bench_faulted_replication
 );

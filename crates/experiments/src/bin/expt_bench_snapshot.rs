@@ -21,7 +21,11 @@
 //! additionally run at the city scales N ∈ {10 000, 100 000} (fewer
 //! rounds per iteration), pinning the spatial-grid CSR build and the
 //! incremental-repair round loop where quadratic scans would be
-//! unaffordable.
+//! unaffordable; `gather_round_par` repeats the city-scale gathering
+//! runs on the region-parallel PDES engine at `AMBIENCE_THREADS`
+//! workers and carries a `speedup` field (serial mean / parallel mean —
+//! expect >1× on a multi-core box, ≲1× on a single-core runner where
+//! only the engine's bookkeeping shows).
 //!
 //! `BENCH_SIM.json` (schema `ambience-bench-sim/v1`) — the `ami-sim`
 //! kernel and sweep layer (labels mirrored by the `sim_hotpath`
@@ -52,7 +56,8 @@ use ami_core::design_space::explore_cs1;
 use ami_experiments::banner;
 use ami_net::{
     build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
-    simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
+    simulate_gathering_par, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
+    Topology,
 };
 use ami_sim::fault::FaultSpec;
 use ami_sim::{replicate_par, sim_rng, EnergyMeter, EventQueue};
@@ -91,6 +96,9 @@ struct Entry {
     wall_ns_mean: u128,
     wall_ns_min: u128,
     ops_per_sec: f64,
+    /// Serial mean / this entry's mean, for rows that re-run a serial
+    /// workload on the intra-run parallel engine (`gather_round_par`).
+    speedup: Option<f64>,
 }
 
 /// Times `work` (which performs `ops_per_iter` logical operations per
@@ -129,6 +137,7 @@ fn measure(
         wall_ns_mean,
         wall_ns_min,
         ops_per_sec,
+        speedup: None,
     }
 }
 
@@ -245,6 +254,29 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
                 ));
             },
         ));
+        let serial_mean = entries
+            .last()
+            .expect("serial gather_round row was just pushed")
+            .wall_ns_mean;
+        let threads = ami_sim::runner::thread_count();
+        let mut par = measure(
+            format!("gather_round_par/n{n}"),
+            "gather_round_par",
+            n,
+            GATHER_ROUNDS_LARGE,
+            quick,
+            || {
+                black_box(simulate_gathering_par(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config,
+                    GATHER_ROUNDS_LARGE,
+                    threads,
+                ));
+            },
+        );
+        par.speedup = Some(serial_mean as f64 / par.wall_ns_mean as f64);
+        entries.push(par);
     }
     entries
 }
@@ -380,6 +412,9 @@ fn to_json(schema: &str, entries: &[Entry], quick: bool) -> String {
         out.push_str(&format!("\"wall_ns_mean\": {}, ", e.wall_ns_mean));
         out.push_str(&format!("\"wall_ns_min\": {}, ", e.wall_ns_min));
         out.push_str(&format!("\"ops_per_sec\": {:.3}", e.ops_per_sec));
+        if let Some(speedup) = e.speedup {
+            out.push_str(&format!(", \"speedup\": {speedup:.3}"));
+        }
         out.push_str(if idx + 1 == entries.len() {
             "}\n"
         } else {

@@ -6,9 +6,13 @@
 //! of all N, yet produces the scan's adjacency bit for bit; under a
 //! churn mix every usable-set transition after round 0 is absorbed by
 //! an incremental repair (never a full rebuild), and the repaired run
-//! is report-identical to the retired full-rebuild oracle. Everything
-//! printed is a count, so the output is byte-stable at any
-//! `AMBIENCE_THREADS`.
+//! is report-identical to the retired full-rebuild oracle. The repaired
+//! runs execute on the region-parallel PDES engine at
+//! `AMBIENCE_THREADS` workers (the oracle runs stay on the serial
+//! kernel), so the identity column also witnesses the parallel ≡ serial
+//! contract. Everything printed is a count and the engine is
+//! bit-identical at any worker count, so the output is byte-stable at
+//! any `AMBIENCE_THREADS`.
 
 use ami_experiments::{banner, print_table, section};
 use ami_net::routing::{
@@ -16,10 +20,11 @@ use ami_net::routing::{
     set_route_repair_enabled,
 };
 use ami_net::{
-    simulate_gathering_faulted, CsrAdjacency, NetworkConfig, NetworkReport, Position,
-    RoutingStrategy, Topology,
+    simulate_gathering_faulted, simulate_gathering_faulted_par, CsrAdjacency, NetworkConfig,
+    NetworkReport, Position, RoutingStrategy, Topology,
 };
 use ami_sim::fault::{FaultSchedule, FaultSpec};
+use ami_sim::runner::thread_count;
 use ami_units::Length;
 
 /// The bench fault mix, frozen alongside `expt_bench_snapshot`.
@@ -32,17 +37,31 @@ fn field(n: usize) -> Topology {
     Topology::random(n, Length::from_meters(25.0 * (n as f64).sqrt()), SEED)
 }
 
-/// One faulted run on the calling thread, returning the report plus the
-/// (build, repair) counter deltas it cost.
+/// One faulted run, returning the report plus the (build, repair)
+/// counter deltas it cost. `threads: None` runs the serial kernel (the
+/// oracle side); `Some(t)` runs the region-parallel PDES engine on `t`
+/// workers — bit-identical by contract, so the printed counts agree.
 fn faulted_run(
     topo: &Topology,
     config: &NetworkConfig,
     faults: &FaultSchedule,
+    threads: Option<usize>,
 ) -> (NetworkReport, u64, u64) {
     reset_route_build_count();
     reset_route_repair_count();
-    let report =
-        simulate_gathering_faulted(topo, RoutingStrategy::MinimumEnergy, config, ROUNDS, faults);
+    let report = match threads {
+        Some(threads) => simulate_gathering_faulted_par(
+            topo,
+            RoutingStrategy::MinimumEnergy,
+            config,
+            ROUNDS,
+            faults,
+            threads,
+        ),
+        None => {
+            simulate_gathering_faulted(topo, RoutingStrategy::MinimumEnergy, config, ROUNDS, faults)
+        }
+    };
     (report, route_build_count(), route_repair_count())
 }
 
@@ -77,11 +96,14 @@ fn main() {
             let topo = field(n);
             let faults = spec.schedule_for(SEED, n, ROUNDS);
 
-            // Oracle first: the retired full-rebuild-per-transition path.
+            // Oracle first: the retired full-rebuild-per-transition
+            // path, on the serial kernel. The repaired run then takes
+            // the region-parallel engine at `AMBIENCE_THREADS`.
             set_route_repair_enabled(false);
-            let (oracle_report, oracle_builds, _) = faulted_run(&topo, &config, &faults);
+            let (oracle_report, oracle_builds, _) = faulted_run(&topo, &config, &faults, None);
             set_route_repair_enabled(true);
-            let (report, builds, repairs) = faulted_run(&topo, &config, &faults);
+            let (report, builds, repairs) =
+                faulted_run(&topo, &config, &faults, Some(thread_count()));
 
             let offered = ROUNDS * (n as u64 - 1);
             vec![

@@ -54,41 +54,29 @@ pub fn analyze_aggregation(
     let table = build_routes(topology, RoutingStrategy::MinimumEnergy, radio, max_hop);
     let n = topology.len();
 
-    // Children lists of the routing tree.
-    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut disconnected = 0usize;
     for id in topology.sensor_ids() {
-        match table[id.0] {
-            Some(parent) => children[parent.0].push(id),
-            None => disconnected += 1,
+        if table[id.0].is_none() {
+            disconnected += 1;
         }
     }
 
-    // Post-order accumulation of transmitted payload bits per node.
-    fn tx_payload(
-        node: NodeId,
-        children: &[Vec<NodeId>],
-        payload: f64,
-        fusion: f64,
-    ) -> (f64, f64, usize) {
-        // Returns (this node's tx payload bits, subtree energy-relevant
-        // received bits at this node, subtree node count).
-        let mut received = 0.0;
-        let mut count = 0usize;
-        for &child in &children[node.0] {
-            let (child_tx, _, child_count) = tx_payload(child, children, payload, fusion);
-            received += child_tx;
-            count += child_count;
-        }
-        (payload + fusion * received, received, count + 1)
-    }
+    // Post-order accumulation of transmitted payload bits per node:
+    // `tx[v] = payload + fusion × Σ_children tx[c]`, the child sum
+    // folded in ascending child id. One iterative bottom-up pass over
+    // the whole forest computes every node's value exactly once — the
+    // retired per-node recursion (kept as the test oracle below)
+    // re-walked each node's entire subtree, which is O(N²) on path-like
+    // trees and one stack frame per hop, a stack overflow on the deep
+    // routing trees city-scale fields produce.
+    let tx = tx_payload_forest(&table, n, payload.as_bits(), fusion);
 
     let mut round_energy = 0.0;
     let mut sink_volume = 0.0;
     // Walk every node (except the sink), computing its transmission.
     for id in topology.sensor_ids() {
         let Some(parent) = table[id.0] else { continue };
-        let (tx_bits, _, _) = tx_payload(id, &children, payload.as_bits(), fusion);
+        let tx_bits = tx[id.0];
         let frame = DataVolume::from_bits(tx_bits + framing.as_bits());
         let d = topology.distance(id, parent);
         round_energy += radio.transmit_energy(frame, d).as_joules();
@@ -114,9 +102,65 @@ pub fn analyze_aggregation(
     }
 }
 
+/// Transmitted payload bits for every node of the routing forest, by
+/// one iterative post-order pass with memoized subtree sums.
+///
+/// Bit-exactness with the recursive definition rests on two order
+/// guarantees: children of one parent all sit exactly one depth level
+/// below it, and each depth bucket is filled by an ascending id scan —
+/// so `received[parent]` accumulates child values in ascending child
+/// id, the same order the children-list recursion summed in.
+fn tx_payload_forest(table: &[Option<NodeId>], n: usize, payload: f64, fusion: f64) -> Vec<f64> {
+    // Depth of every node below its forest root (the sink, or any
+    // disconnected node), resolved by iterative chain-walking with
+    // memoization: each node is pushed at most once, so the whole pass
+    // is O(N) regardless of tree shape.
+    const UNRESOLVED: usize = usize::MAX;
+    let mut depth = vec![UNRESOLVED; n];
+    for (id, parent) in table.iter().enumerate() {
+        if parent.is_none() {
+            depth[id] = 0;
+        }
+    }
+    let mut chain: Vec<usize> = Vec::new();
+    for start in 0..n {
+        let mut v = start;
+        while depth[v] == UNRESOLVED {
+            chain.push(v);
+            v = table[v].expect("unresolved nodes have parents").0;
+        }
+        let mut d = depth[v];
+        while let Some(u) = chain.pop() {
+            d += 1;
+            depth[u] = d;
+        }
+    }
+
+    // Bucket nodes by depth (ascending id within a bucket), then fold
+    // bottom-up: by the time a level is processed, every child one
+    // level deeper has already added its tx value to `received`.
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
+    for (id, &d) in depth.iter().enumerate() {
+        buckets[d].push(id);
+    }
+    let mut received = vec![0.0f64; n];
+    let mut tx = vec![0.0f64; n];
+    for level in (0..=max_depth).rev() {
+        for &v in &buckets[level] {
+            tx[v] = payload + fusion * received[v];
+            if let Some(parent) = table[v] {
+                received[parent.0] += tx[v];
+            }
+        }
+    }
+    tx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Position;
 
     fn setup() -> (Topology, RadioEnergyModel) {
         (
@@ -201,5 +245,92 @@ mod tests {
     #[should_panic(expected = "fusion factor")]
     fn bad_fusion_rejected() {
         let _ = run(1.5);
+    }
+
+    /// The retired per-node recursion, kept verbatim as the bit-exact
+    /// oracle for the iterative forest pass.
+    fn tx_payload_recursive(
+        node: NodeId,
+        children: &[Vec<NodeId>],
+        payload: f64,
+        fusion: f64,
+    ) -> (f64, f64, usize) {
+        let mut received = 0.0;
+        let mut count = 0usize;
+        for &child in &children[node.0] {
+            let (child_tx, _, child_count) = tx_payload_recursive(child, children, payload, fusion);
+            received += child_tx;
+            count += child_count;
+        }
+        (payload + fusion * received, received, count + 1)
+    }
+
+    #[test]
+    fn iterative_forest_pass_matches_the_recursive_oracle_bitwise() {
+        let radio = RadioEnergyModel::short_range_2003();
+        let max_hop = Length::from_meters(45.0);
+        let payload = 16.0 * 8.0;
+        let mut layouts: Vec<Topology> = (0..6u64)
+            .map(|seed| Topology::random(80, Length::from_meters(260.0), seed))
+            .collect();
+        layouts.push(Topology::grid(7, Length::from_meters(30.0)));
+        for (k, topo) in layouts.iter().enumerate() {
+            let table = build_routes(topo, RoutingStrategy::MinimumEnergy, &radio, max_hop);
+            let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); topo.len()];
+            for id in topo.sensor_ids() {
+                if let Some(parent) = table[id.0] {
+                    children[parent.0].push(id);
+                }
+            }
+            for fusion in [0.0, 0.3, 0.7, 1.0] {
+                let fast = tx_payload_forest(&table, topo.len(), payload, fusion);
+                for id in topo.sensor_ids() {
+                    if table[id.0].is_none() {
+                        continue;
+                    }
+                    let (slow, _, _) = tx_payload_recursive(id, &children, payload, fusion);
+                    assert_eq!(
+                        fast[id.0].to_bits(),
+                        slow.to_bits(),
+                        "layout {k} fusion {fusion} node {}",
+                        id.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_tree_aggregates_without_overflow() {
+        // A pure relay chain — the worst case for the retired recursion
+        // (one stack frame per hop, O(N²) total work). The iterative
+        // pass must handle city-scale depth in one linear sweep. Debug
+        // builds use a shorter chain purely for wall-clock; the release
+        // run exercises the full n = 100 000 acceptance depth.
+        let n: usize = if cfg!(debug_assertions) {
+            20_000
+        } else {
+            100_000
+        };
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position::new(i as f64 * 40.0, 0.0))
+            .collect();
+        let topo = Topology::new(positions);
+        let radio = RadioEnergyModel::short_range_2003();
+        let payload = DataVolume::from_bytes(16.0);
+        let report = analyze_aggregation(
+            &topo,
+            &radio,
+            Length::from_meters(45.0),
+            payload,
+            DataVolume::from_bits(112.0),
+            0.5,
+        );
+        assert_eq!(report.disconnected, 0, "a 40 m chain is fully connected");
+        // With fusion ½ on a chain the sink-adjacent node transmits
+        // payload × Σ 2⁻ᵏ — at this depth the partial sum rounds to
+        // exactly 2 payloads in f64.
+        let sink_bits = report.sink_volume.as_bits();
+        assert!(sink_bits > payload.as_bits() && sink_bits <= 2.0 * payload.as_bits());
     }
 }

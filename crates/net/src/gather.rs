@@ -31,7 +31,7 @@
 //! case, bit-exact with the pre-fault implementation.
 
 use crate::routing::{RouteCache, RoutingStrategy};
-use crate::topology::Topology;
+use crate::topology::{NodeId, Topology};
 use ami_radio::{Packet, RadioEnergyModel};
 use ami_sim::fault::{FaultSchedule, FaultTimeline};
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
@@ -239,10 +239,266 @@ pub fn simulate_gathering_with<R: Recorder>(
 }
 
 /// How one packet's trip through the route table ended.
-enum PacketFate {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PacketFate {
     Delivered,
     DeadHop,
     Fault,
+}
+
+/// The per-run state of the gathering kernel, with the round split into
+/// its phases: [`begin_round`](Self::begin_round) (fault refresh +
+/// route re-resolution), [`idle_and_send`](Self::idle_and_send) (the
+/// serial charge loops), [`end_round`](Self::end_round) (death sweep)
+/// and [`finish`](Self::finish) (residuals + report).
+///
+/// [`simulate_gathering_faulted_with`] drives these phases in a plain
+/// loop — that *is* the serial kernel, op for op the historical
+/// implementation. The region-parallel engine in [`crate::pdes`] drives
+/// `begin_round`/`end_round` unchanged and replaces `idle_and_send`
+/// with an optimistic parallel round that falls back to this exact
+/// serial phase whenever its energy-margin validation fails — sharing
+/// the state machine is what keeps the two bit-identical.
+pub(crate) struct GatherState<'a> {
+    pub(crate) topology: &'a Topology,
+    pub(crate) strategy: RoutingStrategy,
+    pub(crate) config: &'a NetworkConfig,
+    pub(crate) sink: NodeId,
+    /// Bits per report packet (routing metric + rx cost driver).
+    pub(crate) bits: DataVolume,
+    /// Joules of idle listening per round per powered node.
+    pub(crate) idle_per_round: f64,
+    /// Joules to receive one packet (distance-independent).
+    pub(crate) rx_per_hop: f64,
+    pub(crate) faults_active: bool,
+    pub(crate) timeline: FaultTimeline,
+    /// Remaining budget per node, joules (unclamped).
+    pub(crate) budget: Vec<f64>,
+    /// Budget-alive flags (exogenous downs are *not* deaths).
+    pub(crate) alive: Vec<bool>,
+    /// Fault-down state this round / last round (one-round routing lag).
+    pub(crate) down_now: Vec<bool>,
+    pub(crate) down_prev: Vec<bool>,
+    /// The node set routing can see, rebuilt when `routes_dirty`.
+    pub(crate) usable: Vec<bool>,
+    pub(crate) cache: RouteCache,
+    pub(crate) routes_dirty: bool,
+    pub(crate) delivered: u64,
+    /// Total energy drawn from sensor budgets, folded in charge order.
+    pub(crate) spent: f64,
+    pub(crate) first_death: Option<u64>,
+}
+
+impl<'a> GatherState<'a> {
+    pub(crate) fn new(
+        topology: &'a Topology,
+        strategy: RoutingStrategy,
+        config: &'a NetworkConfig,
+        faults: &FaultSchedule,
+    ) -> Self {
+        let n = topology.len();
+        let sink = topology.sink();
+        let capacity = faults.capacity_factors(n);
+        let budget: Vec<f64> = (0..n)
+            .map(|id| {
+                if id == sink.0 {
+                    config.node_energy.as_joules()
+                } else {
+                    config.node_energy.as_joules() * capacity[id]
+                }
+            })
+            .collect();
+        Self {
+            topology,
+            strategy,
+            config,
+            sink,
+            bits: config.packet.total_bits(),
+            idle_per_round: (config.idle_power * config.report_interval).as_joules(),
+            // Receive energy is distance-independent: one value serves
+            // every hop.
+            rx_per_hop: config
+                .radio
+                .receive_energy(config.packet.total_bits())
+                .as_joules(),
+            faults_active: !faults.is_empty(),
+            // The compiled timeline answers per-round down queries in
+            // O(1) instead of scanning the event list; its cursor
+            // advances with the round loop and allocates nothing.
+            timeline: FaultTimeline::compile(faults, n),
+            budget,
+            alive: vec![true; n],
+            down_now: vec![false; n],
+            down_prev: vec![false; n],
+            usable: vec![true; n],
+            cache: RouteCache::new(n),
+            // Usable-set epoch: routes re-resolve only on rounds where a
+            // death or a fault transition actually changed what routing
+            // can see. Starts dirty so the first round performs the
+            // (single) healthy build.
+            routes_dirty: true,
+            delivered: 0,
+            spent: 0.0,
+            first_death: None,
+        }
+    }
+
+    /// Fault-state refresh and (if dirty) route re-resolution — the
+    /// start-of-round phase shared by the serial and parallel kernels.
+    pub(crate) fn begin_round(&mut self, round: u64) {
+        if self.faults_active {
+            self.timeline.advance_to(round);
+            for (id, down) in self.down_now.iter_mut().enumerate() {
+                *down = id != self.sink.0 && self.timeline.node_down(id);
+            }
+        }
+
+        // Re-resolve routes when the usable set routing can see (one
+        // round behind on faults) has changed — deaths, outage starts
+        // noticed a round late, reboots rejoining.
+        if self.routes_dirty {
+            for (id, flag) in self.usable.iter_mut().enumerate() {
+                *flag = id == self.sink.0 || (self.alive[id] && !self.down_prev[id]);
+            }
+            self.cache.ensure(
+                self.topology,
+                self.strategy,
+                &self.config.radio,
+                self.config.max_hop,
+                self.bits,
+                &self.usable,
+            );
+            self.routes_dirty = false;
+        }
+    }
+
+    /// The serial mid-round phase: idle charges, then one report per
+    /// live, funded, powered-on node, walked hop by hop with per-hop
+    /// exhaustion checks. This is the pinned oracle the region-parallel
+    /// engine must match bit for bit (and falls back to on rounds its
+    /// energy-margin validation rejects).
+    pub(crate) fn idle_and_send<R: Recorder>(&mut self, recorder: &mut R) {
+        // Idle/listening cost for every live, powered-on sensor node.
+        for id in self.topology.sensor_ids() {
+            if self.alive[id.0] && !self.down_now[id.0] {
+                self.budget[id.0] -= self.idle_per_round;
+                self.spent += self.idle_per_round;
+                recorder.charge(id.0, EnergyCategory::Idle, self.idle_per_round);
+            }
+        }
+
+        // Each live, still-funded, powered-on node reports once. (The
+        // idle charge above may have emptied a budget; such a node is
+        // silent this round and will be buried by the sweep below.)
+        for id in self.topology.sensor_ids() {
+            if !self.alive[id.0] || self.budget[id.0] <= 0.0 || self.down_now[id.0] {
+                continue;
+            }
+            recorder.packet_offered();
+            if !self.cache.is_connected(id) {
+                recorder.packet_dropped_disconnected();
+                continue; // disconnected this round
+            }
+            // Charge the sender and every relay by walking the cached
+            // table directly (the connectivity check above guarantees
+            // the chain reaches the sink); abort when a hop has died,
+            // run out mid-round, or gone down to a fault.
+            let mut from = id;
+            let mut fate = PacketFate::Delivered;
+            while from != self.sink {
+                let hop = self
+                    .cache
+                    .next_hop(from)
+                    .expect("connected route reaches the sink");
+                let from_down = !self.alive[from.0] || self.budget[from.0] <= 0.0;
+                let hop_down =
+                    hop != self.sink && (!self.alive[hop.0] || self.budget[hop.0] <= 0.0);
+                if from_down || hop_down {
+                    fate = PacketFate::DeadHop;
+                    break;
+                }
+                let tx = self.cache.tx_cost(from);
+                self.budget[from.0] -= tx;
+                self.spent += tx;
+                recorder.charge(from.0, EnergyCategory::Tx, tx);
+                // A hop onto a fault-downed node or across a downed link
+                // still costs the sender its transmission — it cannot
+                // know in advance — but nothing arrives and the downed
+                // receiver spends nothing.
+                if (hop != self.sink && self.down_now[hop.0])
+                    || self.timeline.link_down(from.0, hop.0)
+                {
+                    fate = PacketFate::Fault;
+                    break;
+                }
+                if hop != self.sink {
+                    self.budget[hop.0] -= self.rx_per_hop;
+                    self.spent += self.rx_per_hop;
+                    recorder.charge(hop.0, EnergyCategory::RxRelay, self.rx_per_hop);
+                }
+                from = hop;
+            }
+            match fate {
+                PacketFate::Delivered => {
+                    self.delivered += 1;
+                    recorder.packet_delivered();
+                }
+                PacketFate::DeadHop => recorder.packet_dropped_dead_hop(),
+                PacketFate::Fault => recorder.packet_dropped_fault(),
+            }
+        }
+    }
+
+    /// End-of-round sweep shared by both kernels: bury the budget-dead,
+    /// mark the route epoch dirty on any visible transition, and age the
+    /// fault-down state by one round.
+    pub(crate) fn end_round(&mut self, round: u64) {
+        // Bury the budget-dead; the route re-resolution at the top of
+        // the next round folds them (and this round's fault-downs) in.
+        for id in self.topology.sensor_ids() {
+            if self.alive[id.0] && self.budget[id.0] <= 0.0 {
+                self.alive[id.0] = false;
+                self.first_death.get_or_insert(round + 1);
+                self.routes_dirty = true;
+            }
+        }
+        if self.faults_active && self.down_now != self.down_prev {
+            self.routes_dirty = true;
+        }
+        std::mem::swap(&mut self.down_prev, &mut self.down_now);
+    }
+
+    /// Residual recording and the final report.
+    pub(crate) fn finish<R: Recorder>(self, rounds: u64, recorder: &mut R) -> NetworkReport {
+        for id in self.topology.sensor_ids() {
+            recorder.record_residual(id.0, self.budget[id.0]);
+        }
+
+        NetworkReport {
+            delivered_packets: self.delivered,
+            delivered_volume: DataVolume::from_bits(
+                self.config.packet.payload().as_bits() * self.delivered as f64,
+            ),
+            total_energy: Energy::from_joules(self.spent),
+            first_death_round: self.first_death,
+            // A node down in the final round (dead or still mid-outage)
+            // does not count as part of the surviving network. The
+            // timeline already sits at `rounds - 1`, so this is a
+            // counter read per node, not an event scan.
+            alive_nodes: self
+                .topology
+                .sensor_ids()
+                .filter(|id| self.alive[id.0] && !self.timeline.node_down(id.0))
+                .count(),
+            residual_energy: self
+                .budget
+                .iter()
+                .skip(1)
+                .map(|&j| Energy::from_joules(j))
+                .collect(),
+            rounds,
+        }
+    }
 }
 
 /// Runs `rounds` reporting rounds of `topology` under `strategy` and
@@ -278,178 +534,15 @@ pub fn simulate_gathering_faulted_with<R: Recorder>(
     recorder: &mut R,
 ) -> NetworkReport {
     assert!(rounds > 0, "simulate at least one round");
-    let n = topology.len();
-    let sink = topology.sink();
-    let capacity = faults.capacity_factors(n);
-    let mut budget: Vec<f64> = (0..n)
-        .map(|id| {
-            if id == sink.0 {
-                config.node_energy.as_joules()
-            } else {
-                config.node_energy.as_joules() * capacity[id]
-            }
-        })
-        .collect();
-    let mut alive = vec![true; n];
-    let mut delivered = 0u64;
-    let mut spent = 0.0f64;
-    let mut first_death: Option<u64> = None;
-    let bits = config.packet.total_bits();
-    let idle_per_round = (config.idle_power * config.report_interval).as_joules();
-    // Receive energy is distance-independent: one value serves every hop.
-    let rx_per_hop = config.radio.receive_energy(bits).as_joules();
-    let faults_active = !faults.is_empty();
-    // The compiled timeline answers per-round down queries in O(1)
-    // instead of scanning the event list; its cursor advances with the
-    // round loop and allocates nothing.
-    let mut timeline = FaultTimeline::compile(faults, n);
-
-    // Scratch buffers reused across rounds — the round loop allocates
-    // nothing. `usable` is the node set routing can see: budget-alive
-    // nodes minus the fault-downs routing has had a round to notice.
-    let mut down_now = vec![false; n];
-    let mut down_prev = vec![false; n];
-    let mut usable = vec![true; n];
-    let mut cache = RouteCache::new(n);
-    // Usable-set epoch: routes re-resolve only on rounds where a death
-    // or a fault transition actually changed what routing can see.
-    // Starts dirty so the first round performs the (single) healthy
-    // build.
-    let mut routes_dirty = true;
-
+    // All scratch lives in the state and is reused across rounds — the
+    // round loop allocates nothing.
+    let mut state = GatherState::new(topology, strategy, config, faults);
     for round in 0..rounds {
-        if faults_active {
-            timeline.advance_to(round);
-            for (id, down) in down_now.iter_mut().enumerate() {
-                *down = id != sink.0 && timeline.node_down(id);
-            }
-        }
-
-        // Re-resolve routes when the usable set routing can see (one
-        // round behind on faults) has changed — deaths, outage starts
-        // noticed a round late, reboots rejoining.
-        if routes_dirty {
-            for (id, flag) in usable.iter_mut().enumerate() {
-                *flag = id == sink.0 || (alive[id] && !down_prev[id]);
-            }
-            cache.ensure(
-                topology,
-                strategy,
-                &config.radio,
-                config.max_hop,
-                bits,
-                &usable,
-            );
-            routes_dirty = false;
-        }
-
-        // Idle/listening cost for every live, powered-on sensor node.
-        for id in topology.sensor_ids() {
-            if alive[id.0] && !down_now[id.0] {
-                budget[id.0] -= idle_per_round;
-                spent += idle_per_round;
-                recorder.charge(id.0, EnergyCategory::Idle, idle_per_round);
-            }
-        }
-
-        // Each live, still-funded, powered-on node reports once. (The
-        // idle charge above may have emptied a budget; such a node is
-        // silent this round and will be buried by the sweep below.)
-        for id in topology.sensor_ids() {
-            if !alive[id.0] || budget[id.0] <= 0.0 || down_now[id.0] {
-                continue;
-            }
-            recorder.packet_offered();
-            if !cache.is_connected(id) {
-                recorder.packet_dropped_disconnected();
-                continue; // disconnected this round
-            }
-            // Charge the sender and every relay by walking the cached
-            // table directly (the connectivity check above guarantees
-            // the chain reaches the sink); abort when a hop has died,
-            // run out mid-round, or gone down to a fault.
-            let mut from = id;
-            let mut fate = PacketFate::Delivered;
-            while from != sink {
-                let hop = cache
-                    .next_hop(from)
-                    .expect("connected route reaches the sink");
-                let from_down = !alive[from.0] || budget[from.0] <= 0.0;
-                let hop_down = hop != sink && (!alive[hop.0] || budget[hop.0] <= 0.0);
-                if from_down || hop_down {
-                    fate = PacketFate::DeadHop;
-                    break;
-                }
-                let tx = cache.tx_cost(from);
-                budget[from.0] -= tx;
-                spent += tx;
-                recorder.charge(from.0, EnergyCategory::Tx, tx);
-                // A hop onto a fault-downed node or across a downed link
-                // still costs the sender its transmission — it cannot
-                // know in advance — but nothing arrives and the downed
-                // receiver spends nothing.
-                if (hop != sink && down_now[hop.0]) || timeline.link_down(from.0, hop.0) {
-                    fate = PacketFate::Fault;
-                    break;
-                }
-                if hop != sink {
-                    budget[hop.0] -= rx_per_hop;
-                    spent += rx_per_hop;
-                    recorder.charge(hop.0, EnergyCategory::RxRelay, rx_per_hop);
-                }
-                from = hop;
-            }
-            match fate {
-                PacketFate::Delivered => {
-                    delivered += 1;
-                    recorder.packet_delivered();
-                }
-                PacketFate::DeadHop => recorder.packet_dropped_dead_hop(),
-                PacketFate::Fault => recorder.packet_dropped_fault(),
-            }
-        }
-
-        // Bury the budget-dead; the route re-resolution at the top of
-        // the next round folds them (and this round's fault-downs) in.
-        for id in topology.sensor_ids() {
-            if alive[id.0] && budget[id.0] <= 0.0 {
-                alive[id.0] = false;
-                first_death.get_or_insert(round + 1);
-                routes_dirty = true;
-            }
-        }
-        if faults_active && down_now != down_prev {
-            routes_dirty = true;
-        }
-        std::mem::swap(&mut down_prev, &mut down_now);
+        state.begin_round(round);
+        state.idle_and_send(recorder);
+        state.end_round(round);
     }
-
-    for id in topology.sensor_ids() {
-        recorder.record_residual(id.0, budget[id.0]);
-    }
-
-    NetworkReport {
-        delivered_packets: delivered,
-        delivered_volume: DataVolume::from_bits(
-            config.packet.payload().as_bits() * delivered as f64,
-        ),
-        total_energy: Energy::from_joules(spent),
-        first_death_round: first_death,
-        // A node down in the final round (dead or still mid-outage)
-        // does not count as part of the surviving network. The timeline
-        // already sits at `rounds - 1`, so this is a counter read per
-        // node, not an event scan.
-        alive_nodes: topology
-            .sensor_ids()
-            .filter(|id| alive[id.0] && !timeline.node_down(id.0))
-            .count(),
-        residual_energy: budget
-            .iter()
-            .skip(1)
-            .map(|&j| Energy::from_joules(j))
-            .collect(),
-        rounds,
-    }
+    state.finish(rounds, recorder)
 }
 
 #[cfg(test)]

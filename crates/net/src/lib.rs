@@ -39,13 +39,14 @@ pub mod cluster;
 pub mod csr;
 pub mod gather;
 pub mod lossy;
+pub mod pdes;
 pub mod replicate;
 pub mod routing;
 pub mod topology;
 
 pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
-pub use csr::CsrAdjacency;
+pub use csr::{CsrAdjacency, RegionPartition};
 pub use gather::{
     simulate_gathering, simulate_gathering_faulted, simulate_gathering_faulted_observed,
     simulate_gathering_faulted_with, simulate_gathering_observed, simulate_gathering_with,
@@ -53,6 +54,10 @@ pub use gather::{
 };
 pub use lossy::{
     simulate_lossy_gathering, simulate_lossy_gathering_faulted, LossyConfig, LossyReport,
+};
+pub use pdes::{
+    simulate_gathering_faulted_observed_par, simulate_gathering_faulted_par,
+    simulate_gathering_faulted_par_with, simulate_gathering_observed_par, simulate_gathering_par,
 };
 pub use replicate::{
     replicate_gathering, replicate_gathering_faulted_observed,

@@ -14,6 +14,20 @@
 //! as `dropped_fault`. Fault handling consumes **no randomness**, so a
 //! faulted run's channel draws stay aligned with the unfaulted run at
 //! the same seed until the first fault actually bites.
+//!
+//! # Why there is no region-parallel lossy kernel
+//!
+//! The [`pdes`](crate::pdes) engine parallelizes the perfect-link
+//! kernel because its per-round work is *budget-free to predict*: a
+//! packet's fate depends only on round-constant state, so regions can
+//! execute independently and replay charges in a fixed order. Lossy
+//! gathering breaks that precondition on purpose — every ARQ attempt
+//! draws from **one sequential RNG stream**, and a hop's number of
+//! attempts decides how many draws the *next* hop sees. Reordering
+//! sources across regions would reorder draws and change results, and
+//! per-region streams would change the published seeded baselines.
+//! Determinism-in-a-seed outranks intra-run speedup here; lossy runs
+//! parallelize across replications ([`crate::replicate`]) instead.
 
 use crate::routing::{RouteCache, RoutingStrategy};
 use crate::topology::Topology;

@@ -710,6 +710,20 @@ impl RouteCache {
         self.tx_cost[node.0]
     }
 
+    /// All per-node transmit costs, indexed by raw id — the bulk form
+    /// of [`tx_cost`](Self::tx_cost) for kernels that fold charges over
+    /// many nodes per round (the region-parallel replay loops index
+    /// this slice directly instead of paying a method call per hop).
+    pub fn tx_costs(&self) -> &[f64] {
+        &self.tx_cost
+    }
+
+    /// All per-node connectivity flags, indexed by raw id — the bulk
+    /// form of [`is_connected`](Self::is_connected).
+    pub fn connected_flags(&self) -> &[bool] {
+        &self.connected
+    }
+
     /// Route builds this cache has performed.
     pub fn builds(&self) -> u64 {
         self.builds

@@ -48,10 +48,22 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn allocations_during(work: impl FnOnce()) -> u64 {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    work();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+/// Minimum allocation count of `work` over `attempts` runs. The
+/// simulation allocates deterministically; the libtest harness's
+/// waiting thread occasionally allocates mid-window, and that noise is
+/// strictly additive, so the minimum is the true count. Two attempts
+/// suffice here (the windows are seconds long, so a double hit on the
+/// same workload is vanishingly rare, and the runs are too expensive to
+/// repeat five times).
+fn steady_allocations(attempts: usize, mut work: impl FnMut()) -> u64 {
+    (0..attempts)
+        .map(|_| {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            work();
+            ALLOCATIONS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .expect("at least one attempt")
 }
 
 #[test]
@@ -103,11 +115,11 @@ fn scale_smoke_100k_nodes_route_repair_and_gather() {
     ]);
     reset_route_build_count();
     reset_route_repair_count();
-    let short = allocations_during(|| {
+    let short = steady_allocations(2, || {
         let _ =
             simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 6, &faults);
     });
-    let long = allocations_during(|| {
+    let long = steady_allocations(2, || {
         let _ =
             simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 18, &faults);
     });
@@ -116,12 +128,33 @@ fn scale_smoke_100k_nodes_route_repair_and_gather() {
         "faulted rounds allocated at n=100k ({short} vs {long} allocations)"
     );
     assert!(short > 0, "the counter must actually be counting");
-    assert_eq!(route_build_count(), 2, "one full build per faulted run");
+    assert_eq!(route_build_count(), 4, "one full build per faulted run");
     assert_eq!(
         route_repair_count(),
-        6,
+        12,
         "three transitions per run, each an incremental repair"
     );
+
+    // Region-parallel pass: the conservative PDES engine at 8 worker
+    // threads must reproduce the serial faulted run bit for bit at city
+    // scale. Reports derive every float from the run state, so `==`
+    // here is bit equality.
+    let serial =
+        simulate_gathering_faulted(&topo, RoutingStrategy::MinimumEnergy, &config, 6, &faults);
+    for threads in [1usize, 8] {
+        let par = ami_net::simulate_gathering_faulted_par(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            6,
+            &faults,
+            threads,
+        );
+        assert_eq!(
+            par, serial,
+            "region-parallel n=100k run diverged at {threads} threads"
+        );
+    }
 
     let elapsed = wall.elapsed();
     assert!(
