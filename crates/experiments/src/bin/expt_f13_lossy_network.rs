@@ -6,15 +6,31 @@
 //! ARQ restores it at an energy cost that grows with BER. The per-hop
 //! analytic prediction matches the Monte-Carlo network on single-hop
 //! stars (cross-validated in tests).
+//!
+//! The grid, seed, rounds, channel and sweep axes load from the
+//! checked-in `scenarios/f13_lossy_network.scenario.json` through the
+//! scenario engine (override with `AMBIENCE_SCENARIO`); the output is
+//! byte-identical to the former hard-coded constants.
 
 use ami_experiments::manifests::{emit_when_requested, f13_faulted_manifest_with, f13_manifest};
 use ami_experiments::{banner, print_table, section};
 use ami_net::{
-    simulate_lossy_gathering, simulate_lossy_gathering_faulted, LossyConfig, LossyReport, Topology,
+    simulate_lossy_gathering, simulate_lossy_gathering_faulted, LossyConfig, LossyReport,
 };
 use ami_radio::StopAndWaitArq;
+use ami_scenario::ScenarioSpec;
 use ami_sim::fault::{FaultModel, FaultSpec, FAULTS_ENV};
-use ami_units::Length;
+
+const SCENARIO: &str = "crates/experiments/scenarios/f13_lossy_network.scenario.json";
+
+/// Pulls a single-valued axis out of the scenario.
+fn scalar_axis(scenario: &ScenarioSpec, name: &str) -> f64 {
+    let values = scenario
+        .axis(name)
+        .unwrap_or_else(|| panic!("scenario is missing the {name} axis"));
+    assert_eq!(values.len(), 1, "{name} must carry exactly one value");
+    values[0]
+}
 
 /// The per-delivered-bit column: `-` when nothing got through.
 fn per_bit_cell(report: &LossyReport, config: &LossyConfig) -> String {
@@ -26,20 +42,28 @@ fn per_bit_cell(report: &LossyReport, config: &LossyConfig) -> String {
 }
 
 fn main() {
+    let scenario = ami_scenario::load_for_binary(SCENARIO).unwrap_or_else(|err| panic!("{err}"));
+    let compiled =
+        ami_scenario::CompiledScenario::compile(&scenario).unwrap_or_else(|err| panic!("{err}"));
+    let topo = compiled
+        .topology()
+        .expect("F13 scenario pins its grid")
+        .clone();
+    let rounds = scenario.rounds;
+    let seed = scenario.seed;
+
     banner("F13", "lossy-link gathering: delivery vs BER and ARQ");
     println!(
         "[runner: {} worker thread(s)]",
         ami_sim::runner::thread_count()
     );
-    let topo = Topology::grid(5, Length::from_meters(30.0));
-    let rounds = 300;
 
     section("5x5 grid, 4-attempt ARQ: channel quality sweep");
-    let bers = [1e-5, 1e-4, 1e-3, 3e-3, 1e-2];
-    let rows = ami_sim::runner::par_map_indexed(&bers, |_, &ber| {
+    let bers = scenario.axis("ber").expect("scenario carries a ber axis");
+    let rows = ami_sim::runner::par_map_indexed(bers, |_, &ber| {
         let mut config = LossyConfig::bruised_channel();
         config.ber = ber;
-        let report = simulate_lossy_gathering(&topo, &config, rounds, 2003);
+        let report = simulate_lossy_gathering(&topo, &config, rounds, seed);
         vec![
             format!("{ber:.0e}"),
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
@@ -54,12 +78,15 @@ fn main() {
     );
 
     section("BER 3e-3: how much ARQ is enough?");
-    let budgets = [1u32, 2, 4, 8];
+    let arq_ber = scalar_axis(&scenario, "arq_sweep_ber");
+    let budgets = scenario
+        .axis_usize("arq_budget")
+        .expect("integral arq_budget axis");
     let rows = ami_sim::runner::par_map_indexed(&budgets, |_, &budget| {
         let mut config = LossyConfig::bruised_channel();
-        config.ber = 3e-3;
-        config.arq = StopAndWaitArq::new(budget);
-        let report = simulate_lossy_gathering(&topo, &config, rounds, 2003);
+        config.ber = arq_ber;
+        config.arq = StopAndWaitArq::new(budget as u32);
+        let report = simulate_lossy_gathering(&topo, &config, rounds, seed);
         vec![
             budget.to_string(),
             format!("{:.1}%", 100.0 * report.delivery_ratio()),
@@ -77,17 +104,23 @@ fn main() {
     // routing re-resolves around downed relays, so delivery degrades
     // with the churn instead of collapsing, and fault losses are
     // attributed separately from channel losses.
-    let churn = [0.0, 0.1, 0.2, 0.4];
-    let rows = ami_sim::runner::par_map_indexed(&churn, |_, &rate| {
-        let config = LossyConfig::bruised_channel();
+    let outage_rounds = scalar_axis(&scenario, "churn_outage_rounds") as u64;
+    let churn = scenario
+        .axis("churn_rate")
+        .expect("scenario carries a churn_rate axis");
+    let rows = ami_sim::runner::par_map_indexed(churn, |_, &rate| {
+        let config = compiled
+            .lossy_config()
+            .expect("lossy scenarios compile a LossyConfig")
+            .clone();
         let model = FaultModel {
             death_rate: rate,
             outage_rate: rate,
-            outage_rounds: 40,
+            outage_rounds,
             ..FaultModel::none()
         };
-        let faults = model.schedule(2003, topo.len(), rounds);
-        let report = simulate_lossy_gathering_faulted(&topo, &config, rounds, 2003, &faults);
+        let faults = model.schedule(seed, topo.len(), rounds);
+        let report = simulate_lossy_gathering_faulted(&topo, &config, rounds, seed, &faults);
         vec![
             format!("{:.0}%", 100.0 * rate),
             report.offered.to_string(),

@@ -13,6 +13,11 @@
 //! contract. Everything printed is a count and the engine is
 //! bit-identical at any worker count, so the output is byte-stable at
 //! any `AMBIENCE_THREADS`.
+//!
+//! The sizes, density, seed, rounds and churn mix load from the
+//! checked-in `scenarios/f15_city_scale.scenario.json` through the
+//! scenario engine (override with `AMBIENCE_SCENARIO`); the output is
+//! byte-identical to the former hard-coded constants.
 
 use ami_experiments::{banner, print_table, section};
 use ami_net::routing::{
@@ -23,18 +28,26 @@ use ami_net::{
     simulate_gathering_faulted, simulate_gathering_faulted_par, CsrAdjacency, NetworkConfig,
     NetworkReport, Position, RoutingStrategy, Topology,
 };
+use ami_scenario::ScenarioSpec;
 use ami_sim::fault::{FaultSchedule, FaultSpec};
 use ami_sim::runner::thread_count;
 use ami_units::Length;
 
-/// The bench fault mix, frozen alongside `expt_bench_snapshot`.
-const FAULT_MIX: &str = "death=0.1,outage=0.2:10,link=0.1:8";
-const ROUNDS: u64 = 30;
-const SEED: u64 = 2003;
+const SCENARIO: &str = "crates/experiments/scenarios/f15_city_scale.scenario.json";
 
-/// Constant-density random field (side 25·√n m), as in the bench sweep.
-fn field(n: usize) -> Topology {
-    Topology::random(n, Length::from_meters(25.0 * (n as f64).sqrt()), SEED)
+/// Pulls a single-valued axis out of the scenario.
+fn scalar_axis(scenario: &ScenarioSpec, name: &str) -> f64 {
+    let values = scenario
+        .axis(name)
+        .unwrap_or_else(|| panic!("scenario is missing the {name} axis"));
+    assert_eq!(values.len(), 1, "{name} must carry exactly one value");
+    values[0]
+}
+
+/// Constant-density random field (side `density`·√n m), as in the bench
+/// sweep.
+fn field(n: usize, density: f64, seed: u64) -> Topology {
+    Topology::random(n, Length::from_meters(density * (n as f64).sqrt()), seed)
 }
 
 /// One faulted run, returning the report plus the (build, repair)
@@ -45,6 +58,7 @@ fn faulted_run(
     topo: &Topology,
     config: &NetworkConfig,
     faults: &FaultSchedule,
+    rounds: u64,
     threads: Option<usize>,
 ) -> (NetworkReport, u64, u64) {
     reset_route_build_count();
@@ -54,28 +68,37 @@ fn faulted_run(
             topo,
             RoutingStrategy::MinimumEnergy,
             config,
-            ROUNDS,
+            rounds,
             faults,
             threads,
         ),
         None => {
-            simulate_gathering_faulted(topo, RoutingStrategy::MinimumEnergy, config, ROUNDS, faults)
+            simulate_gathering_faulted(topo, RoutingStrategy::MinimumEnergy, config, rounds, faults)
         }
     };
     (report, route_build_count(), route_repair_count())
 }
 
 fn main() {
+    let scenario = ami_scenario::load_for_binary(SCENARIO).unwrap_or_else(|err| panic!("{err}"));
+    let fault_mix = scenario
+        .faults
+        .clone()
+        .expect("F15 scenario carries a fault mix");
+    let rounds = scenario.rounds;
+    let seed = scenario.seed;
+    let density = scalar_axis(&scenario, "field_m_per_sqrt_n");
+    let sizes = scenario.axis_usize("nodes").expect("integral nodes axis");
+
     banner("F15", "city-scale routing: grid neighbors + route repair");
-    let config = NetworkConfig::sensor_default();
-    let spec = FaultSpec::parse(FAULT_MIX).expect("frozen fault mix parses");
-    let sizes = [400usize, 1600, 4096];
+    let config = scenario.network.to_network_config();
+    let spec = FaultSpec::parse(&fault_mix).expect("frozen fault mix parses");
 
     section("spatial-grid CSR vs the all-pairs scan (pinned oracle)");
     let rows: Vec<Vec<String>> = sizes
         .iter()
         .map(|&n| {
-            let topo = field(n);
+            let topo = field(n, density, seed);
             let positions: Vec<Position> = topo.ids().map(|id| topo.position(id)).collect();
             let grid = CsrAdjacency::build(&positions, config.max_hop);
             let scan = CsrAdjacency::build_scan(&positions, config.max_hop);
@@ -89,23 +112,24 @@ fn main() {
         .collect();
     print_table(&["n", "edges", "avg degree", "grid == scan"], &rows);
 
-    section(format!("churn mix [{FAULT_MIX}], {ROUNDS} rounds: repairs, not rebuilds").as_str());
+    section(format!("churn mix [{fault_mix}], {rounds} rounds: repairs, not rebuilds").as_str());
     let rows: Vec<Vec<String>> = sizes
         .iter()
         .map(|&n| {
-            let topo = field(n);
-            let faults = spec.schedule_for(SEED, n, ROUNDS);
+            let topo = field(n, density, seed);
+            let faults = spec.schedule_for(seed, n, rounds);
 
             // Oracle first: the retired full-rebuild-per-transition
             // path, on the serial kernel. The repaired run then takes
             // the region-parallel engine at `AMBIENCE_THREADS`.
             set_route_repair_enabled(false);
-            let (oracle_report, oracle_builds, _) = faulted_run(&topo, &config, &faults, None);
+            let (oracle_report, oracle_builds, _) =
+                faulted_run(&topo, &config, &faults, rounds, None);
             set_route_repair_enabled(true);
             let (report, builds, repairs) =
-                faulted_run(&topo, &config, &faults, Some(thread_count()));
+                faulted_run(&topo, &config, &faults, rounds, Some(thread_count()));
 
-            let offered = ROUNDS * (n as u64 - 1);
+            let offered = rounds * (n as u64 - 1);
             vec![
                 n.to_string(),
                 format!(

@@ -5,14 +5,30 @@
 //! sustainable region opens up once the load drops below the mean
 //! harvested power (≈14 µW for the default 8 cm² office cell), which
 //! happens around second-scale check intervals.
+//!
+//! The ledger span and sweep axis load from the checked-in
+//! `scenarios/f3_cs1_duty_cycle.scenario.json` (override with
+//! `AMBIENCE_SCENARIO`); the output is byte-identical to the former
+//! hard-coded constants.
 
 use ami_core::case_studies::cs1::{cs1_energy_ledger, run_cs1, sweep_check_interval, Cs1Config};
 use ami_experiments::manifests::{emit_when_requested, f3_manifest};
 use ami_experiments::{banner, print_table, section};
+use ami_scenario::WorkloadSpec;
 use ami_sim::obs::EnergyCategory;
 use ami_units::TimeSpan;
 
+const SCENARIO: &str = "crates/experiments/scenarios/f3_cs1_duty_cycle.scenario.json";
+
 fn main() {
+    let scenario = ami_scenario::load_for_binary(SCENARIO).unwrap_or_else(|err| panic!("{err}"));
+    let WorkloadSpec::Cs1DutyCycle { ledger_days } = scenario.workload else {
+        panic!(
+            "F3 needs a cs1_duty_cycle scenario, got {:?}",
+            scenario.workload.kind()
+        );
+    };
+
     banner("F3", "CS1 sensor node: duty cycle vs sustainability");
     println!(
         "[runner: {} worker thread(s)]",
@@ -33,7 +49,7 @@ fn main() {
     );
 
     section("3-day energy ledger (where every joule goes)");
-    let ledger = cs1_energy_ledger(&base, TimeSpan::from_days(3.0));
+    let ledger = cs1_energy_ledger(&base, TimeSpan::from_days(ledger_days));
     for category in EnergyCategory::ALL {
         println!(
             "{:>8}  {:>8.3} J  {:>5.1}%",
@@ -45,7 +61,9 @@ fn main() {
     println!("{:>8}  {:>8.3} J", "total", ledger.total().as_joules());
 
     section("sweep: MAC check interval (the duty-cycle knob)");
-    let intervals: Vec<TimeSpan> = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    let intervals: Vec<TimeSpan> = scenario
+        .axis("check_interval_s")
+        .expect("validated cs1 scenario has a check_interval_s axis")
         .iter()
         .map(|&s| TimeSpan::from_seconds(s))
         .collect();

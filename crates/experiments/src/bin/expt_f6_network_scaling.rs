@@ -6,30 +6,59 @@
 //! (nodes beyond the ~45 m radio crossover). Lifetime is bottlenecked by
 //! the relays around the sink.
 
-use ami_experiments::manifests::{emit_when_requested, f6_manifest, F6_FAULT_SPEC};
+use ami_experiments::manifests::{emit_when_requested, f6_manifest};
 use ami_experiments::{banner, print_table, section};
 use ami_net::{
     replicate_gathering, replicate_gathering_faulted_observed, replicate_gathering_observed,
     simulate_gathering, summarize_reports, NetworkConfig, RoutingStrategy, Topology,
 };
+use ami_scenario::TopologySpec;
 use ami_sim::fault::FaultSpec;
 use ami_sim::obs::EnergyCategory;
 use ami_units::{Energy, Length};
 
+const SCENARIO: &str = "crates/experiments/scenarios/f6_network_scaling.scenario.json";
+
+/// Pulls a single-valued axis out of the scenario.
+fn scalar_axis(scenario: &ami_scenario::ScenarioSpec, name: &str) -> f64 {
+    let values = scenario
+        .axis(name)
+        .unwrap_or_else(|| panic!("scenario is missing the {name} axis"));
+    assert_eq!(values.len(), 1, "{name} must carry exactly one value");
+    values[0]
+}
+
 fn main() {
+    let scenario = ami_scenario::load_for_binary(SCENARIO).unwrap_or_else(|err| panic!("{err}"));
+    let TopologySpec::Random { nodes, field_m } = *scenario
+        .topology
+        .as_ref()
+        .expect("F6 scenario has a topology")
+    else {
+        panic!("F6 needs a random-field topology");
+    };
+    let fault_mix = scenario
+        .faults
+        .clone()
+        .expect("F6 scenario carries a fault mix");
+
     banner("F6", "network scaling and the multi-hop crossover");
     println!(
         "[runner: {} worker thread(s)]",
         ami_sim::runner::thread_count()
     );
-    let mut config = NetworkConfig::sensor_default();
-    config.node_energy = Energy::from_joules(20.0);
-    let rounds = 500;
+    let config = scenario.network.to_network_config();
+    let rounds = scenario.rounds;
+    let base_seed = scenario.seed;
+    let replications = scenario.replications as usize;
 
     section("grid networks of growing side (30 m spacing, 500 rounds)");
-    let sides = [2usize, 3, 4, 5, 6, 7];
+    let spacing = Length::from_meters(scalar_axis(&scenario, "grid_spacing_m"));
+    let sides = scenario
+        .axis_usize("grid_side")
+        .expect("integral grid_side axis");
     let rows = ami_sim::runner::par_map_indexed(&sides, |_, &side| {
-        let topo = Topology::grid(side, Length::from_meters(30.0));
+        let topo = Topology::grid(side, spacing);
         let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &config, rounds);
         let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
         vec![
@@ -58,12 +87,15 @@ fn main() {
 
     section("lifetime to first node death (tiny 0.5 J budgets, 1-min rounds)");
     let mut tiny = NetworkConfig::sensor_default();
-    tiny.node_energy = Energy::from_millijoules(500.0);
-    let tiny_sides = [3usize, 5, 7];
+    tiny.node_energy = Energy::from_joules(scalar_axis(&scenario, "tiny_node_energy_j"));
+    let tiny_rounds = scalar_axis(&scenario, "tiny_rounds") as u64;
+    let tiny_sides = scenario
+        .axis_usize("tiny_grid_side")
+        .expect("integral tiny_grid_side axis");
     let rows = ami_sim::runner::par_map_indexed(&tiny_sides, |_, &side| {
-        let topo = Topology::grid(side, Length::from_meters(30.0));
-        let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &tiny, 20_000);
-        let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &tiny, 20_000);
+        let topo = Topology::grid(side, spacing);
+        let direct = simulate_gathering(&topo, RoutingStrategy::DirectToSink, &tiny, tiny_rounds);
+        let multi = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &tiny, tiny_rounds);
         let show = |r: &ami_net::NetworkReport| {
             r.lifetime(tiny.report_interval)
                 .map_or("(survives)".to_owned(), |t| {
@@ -77,12 +109,12 @@ fn main() {
     section("random fields: multi-hop saving with 95% CI over 32 topologies");
     // A 400 m square (sink at center) puts most nodes well past the
     // ~45 m single-hop crossover, so the saving is visible.
-    let field = Length::from_meters(400.0);
-    let n_nodes = 40;
+    let field = Length::from_meters(field_m);
+    let n_nodes = nodes as usize;
     let reports_of = |strategy| {
         replicate_gathering(
-            32,
-            2003,
+            replications,
+            base_seed,
             |seed| Topology::random(n_nodes, field, seed),
             strategy,
             &config,
@@ -91,8 +123,8 @@ fn main() {
     };
     let direct = reports_of(RoutingStrategy::DirectToSink);
     let (multi, obs) = replicate_gathering_observed(
-        32,
-        2003,
+        replications,
+        base_seed,
         |seed| Topology::random(n_nodes, field, seed),
         RoutingStrategy::MinimumEnergy,
         &config,
@@ -154,15 +186,15 @@ fn main() {
     );
 
     section(&format!(
-        "resilience: the same 32 fields under faults ({F6_FAULT_SPEC})"
+        "resilience: the same 32 fields under faults ({fault_mix})"
     ));
     // Each replication's seed derives both its topology and its fault
     // schedule, so the comparison is paired: same fields, with and
     // without exogenous churn.
-    let spec = FaultSpec::parse(F6_FAULT_SPEC).expect("frozen spec parses");
+    let spec = FaultSpec::parse(&fault_mix).expect("frozen spec parses");
     let (faulted, fobs) = replicate_gathering_faulted_observed(
-        32,
-        2003,
+        replications,
+        base_seed,
         |seed| Topology::random(n_nodes, field, seed),
         |seed| spec.schedule_for(seed, n_nodes, rounds),
         RoutingStrategy::MinimumEnergy,

@@ -5,7 +5,7 @@
 //! The seed-partitioned runner parallelizes *across* replications; a
 //! single city-scale run still pinned one core. This module partitions
 //! the node id space into contiguous regions
-//! ([`RegionPartition`](crate::csr::RegionPartition), cut by the same
+//! ([`RegionPartition`], cut by the same
 //! spatial grid the CSR construction buckets with), executes each
 //! round's per-node work region-parallel on an
 //! [`ami_sim::runner::RoundPool`], and synchronizes at round barriers

@@ -77,6 +77,16 @@ fn note_route_repair() {
 /// Number of route-table builds performed on this thread since the last
 /// [`reset_route_build_count`]. Test instrumentation: the epoch-cache
 /// regression tests count builds across whole simulations with it.
+///
+/// # Thread safety
+///
+/// The counter is **thread-local**: builds performed by worker threads
+/// (the region-parallel PDES engine included — its workers replay routing
+/// on the caller's thread, which is why `expt_f15_city_scale` can read
+/// it) are visible only on the thread that performed them. When a test
+/// needs counts attributable to one simulation rather than one thread,
+/// prefer the per-cache [`RouteCache::builds`] / [`RouteCache::repairs`]
+/// accessors, which need no global state at all.
 pub fn route_build_count() -> u64 {
     ROUTE_BUILDS.with(Cell::get)
 }
@@ -91,6 +101,10 @@ pub fn reset_route_build_count() {
 /// one repair instead of one build whenever the cache can splice the
 /// affected subtrees; builds + repairs together account for every
 /// transition.
+///
+/// # Thread safety
+///
+/// Thread-local, exactly as [`route_build_count`]; see the note there.
 pub fn route_repair_count() -> u64 {
     ROUTE_REPAIRS.with(Cell::get)
 }
@@ -109,6 +123,15 @@ pub fn route_repair_enabled() -> bool {
 /// previous setting. Disabling forces every usable-set transition back
 /// onto the historical full-rebuild path — the in-tree oracle the
 /// differential tests diff the repair path against.
+///
+/// # Thread safety
+///
+/// The flag is **thread-local**: it affects only [`RouteCache`]s driven
+/// from the calling thread, and caches carrying a per-cache override
+/// ([`RouteCache::set_repair_enabled`]) ignore it entirely. Code that
+/// owns its cache should prefer the per-cache override — it cannot leak
+/// into sibling simulations on the same thread, and restoring it is a
+/// field write rather than a thread-wide toggle.
 pub fn set_route_repair_enabled(enabled: bool) -> bool {
     REPAIR_ENABLED.with(|flag| flag.replace(enabled))
 }
@@ -358,6 +381,11 @@ pub struct RouteCache {
     /// Strategy of the current epoch; repair is only sound on top of a
     /// minimum-energy table.
     built_with: Option<RoutingStrategy>,
+    /// Per-cache repair policy: `Some(_)` wins over the thread-local
+    /// default, so one cache can be pinned to the full-rebuild oracle
+    /// without disturbing caches on other threads (or later on this
+    /// one).
+    repair_override: Option<bool>,
     scratch: RepairScratch,
 }
 
@@ -394,8 +422,30 @@ impl RouteCache {
             repairs: 0,
             primed: false,
             built_with: None,
+            repair_override: None,
             scratch: RepairScratch::default(),
         }
+    }
+
+    /// Whether this cache may repair incrementally: the per-cache
+    /// override when one was set via
+    /// [`set_repair_enabled`](Self::set_repair_enabled), else the
+    /// thread-local default ([`route_repair_enabled`]).
+    pub fn repair_enabled(&self) -> bool {
+        self.repair_override.unwrap_or_else(route_repair_enabled)
+    }
+
+    /// Pins this cache's repair policy, returning the previous override.
+    /// `Some(false)` forces every usable-set transition onto the
+    /// historical full-rebuild path (the differential-test oracle);
+    /// `Some(true)` keeps repairs on even if the thread-local default is
+    /// off; `None` restores deference to the thread-local default.
+    ///
+    /// Unlike [`set_route_repair_enabled`] this is scoped to one cache,
+    /// so it composes with worker threads and with other caches on the
+    /// same thread.
+    pub fn set_repair_enabled(&mut self, enabled: Option<bool>) -> Option<bool> {
+        std::mem::replace(&mut self.repair_override, enabled)
     }
 
     /// Makes the cached table current for `usable`, recomputing only
@@ -430,7 +480,7 @@ impl RouteCache {
         let repairable = self.primed
             && strategy == RoutingStrategy::MinimumEnergy
             && self.built_with == Some(RoutingStrategy::MinimumEnergy)
-            && route_repair_enabled();
+            && self.repair_enabled();
         if repairable {
             self.repair(topology, radio, max_hop, usable);
             note_route_repair();
@@ -929,6 +979,65 @@ mod tests {
         set_route_repair_enabled(previous);
         assert_eq!(cache.builds(), 2, "oracle path rebuilds per transition");
         assert_eq!(cache.repairs(), 0);
+    }
+
+    #[test]
+    fn per_cache_override_beats_the_thread_local_default() {
+        let topo = Topology::grid(4, Length::from_meters(30.0));
+        let bits = ami_radio::Packet::sensor_report().total_bits();
+        let hop = Length::from_meters(45.0);
+        let mut usable = vec![true; topo.len()];
+
+        // Two caches on the same thread: the pinned one stays on the
+        // full-rebuild oracle while its sibling keeps repairing under
+        // the (enabled) thread-local default.
+        let mut oracle = RouteCache::new(topo.len());
+        assert_eq!(oracle.set_repair_enabled(Some(false)), None);
+        assert!(!oracle.repair_enabled());
+        let mut repairing = RouteCache::new(topo.len());
+        assert!(repairing.repair_enabled(), "thread default is on");
+
+        for cache in [&mut oracle, &mut repairing] {
+            cache.ensure(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &radio(),
+                hop,
+                bits,
+                &usable,
+            );
+        }
+        usable[5] = false;
+        for cache in [&mut oracle, &mut repairing] {
+            cache.ensure(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &radio(),
+                hop,
+                bits,
+                &usable,
+            );
+        }
+        assert_eq!((oracle.builds(), oracle.repairs()), (2, 0));
+        assert_eq!((repairing.builds(), repairing.repairs()), (1, 1));
+
+        // `Some(true)` likewise wins over a disabled thread default,
+        // and clearing the override restores deference to it.
+        usable[6] = false;
+        let previous = set_route_repair_enabled(false);
+        assert_eq!(repairing.set_repair_enabled(Some(true)), None);
+        repairing.ensure(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &radio(),
+            hop,
+            bits,
+            &usable,
+        );
+        assert_eq!((repairing.builds(), repairing.repairs()), (1, 2));
+        assert_eq!(repairing.set_repair_enabled(None), Some(true));
+        assert!(!repairing.repair_enabled(), "deference restored");
+        set_route_repair_enabled(previous);
     }
 
     #[test]

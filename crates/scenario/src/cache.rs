@@ -1,0 +1,339 @@
+//! The bounded compile cache: LRU over canonical hashes, with
+//! single-flight deduplication of concurrent compilations.
+//!
+//! [`ScenarioCache::get_or_compile`] is the only way work enters the
+//! engine. Requests whose specs canonicalize to the same
+//! [`ScenarioHash`](crate::ScenarioHash) share one
+//! `Arc<CompiledScenario>`; when several arrive while that artifact is
+//! still being compiled, exactly **one** thread compiles and the rest
+//! block on a condvar until the slot flips from in-flight to ready
+//! (single-flight). Ready entries are evicted least-recently-used once
+//! the cache exceeds its capacity; in-flight slots are never evicted.
+//!
+//! Validation happens *before* a slot is claimed, so compilation inside
+//! the cache cannot fail for spec reasons — a claimed slot always
+//! resolves, and waiters never deadlock on an abandoned entry.
+//!
+//! # Example
+//!
+//! ```
+//! use ami_scenario::{ScenarioCache, ScenarioSpec};
+//!
+//! let cache = ScenarioCache::new(4);
+//! let spec = ScenarioSpec::from_json_str(r#"{
+//!     "name": "doc-cache",
+//!     "rounds": 5,
+//!     "topology": {"kind": "grid", "side": 3, "spacing_m": 30.0},
+//!     "workload": {"kind": "gathering", "strategy": "minimum_energy"}
+//! }"#).unwrap();
+//! let (first, hit) = cache.get_or_compile(&spec).unwrap();
+//! assert!(!hit);
+//! let (second, hit) = cache.get_or_compile(&spec).unwrap();
+//! assert!(hit);
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! assert_eq!(cache.stats().compiles, 1);
+//! ```
+
+use crate::compile::CompiledScenario;
+use crate::spec::{ScenarioError, ScenarioSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing cache behavior since construction. Monotonic;
+/// read them via [`ScenarioCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Specs actually compiled (cache misses that did the work).
+    pub compiles: u64,
+    /// Requests served from a ready entry.
+    pub hits: u64,
+    /// Requests that found no entry and claimed the compile.
+    pub misses: u64,
+    /// Ready entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Requests that waited on another thread's in-flight compile
+    /// (the single-flight path).
+    pub coalesced: u64,
+}
+
+enum Slot {
+    /// Some thread is compiling; waiters block on the condvar.
+    InFlight,
+    /// The artifact, with its LRU stamp.
+    Ready {
+        artifact: Arc<CompiledScenario>,
+        last_used: u64,
+    },
+}
+
+struct CacheState {
+    slots: HashMap<u64, Slot>,
+    /// Logical clock for LRU stamps.
+    tick: u64,
+}
+
+/// A bounded, thread-safe compile cache. See the [module docs](self).
+pub struct ScenarioCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl std::fmt::Debug for ScenarioCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ScenarioCache {
+    /// A cache holding at most `capacity` ready artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a scenario cache needs capacity >= 1");
+        Self {
+            capacity,
+            state: Mutex::new(CacheState {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the compiled artifact for `spec` and whether it was a
+    /// cache hit, compiling at most once per canonical hash however
+    /// many threads ask concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] when validation rejects the spec (before
+    /// any slot is claimed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking compile on
+    /// another thread.
+    pub fn get_or_compile(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> Result<(Arc<CompiledScenario>, bool), ScenarioError> {
+        spec.validate()?;
+        let hash = spec.hash().0;
+        {
+            enum Action {
+                Hit(Arc<CompiledScenario>),
+                Wait,
+                Claim,
+            }
+            let mut state = self.state.lock().expect("scenario cache poisoned");
+            let mut waited = false;
+            loop {
+                let action = match state.slots.get(&hash) {
+                    Some(Slot::Ready { artifact, .. }) => Action::Hit(artifact.clone()),
+                    Some(Slot::InFlight) => Action::Wait,
+                    None => Action::Claim,
+                };
+                match action {
+                    Action::Hit(artifact) => {
+                        state.tick += 1;
+                        let tick = state.tick;
+                        if let Some(Slot::Ready { last_used, .. }) = state.slots.get_mut(&hash) {
+                            *last_used = tick;
+                        }
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((artifact, true));
+                    }
+                    Action::Wait => {
+                        if !waited {
+                            waited = true;
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state = self.ready.wait(state).expect("scenario cache poisoned");
+                    }
+                    Action::Claim => {
+                        state.slots.insert(hash, Slot::InFlight);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+        // Compile outside the lock; the spec is already validated, so
+        // this cannot fail and the in-flight slot always resolves.
+        let artifact = CompiledScenario::compile(spec)?;
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().expect("scenario cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        state.slots.insert(
+            hash,
+            Slot::Ready {
+                artifact: artifact.clone(),
+                last_used: tick,
+            },
+        );
+        self.evict_over_capacity(&mut state, hash);
+        drop(state);
+        self.ready.notify_all();
+        Ok((artifact, false))
+    }
+
+    /// Evicts least-recently-used ready entries until at most
+    /// `capacity` remain; never evicts in-flight slots or `keep`.
+    fn evict_over_capacity(&self, state: &mut CacheState, keep: u64) {
+        loop {
+            let ready_count = state
+                .slots
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                .count();
+            if ready_count <= self.capacity {
+                return;
+            }
+            let victim = state
+                .slots
+                .iter()
+                .filter_map(|(&h, slot)| match slot {
+                    Slot::Ready { last_used, .. } if h != keep => Some((h, *last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, stamp)| stamp)
+                .map(|(h, _)| h);
+            match victim {
+                Some(h) => {
+                    state.slots.remove(&h);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Only `keep` and in-flight slots remain; capacity 1
+                // with the fresh entry lands here.
+                None => return,
+            }
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of ready artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("scenario cache poisoned")
+            .slots
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// True when no ready artifact is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, rounds: u64) -> ScenarioSpec {
+        ScenarioSpec::from_json_str(&format!(
+            r#"{{
+                "name": "{name}",
+                "rounds": {rounds},
+                "topology": {{"kind": "grid", "side": 3, "spacing_m": 30.0}},
+                "workload": {{"kind": "gathering", "strategy": "minimum_energy"}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = ScenarioCache::new(2);
+        let (a, hit_a) = cache.get_or_compile(&spec("a", 5)).unwrap();
+        let (b, hit_b) = cache.get_or_compile(&spec("a", 5)).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.compiles, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalid_specs_never_claim_a_slot() {
+        let cache = ScenarioCache::new(2);
+        let mut bad = spec("bad", 5);
+        bad.rounds = 0;
+        assert!(cache.get_or_compile(&bad).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ScenarioCache::new(2);
+        cache.get_or_compile(&spec("a", 5)).unwrap();
+        cache.get_or_compile(&spec("b", 5)).unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        let (_, hit) = cache.get_or_compile(&spec("a", 5)).unwrap();
+        assert!(hit);
+        cache.get_or_compile(&spec("c", 5)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, hit_a) = cache.get_or_compile(&spec("a", 5)).unwrap();
+        assert!(hit_a, "a was kept");
+        let (_, hit_b) = cache.get_or_compile(&spec("b", 5)).unwrap();
+        assert!(!hit_b, "b was evicted and recompiled");
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compile_once() {
+        let cache = Arc::new(ScenarioCache::new(4));
+        let shared = spec("conc", 40);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let (artifact, _) = cache.get_or_compile(&shared).unwrap();
+                    assert_eq!(artifact.hash(), shared.hash());
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.compiles, 1, "single-flight");
+        assert_eq!(stats.misses, 1);
+        // Every other thread is served the ready artifact, whether it
+        // arrived before (coalesced wait) or after the compile landed.
+        assert_eq!(stats.hits, 7);
+    }
+}

@@ -1,0 +1,164 @@
+//! The service smoke test CI runs: three requests over the real
+//! socket protocol, two of them identical — assert exactly one compile
+//! for the duplicated spec and byte-equal manifests.
+
+use ami_scenario::json::{parse, JsonValue};
+use ami_svc::proto::{read_frame, write_frame};
+use ami_svc::server::Server;
+use ami_svc::Service;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const GRID_SPEC: &str = r#"{
+    "name": "smoke-grid",
+    "rounds": 20,
+    "topology": {"kind": "grid", "side": 4, "spacing_m": 30.0},
+    "workload": {"kind": "gathering", "strategy": "minimum_energy"}
+}"#;
+
+const LOSSY_SPEC: &str = r#"{
+    "name": "smoke-lossy",
+    "rounds": 20,
+    "topology": {"kind": "grid", "side": 4, "spacing_m": 30.0},
+    "workload": {"kind": "lossy", "ber": 0.001, "arq_attempts": 4}
+}"#;
+
+fn roundtrip(conn: &mut TcpStream, request: &str) -> JsonValue {
+    write_frame(conn, request.as_bytes()).unwrap();
+    let reply = read_frame(conn).unwrap().expect("server replied");
+    parse(std::str::from_utf8(&reply).unwrap()).unwrap()
+}
+
+#[test]
+fn three_requests_two_identical_compile_once() {
+    let service = Arc::new(Service::new(8));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.serve());
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    let first = roundtrip(
+        &mut conn,
+        &format!(r#"{{"id": "q1", "threads": 1, "scenario": {GRID_SPEC}}}"#),
+    );
+    let second = roundtrip(
+        &mut conn,
+        &format!(r#"{{"id": "q2", "threads": 2, "scenario": {GRID_SPEC}}}"#),
+    );
+    let third = roundtrip(
+        &mut conn,
+        &format!(r#"{{"id": "q3", "threads": 1, "scenario": {LOSSY_SPEC}}}"#),
+    );
+
+    // The duplicate hit the cache; the distinct spec did not.
+    assert_eq!(first.get("cache_hit"), Some(&JsonValue::Bool(false)));
+    assert_eq!(second.get("cache_hit"), Some(&JsonValue::Bool(true)));
+    assert_eq!(third.get("cache_hit"), Some(&JsonValue::Bool(false)));
+
+    // Exactly one compile per distinct scenario — two total, one for
+    // the duplicated spec.
+    let stats = service.cache_stats();
+    assert_eq!(stats.compiles, 2, "identical specs compile once: {stats:?}");
+    assert_eq!(stats.hits, 1);
+
+    // Manifest equality for the identical pair (even at different
+    // thread counts), inequality for the distinct one.
+    let manifest = doc_manifest;
+    assert_eq!(manifest(&first), manifest(&second));
+    assert_ne!(manifest(&first), manifest(&third));
+
+    // Hashes agree with the equality pattern.
+    let hash = |doc: &JsonValue| {
+        doc.get("scenario_hash")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(hash(&first), hash(&second));
+    assert_ne!(hash(&first), hash(&third));
+}
+
+/// Renders the embedded manifest back to a comparable string (the
+/// parsed object preserves member order, so equal JSON in means equal
+/// string out).
+fn doc_manifest(doc: &JsonValue) -> String {
+    fn render(value: &JsonValue, out: &mut String) {
+        match value {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&format!("{n:?}")),
+            JsonValue::String(s) => out.push_str(&format!("{s:?}")),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (k, (name, member)) in members.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{name:?}:"));
+                    render(member, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    render(
+        doc.get("manifest").expect("response carries a manifest"),
+        &mut out,
+    );
+    out
+}
+
+#[test]
+fn batch_frame_answers_in_order_with_shared_manifests() {
+    let service = Arc::new(Service::new(8));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.serve());
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    let batch = format!(
+        r#"[{{"id": "b1", "threads": 1, "scenario": {GRID_SPEC}}},
+            {{"id": "b2", "threads": 1, "scenario": {LOSSY_SPEC}}},
+            {{"id": "b3", "threads": 1, "scenario": {GRID_SPEC}}}]"#
+    );
+    let reply = roundtrip(&mut conn, &batch);
+    let JsonValue::Array(items) = &reply else {
+        panic!("batch reply must be an array, got {reply:?}");
+    };
+    assert_eq!(items.len(), 3);
+    let id = |k: usize| items[k].get("id").and_then(|v| v.as_str()).unwrap();
+    assert_eq!((id(0), id(1), id(2)), ("b1", "b2", "b3"));
+    // The duplicate rode the leader's execution.
+    assert_eq!(items[2].get("cache_hit"), Some(&JsonValue::Bool(true)));
+    assert_eq!(doc_manifest(&items[0]), doc_manifest(&items[2]));
+    assert_eq!(service.cache_stats().compiles, 2);
+}
+
+#[test]
+fn malformed_frames_get_an_error_and_keep_the_connection() {
+    let service = Arc::new(Service::new(4));
+    let server = Server::bind("127.0.0.1:0", service).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.serve());
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    let reply = roundtrip(&mut conn, "{not json");
+    assert!(reply.get("error").is_some());
+
+    let reply = roundtrip(
+        &mut conn,
+        &format!(r#"{{"id": "ok-after-error", "threads": 1, "scenario": {GRID_SPEC}}}"#),
+    );
+    assert!(reply.get("scenario_hash").is_some(), "connection survived");
+}
