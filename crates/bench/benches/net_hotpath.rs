@@ -6,9 +6,9 @@
 
 use ami_bench::BENCH_SEED;
 use ami_net::{
-    build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
-    simulate_gathering_par, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
-    Topology,
+    build_routes, replicate_gathering_faulted_observed_threads, set_par_min_nodes_per_worker,
+    simulate_gathering, simulate_gathering_par, simulate_lossy_gathering,
+    simulate_lossy_gathering_par, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_sim::fault::FaultSpec;
 use ami_units::Length;
@@ -74,9 +74,12 @@ fn bench_gather_round(c: &mut Criterion) {
 /// mirrors the snapshot's `gather_round_par` city rows at criterion
 /// scale. Worker counts are explicit (1 = engine bookkeeping overhead
 /// vs the serial `gather_round` group, 8 = the parallel win on a
-/// multi-core box).
+/// multi-core box). The criterion sizes sit below the engine's
+/// nodes-per-worker floor, so the group force-engages it — the point
+/// is to time the engine, not the dispatch heuristic.
 fn bench_gather_round_par(c: &mut Criterion) {
     let config = NetworkConfig::sensor_default();
+    let par_floor = set_par_min_nodes_per_worker(Some(0));
     let mut group = c.benchmark_group("gather_round_par");
     for n in SIZES {
         let topo = field(n);
@@ -99,6 +102,7 @@ fn bench_gather_round_par(c: &mut Criterion) {
         }
     }
     group.finish();
+    set_par_min_nodes_per_worker(par_floor);
 }
 
 fn bench_lossy_round(c: &mut Criterion) {
@@ -111,6 +115,38 @@ fn bench_lossy_round(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// The rollback-free region-parallel lossy engine on the same ARQ
+/// workload — mirrors the snapshot's `lossy_round_par` city rows.
+/// Force-engaged past the nodes-per-worker floor like
+/// `gather_round_par` above.
+fn bench_lossy_round_par(c: &mut Criterion) {
+    let config = LossyConfig::bruised_channel();
+    let par_floor = set_par_min_nodes_per_worker(Some(0));
+    let mut group = c.benchmark_group("lossy_round_par");
+    for n in SIZES {
+        let topo = field(n);
+        for threads in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("arq_10_rounds_t{threads}"), n),
+                &topo,
+                |b, topo| {
+                    b.iter(|| {
+                        simulate_lossy_gathering_par(
+                            black_box(topo),
+                            &config,
+                            LOSSY_ROUNDS,
+                            BENCH_SEED,
+                            threads,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    set_par_min_nodes_per_worker(par_floor);
 }
 
 fn bench_faulted_replication(c: &mut Criterion) {
@@ -143,6 +179,7 @@ criterion_group!(
     bench_gather_round,
     bench_gather_round_par,
     bench_lossy_round,
+    bench_lossy_round_par,
     bench_faulted_replication
 );
 criterion_main!(benches);

@@ -24,8 +24,14 @@
 //! unaffordable; `gather_round_par` repeats the city-scale gathering
 //! runs on the region-parallel PDES engine at `AMBIENCE_THREADS`
 //! workers and carries a `speedup` field (serial mean / parallel mean —
-//! expect >1× on a multi-core box, ≲1× on a single-core runner where
-//! only the engine's bookkeeping shows).
+//! expect >1× on a multi-core box; on a single-worker runner the `_par`
+//! entry points fall back to the serial kernel, so the field reads
+//! ≈1× and only timer noise shows). `lossy_round` joins the city
+//! sweep too (the counter-RNG ARQ kernel is per-packet addressable, so
+//! it scales like gather), with `lossy_round_par` timing the
+//! rollback-free region-parallel lossy engine the same way. The `_par`
+//! rows force-engage the engines past the small-n serial fallback —
+//! the snapshot times the engine, not the dispatch heuristic.
 //!
 //! `BENCH_SIM.json` (schema `ambience-bench-sim/v1`) — the `ami-sim`
 //! kernel and sweep layer (labels mirrored by the `sim_hotpath`
@@ -55,9 +61,9 @@ use ami_core::case_studies::cs1_trace::trace_one_day;
 use ami_core::design_space::explore_cs1;
 use ami_experiments::banner;
 use ami_net::{
-    build_routes, replicate_gathering_faulted_observed_threads, simulate_gathering,
-    simulate_gathering_par, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
-    Topology,
+    build_routes, replicate_gathering_faulted_observed_threads, set_par_min_nodes_per_worker,
+    simulate_gathering, simulate_gathering_par, simulate_lossy_gathering,
+    simulate_lossy_gathering_par, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_sim::fault::FaultSpec;
 use ami_sim::{replicate_par, sim_rng, EnergyMeter, EventQueue};
@@ -68,13 +74,15 @@ use std::time::Instant;
 
 /// Network sizes of the snapshot sweep.
 const SIZES: [usize; 4] = [25, 100, 400, 1600];
-/// City-scale sizes: `route_build` and `gather_round` only (the lossy
-/// and faulted-replication workloads stay at the classic sizes so the
+/// City-scale sizes: `route_build`, `gather_round` and `lossy_round`
+/// (the faulted-replication workload stays at the classic sizes so the
 /// snapshot keeps finishing in seconds).
 const LARGE_SIZES: [usize; 2] = [10_000, 100_000];
-/// Rounds per gather iteration at the city scales — enough to expose a
-/// per-round regression without drowning the snapshot in wall clock.
+/// Rounds per gather / lossy iteration at the city scales — enough to
+/// expose a per-round regression without drowning the snapshot in wall
+/// clock.
 const GATHER_ROUNDS_LARGE: u64 = 2;
+const LOSSY_ROUNDS_LARGE: u64 = 2;
 /// Rounds per gather / lossy iteration (kept small so route building is
 /// a realistic share of the work, as in short replication studies).
 const GATHER_ROUNDS: u64 = 10;
@@ -222,6 +230,13 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
         ));
     }
 
+    // The city-scale `_par` rows must time the region-parallel engines
+    // themselves: at n = 10 000 the nodes-per-worker floor would route
+    // an 8-worker run back to the serial kernel, turning `speedup`
+    // into a measurement of the dispatch heuristic. Results are
+    // bit-identical either way, so engagement is purely a timing
+    // concern. (Thread-local: restored before returning.)
+    let par_floor = set_par_min_nodes_per_worker(Some(0));
     for &n in &LARGE_SIZES {
         let topo = field(n);
         entries.push(measure(
@@ -277,7 +292,46 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
         );
         par.speedup = Some(serial_mean as f64 / par.wall_ns_mean as f64);
         entries.push(par);
+
+        entries.push(measure(
+            format!("lossy_round/n{n}"),
+            "lossy_round",
+            n,
+            LOSSY_ROUNDS_LARGE,
+            quick,
+            || {
+                black_box(simulate_lossy_gathering(
+                    black_box(&topo),
+                    &lossy_config,
+                    LOSSY_ROUNDS_LARGE,
+                    SEED,
+                ));
+            },
+        ));
+        let lossy_serial_mean = entries
+            .last()
+            .expect("serial lossy_round row was just pushed")
+            .wall_ns_mean;
+        let mut lossy_par = measure(
+            format!("lossy_round_par/n{n}"),
+            "lossy_round_par",
+            n,
+            LOSSY_ROUNDS_LARGE,
+            quick,
+            || {
+                black_box(simulate_lossy_gathering_par(
+                    black_box(&topo),
+                    &lossy_config,
+                    LOSSY_ROUNDS_LARGE,
+                    SEED,
+                    threads,
+                ));
+            },
+        );
+        lossy_par.speedup = Some(lossy_serial_mean as f64 / lossy_par.wall_ns_mean as f64);
+        entries.push(lossy_par);
     }
+    set_par_min_nodes_per_worker(par_floor);
     entries
 }
 

@@ -167,6 +167,52 @@ fn f13_scenario_pins_the_manifest_constants() {
     );
 }
 
+/// The lossy `parallel_rounds` knob round-trips through the scenario
+/// grammar and compiles; typos are caught by the unknown-field wall;
+/// and the checked-in (knob-free) F13 scenario keeps its canonical
+/// form — and hence its compile-cache hash — unchanged.
+#[test]
+fn lossy_scenario_parallel_rounds_field_validates() {
+    let base = load_scenario("f13_lossy_network.scenario.json");
+    assert!(
+        !base.canonical_json().contains("parallel_rounds"),
+        "the checked-in F13 spec must stay knob-free (hash stability)"
+    );
+    for forced in [true, false] {
+        let doc = format!(
+            r#"{{
+                "name": "f13-knob",
+                "seed": 2003,
+                "rounds": 30,
+                "topology": {{"kind": "grid", "side": 5, "spacing_m": 30.0}},
+                "workload": {{"kind": "lossy", "ber": 0.001, "arq_attempts": 4,
+                              "parallel_rounds": {forced}}}
+            }}"#
+        );
+        let spec = ScenarioSpec::from_json_str(&doc).expect("knobbed lossy spec parses");
+        let WorkloadSpec::Lossy {
+            parallel_rounds, ..
+        } = spec.workload
+        else {
+            panic!("lossy workload expected");
+        };
+        assert_eq!(parallel_rounds, Some(forced));
+        CompiledScenario::compile(&spec).expect("knobbed lossy spec compiles");
+    }
+    // A typo is an unknown field, not a silent default.
+    let err = ScenarioSpec::from_json_str(
+        r#"{
+            "name": "f13-typo",
+            "rounds": 30,
+            "topology": {"kind": "grid", "side": 5, "spacing_m": 30.0},
+            "workload": {"kind": "lossy", "ber": 0.001, "arq_attempts": 4,
+                         "parallel_round": true}
+        }"#,
+    )
+    .expect_err("typoed knob rejected");
+    assert!(err.to_string().contains("unknown field"), "{err}");
+}
+
 /// F15's scenario pins the bench-snapshot churn mix and the
 /// constant-density field family the bench sweep uses.
 #[test]

@@ -13,28 +13,48 @@
 //! downed links waste the sender's full ARQ budget and count the packet
 //! as `dropped_fault`. Fault handling consumes **no randomness**, so a
 //! faulted run's channel draws stay aligned with the unfaulted run at
-//! the same seed until the first fault actually bites.
+//! the same seed on every packet a fault does not touch.
 //!
-//! # Why there is no region-parallel lossy kernel
+//! # The counter-RNG discipline (why lossy rounds parallelize)
 //!
-//! The [`pdes`](crate::pdes) engine parallelizes the perfect-link
-//! kernel because its per-round work is *budget-free to predict*: a
-//! packet's fate depends only on round-constant state, so regions can
-//! execute independently and replay charges in a fixed order. Lossy
-//! gathering breaks that precondition on purpose — every ARQ attempt
-//! draws from **one sequential RNG stream**, and a hop's number of
-//! attempts decides how many draws the *next* hop sees. Reordering
-//! sources across regions would reorder draws and change results, and
-//! per-region streams would change the published seeded baselines.
-//! Determinism-in-a-seed outranks intra-run speedup here; lossy runs
-//! parallelize across replications ([`crate::replicate`]) instead.
+//! Channel randomness is *addressable*, not sequential: every offered
+//! packet owns an independent counter-based stream keyed by
+//! `(seed, round, source)` ([`ami_sim::rng::packet_rng`]), and its ARQ
+//! attempts consume that stream in walk order — attempt index within
+//! the packet, never a position in some global sequence. A packet's
+//! fate is therefore a pure function of round-constant state (the route
+//! table, fault windows) and its own key, independent of when or where
+//! any *other* packet executes. That is the property the region-parallel
+//! engine in [`pdes`](crate::pdes) exploits: sources execute
+//! region-parallel, and the commit replays counters and energy in fixed
+//! ascending-id order — bit-identical to this serial kernel at any
+//! thread count (no rollback machinery is needed, because unlike the
+//! budgeted perfect-link kernel there is no cross-packet coupling:
+//! links are lossy but energy is not finite in this model).
+//!
+//! The float discipline backing that equality: each packet accumulates
+//! its energy in a private subtotal, and subtotals fold into the run
+//! total in source-ascending order; per-node ledger charges are
+//! committed once per round per `(node, category)` from integer attempt
+//! counts times the (round-constant) per-attempt cost.
+//!
+//! # The retired sequential-stream oracle
+//!
+//! The pre-counter kernel drew every attempt from **one sequential
+//! `StdRng` stream**, so a hop's retry count decided which values the
+//! next hop saw — correct, but permanently serial. It is retained
+//! verbatim as [`simulate_lossy_gathering_seqstream`], pinned by its own
+//! frozen golden, so the pre-migration baselines stay reproducible
+//! forever. New work uses the counter kernel.
 
 use crate::routing::{RouteCache, RoutingStrategy};
-use crate::topology::Topology;
+use crate::topology::{NodeId, Topology};
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
 use ami_sim::fault::{FaultSchedule, FaultTimeline};
+use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
+use ami_sim::rng::packet_rng;
 use ami_sim::sim_rng;
-use ami_units::{Energy, EnergyPerBit, Length};
+use ami_units::{DataVolume, Energy, EnergyPerBit, Length};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -115,6 +135,322 @@ impl LossyReport {
     }
 }
 
+/// How one offered packet ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LossyFate {
+    /// Reached the sink end-to-end.
+    Delivered,
+    /// Died on channel noise: some hop exhausted its ARQ budget.
+    Channel,
+    /// Lost to an injected fault (downed relay or downed link).
+    Fault,
+}
+
+/// The round-constant inputs of a packet walk, shared by the serial
+/// kernel and the region-parallel engine so both execute the *same*
+/// code — the bit-exactness argument reduces to "same inputs, same
+/// function, replayed folds".
+pub(crate) struct LossyRoundCtx<'a> {
+    pub sink: NodeId,
+    pub seed: u64,
+    /// Per-hop delivery probability at the configured BER.
+    pub p_hop: f64,
+    /// Receive energy per attempt (distance-independent).
+    pub rx: f64,
+    pub max_transmissions: u32,
+    /// `max_transmissions` as the u64 the fault branches account with.
+    pub attempts: u64,
+    /// `max_transmissions` as the f64 the fault branches charge with.
+    pub attempts_f: f64,
+    pub cache: &'a RouteCache,
+    pub timeline: &'a FaultTimeline,
+    pub down_now: &'a [bool],
+}
+
+/// Walks one offered packet from `src` toward the sink, drawing every
+/// channel attempt from the packet's own counter stream. Returns the
+/// packet's fate and its private energy subtotal; per-node attempt
+/// counts and the transmission tally are accumulated into the caller's
+/// scratch. Pure in `(ctx, round, src)` — no draw depends on any other
+/// packet, which is what lets callers execute walks in any order.
+pub(crate) fn walk_packet(
+    ctx: &LossyRoundCtx<'_>,
+    round: u64,
+    src: NodeId,
+    tx_attempts: &mut [u64],
+    rx_attempts: &mut [u64],
+    transmissions: &mut u64,
+) -> (LossyFate, f64) {
+    let mut rng = packet_rng(ctx.seed, round, src.0 as u64);
+    let mut pkt_energy = 0.0f64;
+    let mut from = src;
+    loop {
+        let hop = ctx
+            .cache
+            .next_hop(from)
+            .expect("connected route reaches the sink");
+        let tx = ctx.cache.tx_cost(from);
+        if hop != ctx.sink && ctx.down_now[hop.0] {
+            // Powered-off receiver: no ACK ever comes, so the sender
+            // exhausts its ARQ budget; nothing listens on the far end.
+            // No random draws — the packet's stream stays aligned with
+            // the unfaulted run.
+            *transmissions += ctx.attempts;
+            tx_attempts[from.0] += ctx.attempts;
+            pkt_energy += ctx.attempts_f * tx;
+            return (LossyFate::Fault, pkt_energy);
+        }
+        if ctx.timeline.link_down(from.0, hop.0) {
+            // Downed link between two powered nodes: every attempt
+            // costs the sender a transmit and the receiver a listen,
+            // but nothing crosses.
+            *transmissions += ctx.attempts;
+            tx_attempts[from.0] += ctx.attempts;
+            rx_attempts[hop.0] += ctx.attempts;
+            pkt_energy += ctx.attempts_f * (tx + ctx.rx);
+            return (LossyFate::Fault, pkt_energy);
+        }
+        let mut hop_ok = false;
+        for _attempt in 0..ctx.max_transmissions {
+            *transmissions += 1;
+            tx_attempts[from.0] += 1;
+            // The receiver listens whether or not the packet survives
+            // (it cannot know in advance).
+            rx_attempts[hop.0] += 1;
+            pkt_energy += tx;
+            pkt_energy += ctx.rx;
+            if rng.random::<f64>() < ctx.p_hop {
+                hop_ok = true;
+                break;
+            }
+        }
+        if !hop_ok {
+            return (LossyFate::Channel, pkt_energy);
+        }
+        if hop == ctx.sink {
+            return (LossyFate::Delivered, pkt_energy);
+        }
+        from = hop;
+    }
+}
+
+/// Run state of the counter-RNG lossy kernel, shared between the serial
+/// loop and the region-parallel engine in [`crate::pdes`] (which
+/// borrows the fields disjointly for its worker phases).
+pub(crate) struct LossyState<'a> {
+    pub topology: &'a Topology,
+    pub sink: NodeId,
+    pub seed: u64,
+    pub p_hop: f64,
+    pub bits: DataVolume,
+    pub rx: f64,
+    pub radio: &'a RadioEnergyModel,
+    pub max_hop: Length,
+    pub max_transmissions: u32,
+    pub attempts: u64,
+    pub attempts_f: f64,
+    pub faults_active: bool,
+    pub timeline: FaultTimeline,
+    pub down_now: Vec<bool>,
+    pub down_prev: Vec<bool>,
+    pub usable: Vec<bool>,
+    pub cache: RouteCache,
+    pub routes_dirty: bool,
+    /// Per-node ARQ attempt counts this round (sender side), committed
+    /// to the recorder once per round in ascending node order.
+    pub tx_attempts: Vec<u64>,
+    /// Per-node listen counts this round (receiver side).
+    pub rx_attempts: Vec<u64>,
+    pub offered: u64,
+    pub delivered: u64,
+    pub transmissions: u64,
+    pub dropped_fault: u64,
+    pub energy: f64,
+}
+
+impl<'a> LossyState<'a> {
+    pub fn new(
+        topology: &'a Topology,
+        config: &'a LossyConfig,
+        rounds: u64,
+        seed: u64,
+        faults: &FaultSchedule,
+    ) -> Self {
+        assert!(rounds > 0, "simulate at least one round");
+        assert!(
+            (0.0..=0.5).contains(&config.ber),
+            "BER must lie in [0, 0.5]"
+        );
+        let n = topology.len();
+        let bits = config.packet.total_bits();
+        Self {
+            topology,
+            sink: topology.sink(),
+            seed,
+            p_hop: config.packet.delivery_probability(config.ber),
+            bits,
+            // Receive energy is distance-independent: one value serves
+            // every hop.
+            rx: config.radio.receive_energy(bits).as_joules(),
+            radio: &config.radio,
+            max_hop: config.max_hop,
+            max_transmissions: config.arq.max_transmissions,
+            attempts: u64::from(config.arq.max_transmissions),
+            attempts_f: f64::from(config.arq.max_transmissions),
+            faults_active: !faults.is_empty(),
+            // Compiled down/link windows: O(1) per query instead of an
+            // event scan, cursor advanced once per round.
+            timeline: FaultTimeline::compile(faults, n),
+            down_now: vec![false; n],
+            down_prev: vec![false; n],
+            usable: vec![true; n],
+            cache: RouteCache::new(n),
+            routes_dirty: true,
+            tx_attempts: vec![0; n],
+            rx_attempts: vec![0; n],
+            offered: 0,
+            delivered: 0,
+            transmissions: 0,
+            dropped_fault: 0,
+            energy: 0.0,
+        }
+    }
+
+    /// Advances fault state and re-resolves routes when dirty. Routing
+    /// sees fault state with a one-round lag, as in `gather` (no budget
+    /// deaths here — links are lossy but energy is not finite in this
+    /// model).
+    pub fn begin_round(&mut self, round: u64) {
+        if self.faults_active {
+            self.timeline.advance_to(round);
+            for (id, down) in self.down_now.iter_mut().enumerate() {
+                *down = id != self.sink.0 && self.timeline.node_down(id);
+            }
+        }
+        if self.routes_dirty {
+            for (id, flag) in self.usable.iter_mut().enumerate() {
+                *flag = id == self.sink.0 || !self.down_prev[id];
+            }
+            self.cache.ensure(
+                self.topology,
+                RoutingStrategy::MinimumEnergy,
+                self.radio,
+                self.max_hop,
+                self.bits,
+                &self.usable,
+            );
+            self.routes_dirty = false;
+        }
+    }
+
+    /// The serial round body: every live connected sensor offers one
+    /// packet and walks it, ascending source id; the recorder sees the
+    /// round's per-node charges afterwards via [`Self::commit_charges`].
+    pub fn send_all<R: Recorder>(&mut self, round: u64, recorder: &mut R) {
+        let Self {
+            topology,
+            sink,
+            seed,
+            p_hop,
+            rx,
+            max_transmissions,
+            attempts,
+            attempts_f,
+            timeline,
+            down_now,
+            cache,
+            tx_attempts,
+            rx_attempts,
+            offered,
+            delivered,
+            transmissions,
+            dropped_fault,
+            energy,
+            ..
+        } = self;
+        let ctx = LossyRoundCtx {
+            sink: *sink,
+            seed: *seed,
+            p_hop: *p_hop,
+            rx: *rx,
+            max_transmissions: *max_transmissions,
+            attempts: *attempts,
+            attempts_f: *attempts_f,
+            cache,
+            timeline,
+            down_now,
+        };
+        for id in topology.sensor_ids() {
+            if ctx.down_now[id.0] {
+                continue; // powered off: offers nothing
+            }
+            if !ctx.cache.is_connected(id) {
+                continue;
+            }
+            *offered += 1;
+            recorder.packet_offered();
+            let (fate, pkt_energy) =
+                walk_packet(&ctx, round, id, tx_attempts, rx_attempts, transmissions);
+            *energy += pkt_energy;
+            match fate {
+                LossyFate::Delivered => {
+                    *delivered += 1;
+                    recorder.packet_delivered();
+                }
+                LossyFate::Fault => {
+                    *dropped_fault += 1;
+                    recorder.packet_dropped_fault();
+                }
+                // Channel losses are implicit in the counters
+                // (offered − delivered − fault); they are not a
+                // `dropped_*` recorder cause.
+                LossyFate::Channel => {}
+            }
+        }
+        self.commit_charges(recorder);
+    }
+
+    /// Commits the round's attempt counts to the recorder — one charge
+    /// per `(node, category)` in ascending node order, integer count
+    /// times the round-constant per-attempt cost — and clears them.
+    /// This is the serial definition the parallel engine replays.
+    pub fn commit_charges<R: Recorder>(&mut self, recorder: &mut R) {
+        let tx_costs = self.cache.tx_costs();
+        for (id, count) in self.tx_attempts.iter_mut().enumerate() {
+            if *count > 0 {
+                recorder.charge(id, EnergyCategory::Tx, *count as f64 * tx_costs[id]);
+                *count = 0;
+            }
+        }
+        for (id, count) in self.rx_attempts.iter_mut().enumerate() {
+            if *count > 0 {
+                recorder.charge(id, EnergyCategory::RxRelay, *count as f64 * self.rx);
+                *count = 0;
+            }
+        }
+    }
+
+    /// Notices fault transitions (dirty routes next round) and rotates
+    /// the down flags.
+    pub fn end_round(&mut self, _round: u64) {
+        if self.faults_active && self.down_now != self.down_prev {
+            self.routes_dirty = true;
+        }
+        std::mem::swap(&mut self.down_prev, &mut self.down_now);
+    }
+
+    /// Final report.
+    pub fn finish(self) -> LossyReport {
+        LossyReport {
+            offered: self.offered,
+            delivered: self.delivered,
+            transmissions: self.transmissions,
+            total_energy: Energy::from_joules(self.energy),
+            dropped_fault: self.dropped_fault,
+        }
+    }
+}
+
 /// Runs `rounds` of minimum-energy gathering over lossy links,
 /// deterministic in `seed`.
 ///
@@ -138,14 +474,110 @@ pub fn simulate_lossy_gathering(
 /// on any attempt, so it burns its **entire retransmission budget**
 /// before giving up. A downed receiver spends nothing (it is powered
 /// off); a downed link charges both powered ends per attempt. Fault
-/// handling consumes no random draws, so the channel stream stays
-/// aligned with the unfaulted run at the same seed until a fault bites.
-/// The empty schedule is bit-exact with [`simulate_lossy_gathering`].
+/// handling consumes no random draws, and packets own their streams, so
+/// every packet a fault does not touch sees channel draws identical to
+/// the unfaulted run at the same seed. The empty schedule is bit-exact
+/// with [`simulate_lossy_gathering`].
 ///
 /// # Panics
 ///
 /// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
 pub fn simulate_lossy_gathering_faulted(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+) -> LossyReport {
+    simulate_lossy_gathering_faulted_with(topology, config, rounds, seed, faults, &mut NullRecorder)
+}
+
+/// [`simulate_lossy_gathering_faulted`] with a [`Recorder`] attached:
+/// per-node `Tx`/`RxRelay` charges (ARQ attempt counts times the
+/// per-attempt cost, committed once per round per node) and the packet
+/// counters (`offered`, `delivered`, `dropped_fault`; channel losses
+/// are the remainder). The un-instrumented entry points pass
+/// [`NullRecorder`], which monomorphizes the hooks away.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted_with<R: Recorder>(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+    recorder: &mut R,
+) -> LossyReport {
+    let mut state = LossyState::new(topology, config, rounds, seed, faults);
+    for round in 0..rounds {
+        state.begin_round(round);
+        state.send_all(round, recorder);
+        state.end_round(round);
+    }
+    state.finish()
+}
+
+/// [`simulate_lossy_gathering`] with the standard instrumented
+/// recorder: returns the report plus the energy ledger and packet
+/// counters of the run.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+pub fn simulate_lossy_gathering_observed(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+) -> (LossyReport, LedgerRecorder) {
+    simulate_lossy_gathering_faulted_observed(
+        topology,
+        config,
+        rounds,
+        seed,
+        &FaultSchedule::empty(),
+    )
+}
+
+/// [`simulate_lossy_gathering_faulted`] with the standard instrumented
+/// recorder. See [`simulate_lossy_gathering_observed`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted_observed(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+) -> (LossyReport, LedgerRecorder) {
+    let mut recorder = LedgerRecorder::with_nodes(topology.len());
+    let report = simulate_lossy_gathering_faulted_with(
+        topology,
+        config,
+        rounds,
+        seed,
+        faults,
+        &mut recorder,
+    );
+    (report, recorder)
+}
+
+/// The retired sequential-stream lossy kernel, kept verbatim as a
+/// pinned oracle: every ARQ attempt draws from **one** `StdRng` stream
+/// in execution order, so a hop's retry count decides which values the
+/// next hop sees. This is the kernel that produced every pre-migration
+/// lossy baseline; its own frozen golden pins it, and it must never be
+/// edited. New work uses [`simulate_lossy_gathering_faulted`], whose
+/// per-packet counter streams make results order-independent.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+pub fn simulate_lossy_gathering_seqstream(
     topology: &Topology,
     config: &LossyConfig,
     rounds: u64,
@@ -162,11 +594,8 @@ pub fn simulate_lossy_gathering_faulted(
     let p_hop = config.packet.delivery_probability(config.ber);
     let bits = config.packet.total_bits();
     let attempts = u64::from(config.arq.max_transmissions);
-    // Receive energy is distance-independent: one value serves every hop.
     let rx = config.radio.receive_energy(bits).as_joules();
     let faults_active = !faults.is_empty();
-    // Compiled down/link windows: O(1) per query instead of an event
-    // scan, cursor advanced once per round.
     let mut timeline = FaultTimeline::compile(faults, n);
     let mut rng = sim_rng(seed);
     let mut offered = 0u64;
@@ -175,9 +604,6 @@ pub fn simulate_lossy_gathering_faulted(
     let mut dropped_fault = 0u64;
     let mut energy = 0.0f64;
 
-    // Scratch buffers reused across rounds — the round loop allocates
-    // nothing, and on rounds with no fault transition the previous
-    // usable set (and route table) is reused as-is.
     let mut down_now = vec![false; n];
     let mut down_prev = vec![false; n];
     let mut usable = vec![true; n];
@@ -191,9 +617,6 @@ pub fn simulate_lossy_gathering_faulted(
                 *down = id != sink.0 && timeline.node_down(id);
             }
         }
-        // Routing sees fault state with a one-round lag, as in `gather`
-        // (no budget deaths here — links are lossy but energy is not
-        // finite in this model).
         if routes_dirty {
             for (id, flag) in usable.iter_mut().enumerate() {
                 *flag = id == sink.0 || !down_prev[id];
@@ -211,7 +634,7 @@ pub fn simulate_lossy_gathering_faulted(
 
         for id in topology.sensor_ids() {
             if down_now[id.0] {
-                continue; // powered off: offers nothing
+                continue;
             }
             if !cache.is_connected(id) {
                 continue;
@@ -226,19 +649,12 @@ pub fn simulate_lossy_gathering_faulted(
                     .expect("connected route reaches the sink");
                 let tx = cache.tx_cost(from);
                 if hop != sink && down_now[hop.0] {
-                    // Powered-off receiver: no ACK ever comes, so the
-                    // sender exhausts its ARQ budget; nothing listens on
-                    // the far end. No random draws — the channel stream
-                    // stays aligned with the unfaulted run.
                     transmissions += attempts;
                     energy += attempts as f64 * tx;
                     faulted = true;
                     break;
                 }
                 if timeline.link_down(from.0, hop.0) {
-                    // Downed link between two powered nodes: every
-                    // attempt costs the sender a transmit and the
-                    // receiver a listen, but nothing crosses.
                     transmissions += attempts;
                     energy += attempts as f64 * (tx + rx);
                     faulted = true;
@@ -248,8 +664,6 @@ pub fn simulate_lossy_gathering_faulted(
                 for _attempt in 0..config.arq.max_transmissions {
                     transmissions += 1;
                     energy += tx;
-                    // The receiver listens whether or not the packet
-                    // survives (it cannot know in advance).
                     energy += rx;
                     if bernoulli(&mut rng, p_hop) {
                         hop_ok = true;
@@ -390,6 +804,57 @@ mod tests {
     }
 
     #[test]
+    fn star_outcomes_match_the_per_packet_counter_prediction() {
+        // The addressability contract, pinned end to end: on a
+        // single-hop star, packet (round, leaf) delivers iff one of its
+        // first `max_transmissions` draws from `packet_rng(seed, round,
+        // leaf)` clears p_hop. Replaying that rule outside the kernel
+        // must reproduce the report exactly — the kernel consumes no
+        // other randomness and no other packet's draws.
+        let star = Topology::star(6, Length::from_meters(20.0));
+        let mut config = LossyConfig::bruised_channel();
+        config.ber = 2e-3;
+        let (rounds, seed) = (300u64, 13u64);
+        let p_hop = config.packet.delivery_probability(config.ber);
+        let report = simulate_lossy_gathering(&star, &config, rounds, seed);
+
+        let mut predicted_delivered = 0u64;
+        let mut predicted_tx = 0u64;
+        for round in 0..rounds {
+            for leaf in star.sensor_ids() {
+                let mut rng = packet_rng(seed, round, leaf.0 as u64);
+                for _ in 0..config.arq.max_transmissions {
+                    predicted_tx += 1;
+                    if rng.random::<f64>() < p_hop {
+                        predicted_delivered += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(report.delivered, predicted_delivered);
+        assert_eq!(report.transmissions, predicted_tx);
+    }
+
+    #[test]
+    fn observed_run_carries_the_report_energy_in_the_ledger() {
+        let config = LossyConfig::bruised_channel();
+        let (report, obs) = simulate_lossy_gathering_observed(&topo(), &config, 60, 5);
+        // Charges are committed per (node, round, category) while the
+        // report folds per packet, so the totals agree to rounding, not
+        // bitwise.
+        let ledger_total = obs.ledger.total().as_joules();
+        let report_total = report.total_energy.as_joules();
+        assert!(
+            (ledger_total - report_total).abs() <= 1e-9 * report_total.abs(),
+            "ledger {ledger_total} vs report {report_total}"
+        );
+        assert_eq!(obs.packets.offered, report.offered);
+        assert_eq!(obs.packets.delivered, report.delivered);
+        assert_eq!(obs.packets.dropped_fault, report.dropped_fault);
+    }
+
+    #[test]
     #[should_panic(expected = "BER")]
     fn absurd_ber_rejected() {
         let mut config = LossyConfig::bruised_channel();
@@ -435,6 +900,42 @@ mod tests {
             assert_eq!(a, b);
             assert!(a.dropped_fault > 0, "the fault mix must cost packets");
             assert!(a.delivered > 0, "the network must degrade, not die");
+        }
+
+        #[test]
+        fn untouched_packets_see_identical_draws_under_faults() {
+            // Per-packet streams make fault alignment *exact*: on a
+            // star, downing leaf 1's link must leave every other leaf's
+            // outcome untouched, so delivered counts differ only by
+            // leaf 1's own (unfaulted) deliveries during the outage
+            // window — replayed here from its stream.
+            let star = Topology::star(5, Length::from_meters(20.0));
+            let mut config = LossyConfig::bruised_channel();
+            config.ber = 5e-3;
+            let (rounds, seed) = (200u64, 17u64);
+            let p_hop = config.packet.delivery_probability(config.ber);
+            let (from, until) = (40u64, 120u64);
+            let faults = FaultSchedule::new(vec![FaultEvent::LinkOutage {
+                a: 1,
+                b: 0,
+                from,
+                until,
+            }]);
+            let plain = simulate_lossy_gathering(&star, &config, rounds, seed);
+            let faulted = simulate_lossy_gathering_faulted(&star, &config, rounds, seed, &faults);
+            let mut leaf1_lost = 0u64;
+            for round in from..until {
+                let mut rng = packet_rng(seed, round, 1);
+                for _ in 0..config.arq.max_transmissions {
+                    if rng.random::<f64>() < p_hop {
+                        leaf1_lost += 1;
+                        break;
+                    }
+                }
+            }
+            assert_eq!(faulted.offered, plain.offered);
+            assert_eq!(faulted.dropped_fault, until - from);
+            assert_eq!(faulted.delivered, plain.delivered - leaf1_lost);
         }
 
         #[test]
@@ -491,6 +992,128 @@ mod tests {
             assert_eq!(
                 report.transmissions,
                 2 + u64::from(config.arq.max_transmissions)
+            );
+        }
+
+        #[test]
+        fn faulted_observed_ledger_attributes_both_ends_of_a_downed_link() {
+            let pair = Topology::new(vec![Position::new(0.0, 0.0), Position::new(20.0, 0.0)]);
+            let mut config = LossyConfig::bruised_channel();
+            config.ber = 0.0;
+            let faults = FaultSchedule::new(vec![FaultEvent::LinkOutage {
+                a: 1,
+                b: 0,
+                from: 1,
+                until: 2,
+            }]);
+            let (report, obs) =
+                simulate_lossy_gathering_faulted_observed(&pair, &config, 3, 3, &faults);
+            assert_eq!(report.dropped_fault, 1);
+            assert_eq!(obs.packets.dropped_fault, 1);
+            let bits = config.packet.total_bits();
+            let tx = config
+                .radio
+                .transmit_energy(bits, Length::from_meters(20.0))
+                .as_joules();
+            let rx = config.radio.receive_energy(bits).as_joules();
+            let attempts = config.arq.max_transmissions as f64;
+            // Sender: one clean attempt per delivered round plus the
+            // full budget into the outage. Sink: a listen for each.
+            let want_tx = (2.0 + attempts) * tx;
+            let want_rx = (2.0 + attempts) * rx;
+            let got_tx = obs.ledger.category_total(EnergyCategory::Tx).as_joules();
+            let got_rx = obs
+                .ledger
+                .category_total(EnergyCategory::RxRelay)
+                .as_joules();
+            assert!((got_tx - want_tx).abs() < 1e-15, "{got_tx} vs {want_tx}");
+            assert!((got_rx - want_rx).abs() < 1e-15, "{got_rx} vs {want_rx}");
+        }
+    }
+
+    mod seqstream {
+        use super::*;
+        use ami_sim::fault::FaultSpec;
+
+        /// The oracle's own frozen golden, captured on the F13 fixture
+        /// (5×5 grid at 30 m, bruised channel, 300 rounds, seed 2003)
+        /// at the moment the counter kernel replaced it. These are the
+        /// exact numbers the pre-migration F13 goldens carried — the
+        /// faulted row *is* the retired
+        /// `golden/f13_faulted_manifest.json` — so any edit to the
+        /// retired kernel (or to `sim_rng`'s stream) trips this test.
+        #[test]
+        fn seqstream_oracle_matches_its_frozen_golden() {
+            let topo = Topology::grid(5, Length::from_meters(30.0));
+            let config = LossyConfig::bruised_channel();
+            let plain = simulate_lossy_gathering_seqstream(
+                &topo,
+                &config,
+                300,
+                2003,
+                &FaultSchedule::empty(),
+            );
+            assert_eq!(
+                (
+                    plain.offered,
+                    plain.delivered,
+                    plain.transmissions,
+                    plain.dropped_fault
+                ),
+                (7200, 7150, 26483, 0)
+            );
+            assert_eq!(
+                plain.total_energy.as_joules().to_bits(),
+                0x3ff7_4335_08f6_45aa,
+                "plain energy drifted from 1.453907999999823 J"
+            );
+
+            let spec = FaultSpec::parse("death=0.12,outage=0.2:40,link=0.15:30")
+                .expect("the F13 fault spec parses");
+            let faults = spec.schedule_for(2003, topo.len(), 300);
+            let faulted = simulate_lossy_gathering_seqstream(&topo, &config, 300, 2003, &faults);
+            assert_eq!(
+                (
+                    faulted.offered,
+                    faulted.delivered,
+                    faulted.transmissions,
+                    faulted.dropped_fault
+                ),
+                (6842, 6787, 25003, 6)
+            );
+            assert_eq!(
+                faulted.total_energy.as_joules().to_bits(),
+                0x3ff6_2e20_a4bb_339f,
+                "faulted energy drifted from 1.3862615999998764 J"
+            );
+        }
+
+        #[test]
+        fn seqstream_oracle_is_deterministic_and_diverges_from_counter_kernel() {
+            let config = LossyConfig::bruised_channel();
+            let a = simulate_lossy_gathering_seqstream(
+                &topo(),
+                &config,
+                100,
+                9,
+                &FaultSchedule::empty(),
+            );
+            let b = simulate_lossy_gathering_seqstream(
+                &topo(),
+                &config,
+                100,
+                9,
+                &FaultSchedule::empty(),
+            );
+            assert_eq!(a, b);
+            // The two kernels draw different streams by design; the
+            // statistics agree but the exact trajectories must not —
+            // if they did, the oracle would not be pinning anything.
+            let counter = simulate_lossy_gathering(&topo(), &config, 100, 9);
+            assert_eq!(counter.offered, a.offered);
+            assert_ne!(
+                (a.delivered, a.transmissions),
+                (counter.delivered, counter.transmissions)
             );
         }
     }

@@ -51,17 +51,103 @@
 //! suite pins `par ≡ serial` at 1/2/8 threads across random fault
 //! schedules.
 //!
+//! # The lossy engine needs no rollback
+//!
+//! [`simulate_lossy_gathering_faulted_par_with`] runs the *lossy*/ARQ
+//! kernel on the same region machinery, and is simpler than the
+//! gathering engine in one essential way: the lossy model has no energy
+//! budgets, so there is no cross-packet coupling and no margin to
+//! check. Every packet draws from its own counter stream
+//! ([`ami_sim::rng::packet_rng`]) and its fate depends only on
+//! round-constant state, so region walks commute and every round
+//! commits. The commit replays the serial folds — energy subtotals in
+//! ascending source order, ledger charges per `(node, category)` from
+//! exactly-merged integer attempt counts.
+//!
+//! # When parallelism cannot pay
+//!
+//! Region setup, the split, and the round barrier are pure overhead on
+//! small runs (BENCH_NET measured `gather_round_par` speedups of
+//! 0.75–0.86 below city scale on small hosts), so every `_par` entry
+//! point first checks a cheap nodes-per-worker floor
+//! ([`PAR_MIN_NODES_PER_WORKER`], overridable per thread) and runs the
+//! serial kernel when the run is too small — bit-identical results
+//! either way, observable only through
+//! [`par_serial_fallback_count`]/[`par_engaged_count`].
+//!
 //! [`simulate_gathering_faulted_with`]: crate::gather::simulate_gathering_faulted_with
 
 use crate::csr::RegionPartition;
 use crate::gather::{GatherState, NetworkConfig, NetworkReport, PacketFate};
+use crate::lossy::{LossyConfig, LossyFate, LossyReport, LossyRoundCtx, LossyState};
 use crate::routing::RoutingStrategy;
 use crate::topology::{NodeId, Position, Topology};
 use ami_sim::fault::FaultSchedule;
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
 use ami_sim::runner::RoundPool;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
+
+/// Default floor on nodes-per-worker below which the `_par` entry
+/// points run the serial kernel instead of spinning up regions: below
+/// city scale the per-round barrier and split overhead outweigh the
+/// work (BENCH_NET measured speedups under 1.0 even at n=10⁴ on small
+/// hosts). Results are bit-identical either way — the engines exist
+/// precisely because parallel ≡ serial — so the threshold is purely a
+/// performance heuristic.
+pub const PAR_MIN_NODES_PER_WORKER: usize = 4096;
+
+thread_local! {
+    static PAR_MIN_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static PAR_FALLBACKS: Cell<u64> = const { Cell::new(0) };
+    static PAR_ENGAGED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Overrides [`PAR_MIN_NODES_PER_WORKER`] on this thread (`Some(0)`
+/// forces the parallel engines on, `None` restores the default).
+/// Returns the previous override so callers can scope it. Benchmarks
+/// force-engage so `_par` rows measure the engine, not the fallback.
+pub fn set_par_min_nodes_per_worker(min: Option<usize>) -> Option<usize> {
+    PAR_MIN_OVERRIDE.with(|cell| cell.replace(min))
+}
+
+/// The effective nodes-per-worker floor on this thread.
+pub fn par_min_nodes_per_worker() -> usize {
+    PAR_MIN_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or(PAR_MIN_NODES_PER_WORKER)
+}
+
+/// How many `_par` calls on this thread fell back to the serial kernel.
+pub fn par_serial_fallback_count() -> u64 {
+    PAR_FALLBACKS.with(Cell::get)
+}
+
+/// How many `_par` calls on this thread engaged the region engine.
+pub fn par_engaged_count() -> u64 {
+    PAR_ENGAGED.with(Cell::get)
+}
+
+/// Zeroes both engagement counters on this thread.
+pub fn reset_par_engagement_counters() {
+    PAR_FALLBACKS.with(|cell| cell.set(0));
+    PAR_ENGAGED.with(|cell| cell.set(0));
+}
+
+/// Whether region setup can pay for itself: more than one worker and
+/// enough nodes to keep each busy between barriers.
+fn parallel_pays(n: usize, threads: usize) -> bool {
+    threads > 1 && n >= par_min_nodes_per_worker().saturating_mul(threads)
+}
+
+fn note_fallback() {
+    PAR_FALLBACKS.with(|cell| cell.set(cell.get() + 1));
+}
+
+fn note_engaged() {
+    PAR_ENGAGED.with(|cell| cell.set(cell.get() + 1));
+}
 
 /// One source's send this round: which node, and how many relay hops
 /// its packet visited (the hop ids live contiguously in the region's
@@ -134,6 +220,13 @@ pub fn simulate_gathering_faulted_par_with<R: Recorder>(
     assert!(rounds > 0, "simulate at least one round");
     assert!(threads > 0, "at least one worker thread");
     let n = topology.len();
+    if !parallel_pays(n, threads) {
+        note_fallback();
+        return crate::gather::simulate_gathering_faulted_with(
+            topology, strategy, config, rounds, faults, recorder,
+        );
+    }
+    note_engaged();
     let positions: Vec<Position> = topology.ids().map(|id| topology.position(id)).collect();
     // One region per worker, cut by spatial-grid candidate weight so
     // dense districts do not pin one region.
@@ -428,6 +521,303 @@ fn commit_round<R: Recorder>(
     *delivered += round_delivered;
 }
 
+/// Per-region scratch of the lossy engine. Walks from region `w` can
+/// land ARQ attempts on *any* node (routes cross regions), so each
+/// region keeps full-length attempt arrays; integer counts merge
+/// exactly at commit.
+struct LossyRegionScratch {
+    tx_attempts: Vec<u64>,
+    rx_attempts: Vec<u64>,
+    offered: u64,
+    delivered: u64,
+    faulted: u64,
+    transmissions: u64,
+}
+
+impl LossyRegionScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            tx_attempts: vec![0; n],
+            rx_attempts: vec![0; n],
+            offered: 0,
+            delivered: 0,
+            faulted: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Clears the round tallies. The attempt arrays are cleared during
+    /// the commit merge, which touches every entry anyway.
+    fn reset_tallies(&mut self) {
+        self.offered = 0;
+        self.delivered = 0;
+        self.faulted = 0;
+        self.transmissions = 0;
+    }
+}
+
+/// [`simulate_lossy_gathering_faulted_with`](crate::lossy::simulate_lossy_gathering_faulted_with)
+/// executed region-parallel on `threads` workers — bit-identical to the
+/// serial counter-RNG kernel at any thread count.
+///
+/// No rollback machinery exists here, because none is needed: the lossy
+/// model has no energy budgets, so a packet's fate depends only on
+/// round-constant state (routes, fault windows) and its own counter
+/// stream ([`ami_sim::rng::packet_rng`]) — never on another packet's
+/// execution. Each worker walks its region's sources with
+/// [`walk_packet`](crate::lossy) — the same function the serial kernel
+/// runs — into region-local scratch; the commit then replays the serial
+/// folds exactly: per-packet energy subtotals added in ascending source
+/// id, per-node ledger charges committed once per `(node, category)`
+/// from the merged (exact, integer) attempt counts, packet tallies
+/// bulk-committed.
+///
+/// Below [`par_min_nodes_per_worker`]×`threads` nodes the call runs the
+/// serial kernel directly (identical results, less overhead); see
+/// [`set_par_min_nodes_per_worker`].
+///
+/// # Panics
+///
+/// Panics if `rounds` or `threads` is zero, or the BER is outside
+/// `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted_par_with<R: Recorder>(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+    threads: usize,
+    recorder: &mut R,
+) -> LossyReport {
+    assert!(threads > 0, "at least one worker thread");
+    let n = topology.len();
+    if !parallel_pays(n, threads) {
+        note_fallback();
+        return crate::lossy::simulate_lossy_gathering_faulted_with(
+            topology, config, rounds, seed, faults, recorder,
+        );
+    }
+    note_engaged();
+    let positions: Vec<Position> = topology.ids().map(|id| topology.position(id)).collect();
+    let part = RegionPartition::balanced(&positions, config.max_hop, threads);
+
+    let mut state = LossyState::new(topology, config, rounds, seed, faults);
+    let sink_id = state.sink.0;
+    // Per-source packet energy subtotals, one slot per node id; region
+    // slices of this are the only f64s workers write.
+    let mut pkt_energy = vec![0.0f64; n];
+    let scratch: Vec<Mutex<LossyRegionScratch>> = (0..threads)
+        .map(|_| Mutex::new(LossyRegionScratch::new(n)))
+        .collect();
+
+    RoundPool::scoped(threads, |pool| {
+        for round in 0..rounds {
+            state.begin_round(round);
+            {
+                let ctx = LossyRoundCtx {
+                    sink: state.sink,
+                    seed: state.seed,
+                    p_hop: state.p_hop,
+                    rx: state.rx,
+                    max_transmissions: state.max_transmissions,
+                    attempts: state.attempts,
+                    attempts_f: state.attempts_f,
+                    cache: &state.cache,
+                    timeline: &state.timeline,
+                    down_now: &state.down_now,
+                };
+                let connected = state.cache.connected_flags();
+                let slices = split_regions(&mut pkt_energy, &part);
+
+                // The single parallel phase: walk every source in the
+                // region. Draws come from each packet's own stream, so
+                // regions cannot perturb one another.
+                pool.run(&|w| {
+                    let mut slice = slices[w].lock().expect("region energy slice");
+                    let mut region = scratch[w].lock().expect("region scratch");
+                    let region = &mut *region;
+                    region.reset_tallies();
+                    for (off, src) in part.range(w).enumerate() {
+                        slice[off] = 0.0;
+                        if src == sink_id || ctx.down_now[src] || !connected[src] {
+                            continue;
+                        }
+                        region.offered += 1;
+                        let (fate, energy) = crate::lossy::walk_packet(
+                            &ctx,
+                            round,
+                            NodeId(src),
+                            &mut region.tx_attempts,
+                            &mut region.rx_attempts,
+                            &mut region.transmissions,
+                        );
+                        slice[off] = energy;
+                        match fate {
+                            LossyFate::Delivered => region.delivered += 1,
+                            LossyFate::Fault => region.faulted += 1,
+                            LossyFate::Channel => {}
+                        }
+                    }
+                });
+            }
+            commit_lossy_round(&mut state, recorder, &scratch, &pkt_energy);
+            state.end_round(round);
+        }
+    });
+    state.finish()
+}
+
+/// Folds a parallel lossy round into the run state by replaying the
+/// serial folds: energy subtotals ascending source id, merged integer
+/// attempt counts charged once per `(node, category)` ascending, packet
+/// tallies bulk-committed region-ascending.
+fn commit_lossy_round<R: Recorder>(
+    state: &mut LossyState<'_>,
+    recorder: &mut R,
+    scratch: &[Mutex<LossyRegionScratch>],
+    pkt_energy: &[f64],
+) {
+    let mut regions: Vec<_> = scratch
+        .iter()
+        .map(|region| region.lock().expect("region scratch"))
+        .collect();
+
+    // The run-total energy fold: the serial kernel adds each offered
+    // packet's private subtotal in ascending source order. Slots of
+    // unoffered sources are exactly 0.0 and an offered packet always
+    // spends (it makes at least one attempt), so skipping zeros replays
+    // the serial fold bitwise.
+    for &slot in pkt_energy {
+        if slot != 0.0 {
+            state.energy += slot;
+        }
+    }
+
+    // Ledger charges: identical `count as f64 * cost` multiplies as the
+    // serial `commit_charges`, from exactly-merged integer counts. All
+    // Tx charges ascending, then all RxRelay, matching the serial order.
+    let tx_costs = state.cache.tx_costs();
+    for (id, &tx_cost) in tx_costs.iter().enumerate() {
+        let mut count = 0u64;
+        for region in regions.iter_mut() {
+            count += region.tx_attempts[id];
+            region.tx_attempts[id] = 0;
+        }
+        if count > 0 {
+            recorder.charge(id, EnergyCategory::Tx, count as f64 * tx_cost);
+        }
+    }
+    for id in 0..pkt_energy.len() {
+        let mut count = 0u64;
+        for region in regions.iter_mut() {
+            count += region.rx_attempts[id];
+            region.rx_attempts[id] = 0;
+        }
+        if count > 0 {
+            recorder.charge(id, EnergyCategory::RxRelay, count as f64 * state.rx);
+        }
+    }
+
+    let mut offered = 0u64;
+    let mut delivered = 0u64;
+    let mut faulted = 0u64;
+    let mut transmissions = 0u64;
+    for region in regions.iter() {
+        offered += region.offered;
+        delivered += region.delivered;
+        faulted += region.faulted;
+        transmissions += region.transmissions;
+    }
+    recorder.packets_offered(offered);
+    recorder.packets_delivered(delivered);
+    recorder.packets_dropped_fault(faulted);
+    state.offered += offered;
+    state.delivered += delivered;
+    state.dropped_fault += faulted;
+    state.transmissions += transmissions;
+}
+
+/// [`simulate_lossy_gathering`](crate::simulate_lossy_gathering)
+/// executed region-parallel on `threads` workers. See
+/// [`simulate_lossy_gathering_faulted_par_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` or `threads` is zero, or the BER is outside
+/// `[0, 0.5]`.
+pub fn simulate_lossy_gathering_par(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    threads: usize,
+) -> LossyReport {
+    simulate_lossy_gathering_faulted_par(
+        topology,
+        config,
+        rounds,
+        seed,
+        &FaultSchedule::empty(),
+        threads,
+    )
+}
+
+/// [`simulate_lossy_gathering_faulted`](crate::simulate_lossy_gathering_faulted)
+/// executed region-parallel on `threads` workers. See
+/// [`simulate_lossy_gathering_faulted_par_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` or `threads` is zero, or the BER is outside
+/// `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted_par(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+    threads: usize,
+) -> LossyReport {
+    simulate_lossy_gathering_faulted_par_with(
+        topology,
+        config,
+        rounds,
+        seed,
+        faults,
+        threads,
+        &mut NullRecorder,
+    )
+}
+
+/// [`simulate_lossy_gathering_faulted_observed`](crate::simulate_lossy_gathering_faulted_observed)
+/// executed region-parallel on `threads` workers: ledger and counters
+/// are byte-identical to the serial counter-RNG kernel's.
+///
+/// # Panics
+///
+/// Panics if `rounds` or `threads` is zero, or the BER is outside
+/// `[0, 0.5]`.
+pub fn simulate_lossy_gathering_faulted_observed_par(
+    topology: &Topology,
+    config: &LossyConfig,
+    rounds: u64,
+    seed: u64,
+    faults: &FaultSchedule,
+    threads: usize,
+) -> (LossyReport, LedgerRecorder) {
+    let mut recorder = LedgerRecorder::with_nodes(topology.len());
+    let report = simulate_lossy_gathering_faulted_par_with(
+        topology,
+        config,
+        rounds,
+        seed,
+        faults,
+        threads,
+        &mut recorder,
+    );
+    (report, recorder)
+}
+
 /// [`simulate_gathering`](crate::simulate_gathering) executed
 /// region-parallel on `threads` workers. See
 /// [`simulate_gathering_faulted_par_with`].
@@ -537,8 +927,16 @@ mod tests {
     use ami_sim::fault::{FaultEvent, FaultModel};
     use ami_units::{Energy, Length, Power};
 
+    /// Forces the region engines on for this test thread: the fixtures
+    /// here are far below the production nodes-per-worker floor, and
+    /// the point is to exercise the engine, not the fallback.
+    fn engage_engine() {
+        set_par_min_nodes_per_worker(Some(0));
+    }
+
     #[test]
     fn healthy_grid_matches_serial_at_every_thread_count() {
+        engage_engine();
         let topo = Topology::grid(6, Length::from_meters(30.0));
         let config = NetworkConfig::sensor_default();
         for strategy in [
@@ -557,6 +955,7 @@ mod tests {
     fn death_rounds_roll_back_and_match_serial_exactly() {
         // Tiny budgets: nodes die mid-run, exercising S1/S2 rollbacks
         // and post-death route rebuilds.
+        engage_engine();
         let mut config = NetworkConfig::sensor_default();
         config.node_energy = Energy::from_millijoules(40.0);
         let topo = Topology::grid(4, Length::from_meters(30.0));
@@ -576,6 +975,7 @@ mod tests {
 
     #[test]
     fn faulted_observed_run_matches_serial_ledger_bitwise() {
+        engage_engine();
         let mut config = NetworkConfig::sensor_default();
         config.idle_power = Power::from_microwatts(40.0);
         let topo = Topology::grid(5, Length::from_meters(30.0));
@@ -614,6 +1014,7 @@ mod tests {
     fn exhausted_relay_round_is_bit_exact_via_fallback() {
         // The zombie-relay fixture: node 1's budget dies mid-round, the
         // canonical case the optimistic replay must NOT commit.
+        engage_engine();
         let topo = Topology::new(vec![
             crate::topology::Position::new(0.0, 0.0),
             crate::topology::Position::new(40.0, 0.0),
@@ -639,6 +1040,7 @@ mod tests {
 
     #[test]
     fn link_outage_into_the_sink_is_honored() {
+        engage_engine();
         let topo = Topology::new(vec![
             crate::topology::Position::new(0.0, 0.0),
             crate::topology::Position::new(20.0, 0.0),
@@ -682,5 +1084,145 @@ mod tests {
             1,
             0,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn lossy_zero_threads_rejected() {
+        let topo = Topology::grid(3, Length::from_meters(20.0));
+        let _ = simulate_lossy_gathering_par(&topo, &LossyConfig::bruised_channel(), 1, 2003, 0);
+    }
+
+    mod lossy_par {
+        use super::*;
+        use crate::lossy::{
+            simulate_lossy_gathering, simulate_lossy_gathering_faulted,
+            simulate_lossy_gathering_faulted_observed,
+        };
+
+        #[test]
+        fn healthy_lossy_grid_matches_serial_at_every_thread_count() {
+            engage_engine();
+            let topo = Topology::grid(6, Length::from_meters(30.0));
+            let config = LossyConfig::bruised_channel();
+            let serial = simulate_lossy_gathering(&topo, &config, 80, 2003);
+            assert!(serial.delivered > 0 && serial.delivered < serial.offered);
+            for threads in [1, 2, 8] {
+                let par = simulate_lossy_gathering_par(&topo, &config, 80, 2003, threads);
+                assert_eq!(par, serial, "{threads} threads");
+            }
+        }
+
+        #[test]
+        fn faulted_lossy_observed_run_matches_serial_ledger_bitwise() {
+            engage_engine();
+            let topo = Topology::grid(5, Length::from_meters(30.0));
+            let config = LossyConfig::bruised_channel();
+            let model = FaultModel {
+                death_rate: 0.2,
+                outage_rate: 0.3,
+                outage_rounds: 10,
+                link_outage_rate: 0.2,
+                link_outage_rounds: 8,
+                fade_rate: 0.0,
+                fade_factor: 1.0,
+            };
+            let faults = model.schedule(5, topo.len(), 80);
+            let (serial_report, serial_obs) =
+                simulate_lossy_gathering_faulted_observed(&topo, &config, 80, 9, &faults);
+            assert!(serial_report.dropped_fault > 0, "fixture must fault");
+            for threads in [1, 2, 8] {
+                let (report, obs) = simulate_lossy_gathering_faulted_observed_par(
+                    &topo, &config, 80, 9, &faults, threads,
+                );
+                assert_eq!(report, serial_report, "{threads} threads");
+                assert_eq!(obs, serial_obs, "{threads} threads");
+            }
+        }
+
+        #[test]
+        fn lossy_fault_schedule_matches_serial_report() {
+            engage_engine();
+            let topo = Topology::grid(4, Length::from_meters(30.0));
+            let config = LossyConfig::bruised_channel();
+            let faults = FaultSchedule::new(vec![
+                FaultEvent::NodeDeath { node: 5, round: 10 },
+                FaultEvent::LinkOutage {
+                    a: 3,
+                    b: 0,
+                    from: 4,
+                    until: 20,
+                },
+            ]);
+            let serial = simulate_lossy_gathering_faulted(&topo, &config, 40, 7, &faults);
+            for threads in [2, 8] {
+                let par =
+                    simulate_lossy_gathering_faulted_par(&topo, &config, 40, 7, &faults, threads);
+                assert_eq!(par, serial, "{threads} threads");
+            }
+        }
+    }
+
+    mod fallback {
+        use super::*;
+        use crate::lossy::simulate_lossy_gathering;
+
+        #[test]
+        fn small_runs_fall_back_to_serial_and_count_it() {
+            // Default heuristic: a 16-node grid can never cover the
+            // per-worker floor, so `_par` must run the serial kernel —
+            // observable only through the counters, because the results
+            // are bit-identical either way.
+            set_par_min_nodes_per_worker(None);
+            reset_par_engagement_counters();
+            let topo = Topology::grid(4, Length::from_meters(30.0));
+            let gather = simulate_gathering_par(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &NetworkConfig::sensor_default(),
+                10,
+                8,
+            );
+            let lossy =
+                simulate_lossy_gathering_par(&topo, &LossyConfig::bruised_channel(), 10, 3, 8);
+            assert_eq!(par_serial_fallback_count(), 2);
+            assert_eq!(par_engaged_count(), 0);
+            assert_eq!(
+                gather,
+                simulate_gathering(
+                    &topo,
+                    RoutingStrategy::MinimumEnergy,
+                    &NetworkConfig::sensor_default(),
+                    10
+                )
+            );
+            assert_eq!(
+                lossy,
+                simulate_lossy_gathering(&topo, &LossyConfig::bruised_channel(), 10, 3)
+            );
+        }
+
+        #[test]
+        fn one_worker_always_falls_back() {
+            set_par_min_nodes_per_worker(Some(0));
+            reset_par_engagement_counters();
+            let topo = Topology::grid(3, Length::from_meters(30.0));
+            let _ = simulate_lossy_gathering_par(&topo, &LossyConfig::bruised_channel(), 5, 1, 1);
+            assert_eq!(par_serial_fallback_count(), 1);
+            assert_eq!(par_engaged_count(), 0);
+        }
+
+        #[test]
+        fn override_engages_and_counts() {
+            set_par_min_nodes_per_worker(Some(0));
+            reset_par_engagement_counters();
+            let topo = Topology::grid(3, Length::from_meters(30.0));
+            let _ = simulate_lossy_gathering_par(&topo, &LossyConfig::bruised_channel(), 5, 1, 2);
+            assert_eq!(par_engaged_count(), 1);
+            assert_eq!(par_serial_fallback_count(), 0);
+            let restored = set_par_min_nodes_per_worker(None);
+            assert_eq!(restored, Some(0));
+            assert_eq!(par_min_nodes_per_worker(), PAR_MIN_NODES_PER_WORKER);
+        }
     }
 }

@@ -15,7 +15,19 @@
 //!   reproduce the serial run's report, ledger, counter tree, rendered
 //!   manifest *and* route-cache build/repair accounting, across random
 //!   fault schedules with energy deaths provoked mid-run (the rollback
-//!   path), again with ddmin minimization on failure.
+//!   path), again with ddmin minimization on failure,
+//! * **region-parallel lossy rounds ≡ the serial counter-RNG kernel** —
+//!   the rollback-free lossy engine at 1, 2 and 8 threads must
+//!   reproduce the serial ARQ run's report, ledger and rendered
+//!   manifest across random fault schedules (the per-packet counter
+//!   streams are what make this possible at all; the retired
+//!   sequential-stream kernel is pinned separately by its frozen
+//!   golden in `lossy.rs`).
+//!
+//! The `_par` fixtures here sit far below the production
+//! nodes-per-worker floor, so every parallel run force-engages the
+//! region engine via `set_par_min_nodes_per_worker(Some(0))` — without
+//! it the fallback would reduce these tests to serial ≡ serial.
 //!
 //! Everything here asserts *bit* equality (ids and float bits), not
 //! approximate equality: the optimizations are only admissible because
@@ -28,9 +40,11 @@ use ami_net::routing::{
     set_route_repair_enabled, RouteCache,
 };
 use ami_net::{
-    build_routes, build_routes_over, simulate_gathering_faulted,
-    simulate_gathering_faulted_observed, simulate_gathering_faulted_observed_par, CsrAdjacency,
-    NetworkConfig, NetworkReport, NodeId, RoutingStrategy, Topology,
+    build_routes, build_routes_over, set_par_min_nodes_per_worker, simulate_gathering_faulted,
+    simulate_gathering_faulted_observed, simulate_gathering_faulted_observed_par,
+    simulate_lossy_gathering_faulted_observed, simulate_lossy_gathering_faulted_observed_par,
+    CsrAdjacency, LossyConfig, LossyReport, NetworkConfig, NetworkReport, NodeId, RoutingStrategy,
+    Topology,
 };
 use ami_radio::RadioEnergyModel;
 use ami_sim::fault::{FaultSchedule, FaultSpec};
@@ -347,6 +361,7 @@ proptest! {
         seed in 0u64..40,
         schedule in fault_schedule(24, 25, 10),
     ) {
+        set_par_min_nodes_per_worker(Some(0));
         let topo = Topology::random(24, Length::from_meters(110.0), seed);
         let mut config = NetworkConfig::sensor_default();
         // ~12 rounds of idle budget: energy deaths mid-run force
@@ -385,6 +400,7 @@ fn region_parallel_rounds_match_serial_at_n1600_under_the_bench_fault_mix() {
     // region-parallel at 1/2/8 threads, bit-identical reports and
     // identical transition accounting. (The n=100k differential lives
     // in `scale_smoke` behind `--ignored`.)
+    set_par_min_nodes_per_worker(Some(0));
     let n = 1600;
     let side = Length::from_meters(25.0 * (n as f64).sqrt());
     let spec = FaultSpec::parse("death=0.1,outage=0.2:10,link=0.1:8").expect("bench fault mix");
@@ -402,6 +418,98 @@ fn region_parallel_rounds_match_serial_at_n1600_under_the_bench_fault_mix() {
         assert_eq!(par.1, serial.1, "ledger at {threads} threads");
         assert_eq!(par.2, serial.2, "manifest at {threads} threads");
         assert_eq!(par.3, serial.3, "build/repair counts at {threads} threads");
+    }
+}
+
+/// One faulted, observed lossy/ARQ run at `threads` workers (`None` =
+/// the serial counter-RNG kernel), plus its rendered manifest — the
+/// three artifacts the lossy PDES contract pins.
+fn lossy_observed_run(
+    topo: &Topology,
+    config: &LossyConfig,
+    schedule: &FaultSchedule,
+    rounds: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> (LossyReport, LedgerRecorder, String) {
+    let (report, obs) = match threads {
+        Some(threads) => simulate_lossy_gathering_faulted_observed_par(
+            topo, config, rounds, seed, schedule, threads,
+        ),
+        None => simulate_lossy_gathering_faulted_observed(topo, config, rounds, seed, schedule),
+    };
+    let manifest = RunManifest::new("differential-lossy")
+        .field("rounds", &rounds)
+        .field("report", &report)
+        .ledger(&obs.ledger)
+        .counters(&obs.packets.tree())
+        .runner()
+        .to_json();
+    (report, obs, manifest)
+}
+
+proptest! {
+    /// Lossy PDES contract: the rollback-free region-parallel ARQ
+    /// engine at 1, 2 and 8 threads is byte-identical to the serial
+    /// counter-RNG kernel — report, ledger, rendered manifest — under
+    /// random fault schedules (downed relays and links burning full
+    /// ARQ budgets mid-route), with ddmin minimization on failure.
+    #[test]
+    fn region_parallel_lossy_rounds_match_the_serial_kernel(
+        seed in 0u64..40,
+        schedule in fault_schedule(24, 25, 10),
+    ) {
+        set_par_min_nodes_per_worker(Some(0));
+        let topo = Topology::random(24, Length::from_meters(110.0), seed);
+        let config = LossyConfig::bruised_channel();
+        let diverges = |s: &FaultSchedule| {
+            let serial = lossy_observed_run(&topo, &config, s, 25, seed, None);
+            [1usize, 2, 8]
+                .iter()
+                .any(|&t| lossy_observed_run(&topo, &config, s, 25, seed, Some(t)) != serial)
+        };
+        if diverges(&schedule) {
+            let minimized =
+                minimize_failing_schedule(schedule.events(), |s| diverges(s));
+            let serial = lossy_observed_run(&topo, &config, &minimized, 25, seed, None);
+            let par = lossy_observed_run(&topo, &config, &minimized, 25, seed, Some(8));
+            panic!(
+                "region-parallel lossy run diverged from serial (seed {seed})\n\
+                 minimized schedule: {:?}\nserial report: {:?}\n\
+                 parallel report: {:?}\nmanifests equal: {}",
+                minimized.events(),
+                serial.0,
+                par.0,
+                serial.2 == par.2,
+            );
+        }
+    }
+}
+
+#[test]
+fn region_parallel_lossy_matches_serial_at_n1600_under_the_bench_fault_mix() {
+    // Acceptance-scale spot check for the lossy engine: one n=1600
+    // faulted ARQ run, serial counter-RNG vs region-parallel at 1/2/8
+    // threads, bit-identical reports, ledgers and manifests. (The
+    // n=100k differential lives in `scale_smoke_lossy` behind
+    // `--ignored`.)
+    set_par_min_nodes_per_worker(Some(0));
+    let n = 1600;
+    let side = Length::from_meters(25.0 * (n as f64).sqrt());
+    let spec = FaultSpec::parse("death=0.1,outage=0.2:10,link=0.1:8").expect("bench fault mix");
+    let config = LossyConfig::bruised_channel();
+    let topo = Topology::random(n, side, 2003);
+    let faults = spec.schedule_for(2003, n, 30);
+    let serial = lossy_observed_run(&topo, &config, &faults, 30, 2003, None);
+    assert!(
+        serial.0.delivered > 0 && serial.0.delivered < serial.0.offered,
+        "the bruised channel delivers imperfectly"
+    );
+    for threads in [1usize, 2, 8] {
+        let par = lossy_observed_run(&topo, &config, &faults, 30, 2003, Some(threads));
+        assert_eq!(par.0, serial.0, "report at {threads} threads");
+        assert_eq!(par.1, serial.1, "ledger at {threads} threads");
+        assert_eq!(par.2, serial.2, "manifest at {threads} threads");
     }
 }
 

@@ -12,8 +12,11 @@
 //!   never touches a string;
 //! * [`TraceSeries`] — a lightweight time-series recorder with summary
 //!   statistics and an allocation-free summary-only mode;
-//! * [`sim_rng`] — the single sanctioned source of randomness
+//! * [`sim_rng`] — the sanctioned source of *sequential* randomness
 //!   (a seeded [`rand::rngs::StdRng`]);
+//! * [`rng`] — addressable *counter-based* randomness
+//!   ([`rng::packet_rng`]) for kernels whose work items may execute in
+//!   any order without changing results;
 //! * [`runner`] — seed-partitioned parallel execution for independent
 //!   work (replications, sweep grids) that is bit-exact with serial at
 //!   any thread count (`AMBIENCE_THREADS` overrides the worker count);
@@ -43,6 +46,7 @@ pub mod fault;
 pub mod montecarlo;
 pub mod obs;
 pub mod queue;
+pub mod rng;
 pub mod runner;
 pub mod trace;
 
