@@ -17,18 +17,22 @@
 //!
 //! Network sizes are N ∈ {25, 100, 400, 1600} uniform-random fields at
 //! constant node density (field side 25·√N m, so ~10 neighbours in
-//! radio range whatever the scale). `route_build` and `gather_round`
-//! additionally run at the city scales N ∈ {10 000, 100 000} (fewer
+//! radio range whatever the scale). `route_build`, `gather_round` and
+//! `lossy_round` additionally run at the city scales
+//! N ∈ {10 000, 100 000} and at the megacity N = 1 000 000 (fewer
 //! rounds per iteration), pinning the spatial-grid CSR build and the
-//! incremental-repair round loop where quadratic scans would be
-//! unaffordable; `gather_round_par` repeats the city-scale gathering
-//! runs on the region-parallel PDES engine at `AMBIENCE_THREADS`
-//! workers and carries a `speedup` field (serial mean / parallel mean —
-//! expect >1× on a multi-core box; on a single-worker runner the `_par`
-//! entry points fall back to the serial kernel, so the field reads
-//! ≈1× and only timer noise shows). `lossy_round` joins the city
-//! sweep too (the counter-RNG ARQ kernel is per-packet addressable, so
-//! it scales like gather), with `lossy_round_par` timing the
+//! aggregated round loop where quadratic scans would be unaffordable.
+//! At the city scales and up, `gather_round` and `lossy_round` measure
+//! **marginal rounds** through the session APIs ([`GatherSession`] /
+//! [`LossySession`]): the warm-up iteration performs the route build
+//! and sizes the scratch, so the timed iterations isolate per-round
+//! kernel cost from the build (which `route_build` prices separately).
+//! `gather_round_par` repeats the city-scale gathering runs on the
+//! region-parallel PDES engine at `AMBIENCE_THREADS` workers and
+//! carries `threads`/`cpus` fields plus a `speedup` field (serial mean
+//! / parallel mean — expect >1× on a multi-core box; when `cpus` is 1
+//! the `_par` rows time engine overhead on a single core, so `speedup`
+//! is advisory and CI treats it that way). `lossy_round_par` times the
 //! rollback-free region-parallel lossy engine the same way. The `_par`
 //! rows force-engage the engines past the small-n serial fallback —
 //! the snapshot times the engine, not the dispatch heuristic.
@@ -63,7 +67,8 @@ use ami_experiments::banner;
 use ami_net::{
     build_routes, replicate_gathering_faulted_observed_threads, set_par_min_nodes_per_worker,
     simulate_gathering, simulate_gathering_par, simulate_lossy_gathering,
-    simulate_lossy_gathering_par, LossyConfig, NetworkConfig, RoutingStrategy, Topology,
+    simulate_lossy_gathering_par, GatherSession, LossyConfig, LossySession, NetworkConfig,
+    RoutingStrategy, Topology,
 };
 use ami_sim::fault::FaultSpec;
 use ami_sim::{replicate_par, sim_rng, EnergyMeter, EventQueue};
@@ -76,13 +81,19 @@ use std::time::Instant;
 const SIZES: [usize; 4] = [25, 100, 400, 1600];
 /// City-scale sizes: `route_build`, `gather_round` and `lossy_round`
 /// (the faulted-replication workload stays at the classic sizes so the
-/// snapshot keeps finishing in seconds).
+/// snapshot keeps finishing in seconds). The `_par` rows stop at 100k —
+/// the megacity row times the serial aggregated kernel.
 const LARGE_SIZES: [usize; 2] = [10_000, 100_000];
+/// The megacity size: serial `route_build` / `gather_round` /
+/// `lossy_round` only, one round per iteration.
+const MEGA_SIZE: usize = 1_000_000;
 /// Rounds per gather / lossy iteration at the city scales — enough to
 /// expose a per-round regression without drowning the snapshot in wall
 /// clock.
 const GATHER_ROUNDS_LARGE: u64 = 2;
 const LOSSY_ROUNDS_LARGE: u64 = 2;
+/// Rounds per iteration at the megacity scale (a single round is ~2 s).
+const ROUNDS_MEGA: u64 = 1;
 /// Rounds per gather / lossy iteration (kept small so route building is
 /// a realistic share of the work, as in short replication studies).
 const GATHER_ROUNDS: u64 = 10;
@@ -107,6 +118,12 @@ struct Entry {
     /// Serial mean / this entry's mean, for rows that re-run a serial
     /// workload on the intra-run parallel engine (`gather_round_par`).
     speedup: Option<f64>,
+    /// Worker threads the `_par` engine ran with (absent on serial rows).
+    threads: Option<usize>,
+    /// CPUs available to this process when the row was measured. A
+    /// `speedup` recorded with `cpus: 1` times engine overhead, not
+    /// parallelism — CI treats it as advisory.
+    cpus: Option<usize>,
 }
 
 /// Times `work` (which performs `ops_per_iter` logical operations per
@@ -146,7 +163,14 @@ fn measure(
         wall_ns_min,
         ops_per_sec,
         speedup: None,
+        threads: None,
+        cpus: None,
     }
+}
+
+/// CPUs available to the process (the honesty context for `speedup`).
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 /// Constant-density random field for `n` nodes.
@@ -254,6 +278,11 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
                 ));
             },
         ));
+        // Marginal rounds through the session API: the warm-up run
+        // builds routes and sizes the aggregation scratch, so the timed
+        // iterations price per-round work only (`route_build` above
+        // prices the build).
+        let mut session = GatherSession::new(&topo, RoutingStrategy::MinimumEnergy, &net_config);
         entries.push(measure(
             format!("gather_round/n{n}"),
             "gather_round",
@@ -261,12 +290,7 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
             GATHER_ROUNDS_LARGE,
             quick,
             || {
-                black_box(simulate_gathering(
-                    black_box(&topo),
-                    RoutingStrategy::MinimumEnergy,
-                    &net_config,
-                    GATHER_ROUNDS_LARGE,
-                ));
+                black_box(session.run(GATHER_ROUNDS_LARGE));
             },
         ));
         let serial_mean = entries
@@ -291,8 +315,11 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
             },
         );
         par.speedup = Some(serial_mean as f64 / par.wall_ns_mean as f64);
+        par.threads = Some(threads);
+        par.cpus = Some(available_cpus());
         entries.push(par);
 
+        let mut lossy_session = LossySession::new(&topo, &lossy_config);
         entries.push(measure(
             format!("lossy_round/n{n}"),
             "lossy_round",
@@ -300,12 +327,7 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
             LOSSY_ROUNDS_LARGE,
             quick,
             || {
-                black_box(simulate_lossy_gathering(
-                    black_box(&topo),
-                    &lossy_config,
-                    LOSSY_ROUNDS_LARGE,
-                    SEED,
-                ));
+                black_box(lossy_session.run(LOSSY_ROUNDS_LARGE, SEED));
             },
         ));
         let lossy_serial_mean = entries
@@ -329,9 +351,57 @@ fn run_net_snapshot(quick: bool) -> Vec<Entry> {
             },
         );
         lossy_par.speedup = Some(lossy_serial_mean as f64 / lossy_par.wall_ns_mean as f64);
+        lossy_par.threads = Some(threads);
+        lossy_par.cpus = Some(available_cpus());
         entries.push(lossy_par);
     }
     set_par_min_nodes_per_worker(par_floor);
+
+    // The megacity: serial rows only, one round per iteration. The
+    // session warm-up pays the route build (priced by `route_build`
+    // below) so the round rows are pure marginal-round cost — the
+    // tractability headline the aggregated kernel exists for.
+    {
+        let n = MEGA_SIZE;
+        let topo = field(n);
+        entries.push(measure(
+            format!("route_build/n{n}"),
+            "route_build",
+            n,
+            1,
+            quick,
+            || {
+                black_box(build_routes(
+                    black_box(&topo),
+                    RoutingStrategy::MinimumEnergy,
+                    &net_config.radio,
+                    net_config.max_hop,
+                ));
+            },
+        ));
+        let mut session = GatherSession::new(&topo, RoutingStrategy::MinimumEnergy, &net_config);
+        entries.push(measure(
+            format!("gather_round/n{n}"),
+            "gather_round",
+            n,
+            ROUNDS_MEGA,
+            quick,
+            || {
+                black_box(session.run(ROUNDS_MEGA));
+            },
+        ));
+        let mut lossy_session = LossySession::new(&topo, &lossy_config);
+        entries.push(measure(
+            format!("lossy_round/n{n}"),
+            "lossy_round",
+            n,
+            ROUNDS_MEGA,
+            quick,
+            || {
+                black_box(lossy_session.run(ROUNDS_MEGA, SEED));
+            },
+        ));
+    }
     entries
 }
 
@@ -466,6 +536,12 @@ fn to_json(schema: &str, entries: &[Entry], quick: bool) -> String {
         out.push_str(&format!("\"wall_ns_mean\": {}, ", e.wall_ns_mean));
         out.push_str(&format!("\"wall_ns_min\": {}, ", e.wall_ns_min));
         out.push_str(&format!("\"ops_per_sec\": {:.3}", e.ops_per_sec));
+        if let Some(threads) = e.threads {
+            out.push_str(&format!(", \"threads\": {threads}"));
+        }
+        if let Some(cpus) = e.cpus {
+            out.push_str(&format!(", \"cpus\": {cpus}"));
+        }
         if let Some(speedup) = e.speedup {
             out.push_str(&format!(", \"speedup\": {speedup:.3}"));
         }

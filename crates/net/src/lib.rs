@@ -41,6 +41,7 @@
 //! assert_eq!(report.delivered_packets, 100 * (topo.len() as u64 - 1));
 //! ```
 
+pub mod agg;
 pub mod aggregate;
 pub mod cluster;
 pub mod csr;
@@ -51,19 +52,23 @@ pub mod replicate;
 pub mod routing;
 pub mod topology;
 
+pub use agg::{
+    agg_engaged_count, agg_fallback_count, aggregated_rounds_enabled, reset_agg_counters,
+    set_aggregated_rounds,
+};
 pub use aggregate::{analyze_aggregation, AggregationReport};
 pub use cluster::{simulate_clustered, ClusterConfig, ClusterReport};
 pub use csr::{CsrAdjacency, RegionPartition};
 pub use gather::{
     simulate_gathering, simulate_gathering_faulted, simulate_gathering_faulted_observed,
     simulate_gathering_faulted_with, simulate_gathering_observed, simulate_gathering_with,
-    NetworkConfig, NetworkReport,
+    GatherSession, NetworkConfig, NetworkReport,
 };
 pub use lossy::{
     simulate_lossy_gathering, simulate_lossy_gathering_faulted,
     simulate_lossy_gathering_faulted_observed, simulate_lossy_gathering_faulted_with,
     simulate_lossy_gathering_observed, simulate_lossy_gathering_seqstream, LossyConfig,
-    LossyReport,
+    LossyReport, LossySession,
 };
 pub use pdes::{
     par_engaged_count, par_min_nodes_per_worker, par_serial_fallback_count,

@@ -47,7 +47,7 @@
 //! frozen golden, so the pre-migration baselines stay reproducible
 //! forever. New work uses the counter kernel.
 
-use crate::routing::{RouteCache, RoutingStrategy};
+use crate::routing::{PackedRoutes, RouteCache, RoutingStrategy};
 use crate::topology::{NodeId, Topology};
 use ami_radio::{Packet, RadioEnergyModel, StopAndWaitArq};
 use ami_sim::fault::{FaultSchedule, FaultTimeline};
@@ -162,7 +162,11 @@ pub(crate) struct LossyRoundCtx<'a> {
     pub attempts: u64,
     /// `max_transmissions` as the f64 the fault branches charge with.
     pub attempts_f: f64,
-    pub cache: &'a RouteCache,
+    /// Packed next-hop table (`u32::MAX` = routeless), flat-indexed by
+    /// node id so the hop chase is two array loads, not a cache probe.
+    pub parent: &'a [u32],
+    /// Packed per-node transmit cost, same indexing.
+    pub tx_costs: &'a [f64],
     pub timeline: &'a FaultTimeline,
     pub down_now: &'a [bool],
 }
@@ -183,40 +187,40 @@ pub(crate) fn walk_packet(
 ) -> (LossyFate, f64) {
     let mut rng = packet_rng(ctx.seed, round, src.0 as u64);
     let mut pkt_energy = 0.0f64;
-    let mut from = src;
+    let sink = ctx.sink.0 as u32;
+    let mut from = src.0 as u32;
     loop {
-        let hop = ctx
-            .cache
-            .next_hop(from)
-            .expect("connected route reaches the sink");
-        let tx = ctx.cache.tx_cost(from);
-        if hop != ctx.sink && ctx.down_now[hop.0] {
+        let fu = from as usize;
+        let hop = ctx.parent[fu];
+        debug_assert!(hop != u32::MAX, "connected route reaches the sink");
+        let tx = ctx.tx_costs[fu];
+        if hop != sink && ctx.down_now[hop as usize] {
             // Powered-off receiver: no ACK ever comes, so the sender
             // exhausts its ARQ budget; nothing listens on the far end.
             // No random draws — the packet's stream stays aligned with
             // the unfaulted run.
             *transmissions += ctx.attempts;
-            tx_attempts[from.0] += ctx.attempts;
+            tx_attempts[fu] += ctx.attempts;
             pkt_energy += ctx.attempts_f * tx;
             return (LossyFate::Fault, pkt_energy);
         }
-        if ctx.timeline.link_down(from.0, hop.0) {
+        if ctx.timeline.link_down(fu, hop as usize) {
             // Downed link between two powered nodes: every attempt
             // costs the sender a transmit and the receiver a listen,
             // but nothing crosses.
             *transmissions += ctx.attempts;
-            tx_attempts[from.0] += ctx.attempts;
-            rx_attempts[hop.0] += ctx.attempts;
+            tx_attempts[fu] += ctx.attempts;
+            rx_attempts[hop as usize] += ctx.attempts;
             pkt_energy += ctx.attempts_f * (tx + ctx.rx);
             return (LossyFate::Fault, pkt_energy);
         }
         let mut hop_ok = false;
         for _attempt in 0..ctx.max_transmissions {
             *transmissions += 1;
-            tx_attempts[from.0] += 1;
+            tx_attempts[fu] += 1;
             // The receiver listens whether or not the packet survives
             // (it cannot know in advance).
-            rx_attempts[hop.0] += 1;
+            rx_attempts[hop as usize] += 1;
             pkt_energy += tx;
             pkt_energy += ctx.rx;
             if rng.random::<f64>() < ctx.p_hop {
@@ -227,7 +231,7 @@ pub(crate) fn walk_packet(
         if !hop_ok {
             return (LossyFate::Channel, pkt_energy);
         }
-        if hop == ctx.sink {
+        if hop == sink {
             return (LossyFate::Delivered, pkt_energy);
         }
         from = hop;
@@ -255,6 +259,9 @@ pub(crate) struct LossyState<'a> {
     pub down_prev: Vec<bool>,
     pub usable: Vec<bool>,
     pub cache: RouteCache,
+    /// Flat next-hop/cost image of `cache`, refreshed when the cache
+    /// epoch moves; the hop chase reads these, not the cache.
+    pub packed: PackedRoutes,
     pub routes_dirty: bool,
     /// Per-node ARQ attempt counts this round (sender side), committed
     /// to the recorder once per round in ascending node order.
@@ -305,6 +312,7 @@ impl<'a> LossyState<'a> {
             down_prev: vec![false; n],
             usable: vec![true; n],
             cache: RouteCache::new(n),
+            packed: PackedRoutes::new(n),
             routes_dirty: true,
             tx_attempts: vec![0; n],
             rx_attempts: vec![0; n],
@@ -341,6 +349,7 @@ impl<'a> LossyState<'a> {
             );
             self.routes_dirty = false;
         }
+        self.packed.ensure(&self.cache);
     }
 
     /// The serial round body: every live connected sensor offers one
@@ -359,6 +368,7 @@ impl<'a> LossyState<'a> {
             timeline,
             down_now,
             cache,
+            packed,
             tx_attempts,
             rx_attempts,
             offered,
@@ -376,7 +386,8 @@ impl<'a> LossyState<'a> {
             max_transmissions: *max_transmissions,
             attempts: *attempts,
             attempts_f: *attempts_f,
-            cache,
+            parent: &packed.parent,
+            tx_costs: &packed.tx,
             timeline,
             down_now,
         };
@@ -384,7 +395,7 @@ impl<'a> LossyState<'a> {
             if ctx.down_now[id.0] {
                 continue; // powered off: offers nothing
             }
-            if !ctx.cache.is_connected(id) {
+            if !cache.is_connected(id) {
                 continue;
             }
             *offered += 1;
@@ -517,6 +528,71 @@ pub fn simulate_lossy_gathering_faulted_with<R: Recorder>(
         state.end_round(round);
     }
     state.finish()
+}
+
+/// Reusable lossy-run session over one `(topology, config)` pair: the
+/// route cache and its packed next-hop image persist across runs, so
+/// every run after the first skips the Dijkstra build (the dominant
+/// fixed cost at city scale) and measures marginal round work only.
+/// Each run is bit-identical to the matching one-shot entry point.
+pub struct LossySession<'a> {
+    topology: &'a Topology,
+    config: &'a LossyConfig,
+    cache: RouteCache,
+    packed: PackedRoutes,
+}
+
+impl<'a> LossySession<'a> {
+    /// Creates a session; the first run performs the route build.
+    pub fn new(topology: &'a Topology, config: &'a LossyConfig) -> Self {
+        Self {
+            topology,
+            config,
+            cache: RouteCache::new(topology.len()),
+            packed: PackedRoutes::new(topology.len()),
+        }
+    }
+
+    /// Runs `rounds` fault-free rounds from a fresh run state,
+    /// recording nothing. Bit-identical to
+    /// [`simulate_lossy_gathering`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+    pub fn run(&mut self, rounds: u64, seed: u64) -> LossyReport {
+        self.run_faulted_with(rounds, seed, &FaultSchedule::empty(), &mut NullRecorder)
+    }
+
+    /// Runs `rounds` rounds under `faults` from a fresh run state,
+    /// charging every event through `recorder`. Bit-identical to
+    /// [`simulate_lossy_gathering_faulted_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero or the BER is outside `[0, 0.5]`.
+    pub fn run_faulted_with<R: Recorder>(
+        &mut self,
+        rounds: u64,
+        seed: u64,
+        faults: &FaultSchedule,
+        recorder: &mut R,
+    ) -> LossyReport {
+        let mut state = LossyState::new(self.topology, self.config, rounds, seed, faults);
+        // Adopt the session's warm cache and packed image;
+        // `begin_round` no-ops both when the usable set still matches
+        // what the cache was built over.
+        state.cache = std::mem::replace(&mut self.cache, RouteCache::new(0));
+        state.packed = std::mem::replace(&mut self.packed, PackedRoutes::new(0));
+        for round in 0..rounds {
+            state.begin_round(round);
+            state.send_all(round, recorder);
+            state.end_round(round);
+        }
+        self.cache = std::mem::replace(&mut state.cache, RouteCache::new(0));
+        self.packed = std::mem::replace(&mut state.packed, PackedRoutes::new(0));
+        state.finish()
+    }
 }
 
 /// [`simulate_lossy_gathering`] with the standard instrumented

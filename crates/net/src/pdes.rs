@@ -80,7 +80,7 @@
 use crate::csr::RegionPartition;
 use crate::gather::{GatherState, NetworkConfig, NetworkReport, PacketFate};
 use crate::lossy::{LossyConfig, LossyFate, LossyReport, LossyRoundCtx, LossyState};
-use crate::routing::RoutingStrategy;
+use crate::routing::{PackedRoutes, RoutingStrategy};
 use crate::topology::{NodeId, Position, Topology};
 use ami_sim::fault::FaultSchedule;
 use ami_sim::obs::{EnergyCategory, LedgerRecorder, NullRecorder, Recorder};
@@ -249,10 +249,14 @@ pub fn simulate_gathering_faulted_par_with<R: Recorder>(
         .collect();
     // Set when the round's energy margin fails: roll back and go serial.
     let rollback = AtomicBool::new(false);
+    // Flat next-hop image for the phase-2 walks, refreshed when the
+    // route-cache epoch moves.
+    let mut packed = PackedRoutes::new(n);
 
     RoundPool::scoped(threads, |pool| {
         for round in 0..rounds {
             state.begin_round(round);
+            packed.ensure(&state.cache);
             snapshot.copy_from_slice(&state.budget);
             rollback.store(false, Ordering::Relaxed);
 
@@ -271,6 +275,7 @@ pub fn simulate_gathering_faulted_par_with<R: Recorder>(
                 let cache = &*cache;
                 let timeline = &*timeline;
                 let connected = cache.connected_flags();
+                let parent = packed.parent.as_slice();
                 let slices = split_regions(budget, &part);
 
                 // Phase 1 — idle debits, counter reset, and the S1
@@ -326,10 +331,11 @@ pub fn simulate_gathering_faulted_par_with<R: Recorder>(
                             let mut from = src;
                             let mut fate = PacketFate::Delivered;
                             loop {
-                                let hop = cache
-                                    .next_hop(NodeId(from))
-                                    .expect("connected route reaches the sink")
-                                    .0;
+                                let hop = parent[from] as usize;
+                                debug_assert!(
+                                    hop != u32::MAX as usize,
+                                    "connected route reaches the sink"
+                                );
                                 if (hop != sink_id && down_now[hop])
                                     || timeline.link_down(from, hop)
                                 {
@@ -622,7 +628,8 @@ pub fn simulate_lossy_gathering_faulted_par_with<R: Recorder>(
                     max_transmissions: state.max_transmissions,
                     attempts: state.attempts,
                     attempts_f: state.attempts_f,
-                    cache: &state.cache,
+                    parent: &state.packed.parent,
+                    tx_costs: &state.packed.tx,
                     timeline: &state.timeline,
                     down_now: &state.down_now,
                 };

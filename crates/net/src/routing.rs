@@ -785,6 +785,54 @@ impl RouteCache {
     pub fn repairs(&self) -> u64 {
         self.repairs
     }
+
+    /// The cache's route epoch: bumped by every build or repair, so two
+    /// equal epochs on the same cache instance mean an identical table.
+    pub fn epoch(&self) -> u64 {
+        self.builds + self.repairs
+    }
+}
+
+/// Route arrays packed for hop-walk hot loops: a 4-byte next-hop id and
+/// an 8-byte transmit cost per node, refreshed lazily per route epoch.
+///
+/// The cache's own `table()` stores `Option<NodeId>` (16 bytes, with a
+/// discriminant test per fetch); packing it once per epoch lets the
+/// aggregation, lossy-ARQ and region-parallel walk loops chase routes
+/// through two flat reads per hop. Values are copied verbatim from the
+/// cache, so every consumer stays bit-identical to the method-call
+/// path.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedRoutes {
+    /// Next hop per node; `u32::MAX` = routeless (or the sink).
+    pub(crate) parent: Vec<u32>,
+    /// Transmit cost along the parent edge, joules.
+    pub(crate) tx: Vec<f64>,
+    epoch: Option<u64>,
+}
+
+impl PackedRoutes {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Self {
+            parent: vec![u32::MAX; nodes],
+            tx: vec![0.0; nodes],
+            epoch: None,
+        }
+    }
+
+    /// Repacks from `cache` if its epoch moved since the last call.
+    /// Returns true when a repack happened.
+    pub(crate) fn ensure(&mut self, cache: &RouteCache) -> bool {
+        if self.epoch == Some(cache.epoch()) {
+            return false;
+        }
+        for (slot, hop) in self.parent.iter_mut().zip(cache.table()) {
+            *slot = hop.map_or(u32::MAX, |h| h.0 as u32);
+        }
+        self.tx.copy_from_slice(cache.tx_costs());
+        self.epoch = Some(cache.epoch());
+        true
+    }
 }
 
 #[cfg(test)]

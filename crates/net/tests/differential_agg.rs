@@ -1,0 +1,246 @@
+//! Differential layer for the traffic-aggregation charge kernel:
+//! aggregated rounds ≡ the per-packet hop walk, at report, ledger and
+//! rendered-manifest level.
+//!
+//! The aggregated kernel replaces the serial round's per-packet budget
+//! walk with one reverse-topological sweep plus a per-cell replay, and
+//! is only admissible because it changes *nothing*: the S1/S2 energy
+//! margins prove, per round, that the serial kernel would have seen no
+//! mid-round budget death, and every f64 fold replays the serial charge
+//! order. These tests pin that contract the same way the repair and
+//! PDES layers are pinned — random topologies × random fault schedules
+//! with budget deaths provoked mid-run, bit equality on all artifacts,
+//! failures delta-debugged to a 1-minimal schedule — plus targeted
+//! regressions for the fallback machinery itself (death rounds must
+//! route through the retained hop-walk oracle and be counted).
+
+mod common;
+
+use ami_net::{
+    agg_engaged_count, agg_fallback_count, reset_agg_counters, set_aggregated_rounds,
+    set_par_min_nodes_per_worker, simulate_gathering, simulate_gathering_faulted_observed,
+    simulate_gathering_faulted_observed_par, GatherSession, NetworkConfig, NetworkReport,
+    RoutingStrategy, Topology,
+};
+use ami_sim::fault::FaultSchedule;
+use ami_sim::obs::{LedgerRecorder, RunManifest};
+use ami_units::{Energy, Length};
+use common::schedule::{fault_schedule, minimize_failing_schedule};
+use proptest::prelude::*;
+
+/// Restores the thread-local aggregation toggle on drop, so a failing
+/// assertion cannot leak kernel choice into later tests on the thread.
+struct AggMode(Option<bool>);
+
+impl AggMode {
+    fn set(enabled: bool) -> Self {
+        Self(set_aggregated_rounds(Some(enabled)))
+    }
+}
+
+impl Drop for AggMode {
+    fn drop(&mut self) {
+        set_aggregated_rounds(self.0);
+    }
+}
+
+/// One faulted, observed gathering run with the aggregated kernel
+/// forced on or off, plus its rendered manifest — the three artifacts
+/// the aggregation contract pins.
+fn observed_run(
+    topo: &Topology,
+    config: &NetworkConfig,
+    schedule: &FaultSchedule,
+    rounds: u64,
+    aggregated: bool,
+) -> (NetworkReport, LedgerRecorder, String) {
+    let _mode = AggMode::set(aggregated);
+    let (report, obs) = simulate_gathering_faulted_observed(
+        topo,
+        RoutingStrategy::MinimumEnergy,
+        config,
+        rounds,
+        schedule,
+    );
+    let manifest = RunManifest::new("differential-agg")
+        .field("rounds", &rounds)
+        .field("report", &report)
+        .ledger(&obs.ledger)
+        .counters(&obs.packets.tree())
+        .runner()
+        .to_json();
+    (report, obs, manifest)
+}
+
+proptest! {
+    /// Tentpole contract: a faulted gathering run — delivery counts,
+    /// energy ledger, packet-counter tree, rendered manifest — is
+    /// byte-identical whether rounds aggregate or hop-walk. Budgets are
+    /// cut to ~12 idle rounds so energy deaths arrive mid-run and the
+    /// margin-check fallback path executes alongside clean rounds.
+    #[test]
+    fn aggregated_rounds_match_the_hop_walk_kernel(
+        seed in 0u64..40,
+        schedule in fault_schedule(24, 25, 10),
+    ) {
+        let topo = Topology::random(24, Length::from_meters(110.0), seed);
+        let mut config = NetworkConfig::sensor_default();
+        config.node_energy = Energy::from_joules(0.015);
+        let differs = |s: &FaultSchedule| {
+            observed_run(&topo, &config, s, 25, true) != observed_run(&topo, &config, s, 25, false)
+        };
+        if differs(&schedule) {
+            let minimized =
+                minimize_failing_schedule(schedule.events(), |s| differs(s));
+            let (report_a, _, manifest_a) = observed_run(&topo, &config, &minimized, 25, true);
+            let (report_w, _, manifest_w) = observed_run(&topo, &config, &minimized, 25, false);
+            panic!(
+                "aggregated run diverged from hop walk (seed {seed})\n\
+                 minimized schedule: {:?}\naggregated report: {report_a:?}\n\
+                 hop-walk report: {report_w:?}\nmanifests equal: {}",
+                minimized.events(),
+                manifest_a == manifest_w,
+            );
+        }
+    }
+}
+
+proptest! {
+    /// The region-parallel engine must agree with the *aggregated*
+    /// serial kernel too (its rollback path replays the hop walk, its
+    /// clean path the same S1/S2-margined sweep): reports, ledgers and
+    /// manifests at 1, 2 and 8 workers equal the serial aggregated run.
+    #[test]
+    fn region_parallel_matches_the_aggregated_serial_kernel(
+        seed in 0u64..20,
+        schedule in fault_schedule(24, 20, 8),
+    ) {
+        let _mode = AggMode::set(true);
+        set_par_min_nodes_per_worker(Some(0));
+        let topo = Topology::random(24, Length::from_meters(110.0), seed);
+        let mut config = NetworkConfig::sensor_default();
+        config.node_energy = Energy::from_joules(0.015);
+        let serial = observed_run(&topo, &config, &schedule, 20, true);
+        for threads in [1usize, 2, 8] {
+            let (report, obs) = simulate_gathering_faulted_observed_par(
+                &topo,
+                RoutingStrategy::MinimumEnergy,
+                &config,
+                20,
+                &schedule,
+                threads,
+            );
+            prop_assert_eq!(&report, &serial.0, "report at {} threads", threads);
+            prop_assert_eq!(&obs, &serial.1, "ledger at {} threads", threads);
+        }
+    }
+}
+
+#[test]
+fn death_rounds_fall_back_to_the_hop_walk_and_are_counted() {
+    // ~6 idle rounds of budget: relays die mid-run, so some rounds must
+    // fail the S1/S2 margin and route through the retained oracle. The
+    // engaged/fallback counters mirror the PDES engagement counters —
+    // CI and tests assert the fast path actually ran, not just that
+    // results matched.
+    let _mode = AggMode::set(true);
+    let topo = Topology::random(64, Length::from_meters(180.0), 7);
+    let mut config = NetworkConfig::sensor_default();
+    config.node_energy = Energy::from_joules(0.008);
+    reset_agg_counters();
+    let agg = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 30);
+    let engaged = agg_engaged_count();
+    let fallbacks = agg_fallback_count();
+    assert!(
+        engaged > 0,
+        "healthy early rounds must take the aggregated path"
+    );
+    assert!(
+        fallbacks > 0,
+        "budget-death rounds must fall back to the hop walk"
+    );
+    assert_eq!(
+        engaged + fallbacks,
+        30,
+        "every round takes exactly one path"
+    );
+    assert!(
+        agg.first_death_round.is_some(),
+        "the scenario must actually exhaust a node"
+    );
+
+    let _off = AggMode::set(false);
+    let oracle = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 30);
+    assert_eq!(
+        agg, oracle,
+        "mixed engaged/fallback run must stay bit-exact"
+    );
+}
+
+#[test]
+fn mid_round_death_at_the_packet_boundary_is_exact() {
+    // A 3-node chain (sink — relay — leaf) with the relay's budget
+    // trimmed so it dies *during* a round, partway through the charge
+    // sequence: the relay still pays for packets that transited before
+    // exhaustion, and the S2 margin must catch the round (an
+    // all-positive replay would misstate the post-death charges).
+    // 40 m spacing under the 45 m default hop range: the leaf reaches
+    // only the relay, so the chain is forced.
+    let topo = Topology::new(vec![
+        ami_net::Position::new(0.0, 0.0),
+        ami_net::Position::new(40.0, 0.0),
+        ami_net::Position::new(80.0, 0.0),
+    ]);
+    let config_probe = NetworkConfig::sensor_default();
+    // Measure one healthy round's relay spend to place the death
+    // mid-round: give the relay one full round plus half its round-2
+    // outlay, so it crosses zero between two charge events of round 2.
+    let _mode = AggMode::set(false);
+    let (_, probe) = ami_net::simulate_gathering_observed(
+        &topo,
+        RoutingStrategy::MinimumEnergy,
+        &config_probe,
+        1,
+    );
+    let relay_round = probe.ledger.node_total(1).as_joules();
+    assert!(relay_round > 0.0, "the relay must spend in a healthy round");
+
+    let mut config = NetworkConfig::sensor_default();
+    config.node_energy = Energy::from_joules(relay_round * 1.5);
+    let _off = AggMode::set(false);
+    let oracle = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 6);
+    let _on = AggMode::set(true);
+    reset_agg_counters();
+    let agg = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 6);
+    assert_eq!(agg, oracle, "mid-round death must be bit-exact");
+    assert!(
+        agg_fallback_count() > 0,
+        "the death round must fail the margin check"
+    );
+    // `first_death_round` counts completed rounds: a mid-round-2 death
+    // reports as 2.
+    assert_eq!(
+        oracle.first_death_round,
+        Some(2),
+        "death lands in round 2 by construction"
+    );
+}
+
+#[test]
+fn sessions_reuse_routes_without_changing_results() {
+    // The session API amortizes the route build across runs; every run
+    // must still be bit-identical to the one-shot entry point, and the
+    // kernel must stay engaged (no fallbacks on a healthy network).
+    let _mode = AggMode::set(true);
+    let topo = Topology::random(400, Length::from_meters(500.0), 11);
+    let config = NetworkConfig::sensor_default();
+    let one_shot = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, 8);
+    let mut session = GatherSession::new(&topo, RoutingStrategy::MinimumEnergy, &config);
+    reset_agg_counters();
+    for trial in 0..3 {
+        let run = session.run(8);
+        assert_eq!(run, one_shot, "session trial {trial}");
+    }
+    assert_eq!(agg_engaged_count(), 24, "all session rounds aggregate");
+    assert_eq!(agg_fallback_count(), 0, "healthy rounds never fall back");
+}

@@ -8,8 +8,8 @@
 //! [`steady_allocations`].)
 
 use ami_net::{
-    simulate_gathering, simulate_lossy_gathering, LossyConfig, NetworkConfig, RoutingStrategy,
-    Topology,
+    simulate_gathering, simulate_lossy_gathering, GatherSession, LossyConfig, LossySession,
+    NetworkConfig, RoutingStrategy, Topology,
 };
 use ami_units::Length;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -99,5 +99,45 @@ fn healthy_round_loops_allocate_nothing_per_round() {
     assert_eq!(
         lossy_short, lossy_long,
         "lossy round loop allocated ({lossy_short} vs {lossy_long} allocations)"
+    );
+
+    // Session runs: the route cache, packed next-hop image and the
+    // aggregation scratch (tally arrays, finals, the memoized value
+    // stream) persist across runs, so a warm rerun allocates only the
+    // fresh per-run state — flat in the round count and strictly less
+    // than a one-shot run, which rebuilds routes and scratch.
+    let mut session = GatherSession::new(&topo, RoutingStrategy::MinimumEnergy, &config);
+    let _ = session.run(10);
+    let session_short = steady_allocations(5, || {
+        let _ = session.run(10);
+    });
+    let session_long = steady_allocations(5, || {
+        let _ = session.run(1000);
+    });
+    assert_eq!(
+        session_short, session_long,
+        "gather session rounds allocated ({session_short} vs {session_long} allocations)"
+    );
+    assert!(
+        session_short < gather_short,
+        "session reuse must beat the one-shot path ({session_short} vs {gather_short})"
+    );
+
+    let mut lossy_session = LossySession::new(&topo, &lossy);
+    let _ = lossy_session.run(10, 3);
+    let lossy_session_short = steady_allocations(5, || {
+        let _ = lossy_session.run(10, 3);
+    });
+    let lossy_session_long = steady_allocations(5, || {
+        let _ = lossy_session.run(1000, 3);
+    });
+    assert_eq!(
+        lossy_session_short, lossy_session_long,
+        "lossy session rounds allocated ({lossy_session_short} vs {lossy_session_long})"
+    );
+    assert!(
+        lossy_session_short < lossy_short,
+        "lossy session reuse must beat the one-shot path \
+         ({lossy_session_short} vs {lossy_short})"
     );
 }

@@ -3,8 +3,11 @@
 //! Three layers, cheapest first:
 //!
 //! 1. **Recording** — hot loops are generic over [`Recorder`]; the
-//!    default [`NullRecorder`] monomorphizes to nothing, while
-//!    [`LedgerRecorder`] fills pre-sized tables with plain arithmetic.
+//!    default [`NullRecorder`] monomorphizes to nothing,
+//!    [`LedgerRecorder`] fills pre-sized tables with plain arithmetic,
+//!    and [`RingRecorder`] keeps only scalar aggregates plus a bounded
+//!    ring of recent residuals for n = 10⁶⁺ runs where O(N) observer
+//!    memory is unaffordable.
 //! 2. **Aggregation** — [`EnergyLedger`] attributes every joule to a
 //!    `(node, category)` cell with *unclamped* residuals (overdraft is
 //!    reported, never hidden), and [`PacketCounters`] tallies every
@@ -25,9 +28,11 @@ mod json;
 mod ledger;
 mod manifest;
 mod recorder;
+mod residual_ring;
 
 pub use counters::{CounterTree, PacketCounters};
 pub use json::{json_f64, to_json};
 pub use ledger::{EnergyCategory, EnergyLedger};
 pub use manifest::{RunManifest, MANIFEST_ENV};
 pub use recorder::{LedgerRecorder, NullRecorder, Recorder};
+pub use residual_ring::{ResidualStats, RingRecorder};

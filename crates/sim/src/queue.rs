@@ -163,8 +163,7 @@ impl<E> EventQueue<E> {
         let root = *self.heap.first()?;
         let last = self.heap.pop().expect("heap is non-empty");
         if !self.heap.is_empty() {
-            self.heap[0] = last;
-            self.sift_down(0);
+            self.sift_down(last);
         }
         let event = self.slots[root.slot as usize]
             .take()
@@ -194,20 +193,37 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|key| key.time)
     }
 
+    /// Hole-based sift: the key at `idx` is lifted out and parents slide
+    /// down into the hole, so each level costs one key move instead of a
+    /// three-move swap. Comparison decisions are identical to the swap
+    /// form, so the pop order (and with it every downstream result) is
+    /// unchanged.
     fn sift_up(&mut self, mut idx: usize) {
+        let key = self.heap[idx];
         while idx > 0 {
             let parent = (idx - 1) / 2;
-            if self.heap[idx].before(&self.heap[parent]) {
-                self.heap.swap(idx, parent);
+            if key.before(&self.heap[parent]) {
+                self.heap[idx] = self.heap[parent];
                 idx = parent;
             } else {
                 break;
             }
         }
+        self.heap[idx] = key;
     }
 
-    fn sift_down(&mut self, mut idx: usize) {
+    /// Places `key` starting from the root hole left by a pop: the hole
+    /// walks unconditionally to the bottom choosing the smaller child
+    /// (one comparison per level instead of two — `key` came from the
+    /// heap's tail, so it almost always belongs near the bottom), then
+    /// the key bubbles back up from there. Pop order is a pure function
+    /// of the key set (the comparison is a strict total order, so the
+    /// minimum is unique at every step), so the internal layout this
+    /// produces cannot change any popped sequence — the `BinaryHeap`
+    /// reference proptest pins that equivalence.
+    fn sift_down(&mut self, key: HeapKey) {
         let len = self.heap.len();
+        let mut idx = 0;
         loop {
             let left = 2 * idx + 1;
             if left >= len {
@@ -219,13 +235,11 @@ impl<E> EventQueue<E> {
             } else {
                 left
             };
-            if self.heap[child].before(&self.heap[idx]) {
-                self.heap.swap(idx, child);
-                idx = child;
-            } else {
-                break;
-            }
+            self.heap[idx] = self.heap[child];
+            idx = child;
         }
+        self.heap[idx] = key;
+        self.sift_up(idx);
     }
 }
 
