@@ -131,7 +131,10 @@ pub(crate) struct AggScratch {
     stream: Vec<f64>,
     /// Route epoch the memoized round image (stream + tallies +
     /// counters) is valid for. Fault-free epochs only: exogenous faults
-    /// change per-round fates without necessarily changing routes.
+    /// change per-round fates without necessarily changing routes, so
+    /// the replay branch additionally requires a fault-free round and
+    /// [`Self::invalidate_run_memo`] clears this at every session-run
+    /// boundary.
     image_epoch: Option<u64>,
     /// Total hop charges seen by the last walk of `hops_epoch` — sizes
     /// the stream reservation and gates memoization against the cap.
@@ -160,6 +163,18 @@ impl AggScratch {
             disconnected: 0,
             faulted: 0,
         }
+    }
+
+    /// Drops everything memoized from earlier runs: the round image and
+    /// the probed hop count. Both are keyed on the route epoch, and the
+    /// epoch alone cannot distinguish two runs of a warm session — a new
+    /// run may carry a different fault schedule without ever moving the
+    /// epoch (routing sees faults one round late, and link faults never
+    /// change the usable set) — so a session must call this at every
+    /// run start and let the run's own walks re-establish both.
+    pub(crate) fn invalidate_run_memo(&mut self) {
+        self.image_epoch = None;
+        self.hops_epoch = None;
     }
 }
 
@@ -217,10 +232,13 @@ impl GatherState<'_> {
         for _ in 0..powered {
             spent += idle;
         }
-        if scratch.image_epoch == Some(epoch) {
+        if !self.faults_active && scratch.image_epoch == Some(epoch) {
             // Fault-free steady state: fates, tallies and the value
             // stream are round-constant within a route epoch, so the
-            // whole walk collapses to one flat sequential fold.
+            // whole walk collapses to one flat sequential fold. The
+            // image captures fault-free fates only — a fault schedule
+            // changes fates without necessarily moving the epoch, so
+            // faulted rounds always re-walk.
             for &v in &scratch.stream {
                 spent += v;
             }

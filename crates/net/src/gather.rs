@@ -610,6 +610,12 @@ impl<'a> GatherSession<'a> {
         // no-ops when the usable set still matches what it was built
         // over, which is what amortizes the build across runs.
         state.cache = std::mem::replace(&mut self.cache, RouteCache::new(0));
+        // The warm cache keeps the route-epoch counter alive across
+        // runs, but this run's fault schedule may differ from the one
+        // the scratch memoized under at the same epoch — drop the
+        // memoized round image and hop probe so every run re-derives
+        // them from its own walks.
+        self.scratch.invalidate_run_memo();
         for round in 0..rounds {
             state.begin_round(round);
             state.round_charges(&mut self.scratch, recorder);

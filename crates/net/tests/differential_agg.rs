@@ -22,7 +22,7 @@ use ami_net::{
     simulate_gathering_faulted_observed_par, GatherSession, NetworkConfig, NetworkReport,
     RoutingStrategy, Topology,
 };
-use ami_sim::fault::FaultSchedule;
+use ami_sim::fault::{FaultEvent, FaultSchedule};
 use ami_sim::obs::{LedgerRecorder, RunManifest};
 use ami_units::{Energy, Length};
 use common::schedule::{fault_schedule, minimize_failing_schedule};
@@ -62,14 +62,19 @@ fn observed_run(
         rounds,
         schedule,
     );
-    let manifest = RunManifest::new("differential-agg")
+    let manifest = manifest_of(rounds, &report, &obs);
+    (report, obs, manifest)
+}
+
+/// Renders the manifest artifact the aggregation contract pins.
+fn manifest_of(rounds: u64, report: &NetworkReport, obs: &LedgerRecorder) -> String {
+    RunManifest::new("differential-agg")
         .field("rounds", &rounds)
-        .field("report", &report)
+        .field("report", report)
         .ledger(&obs.ledger)
         .counters(&obs.packets.tree())
         .runner()
-        .to_json();
-    (report, obs, manifest)
+        .to_json()
 }
 
 proptest! {
@@ -243,4 +248,65 @@ fn sessions_reuse_routes_without_changing_results() {
     }
     assert_eq!(agg_engaged_count(), 24, "all session rounds aggregate");
     assert_eq!(agg_fallback_count(), 0, "healthy rounds never fall back");
+}
+
+#[test]
+fn session_faulted_runs_match_the_one_shot_entry_point() {
+    // A fault-free session run memoizes the round image for the warm
+    // route epoch; a faulted run on the *same* session must not replay
+    // it. Link-only outages and a round-0 outage are the sharp cases:
+    // neither moves the route epoch in the faulted rounds it covers
+    // (routing sees faults one round late, and link faults never change
+    // the usable set), so only the run-boundary invalidation and the
+    // fault-free replay guard keep those rounds off the stale image.
+    let _mode = AggMode::set(true);
+    // 40 m spacing under the 45 m default hop range forces the
+    // sink — relay — leaf chain, so both faults sit on a used route.
+    let topo = Topology::new(vec![
+        ami_net::Position::new(0.0, 0.0),
+        ami_net::Position::new(40.0, 0.0),
+        ami_net::Position::new(80.0, 0.0),
+    ]);
+    let config = NetworkConfig::sensor_default();
+    let rounds = 6;
+    let link_only = FaultSchedule::new(vec![FaultEvent::LinkOutage {
+        a: 1,
+        b: 2,
+        from: 1,
+        until: 4,
+    }]);
+    let round0_outage = FaultSchedule::new(vec![FaultEvent::NodeOutage {
+        node: 1,
+        from: 0,
+        until: 3,
+    }]);
+    let clean = simulate_gathering(&topo, RoutingStrategy::MinimumEnergy, &config, rounds);
+
+    for (label, schedule) in [("link-only", &link_only), ("round-0 outage", &round0_outage)] {
+        let mut session = GatherSession::new(&topo, RoutingStrategy::MinimumEnergy, &config);
+        // Warm the session: this memoizes the fault-free round image.
+        assert_eq!(session.run(rounds), clean, "warm-up run ({label})");
+
+        let mut obs = LedgerRecorder::with_nodes(topo.len());
+        let report = session.run_faulted_with(rounds, schedule, &mut obs);
+        let (one_report, one_obs) = simulate_gathering_faulted_observed(
+            &topo,
+            RoutingStrategy::MinimumEnergy,
+            &config,
+            rounds,
+            schedule,
+        );
+        assert_eq!(report, one_report, "faulted report ({label})");
+        assert_eq!(obs, one_obs, "faulted ledger ({label})");
+        assert_eq!(
+            manifest_of(rounds, &report, &obs),
+            manifest_of(rounds, &one_report, &one_obs),
+            "faulted manifest ({label})"
+        );
+
+        // The faulted run's truncated walks must not leak into a later
+        // fault-free run on the same session either (stale hop counts
+        // would mis-gate stream memoization).
+        assert_eq!(session.run(rounds), clean, "post-fault run ({label})");
+    }
 }
